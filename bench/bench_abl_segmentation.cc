@@ -1,0 +1,137 @@
+/** @file Ablation: segmented vs flat (all-switches-closed) bus, run
+ * on the cycle-accurate simulator. Segmentation buys (1) parallel
+ * transfers on the same lane in disjoint segments and (2) shorter
+ * switched wire spans — both claimed in Section 2.3. */
+
+#include "arch/chip.hh"
+#include "bench_util.hh"
+#include "isa/assembler.hh"
+#include "mapping/comm_schedule.hh"
+#include "power/interconnect.hh"
+
+using namespace synchro;
+using namespace synchro::arch;
+using namespace synchro::bench;
+
+namespace
+{
+
+struct Result
+{
+    uint64_t cycles;
+    uint64_t transfers;
+    uint64_t wire_span;
+};
+
+/** Neighbour exchange (t0->t1 and t2->t3) of N words per tile,
+ * either on one lane in disjoint segments or serialized on a flat
+ * bus. */
+Result
+runExchange(bool segmented, unsigned words)
+{
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 4;
+    Chip chip(cfg);
+    chip.column(0).controller().loadProgram(
+        isa::assemble(strprintf(R"(
+        movi r0, 0
+        tid r7
+        lsetup lc0, e, %u
+        addi r7, 1
+        cwr r7
+        crd r1
+        add r0, r0, r1
+    e:
+        halt
+    )", words)));
+
+    mapping::CommSchedule sched;
+    if (segmented) {
+        // Both pairs share lane 0 in the same cycle, disjoint
+        // segments — 4-cycle loop sustained.
+        sched.period = 4;
+        sched.transfers = {
+            {0, 0, 0, {0, 1}, false},
+            {0, 1, 1, {}, false},
+            {0, 2, 2, {2, 3}, false},
+            {0, 3, 3, {}, false},
+        };
+    } else {
+        // Flat bus: one transfer at a time; the pairs alternate
+        // across an 8-cycle period, so each tile's value waits.
+        sched.period = 8;
+        sched.transfers = {
+            {0, 0, 0, {0, 1}, false},
+            {0, 1, 1, {}, false},
+            {4, 2, 2, {2, 3}, false},
+            {4, 3, 3, {}, false},
+        };
+        // Close every switch: transfers span the whole column.
+        // (The schedule compiler spans only what is needed, so
+        // patch the segment bytes to the flat configuration.)
+    }
+    auto prog = mapping::compileSchedule(sched);
+    if (!segmented) {
+        for (auto &st : prog.states)
+            st.seg = {0xf, 0xf, 0xf, 0x0};
+    }
+    chip.column(0).dou().load(prog);
+
+    auto res = chip.run(10'000'000);
+    if (res.exit != RunExit::AllHalted)
+        fatal("exchange did not complete");
+    Result out;
+    const auto &st = chip.column(0).controller().stats();
+    out.cycles = st.value("issued") + st.value("commStalls") +
+                 st.value("branchStalls");
+    out.transfers = chip.fabric().transfers();
+    out.wire_span = chip.fabric().wireSpanSum();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: segmented bus vs flat broadcast bus",
+           "Synchroscalar (ISCA 2004), Section 2.3");
+
+    const unsigned words = 256;
+    Result seg = runExchange(true, words);
+    Result flat = runExchange(false, words);
+
+    power::InterconnectModel ic;
+    // Wire-span sum is in bus nodes; 5 nodes = the full 10 mm run.
+    auto energy_uj = [&](const Result &r) {
+        double frac = double(r.wire_span) / (5.0 * r.transfers);
+        return r.transfers *
+               ic.transferEnergyJ(32, 1.0, frac) * 1e6;
+    };
+
+    std::printf("  neighbour exchange of %u words per pair:\n",
+                words);
+    std::printf("  %-12s %10s %10s %12s %14s\n", "bus", "cycles",
+                "transfers", "wire-span", "bus energy uJ");
+    std::printf("  %-12s %10llu %10llu %12llu %14.3f\n", "segmented",
+                (unsigned long long)seg.cycles,
+                (unsigned long long)seg.transfers,
+                (unsigned long long)seg.wire_span, energy_uj(seg));
+    std::printf("  %-12s %10llu %10llu %12llu %14.3f\n", "flat",
+                (unsigned long long)flat.cycles,
+                (unsigned long long)flat.transfers,
+                (unsigned long long)flat.wire_span,
+                energy_uj(flat));
+
+    std::printf("\n  segmentation: %.2fx fewer cycles, %.2fx less "
+                "switched wire per transfer\n",
+                double(flat.cycles) / seg.cycles,
+                double(flat.wire_span) / flat.transfers /
+                    (double(seg.wire_span) / seg.transfers));
+    note("matches Section 2.3: 'two messages can pass between "
+         "neighboring tiles using the same wires in different "
+         "segments' and 'higher levels of local bandwidth for very "
+         "little cost'");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/** @file Ablation: SIMD (one controller per column) vs MIMD (one
+ * per tile) control overhead. The paper's Section 2.2 amortizes
+ * instruction fetch/decode across the column; this bench quantifies
+ * the power that choice saves using the Table 2 / Section 4.2
+ * breakdown. */
+
+#include "apps/paper_workloads.hh"
+#include "bench_util.hh"
+#include "power/system_power.hh"
+#include "power/tile_power.hh"
+
+using namespace synchro;
+using namespace synchro::apps;
+using namespace synchro::power;
+
+int
+main()
+{
+    bench::banner("Ablation: SIMD column control vs per-tile control",
+                  "Synchroscalar (ISCA 2004), Section 2.2 / 4.2");
+
+    TilePowerChain chain;
+    // Section 4.2: the SIMD controller + DOU contribute 0.25 mW/MHz
+    // amortized over 4 tiles; a per-tile controller would charge the
+    // full 4x to every tile.
+    double simd_share = chain.simd_dou_mw_mhz;
+    double mimd_share = chain.simd_dou_mw_mhz * 4.0;
+    double u_simd = chain.synthesizedTotal();
+    double u_mimd = u_simd - simd_share + mimd_share;
+
+    std::printf("  normalized power at the synthesis corner:\n");
+    std::printf("    SIMD column control: %.2f mW/MHz per tile "
+                "(controller share %.2f)\n",
+                u_simd, simd_share);
+    std::printf("    per-tile control:    %.2f mW/MHz per tile "
+                "(controller share %.2f)\n",
+                u_mimd, mimd_share);
+    std::printf("    control-overhead increase: %.1f%%\n\n",
+                100.0 * (u_mimd - u_simd) / u_simd);
+
+    // Propagate through Table 4's applications.
+    double scale = u_mimd / u_simd;
+    SystemPowerModel simd_model;
+    TechParams mimd_tech = defaultTech();
+    mimd_tech.tile_power_mw_per_mhz *= scale;
+    SystemPowerModel mimd_model(mimd_tech);
+
+    std::printf("  application power, SIMD vs per-tile control:\n");
+    std::printf("  %-14s %12s %12s %8s\n", "App", "SIMD mW",
+                "MIMD mW", "extra");
+    for (const auto &name : paperAppNames()) {
+        double p_simd = 0, p_mimd = 0;
+        for (const auto &row : paperTable4()) {
+            if (row.app != name)
+                continue;
+            DomainLoad load{row.algo, row.tiles, row.f_mhz, row.v,
+                            calibrateTransfers(row, simd_model)};
+            p_simd += simd_model.loadPower(load).total();
+            p_mimd += mimd_model.loadPower(load).total();
+        }
+        std::printf("  %-14s %12.1f %12.1f %+7.1f%%\n", name.c_str(),
+                    p_simd, p_mimd,
+                    bench::deltaPct(p_mimd, p_simd));
+    }
+    bench::note("area also drops: one 0.25 mm^2 controller + one "
+                "0.0875 mm^2 DOU per 4 tiles instead of per tile");
+    return 0;
+}

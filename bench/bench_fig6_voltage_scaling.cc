@@ -1,0 +1,50 @@
+/** @file Regenerates Figure 6: per-application power with voltage
+ * scaling vs the additional power without it (single voltage). */
+
+#include <algorithm>
+#include <map>
+
+#include "apps/paper_workloads.hh"
+#include "bench_util.hh"
+#include "power/system_power.hh"
+
+using namespace synchro;
+using namespace synchro::apps;
+using namespace synchro::power;
+
+int
+main()
+{
+    bench::banner("Figure 6: Power by application, voltage scaling "
+                  "vs single voltage",
+                  "Synchroscalar (ISCA 2004), Figure 6 (Section "
+                  "5.1)");
+
+    SystemPowerModel model;
+    std::printf("  %-14s %12s %18s %10s\n", "Application",
+                "P scaled (mW)", "extra w/o scaling", "bar total");
+
+    for (const auto &app : paperAppNames()) {
+        double vmax = 0;
+        for (const auto &row : paperTable4()) {
+            if (row.app == app)
+                vmax = std::max(vmax, row.v);
+        }
+        PowerBreakdown multi, single;
+        for (const auto &row : paperTable4()) {
+            if (row.app != app)
+                continue;
+            DomainLoad load{row.algo, row.tiles, row.f_mhz, row.v,
+                            calibrateTransfers(row, model)};
+            multi += model.loadPower(load);
+            single += model.loadPower(model.atVoltage(load, vmax));
+        }
+        std::printf("  %-14s %12.1f %18.1f %10.1f\n", app.c_str(),
+                    multi.total(), single.total() - multi.total(),
+                    single.total());
+    }
+
+    bench::note("the dark bar segment of Figure 6 is the 'additional "
+                "power with no voltage scaling' column");
+    return 0;
+}

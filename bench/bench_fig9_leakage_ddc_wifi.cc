@@ -1,0 +1,69 @@
+/** @file Regenerates Figure 9: leakage sensitivity for DDC and
+ * 802.11a — application power as the per-tile leakage current sweeps
+ * from the calibrated 1.5 mA to the all-low-Vt 59.3 mA. */
+
+#include "apps/paper_workloads.hh"
+#include "bench_util.hh"
+#include "mapping/optimizer.hh"
+#include "power/vf_model.hh"
+
+using namespace synchro;
+using namespace synchro::apps;
+using namespace synchro::mapping;
+using namespace synchro::power;
+
+int
+main()
+{
+    bench::banner("Figure 9: Leakage sensitivity, DDC and 802.11a",
+                  "Synchroscalar (ISCA 2004), Figure 9 (Section "
+                  "5.4)");
+
+    VfModel vf;
+    SupplyLevels levels(vf);
+
+    std::printf("  %-18s", "mA/tile:");
+    for (double ma : leakageSweepMa())
+        std::printf(" %8.1f", ma);
+    std::printf("\n");
+
+    for (const auto &[app_name, sweeps] :
+         fig7TileSweeps()) {
+        if (app_name != "DDC" && app_name != "802.11a")
+            continue;
+        for (unsigned budget : sweeps) {
+            std::printf("  %-10s %2u tiles:", app_name.c_str(),
+                        budget);
+            for (double ma : leakageSweepMa()) {
+                SystemPowerModel model;
+                model.setLeakMaPerTile(ma);
+                Optimizer opt(model, levels);
+                AppWorkload app = appWorkload(app_name, model);
+                // Hold the allocation fixed across the sweep (the
+                // paper varies leakage for a fixed structure).
+                SystemPowerModel base;
+                Optimizer base_opt(base, levels);
+                AppWorkload base_app = appWorkload(app_name, base);
+                auto base_map = base_opt.mapWithBudget(base_app,
+                                                       budget);
+                if (!base_map) {
+                    std::printf("   infeas.");
+                    continue;
+                }
+                std::vector<unsigned> alloc;
+                for (const auto &l : base_map->loads)
+                    alloc.push_back(l.tiles);
+                auto m = opt.mapWithTiles(app, alloc);
+                std::printf(" %8.0f",
+                            m ? m->power.total() : -1.0);
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\n  SHAPE CHECK: more-parallel structures start "
+                "lower but their power grows faster with leakage "
+                "(more powered tiles), producing the cross-overs of "
+                "Figure 9.\n");
+    return 0;
+}

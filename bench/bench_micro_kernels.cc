@@ -1,0 +1,143 @@
+/** @file Micro-kernel cycle costs measured on the cycle-accurate
+ * simulator (methodology step 6: "Use the cycle-accurate simulator
+ * to determine the number of clock cycles required per input data
+ * sample"), compared with the per-tile cycles/sample implied by the
+ * paper's Table 4 mappings. Uses google-benchmark to also report
+ * simulator throughput. */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/kernels.hh"
+#include "common/rng.hh"
+#include "dsp/fir.hh"
+#include "dsp/nco.hh"
+
+using namespace synchro;
+using namespace synchro::apps::kernels;
+
+namespace
+{
+
+std::vector<int16_t>
+randomQ15(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int16_t> x(n);
+    for (auto &v : x)
+        v = int16_t(rng.range(-30000, 30000));
+    return x;
+}
+
+void
+BM_Fir21(benchmark::State &state)
+{
+    auto taps = dsp::designLowpassQ15(21, 0.2);
+    auto x = randomQ15(256, 1);
+    KernelRun last;
+    for (auto _ : state)
+        last = runFir(taps, x);
+    auto small = runFir(taps, randomQ15(64, 1));
+    auto cost = marginalCost(small, 64, last, 256);
+    state.counters["cycles_per_sample"] = cost.cycles_per_sample;
+    // Paper-implied: CFIR on 16 tiles at 380 MHz for 64 MS/s.
+    state.counters["paper_implied_cps"] = 380.0 * 16 / 64;
+}
+
+void
+BM_Fir63(benchmark::State &state)
+{
+    auto taps = dsp::designPfir63();
+    auto x = randomQ15(128, 2);
+    KernelRun last;
+    for (auto _ : state)
+        last = runFir(taps, x);
+    auto small = runFir(taps, randomQ15(32, 2));
+    auto cost = marginalCost(small, 32, last, 128);
+    state.counters["cycles_per_sample"] = cost.cycles_per_sample;
+    state.counters["paper_implied_cps"] = 370.0 * 16 / 64;
+}
+
+void
+BM_Mixer(benchmark::State &state)
+{
+    auto x = randomQ15(256, 3);
+    dsp::Nco nco(5e6, 64e6);
+    auto lo = nco.generate(x.size());
+    KernelRun last;
+    for (auto _ : state)
+        last = runMixer(x, lo);
+    nco.reset();
+    auto small = runMixer(randomQ15(64, 3), nco.generate(64));
+    auto cost = marginalCost(small, 64, last, 256);
+    state.counters["cycles_per_sample"] = cost.cycles_per_sample;
+    // Paper-implied: mixer on 8 tiles at 120 MHz for 64 MS/s.
+    state.counters["paper_implied_cps"] = 120.0 * 8 / 64;
+}
+
+void
+BM_CicIntegrator(benchmark::State &state)
+{
+    std::vector<int32_t> x(512, 7);
+    KernelRun last;
+    for (auto _ : state)
+        last = runCicIntegrator(x);
+    auto small = runCicIntegrator(std::vector<int32_t>(64, 7));
+    auto cost = marginalCost(small, 64, last, 512);
+    state.counters["cycles_per_sample"] = cost.cycles_per_sample;
+    state.counters["paper_implied_cps"] = 200.0 * 8 / 64;
+}
+
+void
+BM_Sad16(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<uint8_t> a(256), b(256);
+    for (auto &v : a)
+        v = uint8_t(rng.below(256));
+    for (auto &v : b)
+        v = uint8_t(rng.below(256));
+    KernelRun last;
+    for (auto _ : state)
+        last = runSad16(a, b);
+    state.counters["cycles_per_block"] = double(last.cycles);
+}
+
+void
+BM_Dct8Rows(benchmark::State &state)
+{
+    auto x = randomQ15(64, 5);
+    KernelRun last;
+    for (auto _ : state)
+        last = runDct8Rows(x, 8);
+    state.counters["cycles_per_row"] = double(last.cycles) / 8.0;
+}
+
+void
+BM_Acs4Distributed(benchmark::State &state)
+{
+    std::vector<int32_t> init(64, 1000);
+    std::vector<std::vector<int32_t>> bm(
+        8, std::vector<int32_t>(128, 1));
+    KernelRun last;
+    for (auto _ : state)
+        last = runAcs4(init, bm);
+    state.counters["cycles_per_stage"] = double(last.cycles) / 8.0;
+    state.counters["bus_words_per_stage"] =
+        double(last.bus_transfers) / 8.0;
+    // Paper-implied whole-stage budget: 16 tiles at 540 MHz decode
+    // 54 Mb/s -> 10 cycles/stage (with 4x our tile count and a
+    // dual-MAC datapath).
+    state.counters["paper_implied_16tile"] = 540.0 / 54.0;
+}
+
+} // namespace
+
+BENCHMARK(BM_Fir21)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fir63)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Mixer)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CicIntegrator)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sad16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dct8Rows)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Acs4Distributed)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

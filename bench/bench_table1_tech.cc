@@ -1,0 +1,58 @@
+/** @file Regenerates Table 1 (technology parameters) from the model's
+ * actual constants, including the derived tile power and leakage. */
+
+#include "bench_util.hh"
+#include "power/leakage.hh"
+#include "power/tile_power.hh"
+#include "power/vf_model.hh"
+
+using namespace synchro;
+using namespace synchro::power;
+
+int
+main()
+{
+    bench::banner("Table 1: Technology Parameters",
+                  "Synchroscalar (ISCA 2004), Table 1");
+
+    const TechParams &t = defaultTech();
+    VfModel vf(t);
+    LeakageModel leak(t);
+    TilePowerChain chain;
+
+    std::printf("  %-28s %-14s %s\n", "Parameter", "Value", "Source");
+    std::printf("  %-28s %.0f nm\n", "Technology", t.feature_nm);
+    std::printf("  %-28s %.2f V        Blackfin DSP floor\n",
+                "Minimum Voltage", t.vdd_min);
+    std::printf("  %-28s %.2f V        BPTM estimate\n",
+                "Maximum Voltage", t.vdd_max);
+    std::printf("  %-28s %.3f V       BPTM\n", "Threshold Voltage",
+                t.vth);
+    std::printf("  %-28s %.0f C         leakage analysis\n",
+                "Temperature", t.temperature_c);
+    std::printf("  %-28s %.0f MHz       model at %0.2f V "
+                "(paper: 600 at 20 FO4)\n",
+                "Max Frequency", vf.frequencyMhz(t.vdd_max),
+                t.vdd_max);
+    std::printf("  %-28s %.3f mW/MHz  synthesis chain: %.2f -> %.3f "
+                "@2.5V -> %.3f @1V\n",
+                "Tile Power", t.tile_power_mw_per_mhz,
+                chain.synthesizedTotal(), chain.customTotalAt2v5(),
+                chain.uAt1V());
+    std::printf("  %-28s %.2f mm^2     Table 2 scaled\n", "Tile Size",
+                t.tile_area_mm2);
+    std::printf("  %-28s %.0f fF/mm    semi-global [Future of "
+                "Wires]\n",
+                "Wire Cap.", t.wire_cap_ff_per_mm);
+    std::printf("  %-28s %.2f um      16 x feature semi-global\n",
+                "Wire pitch", t.wire_pitch_um);
+    std::printf("  %-28s %.0f pA/dev   calibrated (model: %.0f)\n",
+                "Leakage / transistor", t.leak_pa_per_transistor,
+                leak.currentPerTransistorA() * 1e12);
+    std::printf("  %-28s %.2f mA      1.8M transistors\n",
+                "Leakage / tile", t.leakMaPerTile());
+
+    bench::note("paper Table 1 lists wire cap as fF/um; the text and "
+                "all arithmetic use fF/mm (documented in DESIGN.md)");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/** @file Regenerates Table 2: tile / SIMD controller / DOU area
+ * estimation (0.25 um synthesis scaled to 0.13 um). */
+
+#include "bench_util.hh"
+#include "power/area.hh"
+
+using namespace synchro;
+using namespace synchro::power;
+
+int
+main()
+{
+    bench::banner("Table 2: Tile and SIMD Controller / DOU area",
+                  "Synchroscalar (ISCA 2004), Table 2");
+
+    AreaModel a;
+    double total = 0;
+    std::printf("  TILE COMPONENT%26s Area (um^2 at 0.25um)\n", "");
+    for (const auto &c : AreaModel::tileComponents()) {
+        std::printf("  %-38s %12.0f\n", c.name.c_str(),
+                    c.area_um2_250nm);
+        total += c.area_um2_250nm;
+    }
+    std::printf("  %-38s %12.0f   (paper: 7,270,000)\n", "Total",
+                total);
+    std::printf("  scaled to 130 nm: %.2f mm^2 (paper headline: "
+                "%.2f mm^2)\n\n",
+                a.scaledTotalMm2(AreaModel::tileComponents()),
+                a.tileAreaMm2());
+
+    total = 0;
+    std::printf("  SIMD CONTROLLER and DOU\n");
+    for (const auto &c : AreaModel::controllerComponents()) {
+        std::printf("  %-38s %12.0f\n", c.name.c_str(),
+                    c.area_um2_250nm);
+        total += c.area_um2_250nm;
+    }
+    std::printf("  %-38s %12.0f\n", "Total", total);
+    std::printf("  scaled to 130 nm: %.3f mm^2 (paper: SIMD %.2f + "
+                "DOU %.4f = %.4f mm^2)\n",
+                a.scaledTotalMm2(AreaModel::controllerComponents()),
+                defaultTech().simd_ctrl_area_mm2,
+                defaultTech().dou_area_mm2, a.columnOverheadMm2());
+
+    bench::note("Table 2's printed controller total (650,000) does "
+                "not equal its own rows (1,304,000); we follow the "
+                "rows, which match the text's 0.25+0.0875 mm^2");
+
+    std::printf("\n  full-chip area examples (tiles + controllers + "
+                "256-bit buses):\n");
+    for (unsigned tiles : {16u, 20u, 36u, 50u}) {
+        unsigned cols = (tiles + 3) / 4;
+        std::printf("    %2u tiles (%u columns): %.1f mm^2\n", tiles,
+                    cols, a.chipAreaMm2(tiles, cols, 256));
+    }
+    return 0;
+}

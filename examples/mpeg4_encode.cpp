@@ -1,0 +1,125 @@
+/**
+ * @file
+ * MPEG-4 encoder core example — the paper's video workload
+ * (Section 3): motion estimation + DCT + quantization over a
+ * synthetic moving scene ("constitute about 90% of the video
+ * encoder"), with PSNR/residual statistics and the Table 4 mapping.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/paper_workloads.hh"
+#include "common/rng.hh"
+#include "dsp/dct.hh"
+#include "dsp/motion.hh"
+#include "power/system_power.hh"
+
+using namespace synchro;
+using namespace synchro::dsp;
+
+namespace
+{
+
+/** A textured scene translated by (dx, dy) with a little noise. */
+Image
+scene(unsigned w, unsigned h, int dx, int dy, Rng &rng)
+{
+    Image img(w, h);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            double v =
+                128 + 50 * std::sin((int(x) + dx) / 7.0) +
+                40 * std::cos((int(y) + dy) / 9.0) +
+                20 * std::sin(((int(x) + dx) + (int(y) + dy)) / 5.0);
+            v += rng.gauss() * 2.0;
+            img(x, y) = uint8_t(std::clamp(v, 0.0, 255.0));
+        }
+    }
+    return img;
+}
+
+} // namespace
+
+int
+main()
+{
+    // QCIF luma: 176x144, 16x16 macroblocks.
+    const unsigned w = 176, h = 144, mb = 16;
+    Rng rng(4);
+    Image ref = scene(w, h, 0, 0, rng);
+    Rng rng2(4);
+    Image cur = scene(w, h, 3, -2, rng2); // camera pan (3, -2)
+
+    // Motion estimation per macroblock (full search +-7).
+    unsigned good_mv = 0, blocks = 0;
+    uint64_t residual_sad = 0, intra_sad = 0;
+    for (unsigned by = 0; by + mb <= h; by += mb) {
+        for (unsigned bx = 0; bx + mb <= w; bx += mb) {
+            MotionVector mv = fullSearch(cur, ref, bx, by, 7, mb);
+            ++blocks;
+            if (mv.dx == 3 && mv.dy == -2)
+                ++good_mv;
+            residual_sad += mv.sad;
+            intra_sad += blockSad(cur, ref, bx, by, 0, 0, mb);
+        }
+    }
+    std::printf("motion estimation: %u/%u macroblocks found the "
+                "(3,-2) pan; residual SAD %.1f%% of uncompensated\n",
+                good_mv, blocks,
+                100.0 * double(residual_sad) / double(intra_sad));
+
+    // DCT + quantization round trip on the residual blocks.
+    double mse = 0;
+    unsigned coeffs_kept = 0, coeffs_total = 0;
+    const int qp = 8;
+    for (unsigned by = 0; by + 8 <= h; by += 8) {
+        for (unsigned bx = 0; bx + 8 <= w; bx += 8) {
+            Block8x8 block{};
+            for (unsigned j = 0; j < 8; ++j)
+                for (unsigned i = 0; i < 8; ++i)
+                    block[j * 8 + i] =
+                        int16_t(int(cur(bx + i, by + j)) - 128);
+            Block8x8 coef = dct8x8(block);
+            Block8x8 q = quantize(coef, qp);
+            for (int16_t v : zigzag(q)) {
+                ++coeffs_total;
+                if (v != 0)
+                    ++coeffs_kept;
+            }
+            Block8x8 rec = idct8x8(dequantize(q, qp));
+            for (unsigned k = 0; k < 64; ++k) {
+                double d = double(rec[k]) - block[k];
+                mse += d * d;
+            }
+        }
+    }
+    mse /= double(coeffs_total);
+    double psnr = 10.0 * std::log10(255.0 * 255.0 / mse);
+    std::printf("transform coding at qp=%d: %.1f%% nonzero "
+                "coefficients, reconstruction PSNR %.1f dB\n",
+                qp, 100.0 * coeffs_kept / coeffs_total, psnr);
+
+    // --- Synchroscalar mapping (Table 4, QCIF and CIF) ------------
+    power::SystemPowerModel model;
+    for (const char *app : {"MPEG4-QCIF", "MPEG4-CIF"}) {
+        double total = 0;
+        std::printf("\n%s @ 30 f/s on Synchroscalar:\n", app);
+        for (const auto &row : apps::paperTable4()) {
+            if (row.app != app)
+                continue;
+            power::DomainLoad load{
+                row.algo, row.tiles, row.f_mhz, row.v,
+                apps::calibrateTransfers(row, model)};
+            double p = model.loadPower(load).total();
+            total += p;
+            std::printf("  %-20s %2u tiles @ %3.0f MHz / %.1f V : "
+                        "%7.2f mW\n",
+                        row.algo.c_str(), row.tiles, row.f_mhz,
+                        row.v, p);
+        }
+        std::printf("  total: %.2f mW\n", total);
+    }
+    return 0;
+}

@@ -1,0 +1,511 @@
+#include "apps/kernels.hh"
+
+#include <cmath>
+
+#include <cstring>
+
+#include "arch/chip.hh"
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "mapping/comm_schedule.hh"
+
+namespace synchro::apps::kernels
+{
+
+using arch::Chip;
+using arch::ChipConfig;
+using arch::RunExit;
+
+namespace
+{
+
+/** Single-tile chip running @p asm_src to completion. */
+struct SingleTile
+{
+    explicit SingleTile(const std::string &asm_src)
+    {
+        ChipConfig cfg;
+        cfg.dividers = {1};
+        cfg.tiles_per_column = 1;
+        chip = std::make_unique<Chip>(cfg);
+        chip->column(0).controller().loadProgram(
+            isa::assemble(asm_src));
+    }
+
+    KernelRun
+    finish(Tick limit = 50'000'000)
+    {
+        auto res = chip->run(limit);
+        if (res.exit != RunExit::AllHalted)
+            fatal("kernel did not halt within %llu ticks",
+                  (unsigned long long)limit);
+        KernelRun out;
+        out.cycles =
+            chip->column(0).controller().stats().value("issued") +
+            chip->column(0).controller().stats().value(
+                "branchStalls") +
+            chip->column(0).controller().stats().value("commStalls") +
+            chip->column(0).controller().stats().value("zormNops");
+        out.bus_transfers = chip->fabric().transfers();
+        out.comm_stalls =
+            chip->column(0).controller().stats().value("commStalls");
+        return out;
+    }
+
+    arch::Tile &tile() { return chip->column(0).tile(0); }
+
+    std::unique_ptr<Chip> chip;
+};
+
+constexpr uint32_t CoefBase = 0x0000;
+constexpr uint32_t InBase = 0x1000;
+constexpr uint32_t In2Base = 0x2000;
+constexpr uint32_t OutBase = 0x4000;
+
+} // namespace
+
+KernelCost
+marginalCost(const KernelRun &small, unsigned n_small,
+             const KernelRun &big, unsigned n_big)
+{
+    sync_assert(n_big > n_small, "need two distinct sizes");
+    KernelCost c;
+    c.cycles_per_sample = double(big.cycles - small.cycles) /
+                          double(n_big - n_small);
+    c.overhead_cycles =
+        double(small.cycles) - c.cycles_per_sample * n_small;
+    return c;
+}
+
+KernelRun
+runFir(const std::vector<int16_t> &taps,
+       const std::vector<int16_t> &x)
+{
+    const unsigned ntaps = unsigned(taps.size());
+    const unsigned n = unsigned(x.size());
+    sync_assert(ntaps > 0 && n > 0 && n <= 4095, "fir sizes");
+
+    std::string src = strprintf(R"(
+        movpi p0, %u        ; coefficients (reversed)
+        movpi p1, %u        ; padded input
+        movpi p2, %u        ; output
+        movi r5, 16384      ; Q15 rounding bias
+        movi r6, 1
+        movi r3, 32767
+        movi r4, -32768
+        lsetup lc0, sample_end, %u
+        aclr a0
+        mac a0, r5, r6, ll
+        lsetup lc1, tap_end, %u
+        ld.h r0, [p0]+2
+        ld.h r1, [p1]+2
+        mac a0, r0, r1, ll
+    tap_end:
+        aext r2, a0, 15
+        min r2, r2, r3
+        max r2, r2, r4
+        st.h r2, [p2]+2
+        movpi p0, %u
+        paddi p1, %d
+    sample_end:
+        halt
+    )",
+                                 CoefBase, InBase, OutBase, n, ntaps,
+                                 CoefBase, -int(2 * ntaps - 2));
+
+    SingleTile st(src);
+    std::vector<int16_t> rev(taps.rbegin(), taps.rend());
+    st.tile().writeMemHalves(CoefBase, rev);
+    std::vector<int16_t> padded(ntaps - 1, 0);
+    padded.insert(padded.end(), x.begin(), x.end());
+    st.tile().writeMemHalves(InBase, padded);
+
+    KernelRun run = st.finish();
+    run.halves = st.tile().readMemHalves(OutBase, n);
+    return run;
+}
+
+KernelRun
+runMixer(const std::vector<int16_t> &x,
+         const std::vector<CplxQ15> &lo)
+{
+    sync_assert(x.size() == lo.size() && !x.empty() &&
+                    x.size() <= 4095,
+                "mixer sizes");
+    const unsigned n = unsigned(x.size());
+
+    std::string src = strprintf(R"(
+        movpi p0, %u
+        movpi p1, %u
+        movpi p2, %u
+        movi r5, 16384
+        movi r6, 1
+        movi r3, 32767
+        movi r4, -32768
+        lsetup lc0, e, %u
+        ld.h r0, [p0]+2     ; x
+        ld.h r1, [p1]+2     ; lo_re
+        ld.h r2, [p1]+2     ; lo_im
+        aclr a0
+        mac a0, r5, r6, ll
+        mac a0, r0, r1, ll
+        aext r1, a0, 15
+        min r1, r1, r3
+        max r1, r1, r4
+        st.h r1, [p2]+2
+        aclr a1
+        mac a1, r5, r6, ll
+        mac a1, r0, r2, ll
+        aext r2, a1, 15
+        min r2, r2, r3
+        max r2, r2, r4
+        st.h r2, [p2]+2
+    e:
+        halt
+    )",
+                                 InBase, In2Base, OutBase, n);
+
+    SingleTile st(src);
+    st.tile().writeMemHalves(InBase, x);
+    std::vector<int16_t> lo_flat;
+    lo_flat.reserve(2 * n);
+    for (const auto &s : lo) {
+        lo_flat.push_back(s.re);
+        lo_flat.push_back(s.im);
+    }
+    st.tile().writeMemHalves(In2Base, lo_flat);
+
+    KernelRun run = st.finish();
+    run.halves = st.tile().readMemHalves(OutBase, 2 * n);
+    return run;
+}
+
+KernelRun
+runCicIntegrator(const std::vector<int32_t> &x, unsigned stages)
+{
+    sync_assert(stages >= 1 && stages <= 5, "1..5 stages (r1..r5)");
+    sync_assert(!x.empty() && x.size() <= 4095, "cic sizes");
+    const unsigned n = unsigned(x.size());
+
+    std::string body;
+    for (unsigned s = 1; s <= stages; ++s)
+        body += strprintf("        add r%u, r%u, r%u\n", s, s, s - 1);
+    std::string zeros;
+    for (unsigned s = 1; s <= stages; ++s)
+        zeros += strprintf("        movi r%u, 0\n", s);
+
+    std::string src = strprintf(R"(
+        movpi p0, %u
+        movpi p1, %u
+%s
+        lsetup lc0, e, %u
+        ld.w r0, [p0]+4
+%s
+        st.w r%u, [p1]+4
+    e:
+        halt
+    )",
+                                 InBase, OutBase, zeros.c_str(), n,
+                                 body.c_str(), stages);
+
+    SingleTile st(src);
+    st.tile().writeMemWords(InBase, x);
+    KernelRun run = st.finish();
+    run.words = st.tile().readMemWords(OutBase, n);
+    return run;
+}
+
+KernelRun
+runSad16(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    sync_assert(a.size() == 256 && b.size() == 256,
+                "sad16 wants 16x16 blocks");
+
+    std::string src = strprintf(R"(
+        movpi p0, %u
+        movpi p1, %u
+        movpi p2, %u
+        aclr a0
+        lsetup lc0, e, 64
+        ld.w r0, [p0]+4
+        ld.w r1, [p1]+4
+        saa a0, r0, r1
+    e:
+        aext r2, a0, 0
+        st.w r2, [p2]
+        halt
+    )",
+                                 InBase, In2Base, OutBase);
+
+    SingleTile st(src);
+    st.tile().writeMem(InBase, a.data(), 256);
+    st.tile().writeMem(In2Base, b.data(), 256);
+    KernelRun run = st.finish();
+    run.words = st.tile().readMemWords(OutBase, 1);
+    return run;
+}
+
+KernelRun
+runDct8Rows(const std::vector<int16_t> &x, unsigned rows)
+{
+    sync_assert(x.size() == size_t(rows) * 8 && rows >= 1 &&
+                    rows <= 4095,
+                "dct rows");
+
+    // The 8 Q13 cosine rows, matching dsp::dct8x8's first pass.
+    std::vector<int16_t> coef(64);
+    for (unsigned k = 0; k < 8; ++k) {
+        for (unsigned nn = 0; nn < 8; ++nn) {
+            double a = k == 0 ? std::sqrt(1.0 / 8.0)
+                              : std::sqrt(2.0 / 8.0);
+            double v =
+                a * std::cos((2.0 * nn + 1.0) * k * M_PI / 16.0);
+            coef[k * 8 + nn] = int16_t(std::lround(v * 8192.0));
+        }
+    }
+
+    std::string macs;
+    for (unsigned i = 0; i < 8; ++i) {
+        macs += "        ld.h r0, [p0]+2\n"
+                "        ld.h r1, [p1]+2\n"
+                "        mac a0, r0, r1, ll\n";
+    }
+
+    std::string src = strprintf(R"(
+        movpi p0, %u        ; coefficient rows
+        movpi p1, %u        ; input rows
+        movpi p2, %u        ; output
+        movi r5, 4096       ; Q13 rounding bias
+        movi r6, 1
+        movi r3, 32767
+        movi r4, -32768
+        lsetup lc0, row_end, %u
+        movpi p0, %u
+        lsetup lc1, k_end, 8
+        aclr a0
+        mac a0, r5, r6, ll
+%s
+        aext r2, a0, 13
+        min r2, r2, r3
+        max r2, r2, r4
+        st.h r2, [p2]+2
+        paddi p1, -16
+    k_end:
+        paddi p1, 16
+    row_end:
+        halt
+    )",
+                                 CoefBase, InBase, OutBase, rows,
+                                 CoefBase, macs.c_str());
+
+    SingleTile st(src);
+    st.tile().writeMemHalves(CoefBase, coef);
+    st.tile().writeMemHalves(InBase, x);
+    KernelRun run = st.finish();
+    run.halves = st.tile().readMemHalves(OutBase, rows * 8);
+    return run;
+}
+
+// ----------------------------------------------------------------
+// Distributed 4-tile Viterbi ACS
+
+namespace
+{
+
+constexpr uint32_t AcsSend = 0x0000; //!< 32 words, metrics duplicated
+constexpr uint32_t AcsRecv = 0x0100; //!< 32 words received
+constexpr uint32_t AcsNew = 0x0200;  //!< 16 updated metrics
+constexpr uint32_t AcsBm = 0x1000;   //!< per-stage branch metrics
+
+std::string
+acsSource(unsigned stages, unsigned pad_nops)
+{
+    std::string pads;
+    for (unsigned i = 0; i < pad_nops; ++i)
+        pads += "        nop\n";
+    return strprintf(R"(
+        movpi p0, %u        ; send buffer (duplicated metrics)
+        movpi p1, %u        ; receive buffer write
+        movpi p2, %u        ; predecessor reads
+        movpi p3, %u        ; branch metric tables
+        movpi p4, %u        ; new metrics
+        movpi p5, %u        ; send buffer refill
+        lsetup lc0, stage_end, %u
+        ; -- exchange: every tile streams its 16 metrics twice over
+        ;    its bus lane; the DOU routes each copy to one consumer
+        lsetup lc1, send_end, 32
+        ld.w r7, [p0]+4
+        cwr r7
+        crd r6
+        st.w r6, [p1]+4
+    send_end:
+        ; -- ACS over this tile's 16 states, predecessors arrive in
+        ;    (even, odd) interleaved order so stride-8 reads walk
+        ;    each source half linearly
+        lsetup lc1, c1_end, 8
+        ld.w r0, [p2]+8
+        ld.w r1, [p3]+4
+        add r0, r0, r1
+        ld.w r2, [p2]+8
+        ld.w r1, [p3]+4
+        add r2, r2, r1
+        min r0, r0, r2
+        st.w r0, [p4]+4
+    c1_end:
+        paddi p2, -124
+        lsetup lc1, c2_end, 8
+        ld.w r0, [p2]+8
+        ld.w r1, [p3]+4
+        add r0, r0, r1
+        ld.w r2, [p2]+8
+        ld.w r1, [p3]+4
+        add r2, r2, r1
+        min r0, r0, r2
+        st.w r0, [p4]+4
+    c2_end:
+        ; -- refill the send buffer with the new metrics, duplicated
+        paddi p4, -64
+        lsetup lc1, copy_end, 16
+        ld.w r0, [p4]+4
+        st.w r0, [p5]+4
+        st.w r0, [p5]+4
+    copy_end:
+        paddi p0, -128
+        paddi p1, -128
+        paddi p2, -132
+        paddi p4, -64
+        paddi p5, -128
+%s
+    stage_end:
+        halt
+    )",
+                     AcsSend, AcsRecv, AcsRecv, AcsBm, AcsNew,
+                     AcsSend, stages, pads.c_str());
+}
+
+struct AcsChip
+{
+    explicit AcsChip(unsigned stages, unsigned pad_nops)
+    {
+        ChipConfig cfg;
+        cfg.dividers = {1};
+        cfg.tiles_per_column = 4;
+        chip = std::make_unique<Chip>(cfg);
+        isa::Program prog = isa::assemble(acsSource(stages, pad_nops));
+        chip->column(0).controller().loadProgram(prog);
+
+        // The first cwr's issue cycle equals its instruction index
+        // (straight-line prologue, zero-overhead loops).
+        unsigned first_cwr = 0;
+        for (unsigned i = 0; i < prog.insts.size(); ++i) {
+            if (prog.insts[i].op == isa::Opcode::CWR) {
+                first_cwr = i;
+                break;
+            }
+        }
+        unsigned slot_a = first_cwr % 8;
+        unsigned slot_b = (slot_a + 4) % 8;
+
+        // Slot A: even-source metrics (tiles 0 and 2); slot B: odd
+        // sources (tiles 1 and 3). Consumers capture their
+        // predecessor halves; undriven lanes still drain.
+        mapping::CommSchedule sched;
+        sched.period = 8;
+        sched.transfers = {
+            {slot_a, 0, 0, {0, 2}, false}, // t0 metrics -> t0, t2
+            {slot_a, 1, 1, {}, false},     // drain
+            {slot_a, 2, 2, {1, 3}, false}, // t2 metrics -> t1, t3
+            {slot_a, 3, 3, {}, false},     // drain
+            {slot_b, 0, 0, {}, false},     // drain
+            {slot_b, 1, 1, {0, 2}, false}, // t1 metrics -> t0, t2
+            {slot_b, 2, 2, {}, false},     // drain
+            {slot_b, 3, 3, {1, 3}, false}, // t3 metrics -> t1, t3
+        };
+        chip->column(0).dou().load(mapping::compileSchedule(sched));
+    }
+
+    void
+    loadState(const std::vector<int32_t> &metrics,
+              const std::vector<std::vector<int32_t>> &bm)
+    {
+        for (unsigned t = 0; t < 4; ++t) {
+            arch::Tile &tile = chip->column(0).tile(t);
+            std::vector<int32_t> dup;
+            for (unsigned i = 0; i < 16; ++i) {
+                dup.push_back(metrics[16 * t + i]);
+                dup.push_back(metrics[16 * t + i]);
+            }
+            tile.writeMemWords(AcsSend, dup);
+            // Tile t owns states 16t..16t+15: entries [state*2 +
+            // tail] = 32 words starting at 32*t per stage.
+            std::vector<int32_t> tables;
+            for (const auto &stage : bm) {
+                for (unsigned i = 0; i < 32; ++i)
+                    tables.push_back(stage[32 * t + i]);
+            }
+            tile.writeMemWords(AcsBm, tables);
+        }
+    }
+
+    std::unique_ptr<Chip> chip;
+};
+
+uint64_t
+acsCycles(const Chip &chip)
+{
+    const auto &st = chip.column(0).controller().stats();
+    return st.value("issued") + st.value("branchStalls") +
+           st.value("commStalls") + st.value("zormNops");
+}
+
+} // namespace
+
+KernelRun
+runAcs4(const std::vector<int32_t> &initial,
+        const std::vector<std::vector<int32_t>> &branch_metrics)
+{
+    sync_assert(initial.size() == 64, "need 64 initial metrics");
+    for (const auto &stage : branch_metrics)
+        sync_assert(stage.size() == 128,
+                    "branch metric stages carry 64 states x 2");
+    const unsigned stages = unsigned(branch_metrics.size());
+    sync_assert(stages >= 1 && stages <= 250, "1..250 stages");
+
+    // Calibrate the per-stage cycle count so each stage spans a
+    // multiple of the 8-cycle DOU period; otherwise the second
+    // stage's sends land on the wrong schedule slots.
+    std::vector<std::vector<int32_t>> dummy(
+        2, std::vector<int32_t>(128, 0));
+    std::vector<int32_t> zeros(64, 0);
+    uint64_t len[2];
+    for (unsigned s = 1; s <= 2; ++s) {
+        AcsChip probe(s, 0);
+        probe.loadState(zeros, {dummy.begin(), dummy.begin() + s});
+        auto res = probe.chip->run(1'000'000);
+        if (res.exit != RunExit::AllHalted)
+            fatal("acs calibration run deadlocked");
+        len[s - 1] = acsCycles(*probe.chip);
+    }
+    uint64_t stage_len = len[1] - len[0];
+    unsigned pad = unsigned((8 - stage_len % 8) % 8);
+
+    AcsChip chip(stages, pad);
+    chip.loadState(initial, branch_metrics);
+    auto res = chip.chip->run(100'000'000);
+    if (res.exit != RunExit::AllHalted)
+        fatal("acs kernel deadlocked");
+
+    KernelRun run;
+    run.cycles = acsCycles(*chip.chip);
+    run.bus_transfers = chip.chip->fabric().transfers();
+    run.comm_stalls =
+        chip.chip->column(0).controller().stats().value("commStalls");
+    run.words.resize(64);
+    for (unsigned t = 0; t < 4; ++t) {
+        auto m = chip.chip->column(0).tile(t).readMemWords(AcsNew, 16);
+        std::copy(m.begin(), m.end(), run.words.begin() + 16 * t);
+    }
+    return run;
+}
+
+} // namespace synchro::apps::kernels

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hand-scheduled SyncBF assembly kernels and their measurement
+ * harness — the counterpart of the paper's hand-optimized Blackfin
+ * inner loops (Section 4.5: "The applications were compiled down to
+ * assembly, and the inner-loops hand-optimized").
+ *
+ * Every kernel runs on the cycle-accurate simulator with code and
+ * data in local tile memories (methodology step 6) and is validated
+ * bit-exactly against the corresponding dsp:: golden kernel. The
+ * distributed Viterbi ACS kernel exercises the full machinery:
+ * 4 tiles, SIMD control, and a DOU-compiled metric-exchange
+ * schedule on 4 bus lanes.
+ */
+
+#ifndef SYNC_APPS_KERNELS_HH
+#define SYNC_APPS_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed.hh"
+
+namespace synchro::apps::kernels
+{
+
+/** Outcome of one kernel run on the simulator. */
+struct KernelRun
+{
+    std::vector<int32_t> words;   //!< result words (kernel-defined)
+    std::vector<int16_t> halves;  //!< result halfwords
+    uint64_t cycles = 0;          //!< column issue slots to halt
+    uint64_t bus_transfers = 0;
+    uint64_t comm_stalls = 0;
+};
+
+/** Marginal cycles per sample from two run sizes. */
+struct KernelCost
+{
+    double cycles_per_sample = 0;
+    double overhead_cycles = 0;
+};
+
+KernelCost marginalCost(const KernelRun &small, unsigned n_small,
+                        const KernelRun &big, unsigned n_big);
+
+/**
+ * FIR filter: y[n] = sat16((sum_k taps[k] x[n-k] + 2^14) >> 15) over
+ * @p n samples, zero initial history — bit-exact vs dsp::FirQ15.
+ */
+KernelRun runFir(const std::vector<int16_t> &taps,
+                 const std::vector<int16_t> &x);
+
+/** DDC digital mixer: (x * lo_re, x * lo_im) in rounded Q15. */
+KernelRun runMixer(const std::vector<int16_t> &x,
+                   const std::vector<CplxQ15> &lo);
+
+/** 5-stage CIC integrator (wrapping int32), one output per input. */
+KernelRun runCicIntegrator(const std::vector<int32_t> &x,
+                           unsigned stages = 5);
+
+/** 16x16 SAD via the SAA video-ALU op; result word 0 = SAD. */
+KernelRun runSad16(const std::vector<uint8_t> &a,
+                   const std::vector<uint8_t> &b);
+
+/** 8-point DCT row pass (Q13), @p rows rows of 8 samples. */
+KernelRun runDct8Rows(const std::vector<int16_t> &x, unsigned rows);
+
+/**
+ * Distributed Viterbi ACS: 64 path metrics block-partitioned over 4
+ * tiles in one column; each stage the tiles exchange all metrics
+ * over 4 bus lanes under a DOU-compiled schedule, then
+ * add-compare-select. Returns the final 64 metrics (words) after
+ * running the given per-stage branch metric tables.
+ *
+ * @param initial      64 initial path metrics
+ * @param branch_metrics  [stage][state*2 + tail] costs
+ */
+KernelRun runAcs4(const std::vector<int32_t> &initial,
+                  const std::vector<std::vector<int32_t>>
+                      &branch_metrics);
+
+} // namespace synchro::apps::kernels
+
+#endif // SYNC_APPS_KERNELS_HH

@@ -1,0 +1,172 @@
+#include "apps/paper_workloads.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace synchro::apps
+{
+
+using mapping::CommScaling;
+
+const std::vector<PaperAlgoRow> &
+paperTable4()
+{
+    static const std::vector<PaperAlgoRow> rows = {
+        // app, algo, tiles, MHz, V, P_mw, P_single_mw, savings%
+        {"DDC", "Digital Mixer", 8, 120, 0.8, 76.29, 191.83, 60,
+         CommScaling::Constant, 64},
+        {"DDC", "CIC Integrator", 8, 200, 1.0, 241.54, 403.58, 40,
+         CommScaling::Linear, 64},
+        {"DDC", "CIC Comb", 2, 40, 0.7, 18.86, 18.86, 66,
+         CommScaling::Linear, 64},
+        {"DDC", "CFIR", 16, 380, 1.3, 1071.22, 1071.22, 0,
+         CommScaling::Constant, 64},
+        {"DDC", "PFIR", 16, 370, 1.3, 1031.75, 1031.75, 0,
+         CommScaling::Constant, 64},
+
+        {"SV", "SVD", 1, 500, 1.5, 114.27, 114.27, 0,
+         CommScaling::Constant, 1},
+        {"SV", "PFE", 16, 310, 1.2, 742.68, 1151.55, 36,
+         CommScaling::Linear, 64},
+
+        {"802.11a", "FFT", 2, 90, 0.8, 16.74, 79.60, 79,
+         CommScaling::Linear, 64},
+        {"802.11a", "De-mod/De-Interleave", 1, 60, 0.7, 4.71, 28.45,
+         83, CommScaling::Constant, 4},
+        {"802.11a", "Viterbi ACS", 16, 540, 1.7, 3848.01, 3848.01, 0,
+         CommScaling::Trellis, 32},
+        {"802.11a", "Viterbi Traceback", 1, 330, 1.2, 61.07, 83.22,
+         27, CommScaling::Constant, 1},
+
+        {"802.11a+AES", "FFT", 2, 90, 0.8, 14.80, 49.36, 75,
+         CommScaling::Linear, 64},
+        {"802.11a+AES", "De-mod/De-Interleave", 1, 60, 0.7, 4.71,
+         28.45, 83, CommScaling::Constant, 4},
+        {"802.11a+AES", "Viterbi ACS", 16, 540, 1.7, 3848.01,
+         3848.01, 0, CommScaling::Trellis, 32},
+        {"802.11a+AES", "Viterbi Traceback", 1, 330, 1.2, 61.07,
+         83.22, 27, CommScaling::Constant, 1},
+        {"802.11a+AES", "AES", 16, 110, 0.8, 159.50, 556.56, 71,
+         CommScaling::Linear, 64},
+
+        {"MPEG4-QCIF", "Motion Estimation", 8, 70, 0.7, 42.53, 42.53,
+         0, CommScaling::Linear, 64},
+        {"MPEG4-QCIF", "DCT/Quant/IQ/IDCT", 2, 60, 0.7, 4.71, 4.71,
+         0, CommScaling::Linear, 64},
+
+        {"MPEG4-CIF", "Motion Estimation", 8, 280, 1.1, 351.21,
+         351.21, 0, CommScaling::Linear, 64},
+        {"MPEG4-CIF", "DCT/Quant/IQ/IDCT", 8, 60, 0.7, 18.82, 46.48,
+         60, CommScaling::Linear, 64},
+    };
+    return rows;
+}
+
+const std::vector<std::string> &
+paperAppNames()
+{
+    static const std::vector<std::string> names = {
+        "DDC", "SV", "802.11a", "802.11a+AES", "MPEG4-QCIF",
+        "MPEG4-CIF",
+    };
+    return names;
+}
+
+const std::vector<PaperAppTotal> &
+paperAppTotals()
+{
+    static const std::vector<PaperAppTotal> totals = {
+        {"DDC", 50, 2427.23, 2717.24, 11},
+        {"SV", 17, 857.40, 1266.28, 32},
+        {"802.11a", 20, 3930.53, 4039.28, 3},
+        {"802.11a+AES", 36, 2443.68, 2866.14, 11},
+        {"MPEG4-QCIF", 10, 47.24, 47.24, 0},
+        {"MPEG4-CIF", 16, 370.03, 397.68, 7},
+    };
+    return totals;
+}
+
+double
+appSampleRate(const std::string &app)
+{
+    if (app == "DDC")
+        return 64e6; // 64 MS/s GSM requirement
+    if (app == "SV")
+        return 10.0; // frames/s, 256x256 stereo
+    if (app == "802.11a" || app == "802.11a+AES")
+        return 54e6; // bits/s
+    if (app == "MPEG4-QCIF" || app == "MPEG4-CIF")
+        return 30.0; // frames/s
+    fatal("unknown application '%s'", app.c_str());
+}
+
+double
+calibrateTransfers(const PaperAlgoRow &row,
+                   const power::SystemPowerModel &model)
+{
+    power::DomainLoad no_bus{row.algo, row.tiles, row.f_mhz, row.v,
+                             0.0};
+    double base = model.loadPower(no_bus).total();
+    double residual = row.paper_power_mw - base;
+    if (residual <= 0)
+        return 0.0; // paper row below the tile+leak floor; see
+                    // EXPERIMENTS.md for the affected rows
+    double e = model.busModel().transferEnergyJ(32, row.v);
+    return residual * 1e-3 / e;
+}
+
+mapping::AppWorkload
+appWorkload(const std::string &app,
+            const power::SystemPowerModel &model)
+{
+    mapping::AppWorkload w;
+    w.name = app;
+    w.sample_rate_hz = appSampleRate(app);
+    for (const auto &row : paperTable4()) {
+        if (row.app != app)
+            continue;
+        mapping::AlgoLoad a;
+        a.name = row.algo;
+        a.demand_mcycles_s = double(row.tiles) * row.f_mhz;
+        a.ref_transfers_s = calibrateTransfers(row, model);
+        a.ref_tiles = row.tiles;
+        a.min_tiles = 1;
+        a.max_tiles = row.max_parallel;
+        a.scaling = row.scaling;
+        if (row.scaling == CommScaling::Trellis)
+            a.divisor_of = 64; // block-partitioned trellis states
+        w.algos.push_back(a);
+    }
+    if (w.algos.empty())
+        fatal("unknown application '%s'", app.c_str());
+    return w;
+}
+
+const std::vector<std::pair<std::string, std::vector<unsigned>>> &
+fig7TileSweeps()
+{
+    // The exact tile counts on Figure 7's x-axis.
+    static const std::vector<
+        std::pair<std::string, std::vector<unsigned>>>
+        sweeps = {
+            {"DDC", {14, 26, 50}},
+            {"SV", {5, 9, 17}},
+            {"802.11a", {12, 20, 36}},
+            {"MPEG4-CIF", {8, 12, 20, 36}},
+        };
+    return sweeps;
+}
+
+const std::vector<double> &
+leakageSweepMa()
+{
+    // Figure 9/10 x-axis: 1.5 mA (the Section 4.4 calibration) up to
+    // 59.3 mA (every transistor low-Vt per Intel's 130 nm numbers).
+    static const std::vector<double> sweep = {
+        1.5, 7.4, 14.8, 22.2, 29.6, 37.0, 44.4, 51.8, 59.3,
+    };
+    return sweep;
+}
+
+} // namespace synchro::apps

@@ -1,0 +1,64 @@
+#include "apps/platforms.hh"
+
+#include "common/log.hh"
+
+namespace synchro::apps
+{
+
+const std::vector<PlatformRow> &
+paperTable3Platforms()
+{
+    // Values transcribed from Table 3; rates converted to the
+    // application's headline unit (DDC: samples/s, 802.11a: bits/s,
+    // SV/MPEG4: frames/s).
+    static const std::vector<PlatformRow> rows = {
+        {"DDC", "Intel Xeon 2.8 GHz", PlatformKind::Programmable,
+         0.13, 146, 71000, 1.45, 19.0e6, "1/3 required rate"},
+        {"DDC", "Blackfin 600 MHz", PlatformKind::Programmable, 0.13,
+         2.5, 280, 1.2, 112.6e3, "1/500 required rate"},
+        {"DDC", "Graychip GC4014", PlatformKind::Asic, 0, 0, 250,
+         3.3, 64e6, "ASIC, full rate"},
+
+        {"SV", "Intel Xeon 2.8 GHz", PlatformKind::Programmable,
+         0.13, 146, 71000, 1.45, 4.96, "1/3 required rate"},
+        {"SV", "Blackfin 600 MHz", PlatformKind::Programmable, 0.13,
+         2.5, 280, 1.2, 1.46, "1/7 required rate"},
+        {"SV", "FPGA (Benedetti)", PlatformKind::Asic, 0, 0, 20000,
+         0, 30, "320x240, not stereo, no SVD"},
+
+        {"802.11a", "Atheros", PlatformKind::Asic, 0.25, 34.68, 203,
+         2.5, 54e6, "ASIC"},
+        {"802.11a", "Icefyre", PlatformKind::Asic, 0.18, 0, 720, 0,
+         54e6, "ASIC chipset incl. ADC"},
+        {"802.11a", "IMEC", PlatformKind::Asic, 0.18, 20.8, 146, 1.8,
+         54e6, "ASIC, area incl. ADC/DAC"},
+        {"802.11a", "NEC", PlatformKind::Asic, 0.18, 119, 474, 1.5,
+         54e6, "ASIC, MAC+PHY, core power"},
+        {"802.11a", "D. Su", PlatformKind::Asic, 0.25, 22, 121.5,
+         2.7, 54e6, "PHY layer only"},
+        {"802.11a", "Blackfin 600 MHz", PlatformKind::Programmable,
+         0.13, 2.5, 280, 1.2, 556e3, "1/100 required rate"},
+
+        {"MPEG4-QCIF", "Amphion CS6701", PlatformKind::Asic, 0.18, 0,
+         15, 0, 15, "application-specific core"},
+        {"MPEG4-QCIF", "Philips", PlatformKind::Asic, 0.18, 20, 30,
+         1.8, 15, "ASIP"},
+        {"MPEG4-QCIF", "Blackfin 600 MHz",
+         PlatformKind::Programmable, 0.13, 2.5, 280, 1.2, 15,
+         "QCIF @ 15 f/s"},
+
+        {"MPEG4-CIF", "Toshiba", PlatformKind::Asic, 0.13, 43, 160,
+         1.5, 15, "SOC, CIF @ 15 f/s"},
+    };
+    return rows;
+}
+
+double
+energyPerUnitNj(const PlatformRow &row)
+{
+    if (row.rate <= 0)
+        fatal("platform '%s' has no rate", row.platform.c_str());
+    return row.power_mw * 1e-3 / row.rate * 1e9;
+}
+
+} // namespace synchro::apps

@@ -1,0 +1,170 @@
+#include "arch/bus.hh"
+
+#include "common/log.hh"
+
+namespace synchro::arch
+{
+
+BusFabric::BusFabric(unsigned n_columns, bool strict)
+    : n_columns_(n_columns), strict_(strict),
+      transfers_(stats_.counter("transfers")),
+      captures_(stats_.counter("captures")),
+      conflicts_(stats_.counter("conflicts")),
+      underruns_(stats_.counter("underruns")),
+      overruns_(stats_.counter("overruns")),
+      wire_span_(stats_.counter("wireSpanSum"))
+{
+}
+
+int
+BusFabric::find(int x)
+{
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];
+        x = parent_[x];
+    }
+    return x;
+}
+
+void
+BusFabric::unite(int a, int b)
+{
+    a = find(a);
+    b = find(b);
+    if (a != b)
+        parent_[b] = a;
+}
+
+void
+BusFabric::cycle(std::vector<ColumnBusView> &views)
+{
+    sync_assert(views.size() == n_columns_,
+                "bus cycle expects %u column views, got %zu",
+                n_columns_, views.size());
+
+    // Node numbering per lane: column c tile position t -> c*4 + t;
+    // the horizontal bus is node n_columns*4.
+    const int n_nodes = int(n_columns_) * 4 + 1;
+    const int h_node = int(n_columns_) * 4;
+
+    struct Driver
+    {
+        uint32_t value;
+        int src_node;
+        bool present = false;
+        bool conflicted = false;
+    };
+
+    for (unsigned lane = 0; lane < BusLanes; ++lane) {
+        unsigned pair_bit = lane / 2;
+
+        // Build connectivity for this lane.
+        parent_.resize(n_nodes);
+        for (int i = 0; i < n_nodes; ++i)
+            parent_[i] = i;
+        bool any_activity = false;
+        for (unsigned c = 0; c < n_columns_; ++c) {
+            const DouState *st = views[c].state;
+            if (!st)
+                continue;
+            for (unsigned k = 0; k < 3; ++k) {
+                if (st->seg[k] & (1u << pair_bit))
+                    unite(int(c * 4 + k), int(c * 4 + k + 1));
+            }
+            if (st->seg[3] & (1u << pair_bit))
+                unite(int(c * 4), h_node);
+        }
+
+        // Gather drivers.
+        std::vector<Driver> group_driver(n_nodes);
+        for (unsigned c = 0; c < n_columns_; ++c) {
+            const DouState *st = views[c].state;
+            if (!st)
+                continue;
+            for (unsigned t = 0; t < views[c].tiles.size(); ++t) {
+                Tile *tile = views[c].tiles[t];
+                if (!tile)
+                    continue;
+                BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
+                if (!ctl.drive || ctl.drive_lane != lane)
+                    continue;
+                any_activity = true;
+                if (!tile->writeBuffer().valid()) {
+                    ++underruns_;
+                    if (strict_)
+                        fatal("bus: tile (%u,%u) scheduled to drive "
+                              "lane %u with empty write buffer",
+                              c, t, lane);
+                    continue;
+                }
+                int node = int(c * 4 + t);
+                int root = find(node);
+                Driver &d = group_driver[root];
+                if (d.present) {
+                    ++conflicts_;
+                    d.conflicted = true;
+                    if (strict_)
+                        fatal("bus: structural hazard on lane %u — "
+                              "two drivers in one segment group",
+                              lane);
+                    // Non-strict: first driver wins; the late write
+                    // buffer still drains (the electrical fight is
+                    // what the conflict counter records).
+                    tile->writeBuffer().pop();
+                    continue;
+                }
+                d.present = true;
+                d.value = tile->writeBuffer().pop();
+                d.src_node = node;
+                ++transfers_;
+            }
+        }
+
+        if (!any_activity)
+            continue;
+
+        // Wire-span accounting: nodes per driven group.
+        std::vector<uint32_t> group_size(n_nodes, 0);
+        for (int i = 0; i < n_nodes; ++i)
+            ++group_size[find(i)];
+        for (int i = 0; i < n_nodes; ++i) {
+            if (group_driver[i].present)
+                wire_span_ += group_size[i];
+        }
+
+        // Deliver captures.
+        for (unsigned c = 0; c < n_columns_; ++c) {
+            const DouState *st = views[c].state;
+            if (!st)
+                continue;
+            for (unsigned t = 0; t < views[c].tiles.size(); ++t) {
+                Tile *tile = views[c].tiles[t];
+                if (!tile)
+                    continue;
+                BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
+                if (!ctl.capture || ctl.capture_lane != lane)
+                    continue;
+                int root = find(int(c * 4 + t));
+                const Driver &d = group_driver[root];
+                if (!d.present) {
+                    ++underruns_;
+                    if (strict_)
+                        fatal("bus: tile (%u,%u) captures lane %u "
+                              "but no driver is connected",
+                              c, t, lane);
+                    continue;
+                }
+                if (!tile->readBuffer().push(d.value)) {
+                    ++overruns_;
+                    if (strict_)
+                        fatal("bus: tile (%u,%u) read buffer overrun "
+                              "on lane %u",
+                              c, t, lane);
+                }
+                ++captures_;
+            }
+        }
+    }
+}
+
+} // namespace synchro::arch

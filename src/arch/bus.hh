@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Synchroscalar interconnect: per-column 256-bit segmented buses
+ * (8 separable 32-bit lanes, segment switches between tiles) plus the
+ * single horizontal inter-column bus (paper Section 2.3, Figures 1-2).
+ *
+ * Topology modelled per lane:
+ *
+ *    H ======================================== (horizontal bus)
+ *    |seg[3]          |seg[3]
+ *   tile0            tile0
+ *    |seg[0]          |seg[0]
+ *   tile1            tile1          ... one chain per column
+ *    |seg[1]          |seg[1]
+ *   tile2            tile2
+ *    |seg[2]          |seg[2]
+ *   tile3            tile3
+ *
+ * Each 4-bit SEG field controls its segment switch at lane-pair
+ * granularity: bit g of seg[k] connects lanes 2g and 2g+1 across
+ * point k. With every switch closed the fabric is one chip-wide
+ * broadcast bus; with switches open, disjoint segments carry
+ * independent transfers in the same cycle (the "approximate bandwidth
+ * of a mesh" of Section 2.3).
+ */
+
+#ifndef SYNC_ARCH_BUS_HH
+#define SYNC_ARCH_BUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/dou.hh"
+#include "arch/tile.hh"
+#include "common/stats.hh"
+
+namespace synchro::arch
+{
+
+/** What one column contributes to a bus cycle. */
+struct ColumnBusView
+{
+    const DouState *state = nullptr;
+    std::vector<Tile *> tiles; //!< up to TilesPerColumn, by position
+};
+
+class BusFabric
+{
+  public:
+    explicit BusFabric(unsigned n_columns, bool strict = false);
+
+    /**
+     * Resolve one bus cycle. Applies each column's current DOU
+     * outputs: pops driving tiles' write buffers onto lanes, resolves
+     * segment connectivity, pushes captured values into read buffers.
+     *
+     * In strict mode, structural hazards (two drivers in one connected
+     * group), driver underruns (drive with empty write buffer) and
+     * capture overruns (push into a still-valid read buffer) are
+     * fatal; otherwise they are counted in stats.
+     */
+    void cycle(std::vector<ColumnBusView> &views);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Total driver events (32-bit bus transactions). */
+    uint64_t transfers() const { return transfers_.value(); }
+
+    /**
+     * Sum over transfers of the connected-group node count — a proxy
+     * for the wire length each transfer toggled; the segmentation
+     * ablation uses this to quantify the energy saved by splitting
+     * the bus.
+     */
+    uint64_t wireSpanSum() const { return wire_span_.value(); }
+
+  private:
+    unsigned n_columns_;
+    bool strict_;
+
+    StatGroup stats_;
+    Counter &transfers_;
+    Counter &captures_;
+    Counter &conflicts_;
+    Counter &underruns_;
+    Counter &overruns_;
+    Counter &wire_span_;
+
+    // Union-find scratch (reused across cycles).
+    std::vector<int> parent_;
+    int find(int x);
+    void unite(int a, int b);
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_BUS_HH

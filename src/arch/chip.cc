@@ -1,0 +1,105 @@
+#include "arch/chip.hh"
+
+#include "common/log.hh"
+
+namespace synchro::arch
+{
+
+Chip::Chip(const ChipConfig &cfg)
+    : cfg_(cfg), fabric_(unsigned(cfg.dividers.size()), cfg.strict)
+{
+    if (cfg.dividers.empty())
+        fatal("chip needs at least one column");
+    for (unsigned c = 0; c < cfg.dividers.size(); ++c) {
+        ClockDomain dom(cfg.ref_freq_mhz * 1e6, cfg.dividers[c]);
+        columns_.push_back(std::make_unique<Column>(
+            c, cfg.tiles_per_column, dom));
+    }
+
+    // Self-rescheduling events: one per column at its divided clock,
+    // one chip-wide bus/DOU phase every tick.
+    for (unsigned c = 0; c < columns_.size(); ++c) {
+        column_events_.push_back(std::make_unique<LambdaEvent>(
+            strprintf("column%u.edge", c), [this, c] { columnPhase(c); },
+            Event::ClockEdgePri));
+    }
+    bus_event_ = std::make_unique<LambdaEvent>(
+        "chip.bus", [this] { busPhase(); }, Event::BusPri);
+}
+
+void
+Chip::columnPhase(unsigned c)
+{
+    Column &col = *columns_[c];
+    col.clockEdge();
+    if (!col.halted()) {
+        eq_.schedule(column_events_[c].get(),
+                     eq_.curTick() + col.clock().divider());
+    }
+}
+
+void
+Chip::busPhase()
+{
+    std::vector<ColumnBusView> views(columns_.size());
+    // Step every DOU first so all outputs belong to the same cycle.
+    for (unsigned c = 0; c < columns_.size(); ++c) {
+        views[c].state = &columns_[c]->dou().current();
+        views[c].tiles = columns_[c]->busTiles();
+    }
+    fabric_.cycle(views);
+    for (auto &col : columns_)
+        col->dou().step();
+
+    if (!allHalted())
+        eq_.schedule(bus_event_.get(), eq_.curTick() + 1);
+}
+
+bool
+Chip::allHalted() const
+{
+    for (const auto &col : columns_) {
+        if (!col->halted())
+            return false;
+    }
+    return true;
+}
+
+RunResult
+Chip::run(Tick max_ticks)
+{
+    if (allHalted())
+        return {RunExit::AllHalted, eq_.curTick()};
+
+    // (Re)arm events that are not pending: each column at its next
+    // clock edge at-or-after now, the bus phase at every tick.
+    for (unsigned c = 0; c < columns_.size(); ++c) {
+        Column &col = *columns_[c];
+        if (!col.halted() && !column_events_[c]->scheduled()) {
+            Tick when = col.clock().onEdge(eq_.curTick())
+                            ? eq_.curTick()
+                            : col.clock().nextEdgeAfter(eq_.curTick());
+            eq_.schedule(column_events_[c].get(), when);
+        }
+    }
+    if (!bus_event_->scheduled())
+        eq_.schedule(bus_event_.get(), eq_.curTick());
+
+    Tick limit = eq_.curTick() + max_ticks;
+    eq_.run(limit);
+
+    if (allHalted())
+        return {RunExit::AllHalted, eq_.curTick()};
+    if (eq_.empty())
+        return {RunExit::Deadlock, eq_.curTick()};
+    return {RunExit::TickLimit, eq_.curTick()};
+}
+
+void
+Chip::resetColumns()
+{
+    for (auto &col : columns_)
+        col->reset();
+}
+
+} // namespace synchro::arch

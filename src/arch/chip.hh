@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Synchroscalar chip: a configurable grid of columns sharing one
+ * reference PLL and the horizontal inter-column bus (paper Figure 1).
+ *
+ * Simulation model: one Tick = one reference (bus/DOU) clock period.
+ * Every tick, each column's DOU advances one state and the bus fabric
+ * resolves transfers; on ticks that are a column's divided clock
+ * edges, that column's SIMD controller issues one slot. Event
+ * ordering within a tick puts tile execution (priority ClockEdgePri)
+ * before bus movement (BusPri), so a value written by `cwr` at tick T
+ * can ride the bus at tick T and be read by `crd` at the consumer's
+ * next edge — register-to-register communication in one bus cycle,
+ * plus the capture alignment the DOU schedules.
+ */
+
+#ifndef SYNC_ARCH_CHIP_HH
+#define SYNC_ARCH_CHIP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/bus.hh"
+#include "arch/column.hh"
+#include "sim/eventq.hh"
+
+namespace synchro::arch
+{
+
+struct ChipConfig
+{
+    /** Reference (maximum / bus / DOU) frequency. */
+    double ref_freq_mhz = 600.0;
+
+    /** Per-column integer clock dividers; size = number of columns. */
+    std::vector<unsigned> dividers = {1, 1, 1, 1};
+
+    /** Tiles populated per column (1..4). */
+    unsigned tiles_per_column = 4;
+
+    /** Structural hazards and schedule slips are fatal when true. */
+    bool strict = false;
+};
+
+/** Why Chip::run() returned. */
+enum class RunExit
+{
+    AllHalted,  //!< every column executed HALT
+    TickLimit,  //!< the tick budget ran out
+    Deadlock,   //!< nothing left to do but columns are not halted
+};
+
+struct RunResult
+{
+    RunExit exit;
+    Tick ticks; //!< final tick reached
+};
+
+class Chip
+{
+  public:
+    explicit Chip(const ChipConfig &cfg);
+
+    unsigned numColumns() const { return unsigned(columns_.size()); }
+    Column &column(unsigned c) { return *columns_.at(c); }
+    const Column &column(unsigned c) const { return *columns_.at(c); }
+
+    BusFabric &fabric() { return fabric_; }
+    const BusFabric &fabric() const { return fabric_; }
+
+    const ChipConfig &config() const { return cfg_; }
+
+    /**
+     * Run until all columns halt or @p max_ticks reference cycles
+     * elapse. May be called repeatedly (time accumulates).
+     */
+    RunResult run(Tick max_ticks = 100'000'000);
+
+    bool allHalted() const;
+
+    Tick curTick() const { return eq_.curTick(); }
+
+    /** Reset all columns and rewind nothing else (stats persist). */
+    void resetColumns();
+
+  private:
+    void busPhase();
+    void columnPhase(unsigned c);
+
+    ChipConfig cfg_;
+    EventQueue eq_;
+    std::vector<std::unique_ptr<Column>> columns_;
+    BusFabric fabric_;
+
+    std::vector<std::unique_ptr<LambdaEvent>> column_events_;
+    std::unique_ptr<LambdaEvent> bus_event_;
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_CHIP_HH

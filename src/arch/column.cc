@@ -1,0 +1,65 @@
+#include "arch/column.hh"
+
+#include "common/log.hh"
+
+namespace synchro::arch
+{
+
+Column::Column(unsigned id, unsigned n_tiles, ClockDomain clock)
+    : id_(id), clock_(clock), ctrl_(id), dou_(id)
+{
+    if (n_tiles == 0 || n_tiles > TilesPerColumn)
+        fatal("column %u: %u tiles requested; hardware has 1..%u", id,
+              n_tiles, TilesPerColumn);
+    for (unsigned i = 0; i < n_tiles; ++i)
+        tiles_.push_back(std::make_unique<Tile>(id, i));
+    active_.assign(n_tiles, true);
+    rebuildActive();
+}
+
+void
+Column::setTileActive(unsigned i, bool active)
+{
+    active_.at(i) = active;
+    rebuildActive();
+}
+
+void
+Column::rebuildActive()
+{
+    active_tiles_.clear();
+    for (unsigned i = 0; i < tiles_.size(); ++i) {
+        if (active_[i])
+            active_tiles_.push_back(tiles_[i].get());
+    }
+}
+
+void
+Column::clockEdge()
+{
+    ++cycles_seen_;
+    ctrl_.cycle(active_tiles_);
+}
+
+std::vector<Tile *>
+Column::busTiles()
+{
+    std::vector<Tile *> out(TilesPerColumn, nullptr);
+    for (unsigned i = 0; i < tiles_.size(); ++i) {
+        if (active_[i])
+            out[i] = tiles_[i].get();
+    }
+    return out;
+}
+
+void
+Column::reset()
+{
+    ctrl_.reset();
+    dou_.reset();
+    cycles_seen_ = 0;
+    for (auto &t : tiles_)
+        t->resetState();
+}
+
+} // namespace synchro::arch

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A Synchroscalar column: four tiles, one SIMD controller, one DOU,
+ * one clock divider, one supply voltage (paper Figure 1). The column
+ * is the unit of frequency/voltage assignment — "each column of four
+ * tiles is supported by a specific clock generator and voltage and
+ * are configured at startup".
+ */
+
+#ifndef SYNC_ARCH_COLUMN_HH
+#define SYNC_ARCH_COLUMN_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/dou.hh"
+#include "arch/simd_controller.hh"
+#include "arch/tile.hh"
+#include "sim/clock.hh"
+
+namespace synchro::arch
+{
+
+class Column
+{
+  public:
+    /**
+     * @param id       column index on the chip
+     * @param n_tiles  populated tile positions (1..4)
+     * @param clock    this column's divided clock domain
+     */
+    Column(unsigned id, unsigned n_tiles, ClockDomain clock);
+
+    unsigned id() const { return id_; }
+    unsigned numTiles() const { return unsigned(tiles_.size()); }
+
+    Tile &tile(unsigned i) { return *tiles_.at(i); }
+    const Tile &tile(unsigned i) const { return *tiles_.at(i); }
+
+    SimdController &controller() { return ctrl_; }
+    const SimdController &controller() const { return ctrl_; }
+    Dou &dou() { return dou_; }
+
+    const ClockDomain &clock() const { return clock_; }
+
+    /**
+     * Enable/disable a tile at startup. Disabled (idle) tiles are
+     * supply-gated: they execute nothing and contribute no power
+     * (paper Sections 2.2 and 4.4).
+     */
+    void setTileActive(unsigned i, bool active);
+    bool tileActive(unsigned i) const { return active_.at(i); }
+
+    /** The active tiles, in position order. */
+    const std::vector<Tile *> &
+    activeTiles() const
+    {
+        return active_tiles_;
+    }
+
+    /** One column clock edge: the controller issues one slot. */
+    void clockEdge();
+
+    /** Pointers for the bus fabric, by position (nullptr if absent). */
+    std::vector<Tile *> busTiles();
+
+    bool halted() const { return ctrl_.halted(); }
+
+    /** Column clock edges seen so far (issue slots). */
+    uint64_t cyclesSeen() const { return cycles_seen_; }
+
+    void reset();
+
+  private:
+    void rebuildActive();
+
+    unsigned id_;
+    ClockDomain clock_;
+    std::vector<std::unique_ptr<Tile>> tiles_;
+    std::vector<bool> active_;
+    std::vector<Tile *> active_tiles_;
+    SimdController ctrl_;
+    Dou dou_;
+    uint64_t cycles_seen_ = 0;
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_COLUMN_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tile communication buffers (paper Section 2.3, Figure 2).
+ *
+ * Each tile has one write buffer (tile -> bus) and one read buffer
+ * (bus -> tile). Their dual purpose in the paper is (1) crossing from
+ * the tile's voltage/clock domain to the bus domain and (2) aligning a
+ * word onto the desired 32-bit split of the 256-bit bus; here they are
+ * single-entry valid-bit registers moved by the DOU at bus cycles.
+ */
+
+#ifndef SYNC_ARCH_COMM_BUFFER_HH
+#define SYNC_ARCH_COMM_BUFFER_HH
+
+#include <cstdint>
+
+namespace synchro::arch
+{
+
+/** Single-entry buffer with a valid bit. */
+class CommBuffer
+{
+  public:
+    bool valid() const { return valid_; }
+    uint32_t peek() const { return data_; }
+
+    /** Latch a value; returns false if a value was still pending. */
+    bool
+    push(uint32_t v)
+    {
+        bool ok = !valid_;
+        data_ = v;
+        valid_ = true;
+        return ok;
+    }
+
+    /** Consume the value (caller checked valid()). */
+    uint32_t
+    pop()
+    {
+        valid_ = false;
+        return data_;
+    }
+
+    void
+    clear()
+    {
+        valid_ = false;
+        data_ = 0;
+    }
+
+  private:
+    uint32_t data_ = 0;
+    bool valid_ = false;
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_COMM_BUFFER_HH

@@ -1,0 +1,129 @@
+#include "arch/dou.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace synchro::arch
+{
+
+uint64_t
+DouState::pack() const
+{
+    // Field order (LSB first): NXT1(7) NXT0(7) BUF3..0(32) SEG3..0(16)
+    // CNTR(2) — 64 bits total, matching Figure 3's bit budget.
+    uint64_t w = 0;
+    unsigned pos = 0;
+    w = insertBits(w, pos + 6, pos, nxt1);
+    pos += 7;
+    w = insertBits(w, pos + 6, pos, nxt0);
+    pos += 7;
+    for (unsigned t = 0; t < TilesPerColumn; ++t) {
+        w = insertBits(w, pos + 7, pos, buf[t]);
+        pos += 8;
+    }
+    for (unsigned s = 0; s < SegPointsPerColumn; ++s) {
+        w = insertBits(w, pos + 3, pos, seg[s]);
+        pos += 4;
+    }
+    w = insertBits(w, pos + 1, pos, cntr);
+    return w;
+}
+
+DouState
+DouState::unpack(uint64_t w)
+{
+    DouState st;
+    unsigned pos = 0;
+    st.nxt1 = uint8_t(bits(w, pos + 6, pos));
+    pos += 7;
+    st.nxt0 = uint8_t(bits(w, pos + 6, pos));
+    pos += 7;
+    for (unsigned t = 0; t < TilesPerColumn; ++t) {
+        st.buf[t] = uint8_t(bits(w, pos + 7, pos));
+        pos += 8;
+    }
+    for (unsigned s = 0; s < SegPointsPerColumn; ++s) {
+        st.seg[s] = uint8_t(bits(w, pos + 3, pos));
+        pos += 4;
+    }
+    st.cntr = uint8_t(bits(w, pos + 1, pos));
+    return st;
+}
+
+DouProgram
+DouProgram::idle()
+{
+    DouProgram p;
+    p.states.push_back(DouState{}); // all-zero outputs, nxt0=nxt1=0
+    return p;
+}
+
+void
+DouProgram::validate() const
+{
+    if (states.empty())
+        fatal("DOU program has no states");
+    if (states.size() > DouMaxStates)
+        fatal("DOU program has %zu states; hardware holds %u",
+              states.size(), DouMaxStates);
+    for (size_t i = 0; i < states.size(); ++i) {
+        const DouState &s = states[i];
+        if (s.cntr >= DouNumCounters)
+            fatal("DOU state %zu: counter %u out of range", i, s.cntr);
+        if (s.nxt0 >= states.size() || s.nxt1 >= states.size())
+            fatal("DOU state %zu: successor out of range (%u/%u of "
+                  "%zu states)",
+                  i, s.nxt0, s.nxt1, states.size());
+        for (unsigned p = 0; p < SegPointsPerColumn; ++p) {
+            if (s.seg[p] > 0xf)
+                fatal("DOU state %zu: seg[%u] wider than 4 bits", i, p);
+        }
+    }
+}
+
+Dou::Dou(unsigned column)
+    : column_(column), prog_(DouProgram::idle()),
+      steps_(stats_.counter("steps"))
+{
+    reset();
+}
+
+void
+Dou::load(const DouProgram &prog)
+{
+    prog.validate();
+    prog_ = prog;
+    reset();
+}
+
+void
+Dou::reset()
+{
+    state_ = 0;
+    counters_ = prog_.counter_init;
+}
+
+const DouState &
+Dou::current() const
+{
+    return prog_.states[state_];
+}
+
+const DouState &
+Dou::step()
+{
+    ++steps_;
+    const DouState &out = prog_.states[state_];
+    uint32_t &ctr = counters_[out.cntr];
+    if (ctr == 0) {
+        ctr = prog_.counter_init[out.cntr];
+        state_ = out.nxt0;
+    } else {
+        --ctr;
+        state_ = out.nxt1;
+    }
+    (void)column_;
+    return out;
+}
+
+} // namespace synchro::arch

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Data Orchestration Unit — the decoupled, statically-scheduled
+ * communication controller of each column (paper Section 2.3,
+ * Figure 3).
+ *
+ * The DOU is a state machine of up to 128 states driven at the bus
+ * (maximum) frequency. Each state word packs five field types:
+ *
+ *   CNTR  (2 b)  which of the four 32-bit down-counters to test
+ *   SEG   (4x4 b) segment-switch controls for the column bus
+ *   Buffer(4x8 b) per-tile drive/capture controls
+ *   NXTSTATE0 (7 b) successor when the tested counter is zero
+ *                   (the counter also reloads its initial value)
+ *   NXTSTATE1 (7 b) successor otherwise (the counter decrements)
+ *
+ * = 64 bits per state, exactly the layout of the paper's Figure 3.
+ * The four pre-programmed down-counters give four nested loops.
+ *
+ * Buffer byte layout (our encoding of the paper's 8 bits/tile):
+ *   bit 7    drive enable  (write buffer -> bus lane)
+ *   bits 6:4 drive lane    (which of the 8 32-bit splits)
+ *   bit 3    capture enable(bus lane -> read buffer)
+ *   bits 2:0 capture lane
+ */
+
+#ifndef SYNC_ARCH_DOU_HH
+#define SYNC_ARCH_DOU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace synchro::arch
+{
+
+constexpr unsigned DouMaxStates = 128;
+constexpr unsigned DouNumCounters = 4;
+constexpr unsigned TilesPerColumn = 4;
+constexpr unsigned BusLanes = 8;          //!< 8 x 32-bit = 256 bits
+constexpr unsigned SegPointsPerColumn = 4; //!< 3 inter-tile + boundary
+
+/** Per-tile buffer-control helpers. */
+struct BufferCtl
+{
+    bool drive = false;
+    uint8_t drive_lane = 0;
+    bool capture = false;
+    uint8_t capture_lane = 0;
+
+    uint8_t
+    byte() const
+    {
+        return uint8_t((drive ? 0x80 : 0) | ((drive_lane & 7) << 4) |
+                       (capture ? 0x08 : 0) | (capture_lane & 7));
+    }
+
+    static BufferCtl
+    fromByte(uint8_t b)
+    {
+        BufferCtl c;
+        c.drive = (b & 0x80) != 0;
+        c.drive_lane = (b >> 4) & 7;
+        c.capture = (b & 0x08) != 0;
+        c.capture_lane = b & 7;
+        return c;
+    }
+};
+
+/** One DOU state. */
+struct DouState
+{
+    uint8_t cntr = 0;                              //!< 2 bits
+    std::array<uint8_t, SegPointsPerColumn> seg{}; //!< 4 bits each
+    std::array<uint8_t, TilesPerColumn> buf{};     //!< 8 bits each
+    uint8_t nxt0 = 0;                              //!< 7 bits
+    uint8_t nxt1 = 0;                              //!< 7 bits
+
+    /** Pack into the 64-bit state word of Figure 3. */
+    uint64_t pack() const;
+    static DouState unpack(uint64_t word);
+
+    friend bool
+    operator==(const DouState &a, const DouState &b)
+    {
+        return a.pack() == b.pack();
+    }
+};
+
+/** A complete DOU configuration: states plus counter initial values. */
+struct DouProgram
+{
+    std::vector<DouState> states;
+    std::array<uint32_t, DouNumCounters> counter_init{};
+
+    /** A single self-looping all-idle state. */
+    static DouProgram idle();
+
+    /** fatal() if the program violates hardware limits. */
+    void validate() const;
+};
+
+/**
+ * The DOU state machine. Call step() once per bus cycle; the returned
+ * state's SEG/Buffer outputs configure the column bus for that cycle.
+ */
+class Dou
+{
+  public:
+    explicit Dou(unsigned column);
+
+    void load(const DouProgram &prog);
+
+    /** Outputs for this cycle, then advance. */
+    const DouState &step();
+
+    /** Outputs for this cycle without advancing. */
+    const DouState &current() const;
+
+    unsigned stateIndex() const { return state_; }
+    uint32_t counter(unsigned i) const { return counters_.at(i); }
+
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    unsigned column_;
+    DouProgram prog_;
+    unsigned state_ = 0;
+    std::array<uint32_t, DouNumCounters> counters_{};
+    StatGroup stats_;
+    Counter &steps_;
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_DOU_HH

@@ -1,0 +1,204 @@
+#include "arch/simd_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace synchro::arch
+{
+
+using isa::Inst;
+using isa::Opcode;
+
+SimdController::SimdController(unsigned column)
+    : column_(column), issued_(stats_.counter("issued")),
+      zorm_nops_issued_(stats_.counter("zormNops")),
+      branch_stalls_(stats_.counter("branchStalls")),
+      comm_stalls_(stats_.counter("commStalls")),
+      halt_cycles_(stats_.counter("haltCycles"))
+{
+}
+
+void
+SimdController::loadProgram(const isa::Program &prog)
+{
+    if (prog.insts.size() > InsnMemWords)
+        fatal("column %u: program of %zu insts exceeds %u-word "
+              "instruction SRAM",
+              column_, prog.insts.size(), InsnMemWords);
+    if (prog.insts.empty())
+        fatal("column %u: empty program", column_);
+    prog_ = prog.insts;
+    reset();
+}
+
+void
+SimdController::reset()
+{
+    pc_ = 0;
+    halted_ = prog_.empty();
+    stall_ = 0;
+    loops_[0] = loops_[1] = LoopUnit{};
+    loop_stack_.clear();
+    zorm_acc_ = 0;
+}
+
+void
+SimdController::setRateMatch(uint32_t nops, uint32_t period)
+{
+    if (period == 0 && nops != 0)
+        fatal("column %u: rate match with zero period", column_);
+    if (period != 0 && nops >= period)
+        fatal("column %u: rate match nops %u must be < period %u",
+              column_, nops, period);
+    zorm_nops_ = nops;
+    zorm_period_ = period;
+    zorm_acc_ = 0;
+}
+
+bool
+SimdController::readCc(const std::vector<Tile *> &tiles) const
+{
+    sync_assert(!tiles.empty(), "column %u has no active tiles",
+                column_);
+    switch (cc_mode_) {
+      case CcMode::Tile0:
+        return tiles.front()->cc();
+      case CcMode::Any:
+        return std::any_of(tiles.begin(), tiles.end(),
+                           [](Tile *t) { return t->cc(); });
+      case CcMode::All:
+        return std::all_of(tiles.begin(), tiles.end(),
+                           [](Tile *t) { return t->cc(); });
+    }
+    return false;
+}
+
+void
+SimdController::advancePc()
+{
+    uint32_t next = pc_ + 1;
+    // Zero-overhead loop-back: handled entirely by PC comparison, so
+    // it costs no cycles (paper Section 2.2). Units sharing an end
+    // address unwind innermost-first.
+    while (!loop_stack_.empty()) {
+        LoopUnit &u = loops_[loop_stack_.back()];
+        if (u.end != next)
+            break;
+        if (--u.remaining > 0) {
+            next = u.start;
+            break;
+        }
+        loop_stack_.pop_back();
+    }
+    pc_ = next;
+}
+
+void
+SimdController::cycle(const std::vector<Tile *> &tiles)
+{
+    if (halted_) {
+        ++halt_cycles_;
+        return;
+    }
+
+    if (stall_ > 0) {
+        --stall_;
+        ++branch_stalls_;
+        return;
+    }
+
+    // Zero Overhead Rate Matching: evenly distribute zorm_nops_ nop
+    // slots over every zorm_period_ issue slots (Bresenham pacing).
+    if (zorm_period_ != 0) {
+        zorm_acc_ += zorm_nops_;
+        if (zorm_acc_ >= zorm_period_) {
+            zorm_acc_ -= zorm_period_;
+            ++zorm_nops_issued_;
+            return;
+        }
+    }
+
+    if (pc_ >= prog_.size())
+        fatal("column %u: pc %u fell off the program end (missing "
+              "halt?)",
+              column_, pc_);
+
+    const Inst &inst = prog_[pc_];
+
+    if (inst.isControl()) {
+        ++issued_;
+        switch (inst.op) {
+          case Opcode::NOP:
+            advancePc();
+            break;
+          case Opcode::HALT:
+            halted_ = true;
+            break;
+          case Opcode::JUMP:
+            pc_ = uint32_t(inst.imm);
+            break;
+          case Opcode::JCC:
+          case Opcode::JNCC: {
+            bool cc = readCc(tiles);
+            bool taken = inst.op == Opcode::JCC ? cc : !cc;
+            if (taken)
+                pc_ = uint32_t(inst.imm);
+            else
+                advancePc();
+            stall_ = 1; // single-cycle conditional-branch stall
+            break;
+          }
+          case Opcode::LSETUP: {
+            if (inst.end <= pc_ + 1)
+                fatal("column %u: lsetup at %u with empty body "
+                      "(end %u)",
+                      column_, pc_, inst.end);
+            if (inst.end > prog_.size())
+                fatal("column %u: lsetup end %u beyond program",
+                      column_, inst.end);
+            uint8_t lc = inst.lc;
+            for (uint8_t active : loop_stack_) {
+                if (active == lc)
+                    fatal("column %u: lc%u re-armed while active",
+                          column_, lc);
+            }
+            loops_[lc] =
+                LoopUnit{pc_ + 1, inst.end, uint32_t(inst.imm)};
+            loop_stack_.push_back(lc);
+            advancePc();
+            break;
+          }
+          default:
+            panic("column %u: unhandled control opcode '%s'", column_,
+                  isa::mnemonic(inst.op));
+        }
+        return;
+    }
+
+    // Communication hazard checks: the whole column stalls until every
+    // active tile can complete the operation (these stall cycles are
+    // the cross-domain synchronization nops of paper Section 4.5).
+    if (inst.op == Opcode::CRD) {
+        for (Tile *t : tiles) {
+            if (!t->readBuffer().valid()) {
+                ++comm_stalls_;
+                return;
+            }
+        }
+    } else if (inst.op == Opcode::CWR) {
+        for (Tile *t : tiles) {
+            if (t->writeBuffer().valid()) {
+                ++comm_stalls_;
+                return;
+            }
+        }
+    }
+
+    ++issued_;
+    for (Tile *t : tiles)
+        t->execute(inst);
+    advancePc();
+}
+
+} // namespace synchro::arch

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The per-column SIMD controller (paper Section 2.2).
+ *
+ * One program memory and one thread of control drive the whole column:
+ * the controller performs all control instructions itself and forwards
+ * computation instructions to the tiles in lock step. Conditional
+ * branches cost one extra stall cycle ("we provide a short pipeline in
+ * the control unit to calculate branches quickly, and delay
+ * instructions from reaching the processing elements"); zero-overhead
+ * loops cost nothing because only the PC is consulted.
+ *
+ * The controller also implements Zero Overhead Rate Matching (paper
+ * Section 2.4): a programmable counter pair (nops n, period d) makes
+ * it dynamically insert n nops spread over every d issue slots, so a
+ * column's computational rate can be matched to any target data rate
+ * without code changes.
+ */
+
+#ifndef SYNC_ARCH_SIMD_CONTROLLER_HH
+#define SYNC_ARCH_SIMD_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/tile.hh"
+#include "common/stats.hh"
+#include "isa/assembler.hh"
+
+namespace synchro::arch
+{
+
+/** How the controller reduces tile CC flags for branches. */
+enum class CcMode
+{
+    Tile0, //!< use the designated tile's flag (default)
+    Any,   //!< OR of the active tiles' flags
+    All,   //!< AND of the active tiles' flags
+};
+
+class SimdController
+{
+  public:
+    /** Instruction SRAM is 2 KB (paper Table 2) = 512 words. */
+    static constexpr unsigned InsnMemWords = 512;
+
+    explicit SimdController(unsigned column);
+
+    /** Load a program; fatal() if it exceeds instruction SRAM. */
+    void loadProgram(const isa::Program &prog);
+
+    /**
+     * Configure rate matching: insert @p nops nops over every
+     * @p period issue slots (0/0 disables). fatal() if nops >= period
+     * with period != 0.
+     */
+    void setRateMatch(uint32_t nops, uint32_t period);
+
+    void setCcMode(CcMode mode) { cc_mode_ = mode; }
+
+    /**
+     * One column clock edge. Decides between halt, branch-stall slot,
+     * ZORM nop, communication stall, control execution, and broadcast
+     * to @p tiles (the active tiles of the column).
+     */
+    void cycle(const std::vector<Tile *> &tiles);
+
+    bool halted() const { return halted_; }
+    uint32_t pc() const { return pc_; }
+
+    /** Restart the loaded program from address 0. */
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct LoopUnit
+    {
+        uint32_t start = 0;
+        uint32_t end = 0;
+        uint32_t remaining = 0;
+    };
+
+    bool readCc(const std::vector<Tile *> &tiles) const;
+    void advancePc();
+
+    unsigned column_;
+    std::vector<isa::Inst> prog_;
+
+    uint32_t pc_ = 0;
+    bool halted_ = true;
+    unsigned stall_ = 0; //!< pending branch-stall cycles
+
+    LoopUnit loops_[2];
+    std::vector<uint8_t> loop_stack_; //!< activation order of units
+
+    uint32_t zorm_nops_ = 0;
+    uint32_t zorm_period_ = 0;
+    uint32_t zorm_acc_ = 0;
+
+    CcMode cc_mode_ = CcMode::Tile0;
+
+    StatGroup stats_;
+    Counter &issued_;
+    Counter &zorm_nops_issued_;
+    Counter &branch_stalls_;
+    Counter &comm_stalls_;
+    Counter &halt_cycles_;
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_SIMD_CONTROLLER_HH

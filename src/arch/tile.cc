@@ -1,0 +1,415 @@
+#include "arch/tile.hh"
+
+#include <cstring>
+
+#include "common/fixed.hh"
+#include "common/log.hh"
+
+namespace synchro::arch
+{
+
+using isa::HalfSel;
+using isa::Inst;
+using isa::MemMode;
+using isa::Opcode;
+
+Tile::Tile(unsigned column, unsigned index)
+    : column_(column), index_(index), mem_(MemBytes, 0),
+      instructions_(stats_.counter("instructions")),
+      mem_ops_(stats_.counter("memOps")),
+      mac_ops_(stats_.counter("macOps"))
+{
+}
+
+uint32_t
+Tile::reg(unsigned r) const
+{
+    sync_assert(r < isa::NumDataRegs, "bad data reg %u", r);
+    return regs_[r];
+}
+
+void
+Tile::setReg(unsigned r, uint32_t v)
+{
+    sync_assert(r < isa::NumDataRegs, "bad data reg %u", r);
+    regs_[r] = v;
+}
+
+uint32_t
+Tile::preg(unsigned p) const
+{
+    sync_assert(p < isa::NumPtrRegs, "bad pointer reg %u", p);
+    return pregs_[p];
+}
+
+void
+Tile::setPreg(unsigned p, uint32_t v)
+{
+    sync_assert(p < isa::NumPtrRegs, "bad pointer reg %u", p);
+    pregs_[p] = v;
+}
+
+int64_t
+Tile::acc(unsigned a) const
+{
+    sync_assert(a < isa::NumAccums, "bad accumulator %u", a);
+    return accs_[a];
+}
+
+void
+Tile::setAcc(unsigned a, int64_t v)
+{
+    sync_assert(a < isa::NumAccums, "bad accumulator %u", a);
+    accs_[a] = sat40(v);
+}
+
+void
+Tile::writeMem(uint32_t addr, const void *data, uint32_t len)
+{
+    if (uint64_t(addr) + len > MemBytes)
+        fatal("tile (%u,%u): writeMem [%u, %u) beyond %u-byte SRAM",
+              column_, index_, addr, addr + len, MemBytes);
+    std::memcpy(mem_.data() + addr, data, len);
+}
+
+void
+Tile::readMem(uint32_t addr, void *data, uint32_t len) const
+{
+    if (uint64_t(addr) + len > MemBytes)
+        fatal("tile (%u,%u): readMem [%u, %u) beyond %u-byte SRAM",
+              column_, index_, addr, addr + len, MemBytes);
+    std::memcpy(data, mem_.data() + addr, len);
+}
+
+void
+Tile::writeMemWords(uint32_t addr, const std::vector<int32_t> &w)
+{
+    writeMem(addr, w.data(), uint32_t(w.size() * 4));
+}
+
+std::vector<int32_t>
+Tile::readMemWords(uint32_t addr, uint32_t n) const
+{
+    std::vector<int32_t> out(n);
+    readMem(addr, out.data(), n * 4);
+    return out;
+}
+
+void
+Tile::writeMemHalves(uint32_t addr, const std::vector<int16_t> &h)
+{
+    writeMem(addr, h.data(), uint32_t(h.size() * 2));
+}
+
+std::vector<int16_t>
+Tile::readMemHalves(uint32_t addr, uint32_t n) const
+{
+    std::vector<int16_t> out(n);
+    readMem(addr, out.data(), n * 2);
+    return out;
+}
+
+void
+Tile::resetState()
+{
+    regs_.fill(0);
+    pregs_.fill(0);
+    accs_.fill(0);
+    cc_ = false;
+    wbuf_.clear();
+    rbuf_.clear();
+}
+
+uint32_t
+Tile::loadFrom(uint32_t addr, unsigned size, bool sign_extend)
+{
+    if (uint64_t(addr) + size > MemBytes)
+        fatal("tile (%u,%u): load at 0x%x beyond SRAM", column_,
+              index_, addr);
+    if (addr % size != 0)
+        fatal("tile (%u,%u): unaligned %u-byte load at 0x%x", column_,
+              index_, size, addr);
+    uint32_t v = 0;
+    std::memcpy(&v, mem_.data() + addr, size);
+    if (sign_extend && size < 4) {
+        unsigned shift = 32 - 8 * size;
+        v = uint32_t(int32_t(v << shift) >> shift);
+    }
+    return v;
+}
+
+void
+Tile::storeTo(uint32_t addr, unsigned size, uint32_t value)
+{
+    if (uint64_t(addr) + size > MemBytes)
+        fatal("tile (%u,%u): store at 0x%x beyond SRAM", column_,
+              index_, addr);
+    if (addr % size != 0)
+        fatal("tile (%u,%u): unaligned %u-byte store at 0x%x", column_,
+              index_, size, addr);
+    std::memcpy(mem_.data() + addr, &value, size);
+}
+
+namespace
+{
+
+unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LDW:
+      case Opcode::STW:
+        return 4;
+      case Opcode::LDH:
+      case Opcode::LDHU:
+      case Opcode::STH:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+int16_t
+half(uint32_t v, bool high)
+{
+    return int16_t(high ? (v >> 16) : (v & 0xffff));
+}
+
+/** Signed 16x16 product of the selected halves. */
+int32_t
+halfProduct(uint32_t a, uint32_t b, HalfSel sel)
+{
+    bool a_hi = sel == HalfSel::HL || sel == HalfSel::HH;
+    bool b_hi = sel == HalfSel::LH || sel == HalfSel::HH;
+    return int32_t(half(a, a_hi)) * int32_t(half(b, b_hi));
+}
+
+} // namespace
+
+uint32_t
+Tile::effectiveAddress(const Inst &inst, unsigned size)
+{
+    uint32_t p = pregs_[inst.rs1];
+    if (inst.mode == MemMode::Offset)
+        return p + uint32_t(inst.imm);
+    // Post-modify: access at p, then update the pointer.
+    pregs_[inst.rs1] = p + uint32_t(inst.imm);
+    (void)size;
+    return p;
+}
+
+void
+Tile::execute(const Inst &inst)
+{
+    ++instructions_;
+    auto &r = regs_;
+
+    switch (inst.op) {
+      case Opcode::ADD:
+        r[inst.rd] = r[inst.rs1] + r[inst.rs2];
+        break;
+      case Opcode::SUB:
+        r[inst.rd] = r[inst.rs1] - r[inst.rs2];
+        break;
+      case Opcode::AND_:
+        r[inst.rd] = r[inst.rs1] & r[inst.rs2];
+        break;
+      case Opcode::OR_:
+        r[inst.rd] = r[inst.rs1] | r[inst.rs2];
+        break;
+      case Opcode::XOR_:
+        r[inst.rd] = r[inst.rs1] ^ r[inst.rs2];
+        break;
+      case Opcode::MIN:
+        r[inst.rd] = uint32_t(std::min(int32_t(r[inst.rs1]),
+                                       int32_t(r[inst.rs2])));
+        break;
+      case Opcode::MAX:
+        r[inst.rd] = uint32_t(std::max(int32_t(r[inst.rs1]),
+                                       int32_t(r[inst.rs2])));
+        break;
+      case Opcode::LSL:
+        r[inst.rd] = r[inst.rs1] << (r[inst.rs2] & 31);
+        break;
+      case Opcode::LSR:
+        r[inst.rd] = r[inst.rs1] >> (r[inst.rs2] & 31);
+        break;
+      case Opcode::ASR:
+        r[inst.rd] =
+            uint32_t(int32_t(r[inst.rs1]) >> (r[inst.rs2] & 31));
+        break;
+      case Opcode::MUL:
+        r[inst.rd] =
+            uint32_t(int64_t(int32_t(r[inst.rs1])) *
+                     int64_t(int32_t(r[inst.rs2])));
+        break;
+      case Opcode::SEL:
+        r[inst.rd] = cc_ ? r[inst.rs1] : r[inst.rs2];
+        break;
+
+      case Opcode::NEG:
+        r[inst.rd] = uint32_t(-int32_t(r[inst.rs1]));
+        break;
+      case Opcode::NOT_:
+        r[inst.rd] = ~r[inst.rs1];
+        break;
+      case Opcode::ABS: {
+        // DSP-style saturating abs: |INT32_MIN| -> INT32_MAX.
+        int32_t v = int32_t(r[inst.rs1]);
+        r[inst.rd] = v == INT32_MIN ? uint32_t(INT32_MAX)
+                                    : uint32_t(v < 0 ? -v : v);
+        break;
+      }
+      case Opcode::MOV:
+        r[inst.rd] = r[inst.rs1];
+        break;
+
+      case Opcode::ADDI:
+        r[inst.rd] += uint32_t(inst.imm);
+        break;
+      case Opcode::LSLI:
+        r[inst.rd] = r[inst.rs1] << inst.imm;
+        break;
+      case Opcode::LSRI:
+        r[inst.rd] = r[inst.rs1] >> inst.imm;
+        break;
+      case Opcode::ASRI:
+        r[inst.rd] = uint32_t(int32_t(r[inst.rs1]) >> inst.imm);
+        break;
+
+      case Opcode::ADD16: {
+        uint32_t a = r[inst.rs1], b = r[inst.rs2];
+        uint32_t lo = uint16_t(sat16(int64_t(half(a, false)) +
+                                     half(b, false)));
+        uint32_t hi = uint16_t(sat16(int64_t(half(a, true)) +
+                                     half(b, true)));
+        r[inst.rd] = (hi << 16) | lo;
+        break;
+      }
+      case Opcode::SUB16: {
+        uint32_t a = r[inst.rs1], b = r[inst.rs2];
+        uint32_t lo = uint16_t(sat16(int64_t(half(a, false)) -
+                                     half(b, false)));
+        uint32_t hi = uint16_t(sat16(int64_t(half(a, true)) -
+                                     half(b, true)));
+        r[inst.rd] = (hi << 16) | lo;
+        break;
+      }
+
+      case Opcode::MAC:
+        ++mac_ops_;
+        accs_[inst.acc] = sat40(
+            accs_[inst.acc] +
+            halfProduct(r[inst.rs1], r[inst.rs2], inst.hsel));
+        break;
+      case Opcode::MSU:
+        ++mac_ops_;
+        accs_[inst.acc] = sat40(
+            accs_[inst.acc] -
+            halfProduct(r[inst.rs1], r[inst.rs2], inst.hsel));
+        break;
+      case Opcode::SAA: {
+        // Video-ALU sum of absolute byte differences (4 lanes).
+        ++mac_ops_;
+        uint32_t a = r[inst.rs1], b = r[inst.rs2];
+        int64_t sum = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            int32_t ba = int32_t((a >> (8 * i)) & 0xff);
+            int32_t bb = int32_t((b >> (8 * i)) & 0xff);
+            sum += ba > bb ? ba - bb : bb - ba;
+        }
+        accs_[inst.acc] = sat40(accs_[inst.acc] + sum);
+        break;
+      }
+      case Opcode::ACLR:
+        accs_[inst.acc] = 0;
+        break;
+      case Opcode::AEXT:
+        r[inst.rd] = uint32_t(sat32(accs_[inst.acc] >> inst.imm));
+        break;
+
+      case Opcode::MOVI:
+        r[inst.rd] = uint32_t(inst.imm);
+        break;
+      case Opcode::MOVIH:
+        r[inst.rd] =
+            (r[inst.rd] & 0xffff) | (uint32_t(inst.imm) << 16);
+        break;
+      case Opcode::MOVPI:
+        pregs_[inst.rd] = uint32_t(inst.imm);
+        break;
+      case Opcode::MOVP:
+        pregs_[inst.rd] = r[inst.rs1];
+        break;
+      case Opcode::MOVRP:
+        r[inst.rd] = pregs_[inst.rs1];
+        break;
+      case Opcode::PADDI:
+        pregs_[inst.rd] += uint32_t(inst.imm);
+        break;
+      case Opcode::TID:
+        r[inst.rd] = index_;
+        break;
+
+      case Opcode::LDW:
+      case Opcode::LDH:
+      case Opcode::LDB: {
+        ++mem_ops_;
+        unsigned size = memAccessSize(inst.op);
+        r[inst.rd] = loadFrom(effectiveAddress(inst, size), size, true);
+        break;
+      }
+      case Opcode::LDHU:
+      case Opcode::LDBU: {
+        ++mem_ops_;
+        unsigned size = memAccessSize(inst.op);
+        r[inst.rd] =
+            loadFrom(effectiveAddress(inst, size), size, false);
+        break;
+      }
+      case Opcode::STW:
+      case Opcode::STH:
+      case Opcode::STB: {
+        ++mem_ops_;
+        unsigned size = memAccessSize(inst.op);
+        storeTo(effectiveAddress(inst, size), size, r[inst.rd]);
+        break;
+      }
+
+      case Opcode::CMPEQ:
+        cc_ = r[inst.rd] == r[inst.rs1];
+        break;
+      case Opcode::CMPLT:
+        cc_ = int32_t(r[inst.rd]) < int32_t(r[inst.rs1]);
+        break;
+      case Opcode::CMPLE:
+        cc_ = int32_t(r[inst.rd]) <= int32_t(r[inst.rs1]);
+        break;
+      case Opcode::CMPLTU:
+        cc_ = r[inst.rd] < r[inst.rs1];
+        break;
+
+      case Opcode::CWR:
+        if (!wbuf_.push(r[inst.rd]))
+            panic("tile (%u,%u): cwr into a full write buffer "
+                  "(controller must stall first)",
+                  column_, index_);
+        break;
+      case Opcode::CRD:
+        if (!rbuf_.valid())
+            panic("tile (%u,%u): crd from an empty read buffer "
+                  "(controller must stall first)",
+                  column_, index_);
+        r[inst.rd] = rbuf_.pop();
+        break;
+
+      case Opcode::NOP:
+        break;
+
+      default:
+        panic("tile (%u,%u): control opcode '%s' broadcast to tile",
+              column_, index_, isa::mnemonic(inst.op));
+    }
+}
+
+} // namespace synchro::arch

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * One Synchroscalar processor tile.
+ *
+ * The tile is a simple single-issue Blackfin-style datapath: R0-R7,
+ * P0-P5, two 40-bit accumulators, a CC flag, and 32 KB of local data
+ * SRAM. It has no fetch/decode of its own — the column's SIMD
+ * controller broadcasts decoded instructions (paper Section 2.2) and
+ * the tile merely executes them against private state. R7 is the
+ * designated communication register; `cwr`/`crd` move data through the
+ * write/read buffers that the DOU services at bus cycles.
+ */
+
+#ifndef SYNC_ARCH_TILE_HH
+#define SYNC_ARCH_TILE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/comm_buffer.hh"
+#include "common/stats.hh"
+#include "isa/inst.hh"
+
+namespace synchro::arch
+{
+
+class Tile
+{
+  public:
+    static constexpr unsigned MemBytes = 32 * 1024; //!< 32 KB SRAM
+
+    /**
+     * @param column column index on the chip
+     * @param index  position within the column (0 = top)
+     */
+    Tile(unsigned column, unsigned index);
+
+    unsigned column() const { return column_; }
+    unsigned index() const { return index_; }
+
+    /// @name Architectural state access (tests, loaders)
+    /// @{
+    uint32_t reg(unsigned r) const;
+    void setReg(unsigned r, uint32_t v);
+    uint32_t preg(unsigned p) const;
+    void setPreg(unsigned p, uint32_t v);
+    int64_t acc(unsigned a) const;
+    void setAcc(unsigned a, int64_t v);
+    bool cc() const { return cc_; }
+    void setCc(bool c) { cc_ = c; }
+    /// @}
+
+    /// @name Local SRAM access
+    /// @{
+    void writeMem(uint32_t addr, const void *data, uint32_t len);
+    void readMem(uint32_t addr, void *data, uint32_t len) const;
+    void writeMemWords(uint32_t addr, const std::vector<int32_t> &w);
+    std::vector<int32_t> readMemWords(uint32_t addr, uint32_t n) const;
+    void writeMemHalves(uint32_t addr, const std::vector<int16_t> &h);
+    std::vector<int16_t> readMemHalves(uint32_t addr, uint32_t n) const;
+    /// @}
+
+    /**
+     * Execute one non-control instruction. The caller (SIMD
+     * controller) has already resolved hazards; executing `crd` with
+     * an empty read buffer or `cwr` with a full write buffer is a
+     * panic here.
+     */
+    void execute(const isa::Inst &inst);
+
+    CommBuffer &writeBuffer() { return wbuf_; }
+    CommBuffer &readBuffer() { return rbuf_; }
+    const CommBuffer &writeBuffer() const { return wbuf_; }
+    const CommBuffer &readBuffer() const { return rbuf_; }
+
+    /** Reset architectural state (not SRAM contents). */
+    void resetState();
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    uint32_t loadFrom(uint32_t addr, unsigned size, bool sign_extend);
+    void storeTo(uint32_t addr, unsigned size, uint32_t value);
+    uint32_t effectiveAddress(const isa::Inst &inst, unsigned size);
+
+    unsigned column_;
+    unsigned index_;
+
+    std::array<uint32_t, isa::NumDataRegs> regs_{};
+    std::array<uint32_t, isa::NumPtrRegs> pregs_{};
+    std::array<int64_t, isa::NumAccums> accs_{};
+    bool cc_ = false;
+
+    std::vector<uint8_t> mem_;
+    CommBuffer wbuf_;
+    CommBuffer rbuf_;
+
+    StatGroup stats_;
+    Counter &instructions_;
+    Counter &mem_ops_;
+    Counter &mac_ops_;
+};
+
+} // namespace synchro::arch
+
+#endif // SYNC_ARCH_TILE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the DOU
+ * state-word packing.
+ */
+
+#ifndef SYNC_COMMON_BITFIELD_HH
+#define SYNC_COMMON_BITFIELD_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace synchro
+{
+
+/** Mask of the low @p n bits (n in [0, 64]). */
+constexpr uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~uint64_t(0) : (uint64_t(1) << n) - 1;
+}
+
+/** Extract bits [last:first] (inclusive, last >= first) of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract a single bit. */
+constexpr uint64_t
+bits(uint64_t val, unsigned bit)
+{
+    return bits(val, bit, bit);
+}
+
+/** Return @p val with bits [last:first] replaced by @p field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
+{
+    uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p n bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned n)
+{
+    uint64_t sign = uint64_t(1) << (n - 1);
+    uint64_t v = val & mask(n);
+    return int64_t((v ^ sign) - sign);
+}
+
+/** Count of set bits. */
+constexpr unsigned
+popCount(uint64_t val)
+{
+    return static_cast<unsigned>(__builtin_popcountll(val));
+}
+
+/** True if @p val is a power of two (0 excluded). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** ceil(a / b) for positive integers. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+} // namespace synchro
+
+#endif // SYNC_COMMON_BITFIELD_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-point arithmetic helpers shared by the DSP golden kernels and
+ * the tile datapath model. The Blackfin-style tiles operate on 16-bit
+ * fractional (Q15) and 32-bit (Q31) data with 40-bit accumulation.
+ */
+
+#ifndef SYNC_COMMON_FIXED_HH
+#define SYNC_COMMON_FIXED_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace synchro
+{
+
+/** Saturate a wide value into the signed 16-bit range. */
+constexpr int16_t
+sat16(int64_t v)
+{
+    return static_cast<int16_t>(std::clamp<int64_t>(v, INT16_MIN, INT16_MAX));
+}
+
+/** Saturate a wide value into the signed 32-bit range. */
+constexpr int32_t
+sat32(int64_t v)
+{
+    return static_cast<int32_t>(std::clamp<int64_t>(v, INT32_MIN, INT32_MAX));
+}
+
+/** Saturate into the signed 40-bit accumulator range. */
+constexpr int64_t
+sat40(int64_t v)
+{
+    constexpr int64_t lo = -(int64_t(1) << 39);
+    constexpr int64_t hi = (int64_t(1) << 39) - 1;
+    return std::clamp(v, lo, hi);
+}
+
+/** Convert a double in [-1, 1) to Q15. */
+constexpr int16_t
+toQ15(double v)
+{
+    return sat16(static_cast<int64_t>(v * 32768.0 + (v >= 0 ? 0.5 : -0.5)));
+}
+
+/** Convert Q15 to double. */
+constexpr double
+fromQ15(int16_t v)
+{
+    return static_cast<double>(v) / 32768.0;
+}
+
+/** Q15 x Q15 -> Q15 with rounding (matches fract16 multiply). */
+constexpr int16_t
+mulQ15(int16_t a, int16_t b)
+{
+    int32_t p = int32_t(a) * int32_t(b); // Q30
+    return sat16((int64_t(p) + (1 << 14)) >> 15);
+}
+
+/** Q15 saturating add. */
+constexpr int16_t
+addQ15(int16_t a, int16_t b)
+{
+    return sat16(int64_t(a) + int64_t(b));
+}
+
+/** A complex Q15 sample (interleaved I/Q), the DDC/OFDM data type. */
+struct CplxQ15
+{
+    int16_t re = 0;
+    int16_t im = 0;
+
+    friend constexpr bool
+    operator==(const CplxQ15 &a, const CplxQ15 &b)
+    {
+        return a.re == b.re && a.im == b.im;
+    }
+};
+
+/** Complex Q15 multiply with Q15 result (rounded). */
+constexpr CplxQ15
+mulCplxQ15(CplxQ15 a, CplxQ15 b)
+{
+    int32_t re = int32_t(a.re) * b.re - int32_t(a.im) * b.im; // Q30
+    int32_t im = int32_t(a.re) * b.im + int32_t(a.im) * b.re;
+    return {sat16((int64_t(re) + (1 << 14)) >> 15),
+            sat16((int64_t(im) + (1 << 14)) >> 15)};
+}
+
+} // namespace synchro
+
+#endif // SYNC_COMMON_FIXED_HH

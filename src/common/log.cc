@@ -1,0 +1,108 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace synchro
+{
+
+namespace
+{
+bool throw_on_error = true;
+bool quiet = false;
+} // namespace
+
+void
+setThrowOnError(bool t)
+{
+    throw_on_error = t;
+}
+
+bool
+throwOnError()
+{
+    return throw_on_error;
+}
+
+void
+setQuiet(bool q)
+{
+    quiet = q;
+}
+
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(n + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), n);
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrprintf(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    if (throw_on_error)
+        throw PanicError("panic: " + msg);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    if (throw_on_error)
+        throw FatalError("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace synchro

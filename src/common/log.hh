@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, malformed assembly, ...); exits(1).
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — neutral status output.
+ *
+ * All take printf-style format strings.
+ */
+
+#ifndef SYNC_COMMON_LOG_HH
+#define SYNC_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace synchro
+{
+
+/** Exception carrying a fatal (user-error) condition. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception carrying a panic (internal-bug) condition. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * When true (the default for library use and tests), panic() and
+ * fatal() throw PanicError/FatalError instead of terminating the
+ * process. Command-line tools may set this to false to get the
+ * classic abort()/exit(1) behaviour.
+ */
+void setThrowOnError(bool throw_on_error);
+bool throwOnError();
+
+/** Format a printf-style message into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (tests use this). */
+void setQuiet(bool quiet);
+
+/** panic() unless the condition holds. */
+#define sync_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::synchro::panic("assertion '%s' failed: %s", #cond,           \
+                          ::synchro::strprintf(__VA_ARGS__).c_str());      \
+    } while (0)
+
+} // namespace synchro
+
+#endif // SYNC_COMMON_LOG_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * workload generators and tests. Seeded explicitly so every experiment
+ * is reproducible run-to-run.
+ */
+
+#ifndef SYNC_COMMON_RNG_HH
+#define SYNC_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace synchro
+{
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    void
+    reseed(uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        uint64_t x = seed;
+        for (auto &word : s_) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + int64_t(below(uint64_t(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gauss()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Bernoulli with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4];
+};
+
+} // namespace synchro
+
+#endif // SYNC_COMMON_RNG_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight named statistics registry. Architecture components
+ * register scalar counters; benches and tests read them back by name.
+ */
+
+#ifndef SYNC_COMMON_STATS_HH
+#define SYNC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace synchro
+{
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(uint64_t n) { value_ += n; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A flat group of named counters. Components own a StatGroup and
+ * register their counters under dotted names (e.g. "tile0.busyCycles").
+ */
+class StatGroup
+{
+  public:
+    /** Register (or fetch) a counter under @p name. */
+    Counter &
+    counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Read a counter's value; 0 if never registered. */
+    uint64_t
+    value(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    void
+    resetAll()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+    }
+
+    const std::map<std::string, Counter> &all() const { return counters_; }
+
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : counters_)
+            os << kv.first << " " << kv.second.value() << "\n";
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace synchro
+
+#endif // SYNC_COMMON_STATS_HH

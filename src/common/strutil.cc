@@ -1,0 +1,122 @@
+#include "common/strutil.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace synchro
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(delim, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWs(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        size_t b = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > b)
+            out.push_back(s.substr(b, i - b));
+    }
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+parseInt(const std::string &str, int64_t &out)
+{
+    std::string s = trim(str);
+    if (s.empty())
+        return false;
+    bool neg = false;
+    size_t i = 0;
+    if (s[0] == '-' || s[0] == '+') {
+        neg = s[0] == '-';
+        i = 1;
+    }
+    if (i >= s.size())
+        return false;
+
+    int base = 10;
+    if (s.size() - i > 2 && s[i] == '0' &&
+        (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    } else if (s.size() - i > 2 && s[i] == '0' &&
+               (s[i + 1] == 'b' || s[i + 1] == 'B')) {
+        base = 2;
+        i += 2;
+    }
+
+    int64_t value = 0;
+    bool any = false;
+    for (; i < s.size(); ++i) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(s[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return false;
+        if (digit >= base)
+            return false;
+        value = value * base + digit;
+        any = true;
+    }
+    if (!any)
+        return false;
+    out = neg ? -value : value;
+    return true;
+}
+
+} // namespace synchro

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string utilities used by the assembler and table printers.
+ */
+
+#ifndef SYNC_COMMON_STRUTIL_HH
+#define SYNC_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace synchro
+{
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWs(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Parse an integer literal (decimal, 0x hex, or 0b binary, optional
+ * leading '-'). Returns false on malformed input.
+ */
+bool parseInt(const std::string &s, int64_t &out);
+
+} // namespace synchro
+
+#endif // SYNC_COMMON_STRUTIL_HH

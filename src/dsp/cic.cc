@@ -1,0 +1,128 @@
+#include "dsp/cic.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+CicIntegrator::CicIntegrator(unsigned stages) : state_(stages, 0)
+{
+    if (stages == 0)
+        fatal("CicIntegrator: need at least one stage");
+}
+
+int32_t
+CicIntegrator::step(int32_t x)
+{
+    // Two's-complement wraparound is intentional and by design in CIC
+    // filters: the combs cancel the modular overflow exactly as long
+    // as the register width covers the filter's DC gain.
+    int32_t acc = x;
+    for (auto &s : state_) {
+        s = int32_t(uint32_t(s) + uint32_t(acc));
+        acc = s;
+    }
+    return acc;
+}
+
+std::vector<int32_t>
+CicIntegrator::process(const std::vector<int32_t> &x)
+{
+    std::vector<int32_t> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = step(x[i]);
+    return out;
+}
+
+void
+CicIntegrator::reset()
+{
+    std::fill(state_.begin(), state_.end(), 0);
+}
+
+CicComb::CicComb(unsigned stages, unsigned delay)
+    : delay_(delay), history_(stages), pos_(stages, 0)
+{
+    if (stages == 0 || delay == 0)
+        fatal("CicComb: stages and delay must be positive");
+    for (auto &h : history_)
+        h.assign(delay, 0);
+}
+
+int32_t
+CicComb::step(int32_t x)
+{
+    int32_t v = x;
+    for (size_t s = 0; s < history_.size(); ++s) {
+        int32_t delayed = history_[s][pos_[s]];
+        history_[s][pos_[s]] = v;
+        pos_[s] = (pos_[s] + 1) % delay_;
+        v = int32_t(uint32_t(v) - uint32_t(delayed));
+    }
+    return v;
+}
+
+std::vector<int32_t>
+CicComb::process(const std::vector<int32_t> &x)
+{
+    std::vector<int32_t> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = step(x[i]);
+    return out;
+}
+
+void
+CicComb::reset()
+{
+    for (auto &h : history_)
+        std::fill(h.begin(), h.end(), 0);
+    std::fill(pos_.begin(), pos_.end(), 0);
+}
+
+CicDecimator::CicDecimator(unsigned stages, unsigned decim,
+                           unsigned delay)
+    : integ_(stages), comb_(stages, delay), decim_(decim),
+      stages_(stages), delay_(delay)
+{
+    if (decim == 0)
+        fatal("CicDecimator: decimation must be positive");
+    double bits = stages * std::log2(double(decim) * delay);
+    if (bits > 24)
+        fatal("CicDecimator: (R*M)^N needs %.0f bits of growth; "
+              "32-bit registers would overflow the 8-bit input "
+              "headroom",
+              bits);
+}
+
+std::vector<int32_t>
+CicDecimator::process(const std::vector<int32_t> &x)
+{
+    std::vector<int32_t> out;
+    out.reserve(x.size() / decim_ + 1);
+    for (int32_t v : x) {
+        int32_t acc = integ_.step(v);
+        if (++phase_ == decim_) {
+            phase_ = 0;
+            out.push_back(comb_.step(acc));
+        }
+    }
+    return out;
+}
+
+double
+CicDecimator::gain() const
+{
+    return std::pow(double(decim_) * delay_, double(stages_));
+}
+
+void
+CicDecimator::reset()
+{
+    integ_.reset();
+    comb_.reset();
+    phase_ = 0;
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cascaded-Integrator-Comb decimation filter (paper Section 3): the
+ * multiplierless rate-change stage between the DDC mixer and the
+ * compensating FIRs. N integrator stages run at the input rate, the
+ * decimator drops to 1/R, and N comb stages (differential delay M)
+ * run at the output rate — which is why the paper maps the
+ * integrator and comb onto separate columns at different clocks.
+ */
+
+#ifndef SYNC_DSP_CIC_HH
+#define SYNC_DSP_CIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed.hh"
+
+namespace synchro::dsp
+{
+
+/** N cascaded integrators: y += x per stage, wrapping int32. */
+class CicIntegrator
+{
+  public:
+    explicit CicIntegrator(unsigned stages);
+
+    int32_t step(int32_t x);
+    std::vector<int32_t> process(const std::vector<int32_t> &x);
+    void reset();
+
+    unsigned stages() const { return unsigned(state_.size()); }
+
+  private:
+    std::vector<int32_t> state_;
+};
+
+/** N cascaded combs at the decimated rate: y = x - x[z^-M]. */
+class CicComb
+{
+  public:
+    CicComb(unsigned stages, unsigned delay = 1);
+
+    int32_t step(int32_t x);
+    std::vector<int32_t> process(const std::vector<int32_t> &x);
+    void reset();
+
+  private:
+    unsigned delay_;
+    std::vector<std::vector<int32_t>> history_; //!< per stage, M deep
+    std::vector<unsigned> pos_;
+};
+
+/** The full decimating CIC: integrators -> ÷R -> combs -> scaling. */
+class CicDecimator
+{
+  public:
+    /**
+     * @param stages   N (the paper's GSM DDC uses a 5-stage CIC)
+     * @param decim    R, the rate change
+     * @param delay    M, the comb differential delay
+     */
+    CicDecimator(unsigned stages, unsigned decim, unsigned delay = 1);
+
+    /** Process a block; emits floor(n/R) output samples. */
+    std::vector<int32_t> process(const std::vector<int32_t> &x);
+
+    /** DC gain (R*M)^N — callers rescale by this. */
+    double gain() const;
+
+    void reset();
+
+    unsigned decimation() const { return decim_; }
+
+  private:
+    CicIntegrator integ_;
+    CicComb comb_;
+    unsigned decim_;
+    unsigned stages_;
+    unsigned delay_;
+    unsigned phase_ = 0;
+};
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_CIC_HH

@@ -1,0 +1,223 @@
+#include "dsp/dct.hh"
+
+#include <cmath>
+
+#include "common/fixed.hh"
+
+namespace synchro::dsp
+{
+
+namespace
+{
+
+/** Orthonormal DCT-II basis c[k][n] = a(k) cos((2n+1)k pi / 16). */
+const std::array<std::array<double, 8>, 8> &
+basis()
+{
+    static const auto b = [] {
+        std::array<std::array<double, 8>, 8> m{};
+        for (unsigned k = 0; k < 8; ++k) {
+            double a = k == 0 ? std::sqrt(1.0 / 8.0)
+                              : std::sqrt(2.0 / 8.0);
+            for (unsigned n = 0; n < 8; ++n) {
+                m[k][n] =
+                    a * std::cos((2.0 * n + 1.0) * k * M_PI / 16.0);
+            }
+        }
+        return m;
+    }();
+    return b;
+}
+
+/** The same basis in Q13 for the fixed-point path. */
+const std::array<std::array<int16_t, 8>, 8> &
+basisQ13()
+{
+    static const auto b = [] {
+        std::array<std::array<int16_t, 8>, 8> m{};
+        for (unsigned k = 0; k < 8; ++k) {
+            for (unsigned n = 0; n < 8; ++n) {
+                m[k][n] = int16_t(
+                    std::lround(basis()[k][n] * 8192.0));
+            }
+        }
+        return m;
+    }();
+    return b;
+}
+
+} // namespace
+
+Block8x8d
+dct8x8Ref(const Block8x8 &in)
+{
+    const auto &b = basis();
+    Block8x8d tmp{}, out{};
+    // Rows then columns (separable).
+    for (unsigned r = 0; r < 8; ++r) {
+        for (unsigned k = 0; k < 8; ++k) {
+            double acc = 0;
+            for (unsigned n = 0; n < 8; ++n)
+                acc += b[k][n] * in[r * 8 + n];
+            tmp[r * 8 + k] = acc;
+        }
+    }
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned k = 0; k < 8; ++k) {
+            double acc = 0;
+            for (unsigned n = 0; n < 8; ++n)
+                acc += b[k][n] * tmp[n * 8 + c];
+            out[k * 8 + c] = acc;
+        }
+    }
+    return out;
+}
+
+Block8x8
+idct8x8Ref(const Block8x8d &coef)
+{
+    const auto &b = basis();
+    Block8x8d tmp{};
+    Block8x8 out{};
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned n = 0; n < 8; ++n) {
+            double acc = 0;
+            for (unsigned k = 0; k < 8; ++k)
+                acc += b[k][n] * coef[k * 8 + c];
+            tmp[n * 8 + c] = acc;
+        }
+    }
+    for (unsigned r = 0; r < 8; ++r) {
+        for (unsigned n = 0; n < 8; ++n) {
+            double acc = 0;
+            for (unsigned k = 0; k < 8; ++k)
+                acc += b[k][n] * tmp[r * 8 + k];
+            out[r * 8 + n] = sat16(int64_t(std::lround(acc)));
+        }
+    }
+    return out;
+}
+
+Block8x8
+dct8x8(const Block8x8 &in)
+{
+    const auto &b = basisQ13();
+    Block8x8 tmp{}, out{};
+    for (unsigned r = 0; r < 8; ++r) {
+        for (unsigned k = 0; k < 8; ++k) {
+            int64_t acc = 0;
+            for (unsigned n = 0; n < 8; ++n)
+                acc += int32_t(b[k][n]) * in[r * 8 + n];
+            tmp[r * 8 + k] = sat16((acc + (1 << 12)) >> 13);
+        }
+    }
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned k = 0; k < 8; ++k) {
+            int64_t acc = 0;
+            for (unsigned n = 0; n < 8; ++n)
+                acc += int32_t(b[k][n]) * tmp[n * 8 + c];
+            out[k * 8 + c] = sat16((acc + (1 << 12)) >> 13);
+        }
+    }
+    return out;
+}
+
+Block8x8
+idct8x8(const Block8x8 &coef)
+{
+    const auto &b = basisQ13();
+    Block8x8 tmp{}, out{};
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned n = 0; n < 8; ++n) {
+            int64_t acc = 0;
+            for (unsigned k = 0; k < 8; ++k)
+                acc += int32_t(b[k][n]) * coef[k * 8 + c];
+            tmp[n * 8 + c] = sat16((acc + (1 << 12)) >> 13);
+        }
+    }
+    for (unsigned r = 0; r < 8; ++r) {
+        for (unsigned n = 0; n < 8; ++n) {
+            int64_t acc = 0;
+            for (unsigned k = 0; k < 8; ++k)
+                acc += int32_t(b[k][n]) * tmp[r * 8 + k];
+            out[r * 8 + n] = sat16((acc + (1 << 12)) >> 13);
+        }
+    }
+    return out;
+}
+
+Block8x8
+quantize(const Block8x8 &coef, int qp)
+{
+    Block8x8 out{};
+    int q = 2 * qp;
+    for (unsigned i = 0; i < 64; ++i) {
+        int v = coef[i];
+        out[i] = int16_t(v >= 0 ? v / q : -((-v) / q));
+    }
+    return out;
+}
+
+Block8x8
+dequantize(const Block8x8 &levels, int qp)
+{
+    Block8x8 out{};
+    for (unsigned i = 0; i < 64; ++i) {
+        int l = levels[i];
+        if (l == 0)
+            out[i] = 0;
+        else if (l > 0)
+            out[i] = int16_t(qp * (2 * l + 1));
+        else
+            out[i] = int16_t(-qp * (2 * (-l) + 1));
+    }
+    return out;
+}
+
+const std::array<uint8_t, 64> &
+zigzagOrder()
+{
+    static const std::array<uint8_t, 64> order = [] {
+        std::array<uint8_t, 64> o{};
+        unsigned idx = 0;
+        for (unsigned s = 0; s < 15; ++s) {
+            if (s % 2 == 0) { // up-right diagonals
+                for (int r = int(std::min(s, 7u)); r >= 0 &&
+                     int(s) - r <= 7; --r) {
+                    unsigned c = s - unsigned(r);
+                    o[idx++] = uint8_t(unsigned(r) * 8 + c);
+                }
+            } else {
+                for (int c = int(std::min(s, 7u)); c >= 0 &&
+                     int(s) - c <= 7; --c) {
+                    unsigned r = s - unsigned(c);
+                    o[idx++] = uint8_t(r * 8 + unsigned(c));
+                }
+            }
+        }
+        return o;
+    }();
+    return order;
+}
+
+Block8x8
+zigzag(const Block8x8 &in)
+{
+    const auto &o = zigzagOrder();
+    Block8x8 out{};
+    for (unsigned i = 0; i < 64; ++i)
+        out[i] = in[o[i]];
+    return out;
+}
+
+Block8x8
+unzigzag(const Block8x8 &in)
+{
+    const auto &o = zigzagOrder();
+    Block8x8 out{};
+    for (unsigned i = 0; i < 64; ++i)
+        out[o[i]] = in[i];
+    return out;
+}
+
+} // namespace synchro::dsp

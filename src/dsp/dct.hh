@@ -1,0 +1,53 @@
+/**
+ * @file
+ * 8x8 DCT-II / IDCT and MPEG-4 style quantization (paper Section 3:
+ * "we implement Motion Estimation, DCT and Quantization which
+ * constitute about 90% of the video encoder").
+ *
+ * The fixed-point path mirrors what the tiles execute: separable
+ * row/column passes with Q13 cosine coefficients and 40-bit
+ * accumulation.
+ */
+
+#ifndef SYNC_DSP_DCT_HH
+#define SYNC_DSP_DCT_HH
+
+#include <array>
+#include <cstdint>
+
+namespace synchro::dsp
+{
+
+using Block8x8 = std::array<int16_t, 64>;
+using Block8x8d = std::array<double, 64>;
+
+/** Reference double-precision 8x8 DCT-II (orthonormal). */
+Block8x8d dct8x8Ref(const Block8x8 &in);
+
+/** Reference inverse. */
+Block8x8 idct8x8Ref(const Block8x8d &coef);
+
+/** Fixed-point forward DCT (Q13 coefficients, rounded). */
+Block8x8 dct8x8(const Block8x8 &in);
+
+/** Fixed-point inverse DCT. */
+Block8x8 idct8x8(const Block8x8 &coef);
+
+/** MPEG-4 "H.263 style" uniform quantizer: coef / (2*qp). */
+Block8x8 quantize(const Block8x8 &coef, int qp);
+
+/** Inverse quantizer: qp*(2*level + sign) reconstruction. */
+Block8x8 dequantize(const Block8x8 &levels, int qp);
+
+/** Zigzag scan order (index = scan position, value = block index). */
+const std::array<uint8_t, 64> &zigzagOrder();
+
+/** Scan a block into zigzag order. */
+Block8x8 zigzag(const Block8x8 &in);
+
+/** Inverse zigzag. */
+Block8x8 unzigzag(const Block8x8 &in);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_DCT_HH

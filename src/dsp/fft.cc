@@ -1,0 +1,143 @@
+#include "dsp/fft.hh"
+
+#include <cmath>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+unsigned
+bitReverse(unsigned v, unsigned bits)
+{
+    unsigned r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+namespace
+{
+
+unsigned
+log2Exact(size_t n, const char *who)
+{
+    if (n == 0 || !isPowerOf2(n))
+        fatal("%s: size %zu is not a power of two", who, n);
+    unsigned bits = 0;
+    while ((size_t(1) << bits) < n)
+        ++bits;
+    return bits;
+}
+
+void
+fftCore(std::vector<Cplx> &x, bool inverse)
+{
+    const size_t n = x.size();
+    unsigned bits = log2Exact(n, "fft");
+
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned j = bitReverse(i, bits);
+        if (j > i)
+            std::swap(x[i], x[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double ang = (inverse ? 2.0 : -2.0) * M_PI / double(len);
+        Cplx wl(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            Cplx w(1.0, 0.0);
+            for (size_t j = 0; j < len / 2; ++j) {
+                Cplx u = x[i + j];
+                Cplx v = x[i + j + len / 2] * w;
+                x[i + j] = u + v;
+                x[i + j + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+}
+
+/** Q15 twiddle factors for a given FFT length (cached per length). */
+const std::vector<CplxQ15> &
+twiddlesQ15(size_t n, bool inverse)
+{
+    static std::vector<CplxQ15> cache[2][33];
+    unsigned bits = log2Exact(n, "fftQ15");
+    auto &slot = cache[inverse ? 1 : 0][bits];
+    if (slot.empty()) {
+        slot.resize(n / 2);
+        for (size_t k = 0; k < n / 2; ++k) {
+            double ang = (inverse ? 2.0 : -2.0) * M_PI * double(k) /
+                         double(n);
+            slot[k] = {toQ15(std::cos(ang) * 0.999969),
+                       toQ15(std::sin(ang) * 0.999969)};
+        }
+    }
+    return slot;
+}
+
+void
+fftQ15Core(std::vector<CplxQ15> &x, bool inverse)
+{
+    const size_t n = x.size();
+    unsigned bits = log2Exact(n, "fftQ15");
+    const auto &tw = twiddlesQ15(n, inverse);
+
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned j = bitReverse(i, bits);
+        if (j > i)
+            std::swap(x[i], x[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        size_t tw_step = n / len;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                CplxQ15 u = x[i + j];
+                CplxQ15 v =
+                    mulCplxQ15(x[i + j + len / 2], tw[j * tw_step]);
+                // Per-stage >>1 guarantees |output| <= |input| at
+                // every stage (block-floating with fixed exponent n).
+                x[i + j] = {int16_t((int32_t(u.re) + v.re) >> 1),
+                            int16_t((int32_t(u.im) + v.im) >> 1)};
+                x[i + j + len / 2] = {
+                    int16_t((int32_t(u.re) - v.re) >> 1),
+                    int16_t((int32_t(u.im) - v.im) >> 1)};
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+fft(std::vector<Cplx> &x)
+{
+    fftCore(x, false);
+}
+
+void
+ifft(std::vector<Cplx> &x)
+{
+    fftCore(x, true);
+    for (auto &v : x)
+        v /= double(x.size());
+}
+
+void
+fftQ15(std::vector<CplxQ15> &x)
+{
+    fftQ15Core(x, false);
+}
+
+void
+ifftQ15(std::vector<CplxQ15> &x)
+{
+    fftQ15Core(x, true);
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Radix-2 decimation-in-time FFT (paper Section 3: the 64-point FFT
+ * is the first major component of the 802.11a OFDM receiver).
+ *
+ * Two variants:
+ *  - a double-precision reference used for spectrum checks, and
+ *  - a block-floating Q15 fixed-point FFT with per-stage scaling (the
+ *    form a Blackfin-class tile would execute), validated against the
+ *    reference in tests.
+ */
+
+#ifndef SYNC_DSP_FFT_HH
+#define SYNC_DSP_FFT_HH
+
+#include <complex>
+#include <vector>
+
+#include "common/fixed.hh"
+
+namespace synchro::dsp
+{
+
+using Cplx = std::complex<double>;
+
+/** In-place double-precision FFT; n must be a power of two. */
+void fft(std::vector<Cplx> &x);
+
+/** Inverse FFT (1/n normalized). */
+void ifft(std::vector<Cplx> &x);
+
+/**
+ * Fixed-point Q15 FFT with unconditional per-stage >>1 scaling, so
+ * the output equals FFT(x)/n in Q15 (no overflow for any input).
+ */
+void fftQ15(std::vector<CplxQ15> &x);
+
+/** Inverse fixed-point FFT; output equals IFFT without the 1/n (the
+ * forward pass already divided by n). */
+void ifftQ15(std::vector<CplxQ15> &x);
+
+/** Bit-reversal permutation used by both variants. */
+unsigned bitReverse(unsigned v, unsigned bits);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_FFT_HH

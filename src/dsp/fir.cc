@@ -1,0 +1,145 @@
+#include "dsp/fir.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+FirQ15::FirQ15(std::vector<int16_t> taps) : taps_(std::move(taps))
+{
+    if (taps_.empty())
+        fatal("FirQ15: empty tap vector");
+    hist_.assign(taps_.size(), 0);
+}
+
+int16_t
+FirQ15::step(int16_t x)
+{
+    hist_[pos_] = x;
+    int64_t acc = 0;
+    size_t idx = pos_;
+    for (size_t k = 0; k < taps_.size(); ++k) {
+        acc = sat40(acc + int32_t(taps_[k]) * int32_t(hist_[idx]));
+        idx = idx == 0 ? hist_.size() - 1 : idx - 1;
+    }
+    pos_ = (pos_ + 1) % hist_.size();
+    return sat16((acc + (1 << 14)) >> 15);
+}
+
+std::vector<int16_t>
+FirQ15::process(const std::vector<int16_t> &x)
+{
+    std::vector<int16_t> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = step(x[i]);
+    return out;
+}
+
+std::vector<int16_t>
+FirQ15::convolve(const std::vector<int16_t> &taps,
+                 const std::vector<int16_t> &x)
+{
+    FirQ15 f(taps);
+    return f.process(x);
+}
+
+void
+FirQ15::reset()
+{
+    std::fill(hist_.begin(), hist_.end(), 0);
+    pos_ = 0;
+}
+
+namespace
+{
+
+std::vector<double>
+windowedSinc(unsigned taps, double cutoff_norm)
+{
+    if (taps == 0 || cutoff_norm <= 0.0 || cutoff_norm >= 0.5)
+        fatal("lowpass design: need taps > 0, 0 < cutoff < 0.5");
+    std::vector<double> h(taps);
+    double m = double(taps - 1);
+    for (unsigned n = 0; n < taps; ++n) {
+        double k = double(n) - m / 2.0;
+        double s = k == 0.0 ? 2.0 * cutoff_norm
+                            : std::sin(2.0 * M_PI * cutoff_norm * k) /
+                                  (M_PI * k);
+        double w = 0.54 - 0.46 * std::cos(2.0 * M_PI * n / m);
+        h[n] = s * w;
+    }
+    return h;
+}
+
+std::vector<int16_t>
+quantizeUnitDc(std::vector<double> h)
+{
+    double dc = 0;
+    for (double v : h)
+        dc += v;
+    std::vector<int16_t> q(h.size());
+    for (size_t i = 0; i < h.size(); ++i)
+        q[i] = toQ15(h[i] / dc * 0.999);
+    return q;
+}
+
+} // namespace
+
+std::vector<int16_t>
+designLowpassQ15(unsigned taps, double cutoff_norm)
+{
+    return quantizeUnitDc(windowedSinc(taps, cutoff_norm));
+}
+
+std::vector<int16_t>
+designCfir21(unsigned cic_stages, unsigned cic_r)
+{
+    // Frequency-sampling design: desired response = inverse of the
+    // CIC's sinc^N droop inside the passband, zero in the stopband;
+    // inverse DFT (linear phase) windowed to 21 taps with Hamming.
+    const unsigned taps = 21;
+    const unsigned grid = 512;
+    const double passband = 0.20; // of the (decimated) sample rate
+    std::vector<double> mag(grid);
+    for (unsigned i = 0; i < grid; ++i) {
+        double f = double(i) / (2.0 * grid); // 0 .. 0.5 of fs
+        if (f >= passband) {
+            mag[i] = 0.0;
+            continue;
+        }
+        double droop = 1.0;
+        if (f > 1e-9) {
+            // Droop of the pre-decimation CIC evaluated at the
+            // frequency this post-decimation bin aliases from.
+            double x = M_PI * f / cic_r;
+            droop = std::pow(
+                std::sin(cic_r * x) / (cic_r * std::sin(x)),
+                double(cic_stages));
+        }
+        mag[i] = 1.0 / std::max(droop, 0.25);
+    }
+    std::vector<double> g(taps);
+    for (unsigned n = 0; n < taps; ++n) {
+        double k = double(n) - double(taps - 1) / 2.0;
+        double acc = mag[0];
+        for (unsigned i = 1; i < grid; ++i) {
+            acc += 2.0 * mag[i] *
+                   std::cos(2.0 * M_PI * (double(i) / (2.0 * grid)) *
+                            k);
+        }
+        double w = 0.54 - 0.46 * std::cos(2.0 * M_PI * n /
+                                          double(taps - 1));
+        g[n] = acc / (2.0 * grid) * w;
+    }
+    return quantizeUnitDc(g);
+}
+
+std::vector<int16_t>
+designPfir63(double cutoff_norm)
+{
+    return designLowpassQ15(63, cutoff_norm);
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FIR filtering (paper Section 3: the DDC's "compensating 21-tap
+ * filter (CFIR) and a 63-tap filter (PFIR)"), Q15 coefficients with
+ * 40-bit accumulation exactly like the tile's MAC datapath, so the
+ * assembly kernels can be validated bit-exactly against this model.
+ */
+
+#ifndef SYNC_DSP_FIR_HH
+#define SYNC_DSP_FIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed.hh"
+
+namespace synchro::dsp
+{
+
+class FirQ15
+{
+  public:
+    explicit FirQ15(std::vector<int16_t> taps);
+
+    /**
+     * Streaming filter step: returns sat16((sum_k taps[k] *
+     * x[n-k] + 2^14) >> 15) with 40-bit accumulator saturation,
+     * matching the tile's mac/aext sequence.
+     */
+    int16_t step(int16_t x);
+
+    std::vector<int16_t> process(const std::vector<int16_t> &x);
+
+    /** Block convolution without state (n outputs, zero history). */
+    static std::vector<int16_t> convolve(
+        const std::vector<int16_t> &taps,
+        const std::vector<int16_t> &x);
+
+    const std::vector<int16_t> &taps() const { return taps_; }
+    void reset();
+
+  private:
+    std::vector<int16_t> taps_;
+    std::vector<int16_t> hist_;
+    size_t pos_ = 0;
+};
+
+/** Windowed-sinc low-pass design quantized to Q15 (Hamming window). */
+std::vector<int16_t> designLowpassQ15(unsigned taps,
+                                      double cutoff_norm);
+
+/**
+ * The DDC's 21-tap CFIR: a low-pass that also compensates the CIC's
+ * sinc^N droop in the passband (inverse-sinc weighting).
+ */
+std::vector<int16_t> designCfir21(unsigned cic_stages, unsigned cic_r);
+
+/** The DDC's 63-tap programmable channel-shaping PFIR. */
+std::vector<int16_t> designPfir63(double cutoff_norm = 0.22);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_FIR_HH

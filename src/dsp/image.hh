@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A minimal 8-bit monochrome image container shared by the motion
+ * estimation (MPEG-4) and stereo vision (Tomasi-Kanade) kernels.
+ */
+
+#ifndef SYNC_DSP_IMAGE_HH
+#define SYNC_DSP_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+class Image
+{
+  public:
+    Image(unsigned width, unsigned height, uint8_t fill = 0)
+        : w_(width), h_(height), pix_(size_t(width) * height, fill)
+    {
+        if (width == 0 || height == 0)
+            fatal("Image: zero dimension");
+    }
+
+    unsigned width() const { return w_; }
+    unsigned height() const { return h_; }
+
+    uint8_t
+    at(int x, int y) const
+    {
+        return pix_[size_t(clampY(y)) * w_ + clampX(x)];
+    }
+
+    uint8_t &
+    operator()(unsigned x, unsigned y)
+    {
+        sync_assert(x < w_ && y < h_, "pixel (%u,%u) out of bounds",
+                    x, y);
+        return pix_[size_t(y) * w_ + x];
+    }
+
+    uint8_t
+    operator()(unsigned x, unsigned y) const
+    {
+        sync_assert(x < w_ && y < h_, "pixel (%u,%u) out of bounds",
+                    x, y);
+        return pix_[size_t(y) * w_ + x];
+    }
+
+    const std::vector<uint8_t> &pixels() const { return pix_; }
+    std::vector<uint8_t> &pixels() { return pix_; }
+
+  private:
+    int
+    clampX(int x) const
+    {
+        return x < 0 ? 0 : (x >= int(w_) ? int(w_) - 1 : x);
+    }
+    int
+    clampY(int y) const
+    {
+        return y < 0 ? 0 : (y >= int(h_) ? int(h_) - 1 : y);
+    }
+
+    unsigned w_, h_;
+    std::vector<uint8_t> pix_;
+};
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_IMAGE_HH

@@ -1,0 +1,51 @@
+#include "dsp/interleaver.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+Interleaver::Interleaver(Modulation m, unsigned data_carriers)
+{
+    unsigned n_bpsc = bitsPerSymbol(m);
+    n_cbps_ = n_bpsc * data_carriers;
+    unsigned s = std::max(n_bpsc / 2, 1u);
+
+    perm_.resize(n_cbps_);
+    for (unsigned k = 0; k < n_cbps_; ++k) {
+        // 802.11a 17.3.5.6: first permutation (rows of 16):
+        unsigned i = (n_cbps_ / 16) * (k % 16) + k / 16;
+        // second permutation (rotation within groups of s):
+        unsigned j = s * (i / s) +
+                     (i + n_cbps_ - (16 * i) / n_cbps_) % s;
+        perm_[k] = j;
+    }
+}
+
+std::vector<uint8_t>
+Interleaver::interleave(const std::vector<uint8_t> &bits) const
+{
+    if (bits.size() != n_cbps_)
+        fatal("interleave: block must be %u bits, got %zu", n_cbps_,
+              bits.size());
+    std::vector<uint8_t> out(n_cbps_);
+    for (unsigned k = 0; k < n_cbps_; ++k)
+        out[perm_[k]] = bits[k];
+    return out;
+}
+
+std::vector<uint8_t>
+Interleaver::deinterleave(const std::vector<uint8_t> &bits) const
+{
+    if (bits.size() != n_cbps_)
+        fatal("deinterleave: block must be %u bits, got %zu", n_cbps_,
+              bits.size());
+    std::vector<uint8_t> out(n_cbps_);
+    for (unsigned k = 0; k < n_cbps_; ++k)
+        out[k] = bits[perm_[k]];
+    return out;
+}
+
+} // namespace synchro::dsp

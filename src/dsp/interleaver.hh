@@ -1,0 +1,51 @@
+/**
+ * @file
+ * 802.11a block interleaver / de-interleaver (paper Section 3:
+ * "De-Interleaving" in the receiver). The standard's two-permutation
+ * scheme over one OFDM symbol of N_CBPS coded bits: the first spreads
+ * adjacent coded bits across nonadjacent subcarriers, the second
+ * alternates them between constellation bit significances.
+ */
+
+#ifndef SYNC_DSP_INTERLEAVER_HH
+#define SYNC_DSP_INTERLEAVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/qam.hh"
+
+namespace synchro::dsp
+{
+
+class Interleaver
+{
+  public:
+    /**
+     * @param m modulation (fixes N_BPSC = bits per subcarrier)
+     * @param data_carriers N_SD, 48 for 802.11a
+     */
+    explicit Interleaver(Modulation m, unsigned data_carriers = 48);
+
+    /** Coded bits per OFDM symbol (N_CBPS). */
+    unsigned blockBits() const { return n_cbps_; }
+
+    /** TX permutation of exactly one block. */
+    std::vector<uint8_t> interleave(
+        const std::vector<uint8_t> &bits) const;
+
+    /** RX inverse permutation of exactly one block. */
+    std::vector<uint8_t> deinterleave(
+        const std::vector<uint8_t> &bits) const;
+
+    /** The composed permutation: output position of input bit k. */
+    const std::vector<unsigned> &permutation() const { return perm_; }
+
+  private:
+    unsigned n_cbps_;
+    std::vector<unsigned> perm_;
+};
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_INTERLEAVER_HH

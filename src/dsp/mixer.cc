@@ -1,0 +1,32 @@
+#include "dsp/mixer.hh"
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+std::vector<CplxQ15>
+mixBlock(const std::vector<int16_t> &x, const std::vector<CplxQ15> &lo)
+{
+    if (x.size() != lo.size())
+        fatal("mixBlock: %zu samples vs %zu LO samples", x.size(),
+              lo.size());
+    std::vector<CplxQ15> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = mixSample(x[i], lo[i]);
+    return out;
+}
+
+std::vector<CplxQ15>
+mixBlock(const std::vector<CplxQ15> &x, const std::vector<CplxQ15> &lo)
+{
+    if (x.size() != lo.size())
+        fatal("mixBlock: %zu samples vs %zu LO samples", x.size(),
+              lo.size());
+    std::vector<CplxQ15> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = mulCplxQ15(x[i], lo[i]);
+    return out;
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Digital mixer: multiplies the real RF input by the NCO's complex
+ * local oscillator, shifting the band of interest to DC (the stage
+ * the paper maps onto 8 tiles at 120 MHz for the 64 MS/s GSM DDC).
+ */
+
+#ifndef SYNC_DSP_MIXER_HH
+#define SYNC_DSP_MIXER_HH
+
+#include <vector>
+
+#include "common/fixed.hh"
+
+namespace synchro::dsp
+{
+
+/** One mixed sample: x * (lo.re, lo.im), Q15 rounding. */
+inline CplxQ15
+mixSample(int16_t x, CplxQ15 lo)
+{
+    return {mulQ15(x, lo.re), mulQ15(x, lo.im)};
+}
+
+/** Mix a real block with a matching LO block. */
+std::vector<CplxQ15> mixBlock(const std::vector<int16_t> &x,
+                              const std::vector<CplxQ15> &lo);
+
+/** Complex-by-complex mixing (used when the input is already IQ). */
+std::vector<CplxQ15> mixBlock(const std::vector<CplxQ15> &x,
+                              const std::vector<CplxQ15> &lo);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_MIXER_HH

@@ -1,0 +1,84 @@
+#include "dsp/motion.hh"
+
+#include <cstdlib>
+
+namespace synchro::dsp
+{
+
+uint32_t
+blockSad(const Image &cur, const Image &ref, unsigned x, unsigned y,
+         int dx, int dy, unsigned bsize)
+{
+    uint32_t sad = 0;
+    for (unsigned j = 0; j < bsize; ++j) {
+        for (unsigned i = 0; i < bsize; ++i) {
+            int a = cur.at(int(x + i), int(y + j));
+            int b = ref.at(int(x + i) + dx, int(y + j) + dy);
+            sad += uint32_t(std::abs(a - b));
+        }
+    }
+    return sad;
+}
+
+namespace
+{
+
+/** Deterministic tie-break: lower SAD, then smaller |v|1, then
+ * raster order of (dy, dx). */
+bool
+better(const MotionVector &a, const MotionVector &b)
+{
+    if (a.sad != b.sad)
+        return a.sad < b.sad;
+    int na = std::abs(a.dx) + std::abs(a.dy);
+    int nb = std::abs(b.dx) + std::abs(b.dy);
+    if (na != nb)
+        return na < nb;
+    if (a.dy != b.dy)
+        return a.dy < b.dy;
+    return a.dx < b.dx;
+}
+
+} // namespace
+
+MotionVector
+fullSearch(const Image &cur, const Image &ref, unsigned x, unsigned y,
+           int range, unsigned bsize)
+{
+    MotionVector best;
+    for (int dy = -range; dy <= range; ++dy) {
+        for (int dx = -range; dx <= range; ++dx) {
+            MotionVector mv{dx, dy,
+                            blockSad(cur, ref, x, y, dx, dy, bsize)};
+            if (better(mv, best))
+                best = mv;
+        }
+    }
+    return best;
+}
+
+MotionVector
+threeStepSearch(const Image &cur, const Image &ref, unsigned x,
+                unsigned y, unsigned bsize)
+{
+    MotionVector best{0, 0, blockSad(cur, ref, x, y, 0, 0, bsize)};
+    for (int step = 4; step >= 1; step /= 2) {
+        MotionVector round_best = best;
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                int cx = best.dx + dx * step;
+                int cy = best.dy + dy * step;
+                MotionVector mv{
+                    cx, cy, blockSad(cur, ref, x, y, cx, cy, bsize)};
+                if (better(mv, round_best))
+                    round_best = mv;
+            }
+        }
+        best = round_best;
+    }
+    return best;
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MPEG-4 motion estimation (paper Section 3). Block-based SAD search
+ * over a reference frame: exhaustive full search (the quality
+ * baseline) and three-step search (the fast variant); both return
+ * the motion vector minimizing the sum of absolute differences,
+ * which is exactly what the tile's 4-byte SAA instruction
+ * accelerates.
+ */
+
+#ifndef SYNC_DSP_MOTION_HH
+#define SYNC_DSP_MOTION_HH
+
+#include <cstdint>
+
+#include "dsp/image.hh"
+
+namespace synchro::dsp
+{
+
+struct MotionVector
+{
+    int dx = 0;
+    int dy = 0;
+    uint32_t sad = UINT32_MAX;
+
+    friend bool
+    operator==(const MotionVector &a, const MotionVector &b)
+    {
+        return a.dx == b.dx && a.dy == b.dy;
+    }
+};
+
+/** SAD of a bsize x bsize block at (x,y) in cur vs (x+dx, y+dy) in
+ * ref (edge-clamped). */
+uint32_t blockSad(const Image &cur, const Image &ref, unsigned x,
+                  unsigned y, int dx, int dy, unsigned bsize = 16);
+
+/** Exhaustive search in [-range, range]^2 (ties: smaller |v|, then
+ * raster order — deterministic). */
+MotionVector fullSearch(const Image &cur, const Image &ref,
+                        unsigned x, unsigned y, int range = 7,
+                        unsigned bsize = 16);
+
+/** Three-step search with initial step 4 (for range ~7). */
+MotionVector threeStepSearch(const Image &cur, const Image &ref,
+                             unsigned x, unsigned y,
+                             unsigned bsize = 16);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_MOTION_HH

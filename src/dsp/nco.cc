@@ -1,0 +1,55 @@
+#include "dsp/nco.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+const std::vector<int16_t> &
+Nco::sineTable()
+{
+    static const std::vector<int16_t> table = [] {
+        std::vector<int16_t> t(1u << TableBits);
+        for (size_t i = 0; i < t.size(); ++i) {
+            double phi = 2.0 * M_PI * double(i) / double(t.size());
+            t[i] = toQ15(std::sin(phi) * 0.999969); // avoid +1.0
+        }
+        return t;
+    }();
+    return table;
+}
+
+Nco::Nco(double freq_hz, double sample_hz)
+{
+    if (sample_hz <= 0 || freq_hz < 0 || freq_hz * 2 >= sample_hz)
+        fatal("Nco: need 0 <= freq < sample_rate/2 (got %g at %g)",
+              freq_hz, sample_hz);
+    step_ = uint32_t(freq_hz / sample_hz * 4294967296.0);
+}
+
+CplxQ15
+Nco::next()
+{
+    const auto &tab = sineTable();
+    uint32_t idx = phase_ >> (32 - TableBits);
+    uint32_t quarter = 1u << (TableBits - 2);
+    // cos(phi) = sin(phi + pi/2).
+    int16_t cosv = tab[(idx + quarter) & (tab.size() - 1)];
+    int16_t sinv = tab[idx];
+    phase_ += step_;
+    return {cosv, int16_t(-sinv)};
+}
+
+std::vector<CplxQ15>
+Nco::generate(size_t n)
+{
+    std::vector<CplxQ15> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Numerically Controlled Oscillator — the first stage of the Digital
+ * Down Converter (paper Section 3: "a Numerically Controlled
+ * Oscillator, digital mixer, Cascaded-Integrator-Comb filter and a
+ * two-stage filter").
+ *
+ * A 32-bit phase accumulator indexes a quarter-wave-symmetric Q15
+ * sine table, producing the complex local-oscillator samples
+ * (cos, -sin) that the mixer multiplies with the RF input to shift
+ * the signal of interest to baseband.
+ */
+
+#ifndef SYNC_DSP_NCO_HH
+#define SYNC_DSP_NCO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed.hh"
+
+namespace synchro::dsp
+{
+
+class Nco
+{
+  public:
+    static constexpr unsigned TableBits = 10; //!< 1024-entry sine LUT
+
+    /**
+     * @param freq_hz   oscillator frequency
+     * @param sample_hz sample rate (> 2 * freq_hz)
+     */
+    Nco(double freq_hz, double sample_hz);
+
+    /** Next local-oscillator sample: (cos(phi), -sin(phi)). */
+    CplxQ15 next();
+
+    /** Produce @p n consecutive samples. */
+    std::vector<CplxQ15> generate(size_t n);
+
+    /** Phase increment per sample in accumulator units. */
+    uint32_t phaseStep() const { return step_; }
+
+    void reset() { phase_ = 0; }
+
+    /** Shared quarter-wave sine table (Q15, full wave expanded). */
+    static const std::vector<int16_t> &sineTable();
+
+  private:
+    uint32_t phase_ = 0;
+    uint32_t step_;
+};
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_NCO_HH

@@ -1,0 +1,147 @@
+#include "dsp/ofdm.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "dsp/fft.hh"
+#include "dsp/interleaver.hh"
+#include "dsp/viterbi.hh"
+
+namespace synchro::dsp
+{
+
+const std::vector<unsigned> &
+dataCarrierBins()
+{
+    static const std::vector<unsigned> bins = [] {
+        std::vector<unsigned> out;
+        for (int k = -26; k <= 26; ++k) {
+            if (k == 0 || k == -21 || k == -7 || k == 7 || k == 21)
+                continue;
+            out.push_back(unsigned((k + int(OfdmFftSize)) %
+                                   int(OfdmFftSize)));
+        }
+        return out;
+    }();
+    return bins;
+}
+
+const std::vector<unsigned> &
+pilotBins()
+{
+    static const std::vector<unsigned> bins = [] {
+        std::vector<unsigned> out;
+        for (int k : {-21, -7, 7, 21}) {
+            out.push_back(unsigned((k + int(OfdmFftSize)) %
+                                   int(OfdmFftSize)));
+        }
+        return out;
+    }();
+    return bins;
+}
+
+std::vector<std::complex<double>>
+ofdmTransmit(const std::vector<uint8_t> &bits, const OfdmConfig &cfg)
+{
+    // Convolutional encoding (rate 1/2, with tail).
+    std::vector<uint8_t> coded = convEncode(bits, true);
+
+    // Pad to a whole number of OFDM symbols.
+    unsigned n_cbps = cfg.codedBitsPerSymbol();
+    while (coded.size() % n_cbps != 0)
+        coded.push_back(0);
+
+    Interleaver il(cfg.modulation);
+    std::vector<std::complex<double>> out;
+    out.reserve((coded.size() / n_cbps) *
+                (OfdmFftSize + OfdmCpLen));
+
+    for (size_t off = 0; off < coded.size(); off += n_cbps) {
+        std::vector<uint8_t> block(coded.begin() + off,
+                                   coded.begin() + off + n_cbps);
+        std::vector<uint8_t> inter = il.interleave(block);
+        auto symbols = qamMap(inter, cfg.modulation);
+        sync_assert(symbols.size() == OfdmDataCarriers,
+                    "mapper emitted %zu carriers", symbols.size());
+
+        std::vector<Cplx> freq(OfdmFftSize, Cplx(0, 0));
+        const auto &bins = dataCarrierBins();
+        for (unsigned i = 0; i < OfdmDataCarriers; ++i)
+            freq[bins[i]] = symbols[i];
+        for (unsigned p : pilotBins())
+            freq[p] = Cplx(1.0, 0.0); // static all-ones pilots
+
+        ifft(freq);
+        // Cyclic prefix then body.
+        for (unsigned i = 0; i < OfdmCpLen; ++i)
+            out.push_back(freq[OfdmFftSize - OfdmCpLen + i]);
+        for (unsigned i = 0; i < OfdmFftSize; ++i)
+            out.push_back(freq[i]);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+ofdmReceive(const std::vector<std::complex<double>> &samples,
+            const OfdmConfig &cfg)
+{
+    const unsigned sym_len = OfdmFftSize + OfdmCpLen;
+    if (samples.size() % sym_len != 0)
+        fatal("ofdmReceive: %zu samples not a whole number of "
+              "symbols",
+              samples.size());
+    unsigned n_cbps = cfg.codedBitsPerSymbol();
+    Interleaver il(cfg.modulation);
+
+    std::vector<uint8_t> coded;
+    coded.reserve(samples.size() / sym_len * n_cbps);
+    for (size_t off = 0; off < samples.size(); off += sym_len) {
+        std::vector<Cplx> freq(samples.begin() + off + OfdmCpLen,
+                               samples.begin() + off + sym_len);
+        fft(freq);
+        std::vector<Cplx> symbols(OfdmDataCarriers);
+        const auto &bins = dataCarrierBins();
+        for (unsigned i = 0; i < OfdmDataCarriers; ++i)
+            symbols[i] = freq[bins[i]];
+        auto bits = qamDemap(symbols, cfg.modulation);
+        auto deinter = il.deinterleave(bits);
+        coded.insert(coded.end(), deinter.begin(), deinter.end());
+    }
+
+    // The encoder emitted 2*(data+tail) bits; everything after is
+    // TX padding that the decoder must not see as code bits. We
+    // cannot know the original length here, so decode everything and
+    // let the tail-termination pick the right path; padding decodes
+    // to trailing bits the caller trims.
+    return viterbiDecode(coded, false);
+}
+
+void
+addAwgn(std::vector<std::complex<double>> &samples, double snr_db,
+        Rng &rng)
+{
+    double power = 0;
+    for (const auto &s : samples)
+        power += std::norm(s);
+    power /= double(samples.size());
+    double noise_power = power / std::pow(10.0, snr_db / 10.0);
+    double sigma = std::sqrt(noise_power / 2.0);
+    for (auto &s : samples)
+        s += std::complex<double>(sigma * rng.gauss(),
+                                  sigma * rng.gauss());
+}
+
+double
+bitErrorRate(const std::vector<uint8_t> &tx,
+             const std::vector<uint8_t> &rx)
+{
+    size_t n = std::min(tx.size(), rx.size());
+    if (n == 0)
+        return 0.0;
+    size_t errors = 0;
+    for (size_t i = 0; i < n; ++i)
+        errors += (tx[i] & 1) != (rx[i] & 1);
+    return double(errors) / double(n);
+}
+
+} // namespace synchro::dsp

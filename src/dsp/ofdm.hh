@@ -1,0 +1,88 @@
+/**
+ * @file
+ * 802.11a OFDM physical layer: the end-to-end transmit and receive
+ * chains the paper's Section 3 describes ("The four major components
+ * in the 802.11a receiver are the FFT, Demodulation, De-Interleaving
+ * and a K=7 Viterbi Decoder"). Used by the wifi example and the
+ * integration tests; each receive stage maps onto one Synchroscalar
+ * column group.
+ *
+ * Simplifications vs the full standard (documented in DESIGN.md):
+ * rate-1/2 coding only (no puncturing), no scrambler, no
+ * PLCP preamble/SIGNAL field — the paper evaluates the steady-state
+ * data path, which these omissions do not change.
+ */
+
+#ifndef SYNC_DSP_OFDM_HH
+#define SYNC_DSP_OFDM_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dsp/qam.hh"
+
+namespace synchro::dsp
+{
+
+constexpr unsigned OfdmFftSize = 64;
+constexpr unsigned OfdmDataCarriers = 48;
+constexpr unsigned OfdmPilots = 4;
+constexpr unsigned OfdmCpLen = 16; //!< 0.8 us guard interval
+
+struct OfdmConfig
+{
+    Modulation modulation = Modulation::QPSK;
+
+    /** Data bits conveyed per OFDM symbol (rate-1/2 coding). */
+    unsigned
+    dataBitsPerSymbol() const
+    {
+        return OfdmDataCarriers * bitsPerSymbol(modulation) / 2;
+    }
+
+    /** Coded bits per OFDM symbol (N_CBPS). */
+    unsigned
+    codedBitsPerSymbol() const
+    {
+        return OfdmDataCarriers * bitsPerSymbol(modulation);
+    }
+};
+
+/** Indices of the 48 data subcarriers (-26..26 minus pilots/DC),
+ * in FFT bin order. */
+const std::vector<unsigned> &dataCarrierBins();
+
+/** Indices of the 4 pilot bins (-21, -7, 7, 21). */
+const std::vector<unsigned> &pilotBins();
+
+/**
+ * Transmit: data bits -> convolutional code -> per-symbol
+ * interleaving -> QAM -> IFFT + cyclic prefix. Pads the tail symbol
+ * with zero bits. Returns time-domain samples.
+ */
+std::vector<std::complex<double>> ofdmTransmit(
+    const std::vector<uint8_t> &bits, const OfdmConfig &cfg);
+
+/**
+ * Receive the output of ofdmTransmit (plus channel impairments):
+ * FFT -> demap -> deinterleave -> Viterbi. Returns the recovered
+ * data bits (including any TX padding; callers trim to their
+ * original length).
+ */
+std::vector<uint8_t> ofdmReceive(
+    const std::vector<std::complex<double>> &samples,
+    const OfdmConfig &cfg);
+
+/** Add white Gaussian noise at the given per-sample SNR. */
+void addAwgn(std::vector<std::complex<double>> &samples,
+             double snr_db, Rng &rng);
+
+/** Bit error rate between transmitted and received bit vectors. */
+double bitErrorRate(const std::vector<uint8_t> &tx,
+                    const std::vector<uint8_t> &rx);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_OFDM_HH

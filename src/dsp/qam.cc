@@ -1,0 +1,135 @@
+#include "dsp/qam.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+unsigned
+bitsPerSymbol(Modulation m)
+{
+    switch (m) {
+      case Modulation::BPSK:
+        return 1;
+      case Modulation::QPSK:
+        return 2;
+      case Modulation::QAM16:
+        return 4;
+      case Modulation::QAM64:
+        return 6;
+    }
+    return 0;
+}
+
+double
+modNorm(Modulation m)
+{
+    switch (m) {
+      case Modulation::BPSK:
+        return 1.0;
+      case Modulation::QPSK:
+        return 1.0 / std::sqrt(2.0);
+      case Modulation::QAM16:
+        return 1.0 / std::sqrt(10.0);
+      case Modulation::QAM64:
+        return 1.0 / std::sqrt(42.0);
+    }
+    return 1.0;
+}
+
+namespace
+{
+
+/** Gray-mapped PAM level for the standard's bit patterns. */
+double
+grayPam(unsigned bits, unsigned nbits)
+{
+    // 802.11a Table 81-84 orderings: 1 bit: 0->-1, 1->+1;
+    // 2 bits: 00->-3 01->-1 11->+1 10->+3 etc. (Gray).
+    switch (nbits) {
+      case 1:
+        return bits ? 1.0 : -1.0;
+      case 2: {
+        static const double lut[4] = {-3, -1, 3, 1};
+        return lut[bits];
+      }
+      case 3: {
+        static const double lut[8] = {-7, -5, -1, -3, 7, 5, 1, 3};
+        return lut[bits];
+      }
+    }
+    panic("grayPam: unsupported width %u", nbits);
+}
+
+unsigned
+grayPamInverse(double v, unsigned nbits)
+{
+    // Hard decision: nearest level wins.
+    unsigned best = 0;
+    double best_d = 1e300;
+    for (unsigned b = 0; b < (1u << nbits); ++b) {
+        double d = std::abs(grayPam(b, nbits) - v);
+        if (d < best_d) {
+            best_d = d;
+            best = b;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<std::complex<double>>
+qamMap(const std::vector<uint8_t> &bits, Modulation m)
+{
+    unsigned bps = bitsPerSymbol(m);
+    if (bits.size() % bps != 0)
+        fatal("qamMap: %zu bits not a multiple of %u", bits.size(),
+              bps);
+    double norm = modNorm(m);
+    std::vector<std::complex<double>> out;
+    out.reserve(bits.size() / bps);
+    for (size_t i = 0; i < bits.size(); i += bps) {
+        if (m == Modulation::BPSK) {
+            out.emplace_back(grayPam(bits[i], 1), 0.0);
+            continue;
+        }
+        unsigned half = bps / 2;
+        unsigned bi = 0, bq = 0;
+        for (unsigned k = 0; k < half; ++k) {
+            bi = (bi << 1) | bits[i + k];
+            bq = (bq << 1) | bits[i + half + k];
+        }
+        out.emplace_back(grayPam(bi, half) * norm,
+                         grayPam(bq, half) * norm);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+qamDemap(const std::vector<std::complex<double>> &symbols,
+         Modulation m)
+{
+    unsigned bps = bitsPerSymbol(m);
+    double norm = modNorm(m);
+    std::vector<uint8_t> out;
+    out.reserve(symbols.size() * bps);
+    for (const auto &s : symbols) {
+        if (m == Modulation::BPSK) {
+            out.push_back(s.real() >= 0 ? 1 : 0);
+            continue;
+        }
+        unsigned half = bps / 2;
+        unsigned bi = grayPamInverse(s.real() / norm, half);
+        unsigned bq = grayPamInverse(s.imag() / norm, half);
+        for (unsigned k = 0; k < half; ++k)
+            out.push_back(uint8_t((bi >> (half - 1 - k)) & 1));
+        for (unsigned k = 0; k < half; ++k)
+            out.push_back(uint8_t((bq >> (half - 1 - k)) & 1));
+    }
+    return out;
+}
+
+} // namespace synchro::dsp

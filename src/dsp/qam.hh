@@ -1,0 +1,42 @@
+/**
+ * @file
+ * 802.11a constellation mapping and demapping (paper Section 3:
+ * "Demodulation" in the receiver chain). Gray-coded BPSK, QPSK,
+ * 16-QAM and 64-QAM with the standard's normalization factors.
+ */
+
+#ifndef SYNC_DSP_QAM_HH
+#define SYNC_DSP_QAM_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace synchro::dsp
+{
+
+enum class Modulation
+{
+    BPSK,  //!< 1 bit/subcarrier (6/9 Mbps rates)
+    QPSK,  //!< 2 bits (12/18 Mbps)
+    QAM16, //!< 4 bits (24/36 Mbps)
+    QAM64, //!< 6 bits (48/54 Mbps)
+};
+
+/** Bits per subcarrier for a modulation. */
+unsigned bitsPerSymbol(Modulation m);
+
+/** Normalization factor K_mod from the 802.11a standard. */
+double modNorm(Modulation m);
+
+/** Map bits (LSB-first groups) to constellation points. */
+std::vector<std::complex<double>> qamMap(
+    const std::vector<uint8_t> &bits, Modulation m);
+
+/** Hard-decision demap back to bits. */
+std::vector<uint8_t> qamDemap(
+    const std::vector<std::complex<double>> &symbols, Modulation m);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_QAM_HH

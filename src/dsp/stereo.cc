@@ -1,0 +1,141 @@
+#include "dsp/stereo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "dsp/svd.hh"
+
+namespace synchro::dsp
+{
+
+namespace
+{
+
+std::vector<Match>
+matchesFromPairing(const Matrix &p)
+{
+    // An entry is a match when it is the maximum of both its row and
+    // its column (Pilu's criterion).
+    std::vector<Match> out;
+    for (unsigned i = 0; i < p.rows(); ++i) {
+        unsigned best_j = 0;
+        double best = -1e300;
+        for (unsigned j = 0; j < p.cols(); ++j) {
+            if (p(i, j) > best) {
+                best = p(i, j);
+                best_j = j;
+            }
+        }
+        bool col_max = true;
+        for (unsigned k = 0; k < p.rows(); ++k) {
+            if (p(k, best_j) > best) {
+                col_max = false;
+                break;
+            }
+        }
+        if (col_max)
+            out.push_back({i, best_j, best});
+    }
+    return out;
+}
+
+Matrix
+pairingFromProximity(Matrix g)
+{
+    const bool transpose = g.rows() < g.cols();
+    if (transpose)
+        g = g.transposed();
+    SvdResult svd = jacobiSvd(g);
+    // Replace singular values with ones: P = U * V^T.
+    Matrix p = svd.u * svd.v.transposed();
+    return transpose ? p.transposed() : p;
+}
+
+} // namespace
+
+std::vector<Match>
+svdCorrelate(const std::vector<Feature> &left,
+             const std::vector<Feature> &right, double sigma)
+{
+    if (left.empty() || right.empty())
+        return {};
+    Matrix g(unsigned(left.size()), unsigned(right.size()));
+    for (unsigned i = 0; i < left.size(); ++i) {
+        for (unsigned j = 0; j < right.size(); ++j) {
+            double dx = double(left[i].x) - double(right[j].x);
+            double dy = double(left[i].y) - double(right[j].y);
+            g(i, j) = std::exp(-(dx * dx + dy * dy) /
+                               (2.0 * sigma * sigma));
+        }
+    }
+    Matrix p = pairingFromProximity(g);
+    return matchesFromPairing(p);
+}
+
+std::vector<Match>
+svdCorrelate(const Image &left_img, const std::vector<Feature> &left,
+             const Image &right_img,
+             const std::vector<Feature> &right, double sigma,
+             unsigned w)
+{
+    if (left.empty() || right.empty())
+        return {};
+    auto patch_corr = [&](const Feature &a, const Feature &b) {
+        // Normalized cross-correlation of (2w+1)^2 patches.
+        double ma = 0, mb = 0;
+        int n = int(2 * w + 1) * int(2 * w + 1);
+        for (int j = -int(w); j <= int(w); ++j)
+            for (int i = -int(w); i <= int(w); ++i) {
+                ma += left_img.at(int(a.x) + i, int(a.y) + j);
+                mb += right_img.at(int(b.x) + i, int(b.y) + j);
+            }
+        ma /= n;
+        mb /= n;
+        double num = 0, da = 0, db = 0;
+        for (int j = -int(w); j <= int(w); ++j)
+            for (int i = -int(w); i <= int(w); ++i) {
+                double va =
+                    left_img.at(int(a.x) + i, int(a.y) + j) - ma;
+                double vb =
+                    right_img.at(int(b.x) + i, int(b.y) + j) - mb;
+                num += va * vb;
+                da += va * va;
+                db += vb * vb;
+            }
+        double den = std::sqrt(da * db);
+        return den > 1e-12 ? num / den : 0.0;
+    };
+
+    Matrix g(unsigned(left.size()), unsigned(right.size()));
+    for (unsigned i = 0; i < left.size(); ++i) {
+        for (unsigned j = 0; j < right.size(); ++j) {
+            double dx = double(left[i].x) - double(right[j].x);
+            double dy = double(left[i].y) - double(right[j].y);
+            double prox = std::exp(-(dx * dx + dy * dy) /
+                                   (2.0 * sigma * sigma));
+            double corr = 0.5 * (patch_corr(left[i], right[j]) + 1.0);
+            g(i, j) = prox * corr;
+        }
+    }
+    Matrix p = pairingFromProximity(g);
+    return matchesFromPairing(p);
+}
+
+std::vector<double>
+disparities(const std::vector<Feature> &left,
+            const std::vector<Feature> &right,
+            const std::vector<Match> &matches)
+{
+    std::vector<double> out;
+    out.reserve(matches.size());
+    for (const Match &m : matches) {
+        sync_assert(m.left < left.size() && m.right < right.size(),
+                    "match indices out of range");
+        out.push_back(double(left[m.left].x) -
+                      double(right[m.right].x));
+    }
+    return out;
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SVD-based point feature correlation (paper Section 3: Stereo
+ * Vision's second stage, after Tomasi-Kanade extraction; "for point
+ * feature correlation, singular value decomposition was used" —
+ * Pilu's spectral correspondence method).
+ *
+ * Build a Gaussian proximity/similarity matrix G between the two
+ * feature sets, take G = U S V^T, replace S with ones, and read
+ * matches off the rows/columns of P = U V^T where the entry is the
+ * maximum of both its row and its column.
+ */
+
+#ifndef SYNC_DSP_STEREO_HH
+#define SYNC_DSP_STEREO_HH
+
+#include <vector>
+
+#include "dsp/image.hh"
+#include "dsp/tomasi.hh"
+
+namespace synchro::dsp
+{
+
+struct Match
+{
+    unsigned left;  //!< index into the left feature list
+    unsigned right; //!< index into the right feature list
+    double strength;
+};
+
+/**
+ * Pilu's SVD correspondence between two feature sets.
+ *
+ * @param sigma    Gaussian radius of the proximity term (pixels)
+ * @param patches  optional appearance term: normalized patch
+ *                 correlation sampled from the two images
+ */
+std::vector<Match> svdCorrelate(const std::vector<Feature> &left,
+                                const std::vector<Feature> &right,
+                                double sigma = 30.0);
+
+/** Appearance-aware variant using (2w+1)^2 patches from each image. */
+std::vector<Match> svdCorrelate(const Image &left_img,
+                                const std::vector<Feature> &left,
+                                const Image &right_img,
+                                const std::vector<Feature> &right,
+                                double sigma = 30.0, unsigned w = 3);
+
+/**
+ * Stereo disparity of matched features (left.x - right.x); the Mars
+ * Rover pipeline converts this to depth.
+ */
+std::vector<double> disparities(const std::vector<Feature> &left,
+                                const std::vector<Feature> &right,
+                                const std::vector<Match> &matches);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_STEREO_HH

@@ -1,0 +1,149 @@
+#include "dsp/svd.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+Matrix::Matrix(unsigned rows, unsigned cols, double fill)
+    : rows_(rows), cols_(cols), data_(size_t(rows) * cols, fill)
+{
+}
+
+double &
+Matrix::operator()(unsigned r, unsigned c)
+{
+    sync_assert(r < rows_ && c < cols_, "matrix index (%u,%u)", r, c);
+    return data_[size_t(r) * cols_ + c];
+}
+
+double
+Matrix::operator()(unsigned r, unsigned c) const
+{
+    sync_assert(r < rows_ && c < cols_, "matrix index (%u,%u)", r, c);
+    return data_[size_t(r) * cols_ + c];
+}
+
+Matrix
+Matrix::identity(unsigned n)
+{
+    Matrix m(n, n);
+    for (unsigned i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (unsigned r = 0; r < rows_; ++r)
+        for (unsigned c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        fatal("matrix multiply: %ux%u times %ux%u", rows_, cols_,
+              rhs.rows_, rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (unsigned r = 0; r < rows_; ++r) {
+        for (unsigned k = 0; k < cols_; ++k) {
+            double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (unsigned c = 0; c < rhs.cols_; ++c)
+                out(r, c) += a * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+SvdResult
+jacobiSvd(const Matrix &a, unsigned max_sweeps, double eps)
+{
+    const unsigned m = a.rows();
+    const unsigned n = a.cols();
+    if (m < n)
+        fatal("jacobiSvd: need rows >= cols (got %ux%u)", m, n);
+
+    Matrix u = a;                  // will hold U * diag(S)
+    Matrix v = Matrix::identity(n);
+
+    auto coldot = [&](unsigned i, unsigned j) {
+        double s = 0;
+        for (unsigned r = 0; r < m; ++r)
+            s += u(r, i) * u(r, j);
+        return s;
+    };
+
+    for (unsigned sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool converged = true;
+        for (unsigned i = 0; i + 1 < n; ++i) {
+            for (unsigned j = i + 1; j < n; ++j) {
+                double aii = coldot(i, i);
+                double ajj = coldot(j, j);
+                double aij = coldot(i, j);
+                if (std::abs(aij) <=
+                    eps * std::sqrt(aii * ajj) + 1e-300) {
+                    continue;
+                }
+                converged = false;
+                // Jacobi rotation zeroing the (i,j) inner product.
+                double tau = (ajj - aii) / (2.0 * aij);
+                double t = (tau >= 0 ? 1.0 : -1.0) /
+                           (std::abs(tau) +
+                            std::sqrt(1.0 + tau * tau));
+                double c = 1.0 / std::sqrt(1.0 + t * t);
+                double s = c * t;
+                for (unsigned r = 0; r < m; ++r) {
+                    double ui = u(r, i), uj = u(r, j);
+                    u(r, i) = c * ui - s * uj;
+                    u(r, j) = s * ui + c * uj;
+                }
+                for (unsigned r = 0; r < n; ++r) {
+                    double vi = v(r, i), vj = v(r, j);
+                    v(r, i) = c * vi - s * vj;
+                    v(r, j) = s * vi + c * vj;
+                }
+            }
+        }
+        if (converged)
+            break;
+    }
+
+    // Singular values = column norms; sort descending.
+    std::vector<double> s(n);
+    for (unsigned j = 0; j < n; ++j)
+        s[j] = std::sqrt(coldot(j, j));
+    std::vector<unsigned> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned x, unsigned y) {
+                         return s[x] > s[y];
+                     });
+
+    SvdResult res;
+    res.u = Matrix(m, n);
+    res.v = Matrix(n, n);
+    res.s.resize(n);
+    for (unsigned jj = 0; jj < n; ++jj) {
+        unsigned j = order[jj];
+        res.s[jj] = s[j];
+        double inv = s[j] > 1e-300 ? 1.0 / s[j] : 0.0;
+        for (unsigned r = 0; r < m; ++r)
+            res.u(r, jj) = u(r, j) * inv;
+        for (unsigned r = 0; r < n; ++r)
+            res.v(r, jj) = v(r, j);
+    }
+    return res;
+}
+
+} // namespace synchro::dsp

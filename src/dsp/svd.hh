@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Jacobi singular value decomposition (paper Section 3: Stereo Vision
+ * uses SVD [Pilu 30] for point-feature correlation; the paper maps it
+ * to a single tile at 500 MHz because it resists parallelization).
+ *
+ * One-sided Jacobi: orthogonalize column pairs of A by rotations
+ * until convergence; A = U * diag(S) * V^T with U, V orthogonal and
+ * S descending non-negative.
+ */
+
+#ifndef SYNC_DSP_SVD_HH
+#define SYNC_DSP_SVD_HH
+
+#include <vector>
+
+namespace synchro::dsp
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(unsigned rows, unsigned cols, double fill = 0.0);
+
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+
+    double &operator()(unsigned r, unsigned c);
+    double operator()(unsigned r, unsigned c) const;
+
+    static Matrix identity(unsigned n);
+    Matrix transposed() const;
+    Matrix operator*(const Matrix &rhs) const;
+
+  private:
+    unsigned rows_ = 0, cols_ = 0;
+    std::vector<double> data_;
+};
+
+struct SvdResult
+{
+    Matrix u;              //!< m x n, orthonormal columns
+    std::vector<double> s; //!< n singular values, descending
+    Matrix v;              //!< n x n orthogonal
+};
+
+/**
+ * Compute the thin SVD of @p a (rows >= cols required) by one-sided
+ * Jacobi iteration.
+ */
+SvdResult jacobiSvd(const Matrix &a, unsigned max_sweeps = 60,
+                    double eps = 1e-12);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_SVD_HH

@@ -1,0 +1,113 @@
+#include "dsp/tomasi.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace synchro::dsp
+{
+
+std::vector<double>
+minEigImage(const Image &img, unsigned w)
+{
+    const unsigned width = img.width();
+    const unsigned height = img.height();
+    std::vector<double> gx(size_t(width) * height);
+    std::vector<double> gy(size_t(width) * height);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            gx[size_t(y) * width + x] =
+                0.5 * (img.at(int(x) + 1, int(y)) -
+                       img.at(int(x) - 1, int(y)));
+            gy[size_t(y) * width + x] =
+                0.5 * (img.at(int(x), int(y) + 1) -
+                       img.at(int(x), int(y) - 1));
+        }
+    }
+
+    std::vector<double> response(size_t(width) * height, 0.0);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            double sxx = 0, syy = 0, sxy = 0;
+            for (int j = -int(w); j <= int(w); ++j) {
+                for (int i = -int(w); i <= int(w); ++i) {
+                    int xx = std::clamp(int(x) + i, 0,
+                                        int(width) - 1);
+                    int yy = std::clamp(int(y) + j, 0,
+                                        int(height) - 1);
+                    double dx = gx[size_t(yy) * width + xx];
+                    double dy = gy[size_t(yy) * width + xx];
+                    sxx += dx * dx;
+                    syy += dy * dy;
+                    sxy += dx * dy;
+                }
+            }
+            // Min eigenvalue of [[sxx, sxy], [sxy, syy]].
+            double tr = 0.5 * (sxx + syy);
+            double det = std::sqrt(0.25 * (sxx - syy) * (sxx - syy) +
+                                   sxy * sxy);
+            response[size_t(y) * width + x] = tr - det;
+        }
+    }
+    return response;
+}
+
+std::vector<Feature>
+extractFeatures(const Image &img, unsigned max_features,
+                double quality, unsigned min_dist, unsigned window)
+{
+    const unsigned width = img.width();
+    const unsigned height = img.height();
+    std::vector<double> resp = minEigImage(img, window);
+
+    double max_resp = 0;
+    for (double r : resp)
+        max_resp = std::max(max_resp, r);
+    double threshold = quality * max_resp;
+
+    std::vector<Feature> candidates;
+    for (unsigned y = 1; y + 1 < height; ++y) {
+        for (unsigned x = 1; x + 1 < width; ++x) {
+            double r = resp[size_t(y) * width + x];
+            if (r < threshold)
+                continue;
+            // 3x3 local maximum.
+            bool is_max = true;
+            for (int j = -1; j <= 1 && is_max; ++j)
+                for (int i = -1; i <= 1; ++i) {
+                    if (i == 0 && j == 0)
+                        continue;
+                    if (resp[size_t(y + j) * width + (x + i)] > r) {
+                        is_max = false;
+                        break;
+                    }
+                }
+            if (is_max)
+                candidates.push_back({x, y, r});
+        }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Feature &a, const Feature &b) {
+                         return a.score > b.score;
+                     });
+
+    std::vector<Feature> out;
+    for (const Feature &f : candidates) {
+        if (out.size() >= max_features)
+            break;
+        bool far_enough = true;
+        for (const Feature &g : out) {
+            long dx = long(f.x) - long(g.x);
+            long dy = long(f.y) - long(g.y);
+            if (dx * dx + dy * dy <
+                long(min_dist) * long(min_dist)) {
+                far_enough = false;
+                break;
+            }
+        }
+        if (far_enough)
+            out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace synchro::dsp

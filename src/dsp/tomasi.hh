@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tomasi-Kanade point feature extraction (paper Section 3: Stereo
+ * Vision's first stage, mapped to 16 tiles at 310 MHz).
+ *
+ * For each pixel, build the 2x2 gradient structure matrix over a
+ * window and score by its minimum eigenvalue; features are local
+ * maxima above a threshold ("good features to track").
+ */
+
+#ifndef SYNC_DSP_TOMASI_HH
+#define SYNC_DSP_TOMASI_HH
+
+#include <vector>
+
+#include "dsp/image.hh"
+
+namespace synchro::dsp
+{
+
+struct Feature
+{
+    unsigned x = 0;
+    unsigned y = 0;
+    double score = 0.0; //!< min eigenvalue of the structure matrix
+};
+
+/**
+ * Min-eigenvalue response map of @p img with a (2w+1)^2 window
+ * (central-difference gradients, edge-clamped).
+ */
+std::vector<double> minEigImage(const Image &img, unsigned w = 2);
+
+/**
+ * Extract up to @p max_features features: local maxima of the
+ * response map above @p quality * max_response, greedily taken in
+ * descending score with a @p min_dist exclusion radius.
+ */
+std::vector<Feature> extractFeatures(const Image &img,
+                                     unsigned max_features = 200,
+                                     double quality = 0.01,
+                                     unsigned min_dist = 8,
+                                     unsigned window = 2);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_TOMASI_HH

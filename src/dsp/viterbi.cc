@@ -1,0 +1,147 @@
+#include "dsp/viterbi.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace synchro::dsp
+{
+
+namespace
+{
+
+/** Output pair of the encoder in state @p s consuming bit @p b. */
+inline std::pair<unsigned, unsigned>
+codeBits(unsigned s, unsigned b)
+{
+    // Shift register holds the K-1 previous bits; the new bit enters
+    // at the MSB side (state = older bits toward the LSB).
+    unsigned reg = (b << (ConvK - 1)) | s;
+    unsigned c0 = popCount(reg & ConvG0) & 1;
+    unsigned c1 = popCount(reg & ConvG1) & 1;
+    return {c0, c1};
+}
+
+} // namespace
+
+std::vector<uint8_t>
+convEncode(const std::vector<uint8_t> &bits, bool add_tail)
+{
+    std::vector<uint8_t> out;
+    out.reserve(2 * (bits.size() + ConvK - 1));
+    unsigned state = 0;
+    auto push = [&](unsigned b) {
+        auto [c0, c1] = codeBits(state, b);
+        out.push_back(uint8_t(c0));
+        out.push_back(uint8_t(c1));
+        state = ((b << (ConvK - 1)) | state) >> 1;
+    };
+    for (uint8_t b : bits)
+        push(b & 1);
+    if (add_tail) {
+        for (unsigned i = 0; i < ConvK - 1; ++i)
+            push(0);
+    }
+    return out;
+}
+
+void
+viterbiAcsStage(std::vector<uint32_t> &metrics,
+                std::vector<uint8_t> &survivors, unsigned r0,
+                unsigned r1)
+{
+    sync_assert(metrics.size() == ConvStates, "need 64 metrics");
+    survivors.assign(ConvStates, 0);
+    std::vector<uint32_t> next(ConvStates, UINT32_MAX);
+
+    for (unsigned s = 0; s < ConvStates; ++s) {
+        // New state s is reached from predecessors p0/p1 by shifting
+        // the new bit b = MSB of s into the register.
+        unsigned b = s >> (ConvK - 2);      // bit that was consumed
+        unsigned low = s & (ConvStates / 2 - 1);
+        for (unsigned tail : {0u, 1u}) {
+            unsigned pred = (low << 1) | tail;
+            auto [c0, c1] = codeBits(pred, b);
+            uint32_t bm = (c0 ^ r0) + (c1 ^ r1);
+            uint32_t cand = metrics[pred] + bm;
+            if (cand < next[s]) {
+                next[s] = cand;
+                survivors[s] = uint8_t(tail);
+            }
+        }
+    }
+    metrics = std::move(next);
+}
+
+std::vector<uint8_t>
+viterbiDecode(const std::vector<uint8_t> &coded, bool tailed)
+{
+    if (coded.size() % 2 != 0)
+        fatal("viterbiDecode: need an even number of code bits");
+    const size_t stages = coded.size() / 2;
+
+    std::vector<uint32_t> metrics(ConvStates, 1u << 20);
+    metrics[0] = 0; // encoder starts in state 0
+
+    std::vector<std::vector<uint8_t>> survivors(stages);
+    for (size_t t = 0; t < stages; ++t)
+        viterbiAcsStage(metrics, survivors[t], coded[2 * t],
+                        coded[2 * t + 1]);
+
+    // Terminal state: 0 when tail bits flushed, else the best metric.
+    unsigned state = 0;
+    if (!tailed) {
+        state = unsigned(std::min_element(metrics.begin(),
+                                          metrics.end()) -
+                         metrics.begin());
+    }
+
+    std::vector<uint8_t> bits(stages);
+    for (size_t t = stages; t-- > 0;) {
+        unsigned b = state >> (ConvK - 2);
+        unsigned tail = survivors[t][state];
+        bits[t] = uint8_t(b);
+        state = ((state & (ConvStates / 2 - 1)) << 1) | tail;
+    }
+
+    if (tailed) {
+        if (bits.size() < ConvK - 1)
+            fatal("viterbiDecode: shorter than the tail");
+        bits.resize(bits.size() - (ConvK - 1));
+    }
+    return bits;
+}
+
+unsigned
+acsCrossTileWords(unsigned tiles)
+{
+    if (tiles == 0)
+        fatal("acsCrossTileWords: need at least one tile");
+    if (tiles == 1)
+        return 0;
+    if (ConvStates % tiles != 0)
+        fatal("acsCrossTileWords: %u tiles must divide %u states",
+              tiles, ConvStates);
+    unsigned per_tile = ConvStates / tiles;
+    // A metric fetched once per stage can be reused by every state on
+    // the same tile, so count distinct (consumer tile, predecessor)
+    // pairs whose predecessor lives elsewhere.
+    std::vector<char> seen(ConvStates * tiles, 0);
+    unsigned cross = 0;
+    for (unsigned s = 0; s < ConvStates; ++s) {
+        unsigned owner = s / per_tile;
+        unsigned low = s & (ConvStates / 2 - 1);
+        for (unsigned tail : {0u, 1u}) {
+            unsigned pred = (low << 1) | tail;
+            if (pred / per_tile != owner &&
+                !seen[owner * ConvStates + pred]) {
+                seen[owner * ConvStates + pred] = 1;
+                ++cross;
+            }
+        }
+    }
+    return cross;
+}
+
+} // namespace synchro::dsp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * K=7 convolutional code: encoder and Viterbi decoder (paper Section
+ * 3: "a K=7 Viterbi Decoder" closes the 802.11a receive chain; its
+ * Add-Compare-Select stage is the architecture's most demanding
+ * communication workload and drives Figure 8's bus-width study).
+ *
+ * The code is the 802.11a industry-standard rate-1/2 code with
+ * generators g0 = 133o, g1 = 171o, 64 states. Decoding splits into
+ * the two phases the paper maps to separate columns:
+ *  - ACS: per received symbol, update all 64 path metrics,
+ *  - Traceback: follow survivor decisions backwards to emit bits.
+ */
+
+#ifndef SYNC_DSP_VITERBI_HH
+#define SYNC_DSP_VITERBI_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace synchro::dsp
+{
+
+constexpr unsigned ConvK = 7;              //!< constraint length
+constexpr unsigned ConvStates = 64;        //!< 2^(K-1)
+constexpr unsigned ConvG0 = 0133;          //!< octal generator
+constexpr unsigned ConvG1 = 0171;
+
+/** Rate-1/2 convolutional encoder; flushes K-1 zero tail bits. */
+std::vector<uint8_t> convEncode(const std::vector<uint8_t> &bits,
+                                bool add_tail = true);
+
+/**
+ * Hard-decision Viterbi decoder.
+ *
+ * @param coded  pairs of code bits (g0 then g1 per input bit)
+ * @param tailed true if the encoder appended the K-1 tail (the
+ *               decoder then terminates in state 0 and strips it)
+ */
+std::vector<uint8_t> viterbiDecode(const std::vector<uint8_t> &coded,
+                                   bool tailed = true);
+
+/**
+ * The ACS inner step exposed for the tile-kernel validation and the
+ * bus-traffic model: one trellis stage of path-metric update.
+ *
+ * @param metrics   64 path metrics in, updated in place
+ * @param survivors 64 survivor bits out (predecessor LSB choice)
+ * @param r0,r1     the received code bits for this stage
+ */
+void viterbiAcsStage(std::vector<uint32_t> &metrics,
+                     std::vector<uint8_t> &survivors, unsigned r0,
+                     unsigned r1);
+
+/**
+ * Bus transfers one ACS stage needs when the 64 states are spread
+ * over @p tiles tiles: each state's two predecessors (s>>1 and
+ * (s>>1)+32) may live on other tiles; returns the count of
+ * cross-tile metric words per stage for a block state partition.
+ * This is the analytic communication kernel behind Figure 8.
+ */
+unsigned acsCrossTileWords(unsigned tiles);
+
+} // namespace synchro::dsp
+
+#endif // SYNC_DSP_VITERBI_HH

@@ -1,0 +1,424 @@
+#include "isa/assembler.hh"
+
+#include <optional>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "isa/encoding.hh"
+
+namespace synchro::isa
+{
+
+std::vector<uint32_t>
+Program::words() const
+{
+    std::vector<uint32_t> out;
+    out.reserve(insts.size());
+    for (const auto &i : insts)
+        out.push_back(encode(i));
+    return out;
+}
+
+uint32_t
+Program::label(const std::string &name) const
+{
+    auto it = labels.find(name);
+    if (it == labels.end())
+        fatal("undefined label '%s'", name.c_str());
+    return it->second;
+}
+
+namespace
+{
+
+/** One source line reduced to mnemonic + raw operand strings. */
+struct RawInst
+{
+    int line;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    size_t pos = line.size();
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == ';' || c == '#') {
+            pos = i;
+            break;
+        }
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            pos = i;
+            break;
+        }
+    }
+    return line.substr(0, pos);
+}
+
+/** Split operand text on commas that are not inside brackets. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+class Assembler
+{
+  public:
+    Program
+    run(const std::string &source)
+    {
+        firstPass(source);
+        secondPass();
+        return std::move(prog_);
+    }
+
+  private:
+    Program prog_;
+    std::vector<RawInst> raw_;
+    std::map<std::string, int64_t> equs_;
+
+    [[noreturn]] void
+    err(int line, const std::string &msg)
+    {
+        fatal("asm line %d: %s", line, msg.c_str());
+    }
+
+    static bool
+    validSymbol(const std::string &s)
+    {
+        if (s.empty())
+            return false;
+        if (!std::isalpha(static_cast<unsigned char>(s[0])) &&
+            s[0] != '_' && s[0] != '.') {
+            return false;
+        }
+        for (char c : s) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '_' && c != '.') {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void
+    firstPass(const std::string &source)
+    {
+        int line_no = 0;
+        for (auto &line : split(source, '\n')) {
+            ++line_no;
+            std::string text = trim(stripComment(line));
+
+            // Labels (possibly several, possibly inline with an insn).
+            while (true) {
+                size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string name = trim(text.substr(0, colon));
+                // A ':' inside an operand never appears in SyncBF, so
+                // any colon delimits a label.
+                if (!validSymbol(name))
+                    err(line_no, "bad label '" + name + "'");
+                if (prog_.labels.count(name))
+                    err(line_no, "duplicate label '" + name + "'");
+                prog_.labels[name] = uint32_t(raw_.size());
+                text = trim(text.substr(colon + 1));
+            }
+            if (text.empty())
+                continue;
+
+            // Directives.
+            if (startsWith(text, ".equ")) {
+                auto parts = splitOperands(trim(text.substr(4)));
+                if (parts.size() != 2)
+                    err(line_no, ".equ needs NAME, value");
+                int64_t value;
+                if (!parseInt(parts[1], value))
+                    err(line_no, "bad .equ value '" + parts[1] + "'");
+                if (!validSymbol(parts[0]))
+                    err(line_no, "bad .equ name '" + parts[0] + "'");
+                equs_[parts[0]] = value;
+                continue;
+            }
+            if (text[0] == '.')
+                err(line_no, "unknown directive '" + text + "'");
+
+            // Instruction: mnemonic then comma-separated operands.
+            size_t sp = text.find_first_of(" \t");
+            RawInst ri;
+            ri.line = line_no;
+            ri.mnemonic = toLower(text.substr(0, sp));
+            if (sp != std::string::npos)
+                ri.operands = splitOperands(trim(text.substr(sp)));
+            raw_.push_back(std::move(ri));
+        }
+    }
+
+    Opcode
+    lookupOpcode(const RawInst &ri)
+    {
+        for (unsigned o = 0; o < unsigned(Opcode::NumOpcodes); ++o) {
+            if (ri.mnemonic == opInfo(Opcode(o)).mnemonic)
+                return Opcode(o);
+        }
+        err(ri.line, "unknown mnemonic '" + ri.mnemonic + "'");
+    }
+
+    unsigned
+    parseReg(const RawInst &ri, const std::string &tok, char kind,
+             unsigned limit)
+    {
+        std::string t = toLower(trim(tok));
+        if (t.size() < 2 || t[0] != kind)
+            err(ri.line, "expected register '" + std::string(1, kind) +
+                             "N', got '" + tok + "'");
+        int64_t n;
+        if (!parseInt(t.substr(1), n) || n < 0 || n >= int64_t(limit))
+            err(ri.line, "bad register '" + tok + "'");
+        return unsigned(n);
+    }
+
+    int64_t
+    parseImmediate(const RawInst &ri, const std::string &tok)
+    {
+        int64_t v;
+        if (parseInt(tok, v))
+            return v;
+        auto eq = equs_.find(tok);
+        if (eq != equs_.end())
+            return eq->second;
+        auto lb = prog_.labels.find(tok);
+        if (lb != prog_.labels.end())
+            return lb->second;
+        err(ri.line, "bad immediate or undefined symbol '" + tok + "'");
+    }
+
+    HalfSel
+    parseHsel(const RawInst &ri, const std::string &tok)
+    {
+        std::string t = toLower(trim(tok));
+        if (t == "ll")
+            return HalfSel::LL;
+        if (t == "lh")
+            return HalfSel::LH;
+        if (t == "hl")
+            return HalfSel::HL;
+        if (t == "hh")
+            return HalfSel::HH;
+        err(ri.line, "bad half selector '" + tok + "' (ll/lh/hl/hh)");
+    }
+
+    /** Parse "[pN+off]", "[pN]", "[pN]+off", "[pN]++", "[pN]--". */
+    void
+    parseMem(const RawInst &ri, const std::string &tok, unsigned &p,
+             MemMode &mode, int32_t &imm, unsigned access_size)
+    {
+        std::string t = trim(tok);
+        if (t.empty() || t[0] != '[')
+            err(ri.line, "expected memory operand, got '" + tok + "'");
+        size_t close = t.find(']');
+        if (close == std::string::npos)
+            err(ri.line, "missing ']' in '" + tok + "'");
+        std::string inside = trim(t.substr(1, close - 1));
+        std::string after = trim(t.substr(close + 1));
+
+        // Inside: pN or pN+off or pN-off.
+        size_t op_pos = inside.find_first_of("+-", 1);
+        std::string preg = op_pos == std::string::npos
+                               ? inside
+                               : trim(inside.substr(0, op_pos));
+        p = parseReg(ri, preg, 'p', NumPtrRegs);
+
+        if (op_pos != std::string::npos) {
+            if (!after.empty())
+                err(ri.line, "offset and post-modify both given");
+            mode = MemMode::Offset;
+            imm = int32_t(parseImmediate(ri, inside.substr(op_pos)));
+            return;
+        }
+        if (after.empty()) {
+            mode = MemMode::Offset;
+            imm = 0;
+            return;
+        }
+        mode = MemMode::PostMod;
+        if (after == "++") {
+            imm = int32_t(access_size);
+        } else if (after == "--") {
+            imm = -int32_t(access_size);
+        } else if (after[0] == '+' || after[0] == '-') {
+            imm = int32_t(parseImmediate(ri, after));
+        } else {
+            err(ri.line, "bad post-modify '" + after + "'");
+        }
+    }
+
+    static unsigned
+    accessSize(Opcode op)
+    {
+        switch (op) {
+          case Opcode::LDW:
+          case Opcode::STW:
+            return 4;
+          case Opcode::LDH:
+          case Opcode::LDHU:
+          case Opcode::STH:
+            return 2;
+          default:
+            return 1;
+        }
+    }
+
+    void
+    need(const RawInst &ri, size_t n)
+    {
+        if (ri.operands.size() != n) {
+            err(ri.line,
+                strprintf("'%s' expects %zu operands, got %zu",
+                          ri.mnemonic.c_str(), n, ri.operands.size()));
+        }
+    }
+
+    void
+    secondPass()
+    {
+        for (const auto &ri : raw_) {
+            Opcode op = lookupOpcode(ri);
+            Inst inst;
+            inst.op = op;
+            const auto &ops = ri.operands;
+
+            switch (opInfo(op).format) {
+              case Format::F0:
+                need(ri, 0);
+                break;
+              case Format::F3R:
+                need(ri, 3);
+                inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                inst.rs1 = parseReg(ri, ops[1], 'r', NumDataRegs);
+                inst.rs2 = parseReg(ri, ops[2], 'r', NumDataRegs);
+                break;
+              case Format::F2R:
+                need(ri, 2);
+                if (op == Opcode::MOVP) {
+                    inst.rd = parseReg(ri, ops[0], 'p', NumPtrRegs);
+                    inst.rs1 = parseReg(ri, ops[1], 'r', NumDataRegs);
+                } else if (op == Opcode::MOVRP) {
+                    inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                    inst.rs1 = parseReg(ri, ops[1], 'p', NumPtrRegs);
+                } else {
+                    inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                    inst.rs1 = parseReg(ri, ops[1], 'r', NumDataRegs);
+                }
+                break;
+              case Format::F1R:
+                need(ri, 1);
+                inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                break;
+              case Format::FRI: {
+                need(ri, 2);
+                char kind = (op == Opcode::MOVPI || op == Opcode::PADDI)
+                                ? 'p'
+                                : 'r';
+                unsigned limit =
+                    kind == 'p' ? NumPtrRegs : NumDataRegs;
+                inst.rd = parseReg(ri, ops[0], kind, limit);
+                inst.imm = int32_t(parseImmediate(ri, ops[1]));
+                break;
+              }
+              case Format::FSHI:
+                need(ri, 3);
+                inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                inst.rs1 = parseReg(ri, ops[1], 'r', NumDataRegs);
+                inst.imm = int32_t(parseImmediate(ri, ops[2]));
+                break;
+              case Format::FMAC:
+                if (ops.size() != 3 && ops.size() != 4)
+                    err(ri.line, "'" + ri.mnemonic +
+                                     "' expects acc, rs1, rs2 [, hsel]");
+                inst.acc = parseReg(ri, ops[0], 'a', NumAccums);
+                inst.rs1 = parseReg(ri, ops[1], 'r', NumDataRegs);
+                inst.rs2 = parseReg(ri, ops[2], 'r', NumDataRegs);
+                inst.hsel = ops.size() == 4 ? parseHsel(ri, ops[3])
+                                            : HalfSel::LL;
+                break;
+              case Format::FACC:
+                need(ri, 1);
+                inst.acc = parseReg(ri, ops[0], 'a', NumAccums);
+                break;
+              case Format::FAEXT:
+                need(ri, 3);
+                inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                inst.acc = parseReg(ri, ops[1], 'a', NumAccums);
+                inst.imm = int32_t(parseImmediate(ri, ops[2]));
+                break;
+              case Format::FMEM: {
+                need(ri, 2);
+                unsigned p;
+                MemMode mode;
+                int32_t imm;
+                inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                parseMem(ri, ops[1], p, mode, imm, accessSize(op));
+                inst.rs1 = uint8_t(p);
+                inst.mode = mode;
+                inst.imm = imm;
+                break;
+              }
+              case Format::FJ:
+                need(ri, 1);
+                inst.imm = int32_t(parseImmediate(ri, ops[0]));
+                break;
+              case Format::FLOOP: {
+                need(ri, 3);
+                std::string lt = toLower(trim(ops[0]));
+                if (lt != "lc0" && lt != "lc1")
+                    err(ri.line, "lsetup counter must be lc0 or lc1");
+                inst.lc = lt == "lc1" ? 1 : 0;
+                inst.end = uint16_t(parseImmediate(ri, ops[1]));
+                inst.imm = int32_t(parseImmediate(ri, ops[2]));
+                break;
+              }
+            }
+
+            // Range-check now so errors carry line numbers.
+            try {
+                validate(inst);
+            } catch (const FatalError &e) {
+                err(ri.line, e.what());
+            }
+            prog_.insts.push_back(inst);
+        }
+    }
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Assembler as;
+    return as.run(source);
+}
+
+} // namespace synchro::isa

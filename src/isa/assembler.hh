@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-pass assembler for SyncBF assembly.
+ *
+ * Syntax (one instruction per line):
+ *
+ *   ; comment          # comment          // comment
+ *   label:             (alone or prefixing an instruction)
+ *   .equ NAME, 42      (symbolic constant)
+ *
+ *   add  r0, r1, r2
+ *   movi r0, -1234         movih r0, 0xbeef
+ *   mac  a0, r1, r2, ll    ; a0 += r1.l * r2.l (hsel defaults to ll)
+ *   aext r0, a0, 15
+ *   ld.w r0, [p0+4]        ; offset addressing, p0 unchanged
+ *   ld.w r0, [p0]+4        ; post-modify: p0 += 4 after access
+ *   st.h r1, [p2]++        ; post-modify by access size (2 bytes)
+ *   ld.b r3, [p1]--        ; post-modify by -1 byte
+ *   lsetup lc0, end_lbl, 21  ; body = next insn .. end_lbl-1, 21 times
+ *   jcc  target            jump target
+ *   cwr  r7                crd r0
+ *
+ * Immediate operands accept decimal, 0x hex, 0b binary, .equ names,
+ * and labels (which resolve to instruction indices).
+ */
+
+#ifndef SYNC_ISA_ASSEMBLER_HH
+#define SYNC_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace synchro::isa
+{
+
+/** An assembled program: decoded instructions plus the symbol table. */
+struct Program
+{
+    std::vector<Inst> insts;
+    std::map<std::string, uint32_t> labels;
+
+    /** Encoded 32-bit words (what would be loaded into insn SRAM). */
+    std::vector<uint32_t> words() const;
+
+    size_t size() const { return insts.size(); }
+
+    /** Address of a label; fatal() if undefined. */
+    uint32_t label(const std::string &name) const;
+};
+
+/**
+ * Assemble source text. Errors (unknown mnemonics, bad operands,
+ * undefined labels, range violations) raise fatal() with the offending
+ * line number.
+ */
+Program assemble(const std::string &source);
+
+} // namespace synchro::isa
+
+#endif // SYNC_ISA_ASSEMBLER_HH

@@ -1,0 +1,78 @@
+#include "isa/disasm.hh"
+
+#include "common/log.hh"
+
+namespace synchro::isa
+{
+
+namespace
+{
+
+const char *
+hselName(HalfSel h)
+{
+    switch (h) {
+      case HalfSel::LL:
+        return "ll";
+      case HalfSel::LH:
+        return "lh";
+      case HalfSel::HL:
+        return "hl";
+      case HalfSel::HH:
+        return "hh";
+    }
+    return "??";
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &i)
+{
+    const char *m = mnemonic(i.op);
+    switch (opInfo(i.op).format) {
+      case Format::F0:
+        return m;
+      case Format::F3R:
+        return strprintf("%s r%u, r%u, r%u", m, i.rd, i.rs1, i.rs2);
+      case Format::F2R:
+        if (i.op == Opcode::MOVP)
+            return strprintf("%s p%u, r%u", m, i.rd, i.rs1);
+        if (i.op == Opcode::MOVRP)
+            return strprintf("%s r%u, p%u", m, i.rd, i.rs1);
+        return strprintf("%s r%u, r%u", m, i.rd, i.rs1);
+      case Format::F1R:
+        return strprintf("%s r%u", m, i.rd);
+      case Format::FRI:
+        if (i.op == Opcode::MOVPI || i.op == Opcode::PADDI)
+            return strprintf("%s p%u, %d", m, i.rd, i.imm);
+        return strprintf("%s r%u, %d", m, i.rd, i.imm);
+      case Format::FSHI:
+        return strprintf("%s r%u, r%u, %d", m, i.rd, i.rs1, i.imm);
+      case Format::FMAC:
+        if (i.op == Opcode::SAA)
+            return strprintf("%s a%u, r%u, r%u", m, i.acc, i.rs1,
+                             i.rs2);
+        return strprintf("%s a%u, r%u, r%u, %s", m, i.acc, i.rs1,
+                         i.rs2, hselName(i.hsel));
+      case Format::FACC:
+        return strprintf("%s a%u", m, i.acc);
+      case Format::FAEXT:
+        return strprintf("%s r%u, a%u, %d", m, i.rd, i.acc, i.imm);
+      case Format::FMEM:
+        if (i.mode == MemMode::Offset) {
+            if (i.imm == 0)
+                return strprintf("%s r%u, [p%u]", m, i.rd, i.rs1);
+            return strprintf("%s r%u, [p%u%+d]", m, i.rd, i.rs1,
+                             i.imm);
+        }
+        return strprintf("%s r%u, [p%u]%+d", m, i.rd, i.rs1, i.imm);
+      case Format::FJ:
+        return strprintf("%s %d", m, i.imm);
+      case Format::FLOOP:
+        return strprintf("%s lc%u, %u, %d", m, i.lc, i.end, i.imm);
+    }
+    panic("unhandled format in disassemble");
+}
+
+} // namespace synchro::isa

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions back into assembler
+ * syntax (asm -> encode -> decode -> disasm -> asm round-trips).
+ */
+
+#ifndef SYNC_ISA_DISASM_HH
+#define SYNC_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace synchro::isa
+{
+
+/** One instruction in assembler syntax (no label resolution). */
+std::string disassemble(const Inst &inst);
+
+} // namespace synchro::isa
+
+#endif // SYNC_ISA_DISASM_HH

@@ -1,0 +1,250 @@
+#include "isa/encoding.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace synchro::isa
+{
+
+namespace
+{
+
+bool
+isPtrOpDest(Opcode op)
+{
+    return op == Opcode::MOVPI || op == Opcode::MOVP ||
+           op == Opcode::PADDI;
+}
+
+bool
+signedImm16(Opcode op)
+{
+    return op == Opcode::MOVI || op == Opcode::ADDI ||
+           op == Opcode::PADDI;
+}
+
+void
+checkReg(unsigned r, unsigned limit, const char *what, Opcode op)
+{
+    if (r >= limit) {
+        fatal("%s: %s index %u out of range (max %u)",
+              mnemonic(op), what, r, limit - 1);
+    }
+}
+
+} // namespace
+
+void
+validate(const Inst &i)
+{
+    const OpInfo &info = opInfo(i.op);
+    switch (info.format) {
+      case Format::F0:
+        break;
+      case Format::F3R:
+        checkReg(i.rd, NumDataRegs, "rd", i.op);
+        checkReg(i.rs1, NumDataRegs, "rs1", i.op);
+        checkReg(i.rs2, NumDataRegs, "rs2", i.op);
+        break;
+      case Format::F2R:
+        if (i.op == Opcode::MOVP) {
+            checkReg(i.rd, NumPtrRegs, "pd", i.op);
+            checkReg(i.rs1, NumDataRegs, "rs", i.op);
+        } else if (i.op == Opcode::MOVRP) {
+            checkReg(i.rd, NumDataRegs, "rd", i.op);
+            checkReg(i.rs1, NumPtrRegs, "ps", i.op);
+        } else {
+            checkReg(i.rd, NumDataRegs, "rd", i.op);
+            checkReg(i.rs1, NumDataRegs, "rs", i.op);
+        }
+        break;
+      case Format::F1R:
+        checkReg(i.rd, NumDataRegs, "reg", i.op);
+        break;
+      case Format::FRI:
+        if (isPtrOpDest(i.op))
+            checkReg(i.rd, NumPtrRegs, "pd", i.op);
+        else
+            checkReg(i.rd, NumDataRegs, "rd", i.op);
+        if (signedImm16(i.op)) {
+            if (i.imm < -32768 || i.imm > 32767)
+                fatal("%s: imm16 %d out of signed range",
+                      mnemonic(i.op), i.imm);
+        } else {
+            if (i.imm < 0 || i.imm > 0xffff)
+                fatal("%s: imm16 %d out of unsigned range",
+                      mnemonic(i.op), i.imm);
+        }
+        break;
+      case Format::FSHI:
+        checkReg(i.rd, NumDataRegs, "rd", i.op);
+        checkReg(i.rs1, NumDataRegs, "rs", i.op);
+        if (i.imm < 0 || i.imm > 31)
+            fatal("%s: shift %d out of range 0..31", mnemonic(i.op),
+                  i.imm);
+        break;
+      case Format::FMAC:
+        checkReg(i.acc, NumAccums, "acc", i.op);
+        checkReg(i.rs1, NumDataRegs, "rs1", i.op);
+        checkReg(i.rs2, NumDataRegs, "rs2", i.op);
+        break;
+      case Format::FACC:
+        checkReg(i.acc, NumAccums, "acc", i.op);
+        break;
+      case Format::FAEXT:
+        checkReg(i.rd, NumDataRegs, "rd", i.op);
+        checkReg(i.acc, NumAccums, "acc", i.op);
+        if (i.imm < 0 || i.imm > 31)
+            fatal("aext: shift %d out of range 0..31", i.imm);
+        break;
+      case Format::FMEM:
+        checkReg(i.rd, NumDataRegs, "reg", i.op);
+        checkReg(i.rs1, NumPtrRegs, "p", i.op);
+        if (i.imm < -512 || i.imm > 511)
+            fatal("%s: offset %d out of range -512..511",
+                  mnemonic(i.op), i.imm);
+        break;
+      case Format::FJ:
+        if (i.imm < 0 || i.imm > 0xffff)
+            fatal("%s: target %d out of range", mnemonic(i.op), i.imm);
+        break;
+      case Format::FLOOP:
+        checkReg(i.lc, 2, "lc", i.op);
+        if (i.end > 2047)
+            fatal("lsetup: end address %u out of range", i.end);
+        if (i.imm < 1 || i.imm > 4095)
+            fatal("lsetup: count %d out of range 1..4095", i.imm);
+        break;
+    }
+}
+
+uint32_t
+encode(const Inst &i)
+{
+    validate(i);
+    uint32_t w = uint32_t(i.op) << 24;
+    switch (opInfo(i.op).format) {
+      case Format::F0:
+        break;
+      case Format::F3R:
+        w = insertBits(w, 23, 20, i.rd);
+        w = insertBits(w, 19, 16, i.rs1);
+        w = insertBits(w, 15, 12, i.rs2);
+        break;
+      case Format::F2R:
+        w = insertBits(w, 23, 20, i.rd);
+        w = insertBits(w, 19, 16, i.rs1);
+        break;
+      case Format::F1R:
+        w = insertBits(w, 23, 20, i.rd);
+        break;
+      case Format::FRI:
+        w = insertBits(w, 23, 20, i.rd);
+        w = insertBits(w, 15, 0, uint32_t(i.imm) & 0xffff);
+        break;
+      case Format::FSHI:
+        w = insertBits(w, 23, 20, i.rd);
+        w = insertBits(w, 19, 16, i.rs1);
+        w = insertBits(w, 4, 0, uint32_t(i.imm));
+        break;
+      case Format::FMAC:
+        w = insertBits(w, 23, 23, i.acc);
+        w = insertBits(w, 22, 21, uint32_t(i.hsel));
+        w = insertBits(w, 19, 16, i.rs1);
+        w = insertBits(w, 15, 12, i.rs2);
+        break;
+      case Format::FACC:
+        w = insertBits(w, 23, 23, i.acc);
+        break;
+      case Format::FAEXT:
+        w = insertBits(w, 23, 20, i.rd);
+        w = insertBits(w, 16, 16, i.acc);
+        w = insertBits(w, 4, 0, uint32_t(i.imm));
+        break;
+      case Format::FMEM:
+        w = insertBits(w, 23, 20, i.rd);
+        w = insertBits(w, 19, 16, i.rs1);
+        w = insertBits(w, 15, 15, uint32_t(i.mode));
+        w = insertBits(w, 9, 0, uint32_t(i.imm) & 0x3ff);
+        break;
+      case Format::FJ:
+        w = insertBits(w, 15, 0, uint32_t(i.imm));
+        break;
+      case Format::FLOOP:
+        w = insertBits(w, 23, 23, i.lc);
+        w = insertBits(w, 22, 12, i.end);
+        w = insertBits(w, 11, 0, uint32_t(i.imm));
+        break;
+    }
+    return w;
+}
+
+Inst
+decode(uint32_t w)
+{
+    unsigned opbyte = unsigned(bits(w, 31, 24));
+    if (opbyte >= unsigned(Opcode::NumOpcodes))
+        fatal("decode: unknown opcode byte 0x%02x", opbyte);
+
+    Inst i;
+    i.op = Opcode(opbyte);
+    switch (opInfo(i.op).format) {
+      case Format::F0:
+        break;
+      case Format::F3R:
+        i.rd = uint8_t(bits(w, 23, 20));
+        i.rs1 = uint8_t(bits(w, 19, 16));
+        i.rs2 = uint8_t(bits(w, 15, 12));
+        break;
+      case Format::F2R:
+        i.rd = uint8_t(bits(w, 23, 20));
+        i.rs1 = uint8_t(bits(w, 19, 16));
+        break;
+      case Format::F1R:
+        i.rd = uint8_t(bits(w, 23, 20));
+        break;
+      case Format::FRI:
+        i.rd = uint8_t(bits(w, 23, 20));
+        if (signedImm16(i.op))
+            i.imm = int32_t(sext(bits(w, 15, 0), 16));
+        else
+            i.imm = int32_t(bits(w, 15, 0));
+        break;
+      case Format::FSHI:
+        i.rd = uint8_t(bits(w, 23, 20));
+        i.rs1 = uint8_t(bits(w, 19, 16));
+        i.imm = int32_t(bits(w, 4, 0));
+        break;
+      case Format::FMAC:
+        i.acc = uint8_t(bits(w, 23));
+        i.hsel = HalfSel(bits(w, 22, 21));
+        i.rs1 = uint8_t(bits(w, 19, 16));
+        i.rs2 = uint8_t(bits(w, 15, 12));
+        break;
+      case Format::FACC:
+        i.acc = uint8_t(bits(w, 23));
+        break;
+      case Format::FAEXT:
+        i.rd = uint8_t(bits(w, 23, 20));
+        i.acc = uint8_t(bits(w, 16));
+        i.imm = int32_t(bits(w, 4, 0));
+        break;
+      case Format::FMEM:
+        i.rd = uint8_t(bits(w, 23, 20));
+        i.rs1 = uint8_t(bits(w, 19, 16));
+        i.mode = MemMode(bits(w, 15));
+        i.imm = int32_t(sext(bits(w, 9, 0), 10));
+        break;
+      case Format::FJ:
+        i.imm = int32_t(bits(w, 15, 0));
+        break;
+      case Format::FLOOP:
+        i.lc = uint8_t(bits(w, 23));
+        i.end = uint16_t(bits(w, 22, 12));
+        i.imm = int32_t(bits(w, 11, 0));
+        break;
+    }
+    return i;
+}
+
+} // namespace synchro::isa

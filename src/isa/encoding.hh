@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary encoding of SyncBF instructions.
+ *
+ * All instructions are 32 bits. Bits [31:24] hold the opcode; operand
+ * fields depend on the format:
+ *
+ *   F3R   : rd[23:20] rs1[19:16] rs2[15:12]
+ *   F2R   : rd[23:20] rs1[19:16]
+ *   F1R   : rd[23:20]
+ *   FRI   : rd[23:20] imm16[15:0]
+ *   FSHI  : rd[23:20] rs1[19:16] imm5[4:0]
+ *   FMAC  : acc[23]   hsel[22:21] rs1[19:16] rs2[15:12]
+ *   FACC  : acc[23]
+ *   FAEXT : rd[23:20] acc[16]    imm5[4:0]
+ *   FMEM  : rd[23:20] p[19:16]   mode[15] imm10[9:0] (signed bytes)
+ *   FJ    : imm16[15:0] (absolute instruction index)
+ *   FLOOP : lc[23] end11[22:12] count12[11:0]
+ *
+ * Immediates in MOVI/ADDI/PADDI and FMEM offsets are signed;
+ * MOVIH/MOVPI immediates, jump targets and loop fields are unsigned.
+ */
+
+#ifndef SYNC_ISA_ENCODING_HH
+#define SYNC_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace synchro::isa
+{
+
+/** Encode a decoded instruction; fatal() on out-of-range operands. */
+uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit word; fatal() on an unknown opcode byte. */
+Inst decode(uint32_t word);
+
+/** Operand range checks shared by encode() and the assembler. */
+void validate(const Inst &inst);
+
+} // namespace synchro::isa
+
+#endif // SYNC_ISA_ENCODING_HH

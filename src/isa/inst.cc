@@ -1,0 +1,337 @@
+#include "isa/inst.hh"
+
+#include "common/log.hh"
+
+namespace synchro::isa
+{
+
+namespace
+{
+
+// Indexed by Opcode value; order must match the enum.
+const OpInfo op_table[] = {
+    {"nop",    Format::F0,    true,  false, false}, // NOP
+    {"halt",   Format::F0,    true,  false, false}, // HALT
+
+    {"add",    Format::F3R,   false, false, false},
+    {"sub",    Format::F3R,   false, false, false},
+    {"and",    Format::F3R,   false, false, false},
+    {"or",     Format::F3R,   false, false, false},
+    {"xor",    Format::F3R,   false, false, false},
+    {"min",    Format::F3R,   false, false, false},
+    {"max",    Format::F3R,   false, false, false},
+    {"lsl",    Format::F3R,   false, false, false},
+    {"lsr",    Format::F3R,   false, false, false},
+    {"asr",    Format::F3R,   false, false, false},
+    {"mul",    Format::F3R,   false, false, false},
+    {"sel",    Format::F3R,   false, false, false},
+
+    {"neg",    Format::F2R,   false, false, false},
+    {"not",    Format::F2R,   false, false, false},
+    {"abs",    Format::F2R,   false, false, false},
+    {"mov",    Format::F2R,   false, false, false},
+
+    {"addi",   Format::FRI,   false, false, false},
+    {"lsli",   Format::FSHI,  false, false, false},
+    {"lsri",   Format::FSHI,  false, false, false},
+    {"asri",   Format::FSHI,  false, false, false},
+
+    {"add16",  Format::F3R,   false, false, false},
+    {"sub16",  Format::F3R,   false, false, false},
+
+    {"mac",    Format::FMAC,  false, false, false},
+    {"msu",    Format::FMAC,  false, false, false},
+    {"saa",    Format::FMAC,  false, false, false},
+    {"aclr",   Format::FACC,  false, false, false},
+    {"aext",   Format::FAEXT, false, false, false},
+
+    {"movi",   Format::FRI,   false, false, false},
+    {"movih",  Format::FRI,   false, false, false},
+    {"movpi",  Format::FRI,   false, false, false},
+    {"movp",   Format::F2R,   false, false, false},
+    {"movrp",  Format::F2R,   false, false, false},
+    {"paddi",  Format::FRI,   false, false, false},
+    {"tid",    Format::F1R,   false, false, false},
+
+    {"ld.w",   Format::FMEM,  false, true,  false},
+    {"ld.h",   Format::FMEM,  false, true,  false},
+    {"ld.hu",  Format::FMEM,  false, true,  false},
+    {"ld.b",   Format::FMEM,  false, true,  false},
+    {"ld.bu",  Format::FMEM,  false, true,  false},
+    {"st.w",   Format::FMEM,  false, false, true},
+    {"st.h",   Format::FMEM,  false, false, true},
+    {"st.b",   Format::FMEM,  false, false, true},
+
+    {"cmpeq",  Format::F2R,   false, false, false},
+    {"cmplt",  Format::F2R,   false, false, false},
+    {"cmple",  Format::F2R,   false, false, false},
+    {"cmpltu", Format::F2R,   false, false, false},
+
+    {"jump",   Format::FJ,    true,  false, false},
+    {"jcc",    Format::FJ,    true,  false, false},
+    {"jncc",   Format::FJ,    true,  false, false},
+    {"lsetup", Format::FLOOP, true,  false, false},
+
+    {"cwr",    Format::F1R,   false, false, false},
+    {"crd",    Format::F1R,   false, false, false},
+};
+
+static_assert(sizeof(op_table) / sizeof(op_table[0]) ==
+                  size_t(Opcode::NumOpcodes),
+              "op_table out of sync with Opcode enum");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    sync_assert(op < Opcode::NumOpcodes, "bad opcode %u", unsigned(op));
+    return op_table[size_t(op)];
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+namespace build
+{
+
+Inst
+nop()
+{
+    return Inst{};
+}
+
+Inst
+halt()
+{
+    Inst i;
+    i.op = Opcode::HALT;
+    return i;
+}
+
+Inst
+alu3(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Inst
+alu2(Opcode op, unsigned rd, unsigned rs)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs;
+    return i;
+}
+
+Inst
+aluImm(Opcode op, unsigned rd, int32_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+Inst
+shiftImm(Opcode op, unsigned rd, unsigned rs, unsigned imm5)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs;
+    i.imm = int32_t(imm5);
+    return i;
+}
+
+Inst
+mac(Opcode op, unsigned acc, unsigned rs1, unsigned rs2, HalfSel h)
+{
+    Inst i;
+    i.op = op;
+    i.acc = acc;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.hsel = h;
+    return i;
+}
+
+Inst
+saa(unsigned acc, unsigned rs1, unsigned rs2)
+{
+    Inst i;
+    i.op = Opcode::SAA;
+    i.acc = acc;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Inst
+aclr(unsigned acc)
+{
+    Inst i;
+    i.op = Opcode::ACLR;
+    i.acc = acc;
+    return i;
+}
+
+Inst
+aext(unsigned rd, unsigned acc, unsigned shift)
+{
+    Inst i;
+    i.op = Opcode::AEXT;
+    i.rd = rd;
+    i.acc = acc;
+    i.imm = int32_t(shift);
+    return i;
+}
+
+Inst
+movi(unsigned rd, int32_t imm16)
+{
+    return aluImm(Opcode::MOVI, rd, imm16);
+}
+
+Inst
+movih(unsigned rd, uint16_t imm16)
+{
+    return aluImm(Opcode::MOVIH, rd, int32_t(imm16));
+}
+
+Inst
+movpi(unsigned pd, uint16_t imm16)
+{
+    return aluImm(Opcode::MOVPI, pd, int32_t(imm16));
+}
+
+Inst
+movp(unsigned pd, unsigned rs)
+{
+    return alu2(Opcode::MOVP, pd, rs);
+}
+
+Inst
+movrp(unsigned rd, unsigned ps)
+{
+    return alu2(Opcode::MOVRP, rd, ps);
+}
+
+Inst
+paddi(unsigned pd, int32_t imm16)
+{
+    return aluImm(Opcode::PADDI, pd, imm16);
+}
+
+Inst
+tid(unsigned rd)
+{
+    Inst i;
+    i.op = Opcode::TID;
+    i.rd = rd;
+    return i;
+}
+
+Inst
+load(Opcode op, unsigned rd, unsigned p, MemMode m, int32_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = p;
+    i.mode = m;
+    i.imm = imm;
+    return i;
+}
+
+Inst
+store(Opcode op, unsigned rs, unsigned p, MemMode m, int32_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rs; // stored value travels in the rd field
+    i.rs1 = p;
+    i.mode = m;
+    i.imm = imm;
+    return i;
+}
+
+Inst
+cmp(Opcode op, unsigned rs1, unsigned rs2)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rs1; // compares reuse F2R: rd = lhs, rs1 = rhs
+    i.rs1 = rs2;
+    return i;
+}
+
+Inst
+jump(uint16_t target)
+{
+    Inst i;
+    i.op = Opcode::JUMP;
+    i.imm = target;
+    return i;
+}
+
+Inst
+jcc(uint16_t target)
+{
+    Inst i;
+    i.op = Opcode::JCC;
+    i.imm = target;
+    return i;
+}
+
+Inst
+jncc(uint16_t target)
+{
+    Inst i;
+    i.op = Opcode::JNCC;
+    i.imm = target;
+    return i;
+}
+
+Inst
+lsetup(unsigned lc, uint16_t end, uint16_t count)
+{
+    Inst i;
+    i.op = Opcode::LSETUP;
+    i.lc = lc;
+    i.end = end;
+    i.imm = count;
+    return i;
+}
+
+Inst
+cwr(unsigned rs)
+{
+    Inst i;
+    i.op = Opcode::CWR;
+    i.rd = rs;
+    return i;
+}
+
+Inst
+crd(unsigned rd)
+{
+    Inst i;
+    i.op = Opcode::CRD;
+    i.rd = rd;
+    return i;
+}
+
+} // namespace build
+
+} // namespace synchro::isa

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * SyncBF: the Blackfin-inspired instruction set of a Synchroscalar
+ * tile (paper Section 2.3: "Synchroscalar Tiles are based on the
+ * ADI/Intel Blackfin DSP ISA, but with control provided by the SIMD
+ * controller instead of in each tile").
+ *
+ * Architectural state per tile:
+ *  - R0..R7   32-bit data registers; R7 is the designated
+ *             communication register
+ *  - P0..P5   32-bit pointer registers into the 32 KB local SRAM
+ *  - A0, A1   40-bit accumulators
+ *  - CC       one condition flag (read by the SIMD controller)
+ *
+ * Control-flow instructions (JUMP/JCC/JNCC/LSETUP/HALT) execute on the
+ * column's SIMD controller; everything else is broadcast to the tiles.
+ * All instructions are 32 bits wide.
+ */
+
+#ifndef SYNC_ISA_INST_HH
+#define SYNC_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace synchro::isa
+{
+
+constexpr unsigned NumDataRegs = 8;
+constexpr unsigned NumPtrRegs = 6;
+constexpr unsigned NumAccums = 2;
+constexpr unsigned CommReg = 7; //!< R7 (paper Figure 2)
+
+/** Halfword pair selector for MAC/MSU: which 16-bit halves multiply. */
+enum class HalfSel : uint8_t
+{
+    LL = 0, //!< rs1.lo x rs2.lo
+    LH = 1, //!< rs1.lo x rs2.hi
+    HL = 2, //!< rs1.hi x rs2.lo
+    HH = 3, //!< rs1.hi x rs2.hi
+};
+
+/** Memory addressing mode. */
+enum class MemMode : uint8_t
+{
+    Offset = 0,  //!< effective = P + imm; P unchanged
+    PostMod = 1, //!< effective = P; then P += imm
+};
+
+enum class Opcode : uint8_t
+{
+    // Controller / no-operand
+    NOP = 0,
+    HALT,
+
+    // Three-register ALU
+    ADD, SUB, AND_, OR_, XOR_, MIN, MAX, LSL, LSR, ASR, MUL, SEL,
+
+    // Two-register ALU
+    NEG, NOT_, ABS, MOV,
+
+    // Register-immediate ALU
+    ADDI, LSLI, LSRI, ASRI,
+
+    // Dual-16-bit (video ALU) operations
+    ADD16, SUB16,
+
+    // Accumulator / MAC group
+    MAC,  //!< acc += half(rs1) * half(rs2) (40-bit saturating)
+    MSU,  //!< acc -= half(rs1) * half(rs2)
+    SAA,  //!< acc += sum over 4 bytes |rs1.b[i] - rs2.b[i]|
+    ACLR, //!< acc = 0
+    AEXT, //!< rd = sat32(acc >> imm5)
+
+    // Moves / immediates
+    MOVI,  //!< rd = sign-extended imm16
+    MOVIH, //!< rd[31:16] = imm16 (low half kept)
+    MOVPI, //!< pd = zero-extended imm16
+    MOVP,  //!< pd = rs
+    MOVRP, //!< rd = ps
+    PADDI, //!< pd += sign-extended imm16
+    TID,   //!< rd = tile index within column
+
+    // Loads / stores (local 32 KB SRAM)
+    LDW, LDH, LDHU, LDB, LDBU, STW, STH, STB,
+
+    // Compares (set tile CC)
+    CMPEQ, CMPLT, CMPLE, CMPLTU,
+
+    // Controller control flow
+    JUMP,   //!< pc = imm
+    JCC,    //!< if (CC) pc = imm  (1-cycle stall, paper 2.2)
+    JNCC,   //!< if (!CC) pc = imm (1-cycle stall)
+    LSETUP, //!< zero-overhead loop: body [pc+1, end), count times
+
+    // Communication (through read/write buffers to the column bus)
+    CWR, //!< write buffer <- rs (by convention R7)
+    CRD, //!< rd <- read buffer (stalls column until valid)
+
+    NumOpcodes
+};
+
+/** Encoding format of each opcode. */
+enum class Format : uint8_t
+{
+    F0,    //!< no operands
+    F3R,   //!< rd, rs1, rs2
+    F2R,   //!< rd, rs
+    FRI,   //!< rd, imm16 (MOVI/MOVIH/MOVPI/PADDI/ADDI)
+    FSHI,  //!< rd, rs, imm5
+    FMAC,  //!< acc, rs1, rs2, hsel
+    FACC,  //!< acc only (ACLR) / rd, acc, imm5 (AEXT uses FAEXT)
+    FAEXT, //!< rd, acc, imm5
+    FMEM,  //!< rd/rs, p, mode, imm10
+    FJ,    //!< imm16 target
+    FLOOP, //!< lc, end12, count12
+    F1R,   //!< single register (CWR/CRD/TID)
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    bool is_control;  //!< executes on the SIMD controller
+    bool reads_mem;
+    bool writes_mem;
+};
+
+/** Lookup table indexed by Opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic for an opcode ("add", "ld.w", ...). */
+const char *mnemonic(Opcode op);
+
+/**
+ * Decoded instruction. Fields are only meaningful for the opcode's
+ * format; unused fields are zero.
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    uint8_t rd = 0;      //!< destination data/pointer register
+    uint8_t rs1 = 0;     //!< first source register
+    uint8_t rs2 = 0;     //!< second source register
+    uint8_t acc = 0;     //!< accumulator index (0/1)
+    HalfSel hsel = HalfSel::LL;
+    MemMode mode = MemMode::Offset;
+    uint8_t lc = 0;      //!< loop counter index (0/1)
+    int32_t imm = 0;     //!< immediate (sign depends on format)
+    uint16_t end = 0;    //!< loop end address (FLOOP)
+
+    bool isControl() const { return opInfo(op).is_control; }
+
+    friend bool
+    operator==(const Inst &a, const Inst &b)
+    {
+        return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 &&
+               a.rs2 == b.rs2 && a.acc == b.acc && a.hsel == b.hsel &&
+               a.mode == b.mode && a.lc == b.lc && a.imm == b.imm &&
+               a.end == b.end;
+    }
+};
+
+/** Convenience constructors used by tests and code generators. */
+namespace build
+{
+
+Inst nop();
+Inst halt();
+Inst alu3(Opcode op, unsigned rd, unsigned rs1, unsigned rs2);
+Inst alu2(Opcode op, unsigned rd, unsigned rs);
+Inst aluImm(Opcode op, unsigned rd, int32_t imm);
+Inst shiftImm(Opcode op, unsigned rd, unsigned rs, unsigned imm5);
+Inst mac(Opcode op, unsigned acc, unsigned rs1, unsigned rs2, HalfSel h);
+Inst saa(unsigned acc, unsigned rs1, unsigned rs2);
+Inst aclr(unsigned acc);
+Inst aext(unsigned rd, unsigned acc, unsigned shift);
+Inst movi(unsigned rd, int32_t imm16);
+Inst movih(unsigned rd, uint16_t imm16);
+Inst movpi(unsigned pd, uint16_t imm16);
+Inst movp(unsigned pd, unsigned rs);
+Inst movrp(unsigned rd, unsigned ps);
+Inst paddi(unsigned pd, int32_t imm16);
+Inst tid(unsigned rd);
+Inst load(Opcode op, unsigned rd, unsigned p, MemMode m, int32_t imm);
+Inst store(Opcode op, unsigned rs, unsigned p, MemMode m, int32_t imm);
+Inst cmp(Opcode op, unsigned rs1, unsigned rs2);
+Inst jump(uint16_t target);
+Inst jcc(uint16_t target);
+Inst jncc(uint16_t target);
+Inst lsetup(unsigned lc, uint16_t end, uint16_t count);
+Inst cwr(unsigned rs);
+Inst crd(unsigned rd);
+
+} // namespace build
+
+} // namespace synchro::isa
+
+#endif // SYNC_ISA_INST_HH

@@ -1,0 +1,128 @@
+#include "mapping/auto_mapper.hh"
+
+#include <cmath>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace synchro::mapping
+{
+
+std::vector<unsigned>
+ChipPlan::dividers() const
+{
+    std::vector<unsigned> out;
+    for (const auto &p : placements) {
+        for (unsigned c = 0; c < p.columns; ++c)
+            out.push_back(p.divider);
+    }
+    return out;
+}
+
+std::string
+ChipPlan::report() const
+{
+    std::string out = strprintf(
+        "chip plan: %u tiles in %u columns off a %.0f MHz "
+        "reference\n",
+        total_tiles, total_columns, ref_freq_mhz);
+    for (const auto &p : placements) {
+        out += strprintf(
+            "  %-16s %2u tiles, columns %u..%u, /%u = %.1f MHz @ "
+            "%.2f V (needs %.1f",
+            p.actor.c_str(), p.tiles, p.first_column,
+            p.first_column + p.columns - 1, p.divider,
+            p.f_column_mhz, p.v, p.f_needed_mhz);
+        if (p.zorm.period != 0) {
+            out += strprintf("; ZORM %u/%u", p.zorm.nops,
+                             p.zorm.period);
+        }
+        out += ")\n";
+    }
+    out += strprintf("  power: %.2f mW (single voltage: %.2f mW)\n",
+                     power.total(), single_voltage.total());
+    return out;
+}
+
+std::optional<ChipPlan>
+AutoMapper::map(const SdfGraph &graph, double iterations_per_sec,
+                const std::vector<ActorCommSpec> &comm,
+                unsigned tile_budget) const
+{
+    // --- SDF feasibility certificates --------------------------
+    auto q = graph.repetitionVector();
+    if (!q)
+        return std::nullopt; // inconsistent rates
+    if (!graph.deadlockFree())
+        return std::nullopt;
+    auto bounds = graph.bufferBounds();
+
+    // --- actors -> workload descriptors -------------------------
+    AppWorkload app;
+    app.name = "auto";
+    app.sample_rate_hz = iterations_per_sec;
+    for (unsigned a = 0; a < graph.numActors(); ++a) {
+        const SdfActor &actor = graph.actor(a);
+        ActorCommSpec spec =
+            a < comm.size() ? comm[a] : ActorCommSpec{};
+        AlgoLoad load;
+        load.name = actor.name;
+        // Demand: firings/iteration x cycles/firing x iterations/s.
+        load.demand_mcycles_s = double((*q)[a]) *
+                                double(actor.work_cycles) *
+                                iterations_per_sec / 1e6;
+        load.ref_tiles = 1;
+        load.ref_transfers_s = spec.words_per_firing *
+                               double((*q)[a]) * iterations_per_sec;
+        load.min_tiles = 1;
+        load.max_tiles = spec.max_parallel;
+        load.scaling = spec.scaling;
+        load.divisor_of = spec.divisor_of;
+        app.algos.push_back(load);
+    }
+
+    // --- power-optimal tile allocation ---------------------------
+    unsigned budget = tile_budget != 0 ? tile_budget : 256;
+    auto mapping = opt_.mapWithBudget(app, budget);
+    if (!mapping)
+        return std::nullopt;
+
+    // --- columns, dividers, ZORM ---------------------------------
+    ChipPlan plan;
+    plan.ref_freq_mhz = ref_mhz_;
+    plan.repetition = *q;
+    if (bounds)
+        plan.buffer_bounds = *bounds;
+    plan.power = mapping->power;
+    plan.single_voltage = mapping->single_voltage;
+
+    unsigned next_column = 0;
+    for (const auto &load : mapping->loads) {
+        ActorPlacement p;
+        p.actor = load.name;
+        p.tiles = load.tiles;
+        p.columns = divCeil(load.tiles, 4u);
+        p.first_column = next_column;
+        next_column += p.columns;
+        p.f_needed_mhz = load.f_mhz;
+        // Smallest divider whose frequency still covers the demand
+        // is the largest divider with ref/d >= f: d = floor(ref/f).
+        unsigned d = unsigned(ref_mhz_ / load.f_mhz);
+        if (d == 0)
+            return std::nullopt; // demand above the reference clock
+        p.divider = d;
+        p.f_column_mhz = ref_mhz_ / d;
+        p.v = levels_.voltageFor(p.f_column_mhz);
+        // ZORM closes the gap between the divided clock and the
+        // exact demand (integer slot rates in Hz).
+        p.zorm = exactRateMatch(
+            uint64_t(std::llround(p.f_column_mhz * 1e6)),
+            uint64_t(std::llround(p.f_needed_mhz * 1e6)));
+        plan.placements.push_back(p);
+        plan.total_tiles += p.tiles;
+    }
+    plan.total_columns = next_column;
+    return plan;
+}
+
+} // namespace synchro::mapping

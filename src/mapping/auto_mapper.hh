@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Automated application mapping — the paper's stated future work
+ * ("Future work will focus on a software tool chain to automate and
+ * optimize application parallelization and communication
+ * scheduling", Section 7).
+ *
+ * The AutoMapper consumes an SDF task graph annotated with per-firing
+ * cycle costs and a target sample rate, and produces a complete chip
+ * configuration: per-actor tile counts (power-optimal, via the DP
+ * optimizer), column assignments with integer clock dividers off the
+ * reference PLL, supply voltages from the quantized level table, ZORM
+ * settings that close the residual rate gap exactly, and the SDF
+ * feasibility certificates (consistency, deadlock freedom, buffer
+ * bounds).
+ */
+
+#ifndef SYNC_MAPPING_AUTO_MAPPER_HH
+#define SYNC_MAPPING_AUTO_MAPPER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/optimizer.hh"
+#include "mapping/rate_match.hh"
+#include "mapping/sdf.hh"
+#include "mapping/workload.hh"
+#include "power/system_power.hh"
+#include "power/vf_model.hh"
+
+namespace synchro::mapping
+{
+
+/** Per-actor communication annotation (bus words per firing). */
+struct ActorCommSpec
+{
+    double words_per_firing = 0;
+    CommScaling scaling = CommScaling::Constant;
+    unsigned max_parallel = 64;
+    unsigned divisor_of = 0;
+};
+
+/** One actor's placement in the produced configuration. */
+struct ActorPlacement
+{
+    std::string actor;
+    unsigned tiles = 0;
+    unsigned first_column = 0; //!< columns are allocated contiguously
+    unsigned columns = 0;      //!< ceil(tiles / 4)
+    unsigned divider = 1;      //!< reference-clock divider
+    double f_column_mhz = 0;   //!< resulting column frequency
+    double f_needed_mhz = 0;   //!< demand the divider must cover
+    double v = 0;
+    ZormSetting zorm;          //!< pads f_column down to f_needed
+};
+
+/** The complete mapping result. */
+struct ChipPlan
+{
+    double ref_freq_mhz = 0;
+    std::vector<ActorPlacement> placements;
+    power::PowerBreakdown power;
+    power::PowerBreakdown single_voltage;
+    std::vector<uint64_t> repetition; //!< SDF repetition vector
+    std::vector<uint64_t> buffer_bounds;
+    unsigned total_tiles = 0;
+    unsigned total_columns = 0;
+
+    /** Per-column divider list, ready for arch::ChipConfig. */
+    std::vector<unsigned> dividers() const;
+
+    /** Human-readable mapping report. */
+    std::string report() const;
+};
+
+class AutoMapper
+{
+  public:
+    /**
+     * @param ref_freq_mhz the PLL reference (maximum) frequency;
+     *        column clocks are integer dividers of it
+     */
+    AutoMapper(const power::SystemPowerModel &model,
+               const power::SupplyLevels &levels,
+               double ref_freq_mhz = 600.0)
+        : model_(model), levels_(levels), ref_mhz_(ref_freq_mhz),
+          opt_(model, levels)
+    {}
+
+    /**
+     * Map @p graph onto a chip sustaining @p iterations_per_sec SDF
+     * iterations per second (one iteration = one input sample for
+     * single-rate sources). @p comm gives per-actor bus annotations
+     * (defaults: no traffic, fully parallelizable). @p tile_budget
+     * caps the total tiles (0 = unlimited up to 64 per actor).
+     *
+     * Returns nullopt when the graph is inconsistent, deadlocked, or
+     * no feasible allocation exists.
+     */
+    std::optional<ChipPlan> map(
+        const SdfGraph &graph, double iterations_per_sec,
+        const std::vector<ActorCommSpec> &comm = {},
+        unsigned tile_budget = 0) const;
+
+  private:
+    const power::SystemPowerModel &model_;
+    const power::SupplyLevels &levels_;
+    double ref_mhz_;
+    Optimizer opt_;
+};
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_AUTO_MAPPER_HH

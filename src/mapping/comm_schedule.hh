@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static communication scheduling: compiles a periodic transfer
+ * schedule into a DOU program (paper Section 4.1 step 4: "Assume
+ * every data transfer takes one clock cycle. Statically schedule all
+ * the data transfers", and Section 2.3's DOU programming model).
+ *
+ * A schedule is a repeating window of `period` bus cycles with
+ * transfers pinned to offsets. The compiler emits one DOU state per
+ * active cycle, compresses idle gaps with the DOU's down-counters
+ * (falling back to chained idle states when all four counters are
+ * taken), checks for lane conflicts, and wires the segment switches
+ * to span exactly the tiles each transfer touches.
+ */
+
+#ifndef SYNC_MAPPING_COMM_SCHEDULE_HH
+#define SYNC_MAPPING_COMM_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/dou.hh"
+
+namespace synchro::mapping
+{
+
+/** One periodic transfer on a column's bus. */
+struct Transfer
+{
+    unsigned offset = 0; //!< bus cycle within the period
+    unsigned lane = 0;   //!< 32-bit lane (0..7)
+    int src_tile = 0;    //!< driving tile position, or -1 when the
+                         //!< data arrives from the horizontal bus
+    std::vector<unsigned> dst_tiles; //!< capturing tile positions
+    bool to_horizontal = false; //!< also forward to the H bus
+};
+
+/** A periodic column communication schedule. */
+struct CommSchedule
+{
+    unsigned period = 1;  //!< bus cycles per repetition
+    unsigned prologue = 0; //!< idle bus cycles before the first pass
+    std::vector<Transfer> transfers;
+};
+
+/**
+ * Compile to a DOU program. fatal() on lane conflicts within a
+ * cycle, out-of-range tiles, offsets >= period, or programs
+ * exceeding the 128-state / 4-counter hardware.
+ */
+arch::DouProgram compileSchedule(const CommSchedule &sched);
+
+/**
+ * Reference interpretation of a schedule: the (seg, buf) outputs the
+ * DOU must produce at the given absolute bus cycle. Tests compare
+ * the compiled program's trace against this.
+ */
+arch::DouState scheduleOutputAt(const CommSchedule &sched,
+                                uint64_t bus_cycle);
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_COMM_SCHEDULE_HH

@@ -1,0 +1,161 @@
+#include "mapping/optimizer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace synchro::mapping
+{
+
+std::optional<power::DomainLoad>
+Optimizer::mapAlgo(const AlgoLoad &algo, unsigned tiles) const
+{
+    if (!algo.admissible(tiles))
+        return std::nullopt;
+    double f = algo.frequencyAt(tiles);
+    if (f > levels_.maxFrequencyMhz())
+        return std::nullopt;
+    power::DomainLoad load;
+    load.name = algo.name;
+    load.tiles = tiles;
+    load.f_mhz = f;
+    load.v = levels_.voltageFor(f);
+    load.bus_transfers_per_s = algo.transfersAt(tiles);
+    return load;
+}
+
+unsigned
+Optimizer::minTiles(const AlgoLoad &algo) const
+{
+    for (unsigned n = algo.min_tiles; n <= algo.max_tiles; ++n) {
+        if (algo.admissible(n) &&
+            algo.frequencyAt(n) <= levels_.maxFrequencyMhz())
+            return n;
+    }
+    fatal("algorithm '%s' infeasible even at %u tiles",
+          algo.name.c_str(), algo.max_tiles);
+}
+
+unsigned
+Optimizer::bestTiles(const AlgoLoad &algo) const
+{
+    unsigned best_n = 0;
+    double best_p = 0;
+    for (unsigned n = algo.min_tiles; n <= algo.max_tiles; ++n) {
+        auto load = mapAlgo(algo, n);
+        if (!load)
+            continue;
+        double p = model_.loadPower(*load).total();
+        if (best_n == 0 || p < best_p) {
+            best_n = n;
+            best_p = p;
+        }
+    }
+    if (best_n == 0)
+        fatal("algorithm '%s' has no feasible mapping",
+              algo.name.c_str());
+    return best_n;
+}
+
+AppMapping
+Optimizer::evaluate(std::vector<power::DomainLoad> loads) const
+{
+    AppMapping m;
+    m.loads = std::move(loads);
+    m.power = model_.designPower(m.loads);
+    m.single_voltage = model_.singleVoltagePower(m.loads);
+    return m;
+}
+
+AppMapping
+Optimizer::mapAtReference(const AppWorkload &app) const
+{
+    std::vector<power::DomainLoad> loads;
+    for (const auto &algo : app.algos) {
+        auto load = mapAlgo(algo, algo.ref_tiles);
+        if (!load)
+            fatal("reference mapping of '%s' infeasible",
+                  algo.name.c_str());
+        loads.push_back(*load);
+    }
+    return evaluate(std::move(loads));
+}
+
+std::optional<AppMapping>
+Optimizer::mapWithTiles(const AppWorkload &app,
+                        const std::vector<unsigned> &tiles) const
+{
+    if (tiles.size() != app.algos.size())
+        fatal("mapWithTiles: %zu allocations for %zu algorithms",
+              tiles.size(), app.algos.size());
+    std::vector<power::DomainLoad> loads;
+    for (size_t i = 0; i < tiles.size(); ++i) {
+        auto load = mapAlgo(app.algos[i], tiles[i]);
+        if (!load)
+            return std::nullopt;
+        loads.push_back(*load);
+    }
+    return evaluate(std::move(loads));
+}
+
+std::optional<AppMapping>
+Optimizer::mapWithBudget(const AppWorkload &app,
+                         unsigned tile_budget) const
+{
+    const size_t n = app.algos.size();
+    constexpr double kInf = 1e300;
+
+    // dp[t] = min power using exactly the first k algorithms and t
+    // tiles; choice[k][t] = tiles given to algorithm k.
+    std::vector<double> dp(tile_budget + 1, kInf);
+    dp[0] = 0.0;
+    std::vector<std::vector<unsigned>> choice(
+        n, std::vector<unsigned>(tile_budget + 1, 0));
+
+    for (size_t k = 0; k < n; ++k) {
+        std::vector<double> next(tile_budget + 1, kInf);
+        const auto &algo = app.algos[k];
+        for (unsigned used = 0; used <= tile_budget; ++used) {
+            if (dp[used] >= kInf)
+                continue;
+            for (unsigned give = algo.min_tiles;
+                 used + give <= tile_budget &&
+                 give <= algo.max_tiles;
+                 ++give) {
+                auto load = mapAlgo(algo, give);
+                if (!load)
+                    continue;
+                double p =
+                    dp[used] + model_.loadPower(*load).total();
+                if (p < next[used + give]) {
+                    next[used + give] = p;
+                    choice[k][used + give] = give;
+                }
+            }
+        }
+        dp = std::move(next);
+    }
+
+    // Best total at any tile count within budget.
+    unsigned best_t = 0;
+    double best_p = kInf;
+    for (unsigned t = 0; t <= tile_budget; ++t) {
+        if (dp[t] < best_p) {
+            best_p = dp[t];
+            best_t = t;
+        }
+    }
+    if (best_p >= kInf)
+        return std::nullopt;
+
+    // Reconstruct the allocation.
+    std::vector<unsigned> alloc(n);
+    unsigned t = best_t;
+    for (size_t k = n; k-- > 0;) {
+        alloc[k] = choice[k][t];
+        t -= alloc[k];
+    }
+    return mapWithTiles(app, alloc);
+}
+
+} // namespace synchro::mapping

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Mapping optimizer — paper Section 4.1 step 2 ("Choose the number of
+ * tiles, N, that minimizes power") and the parallelization study of
+ * Section 5.2/Figure 7.
+ *
+ * For each algorithm the optimizer sweeps tile counts, derives the
+ * per-column frequency (demand / tiles), quantizes to the supported
+ * supply levels, and evaluates the full power model including the
+ * communication overhead and leakage that create the diminishing
+ * returns the paper reports. Application-level allocation under a
+ * total tile budget is solved exactly by dynamic programming.
+ */
+
+#ifndef SYNC_MAPPING_OPTIMIZER_HH
+#define SYNC_MAPPING_OPTIMIZER_HH
+
+#include <optional>
+#include <vector>
+
+#include "mapping/workload.hh"
+#include "power/system_power.hh"
+#include "power/vf_model.hh"
+
+namespace synchro::mapping
+{
+
+/** One algorithm mapped to a concrete (tiles, f, V) choice. */
+struct Mapping
+{
+    power::DomainLoad load;
+    unsigned tiles() const { return load.tiles; }
+};
+
+/** A full application mapping with its power evaluation. */
+struct AppMapping
+{
+    std::vector<power::DomainLoad> loads;
+    power::PowerBreakdown power;
+    power::PowerBreakdown single_voltage;
+
+    unsigned
+    totalTiles() const
+    {
+        unsigned n = 0;
+        for (const auto &l : loads)
+            n += l.tiles;
+        return n;
+    }
+
+    /** Percentage saved by multiple voltage domains (Table 4). */
+    double
+    savingsPercent() const
+    {
+        double sv = single_voltage.total();
+        return sv > 0 ? 100.0 * (sv - power.total()) / sv : 0.0;
+    }
+};
+
+class Optimizer
+{
+  public:
+    explicit Optimizer(
+        const power::SystemPowerModel &model,
+        const power::SupplyLevels &levels)
+        : model_(model), levels_(levels)
+    {}
+
+    /**
+     * Map one algorithm onto exactly @p tiles: frequency = demand /
+     * tiles quantized up to a supply level. Empty if no level can
+     * sustain the required frequency.
+     */
+    std::optional<power::DomainLoad> mapAlgo(const AlgoLoad &algo,
+                                             unsigned tiles) const;
+
+    /** The fewest tiles any supply level can sustain. */
+    unsigned minTiles(const AlgoLoad &algo) const;
+
+    /** Minimum-power tile count for one algorithm in isolation. */
+    unsigned bestTiles(const AlgoLoad &algo) const;
+
+    /**
+     * Map a whole application at its reference (paper Table 4) tile
+     * counts.
+     */
+    AppMapping mapAtReference(const AppWorkload &app) const;
+
+    /**
+     * Minimum-power allocation of at most @p tile_budget tiles
+     * across the application's algorithms (exact DP); empty optional
+     * if the budget is below the feasibility floor.
+     */
+    std::optional<AppMapping> mapWithBudget(const AppWorkload &app,
+                                            unsigned tile_budget)
+        const;
+
+    /** Evaluate an explicit per-algorithm tile allocation. */
+    std::optional<AppMapping> mapWithTiles(
+        const AppWorkload &app,
+        const std::vector<unsigned> &tiles) const;
+
+  private:
+    AppMapping evaluate(std::vector<power::DomainLoad> loads) const;
+
+    const power::SystemPowerModel &model_;
+    const power::SupplyLevels &levels_;
+};
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_OPTIMIZER_HH

@@ -1,0 +1,85 @@
+#include "mapping/rate_match.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace synchro::mapping
+{
+
+ZormSetting
+exactRateMatch(uint64_t f_slots_s, uint64_t work_slots_s)
+{
+    if (work_slots_s > f_slots_s)
+        fatal("rate match: task needs %llu slots/s but the column "
+              "only issues %llu",
+              (unsigned long long)work_slots_s,
+              (unsigned long long)f_slots_s);
+    if (f_slots_s == 0)
+        fatal("rate match: zero clock");
+    if (work_slots_s == f_slots_s)
+        return {0, 0}; // no throttling needed
+    uint64_t idle = f_slots_s - work_slots_s;
+    uint64_t g = std::gcd(idle, f_slots_s);
+    uint64_t nops = idle / g;
+    uint64_t period = f_slots_s / g;
+    if (period > UINT32_MAX)
+        fatal("rate match: reduced period %llu exceeds the 32-bit "
+              "ZORM counter",
+              (unsigned long long)period);
+    return {uint32_t(nops), uint32_t(period)};
+}
+
+ZormSetting
+boundedRateMatch(double useful_fraction, uint32_t max_period)
+{
+    if (useful_fraction <= 0.0 || useful_fraction > 1.0)
+        fatal("rate match: useful fraction %g out of (0, 1]",
+              useful_fraction);
+    if (useful_fraction == 1.0)
+        return {0, 0};
+
+    // Walk the Stern-Brocot tree toward the largest fraction p/q <=
+    // (1 - useful_fraction) with q <= max_period; never undershoot
+    // the useful fraction means never overshoot the nop fraction.
+    double target_nop = 1.0 - useful_fraction;
+    uint64_t best_n = 0, best_d = 1;
+    uint64_t ln = 0, ld = 1; // 0/1
+    uint64_t rn = 1, rd = 1; // 1/1
+    while (true) {
+        uint64_t mn = ln + rn;
+        uint64_t md = ld + rd;
+        if (md > max_period)
+            break;
+        if (double(mn) / double(md) <= target_nop) {
+            best_n = mn;
+            best_d = md;
+            ln = mn;
+            ld = md;
+        } else {
+            rn = mn;
+            rd = md;
+        }
+    }
+    if (best_n == 0)
+        return {0, 0}; // nop fraction too small to express: run free
+    return {uint32_t(best_n), uint32_t(best_d)};
+}
+
+double
+loopPaddingFraction(uint64_t loop_slots, double useful_fraction)
+{
+    if (loop_slots == 0)
+        fatal("loop padding: empty loop");
+    if (useful_fraction <= 0.0 || useful_fraction > 1.0)
+        fatal("loop padding: fraction %g out of (0, 1]",
+              useful_fraction);
+    // Whole nops appended to the loop body: ceil to never run fast.
+    double ideal_total = double(loop_slots) / useful_fraction;
+    uint64_t padded =
+        uint64_t(std::ceil(ideal_total - 1e-9));
+    return double(loop_slots) / double(padded);
+}
+
+} // namespace synchro::mapping

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Zero Overhead Rate Matching computation (paper Section 2.4).
+ *
+ * A column clocked at f_column issue-slots/s must deliver exactly
+ * work_rate useful slots/s; the ZORM counter pair (nops, period)
+ * makes the controller insert `nops` nops in every `period` slots so
+ * the useful fraction is (period - nops) / period. This module finds
+ * the exact or best bounded-denominator rational for that fraction —
+ * the "perfect rate matching" the paper contrasts with padding nops
+ * into loop bodies.
+ */
+
+#ifndef SYNC_MAPPING_RATE_MATCH_HH
+#define SYNC_MAPPING_RATE_MATCH_HH
+
+#include <cstdint>
+
+namespace synchro::mapping
+{
+
+struct ZormSetting
+{
+    uint32_t nops = 0;
+    uint32_t period = 0; //!< 0 disables rate matching
+
+    /** Useful-slot fraction (period - nops) / period. */
+    double
+    usefulFraction() const
+    {
+        return period == 0
+                   ? 1.0
+                   : double(period - nops) / double(period);
+    }
+};
+
+/**
+ * Exact setting for integer rates: useful fraction = work / f.
+ * fatal() if work > f (the column is too slow — raise the clock).
+ *
+ * @param f_slots_s     column issue slots per second
+ * @param work_slots_s  useful slots per second the task needs
+ */
+ZormSetting exactRateMatch(uint64_t f_slots_s,
+                           uint64_t work_slots_s);
+
+/**
+ * Best rational approximation of a useful fraction in (0, 1] with
+ * period <= max_period (Stern-Brocot / continued fractions). The
+ * returned fraction never undershoots the requested one (the column
+ * must never fall behind the data rate).
+ */
+ZormSetting boundedRateMatch(double useful_fraction,
+                             uint32_t max_period = 1u << 16);
+
+/**
+ * Nops-per-loop alternative the paper rejects (Section 2.4): pad a
+ * loop of @p loop_slots with whole nops to stretch the rate; returns
+ * the achieved useful fraction, which generally overshoots. Used by
+ * the ZORM ablation bench.
+ */
+double loopPaddingFraction(uint64_t loop_slots,
+                           double useful_fraction);
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_RATE_MATCH_HH

@@ -1,0 +1,191 @@
+#include "mapping/sdf.hh"
+
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace synchro::mapping
+{
+
+unsigned
+SdfGraph::addActor(std::string name, uint64_t work_cycles)
+{
+    actors_.push_back({std::move(name), work_cycles});
+    return unsigned(actors_.size() - 1);
+}
+
+void
+SdfGraph::addEdge(unsigned src, unsigned dst, unsigned produce,
+                  unsigned consume, unsigned initial_tokens)
+{
+    if (src >= actors_.size() || dst >= actors_.size())
+        fatal("sdf edge references missing actor (%u -> %u)", src,
+              dst);
+    if (produce == 0 || consume == 0)
+        fatal("sdf edge rates must be positive");
+    edges_.push_back({src, dst, produce, consume, initial_tokens});
+}
+
+std::optional<std::vector<uint64_t>>
+SdfGraph::repetitionVector() const
+{
+    if (actors_.empty())
+        return std::vector<uint64_t>{};
+
+    // Solve the balance equations with exact rational arithmetic:
+    // propagate q as fractions num/den over a spanning traversal,
+    // then verify every edge (handles disconnected graphs per
+    // component).
+    const unsigned n = numActors();
+    std::vector<uint64_t> num(n, 0), den(n, 1);
+
+    for (unsigned root = 0; root < n; ++root) {
+        if (num[root] != 0)
+            continue;
+        num[root] = 1;
+        den[root] = 1;
+        // BFS over edges in both directions.
+        std::vector<unsigned> queue{root};
+        while (!queue.empty()) {
+            unsigned a = queue.back();
+            queue.pop_back();
+            for (const auto &e : edges_) {
+                unsigned other;
+                // q[other] = q[a] * ratio
+                uint64_t rn, rd;
+                if (e.src == a) {
+                    other = e.dst;
+                    rn = e.produce;
+                    rd = e.consume;
+                } else if (e.dst == a) {
+                    other = e.src;
+                    rn = e.consume;
+                    rd = e.produce;
+                } else {
+                    continue;
+                }
+                uint64_t qn = num[a] * rn;
+                uint64_t qd = den[a] * rd;
+                uint64_t g = std::gcd(qn, qd);
+                qn /= g;
+                qd /= g;
+                if (num[other] == 0) {
+                    num[other] = qn;
+                    den[other] = qd;
+                    queue.push_back(other);
+                } else if (num[other] * qd != qn * den[other]) {
+                    return std::nullopt; // inconsistent rates
+                }
+            }
+        }
+    }
+
+    // Scale all fractions to the least common denominator.
+    uint64_t lcd = 1;
+    for (unsigned i = 0; i < n; ++i)
+        lcd = std::lcm(lcd, den[i]);
+    std::vector<uint64_t> q(n);
+    for (unsigned i = 0; i < n; ++i)
+        q[i] = num[i] * (lcd / den[i]);
+    // Normalize to the minimal integer vector.
+    uint64_t g = 0;
+    for (uint64_t v : q)
+        g = std::gcd(g, v);
+    if (g > 1) {
+        for (auto &v : q)
+            v /= g;
+    }
+    return q;
+}
+
+std::optional<std::vector<unsigned>>
+SdfGraph::selfTimedSchedule(std::vector<uint64_t> *max_tokens) const
+{
+    auto q_opt = repetitionVector();
+    if (!q_opt)
+        return std::nullopt;
+    const auto &q = *q_opt;
+
+    std::vector<uint64_t> tokens(edges_.size());
+    std::vector<uint64_t> peak(edges_.size());
+    for (size_t i = 0; i < edges_.size(); ++i)
+        tokens[i] = peak[i] = edges_[i].initial_tokens;
+    std::vector<uint64_t> fired(numActors(), 0);
+    std::vector<unsigned> order;
+
+    auto can_fire = [&](unsigned a) {
+        if (fired[a] >= q[a])
+            return false;
+        for (size_t i = 0; i < edges_.size(); ++i) {
+            if (edges_[i].dst == a && edges_[i].src != a &&
+                tokens[i] < edges_[i].consume) {
+                return false;
+            }
+            // Self-loop: consume before produce.
+            if (edges_[i].dst == a && edges_[i].src == a &&
+                tokens[i] < edges_[i].consume) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    uint64_t total = 0;
+    for (uint64_t v : q)
+        total += v;
+
+    while (order.size() < total) {
+        bool progressed = false;
+        for (unsigned a = 0; a < numActors(); ++a) {
+            if (!can_fire(a))
+                continue;
+            for (size_t i = 0; i < edges_.size(); ++i) {
+                if (edges_[i].dst == a)
+                    tokens[i] -= edges_[i].consume;
+            }
+            for (size_t i = 0; i < edges_.size(); ++i) {
+                if (edges_[i].src == a) {
+                    tokens[i] += edges_[i].produce;
+                    peak[i] = std::max(peak[i], tokens[i]);
+                }
+            }
+            ++fired[a];
+            order.push_back(a);
+            progressed = true;
+        }
+        if (!progressed)
+            return std::nullopt; // deadlock
+    }
+    if (max_tokens)
+        *max_tokens = peak;
+    return order;
+}
+
+bool
+SdfGraph::deadlockFree() const
+{
+    return selfTimedSchedule(nullptr).has_value();
+}
+
+std::optional<std::vector<uint64_t>>
+SdfGraph::bufferBounds() const
+{
+    std::vector<uint64_t> peak;
+    if (!selfTimedSchedule(&peak))
+        return std::nullopt;
+    return peak;
+}
+
+std::optional<uint64_t>
+SdfGraph::iterationWork() const
+{
+    auto q = repetitionVector();
+    if (!q)
+        return std::nullopt;
+    uint64_t work = 0;
+    for (unsigned i = 0; i < numActors(); ++i)
+        work += (*q)[i] * actors_[i].work_cycles;
+    return work;
+}
+
+} // namespace synchro::mapping

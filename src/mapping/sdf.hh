@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synchronous Dataflow graphs (paper Section 2.1): Synchroscalar
+ * applications "fit the Synchronous Dataflow model of computation
+ * used in existing DSP design tools such as Ptolemy"; SDF's
+ * fixed production/consumption rates give "static scheduling and
+ * decidability of key verification problems such as bounded memory
+ * requirements and deadlock avoidance" [Lee & Messerschmitt].
+ *
+ * This module implements those classic checks: the balance-equation
+ * repetition vector (consistency), deadlock detection by symbolic
+ * execution of one iteration, and per-edge buffer bounds.
+ */
+
+#ifndef SYNC_MAPPING_SDF_HH
+#define SYNC_MAPPING_SDF_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace synchro::mapping
+{
+
+struct SdfActor
+{
+    std::string name;
+    uint64_t work_cycles = 1; //!< tile cycles per firing
+};
+
+struct SdfEdge
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+    unsigned produce = 1;       //!< tokens per src firing
+    unsigned consume = 1;       //!< tokens per dst firing
+    unsigned initial_tokens = 0; //!< delays (break cycles)
+};
+
+class SdfGraph
+{
+  public:
+    /** Add an actor; returns its index. */
+    unsigned addActor(std::string name, uint64_t work_cycles = 1);
+
+    /** Add an edge; fatal() on bad indices or zero rates. */
+    void addEdge(unsigned src, unsigned dst, unsigned produce,
+                 unsigned consume, unsigned initial_tokens = 0);
+
+    unsigned numActors() const { return unsigned(actors_.size()); }
+    const SdfActor &actor(unsigned i) const { return actors_.at(i); }
+    const std::vector<SdfEdge> &edges() const { return edges_; }
+
+    /**
+     * Minimal positive repetition vector solving the balance
+     * equations q[src] * produce == q[dst] * consume on every edge;
+     * empty optional if the graph is inconsistent (no bounded-memory
+     * schedule exists).
+     */
+    std::optional<std::vector<uint64_t>> repetitionVector() const;
+
+    /**
+     * True if one full iteration (each actor fired q[i] times) can
+     * be scheduled without any consume blocking — i.e. the graph is
+     * deadlock-free. Inconsistent graphs return false.
+     */
+    bool deadlockFree() const;
+
+    /**
+     * Maximum tokens simultaneously buffered on each edge under the
+     * canonical self-timed schedule of one iteration (the bounded-
+     * memory certificate). Empty if inconsistent or deadlocked.
+     */
+    std::optional<std::vector<uint64_t>> bufferBounds() const;
+
+    /**
+     * Total work of one iteration in cycles: sum q[i] * work[i]
+     * (the per-sample compute demand when one iteration consumes
+     * one input sample). Empty if inconsistent.
+     */
+    std::optional<uint64_t> iterationWork() const;
+
+  private:
+    /** Simulate one iteration; returns firing order or nullopt. */
+    std::optional<std::vector<unsigned>> selfTimedSchedule(
+        std::vector<uint64_t> *max_tokens) const;
+
+    std::vector<SdfActor> actors_;
+    std::vector<SdfEdge> edges_;
+};
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_SDF_HH

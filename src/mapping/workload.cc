@@ -1,0 +1,30 @@
+#include "mapping/workload.hh"
+
+#include "common/log.hh"
+#include "dsp/viterbi.hh"
+
+namespace synchro::mapping
+{
+
+double
+AlgoLoad::transfersAt(unsigned tiles) const
+{
+    if (tiles == 0)
+        fatal("transfersAt: zero tiles");
+    switch (scaling) {
+      case CommScaling::Constant:
+        return ref_transfers_s;
+      case CommScaling::Linear:
+        return ref_transfers_s * double(tiles) / double(ref_tiles);
+      case CommScaling::Trellis: {
+        unsigned ref_words = dsp::acsCrossTileWords(ref_tiles);
+        unsigned words = dsp::acsCrossTileWords(tiles);
+        if (ref_words == 0)
+            return tiles == 1 ? 0.0 : ref_transfers_s;
+        return ref_transfers_s * double(words) / double(ref_words);
+      }
+    }
+    return ref_transfers_s;
+}
+
+} // namespace synchro::mapping

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Workload descriptors for the mapping optimizer.
+ *
+ * An AlgoLoad captures one algorithmic block the way the paper's
+ * methodology produces it: a compute demand in Mcycles/s (tiles x
+ * frequency at the reference mapping), a bus-traffic rate at the
+ * reference mapping, and a model of how that traffic scales when the
+ * block is spread over more or fewer tiles.
+ */
+
+#ifndef SYNC_MAPPING_WORKLOAD_HH
+#define SYNC_MAPPING_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+namespace synchro::mapping
+{
+
+/** How bus traffic scales with the number of tiles. */
+enum class CommScaling
+{
+    Constant, //!< broadcast-style: one transfer regardless of tiles
+    Linear,   //!< halo/partition style: proportional to tiles
+    Trellis,  //!< Viterbi ACS shuffle: follows acsCrossTileWords()
+};
+
+struct AlgoLoad
+{
+    std::string name;
+    double demand_mcycles_s = 0; //!< total compute demand (Mcycles/s)
+    double ref_transfers_s = 0;  //!< bus transfers/s at ref_tiles
+    unsigned ref_tiles = 1;      //!< the paper's Table 4 mapping
+    unsigned min_tiles = 1;      //!< parallelization floor
+    unsigned max_tiles = 64;     //!< parallelization ceiling
+    CommScaling scaling = CommScaling::Constant;
+
+    /**
+     * When nonzero, the tile count must divide this value (the
+     * Viterbi ACS block partition needs tiles | 64 states).
+     */
+    unsigned divisor_of = 0;
+
+    /** True if @p tiles is an admissible parallelization. */
+    bool
+    admissible(unsigned tiles) const
+    {
+        return tiles >= min_tiles && tiles <= max_tiles &&
+               (divisor_of == 0 || divisor_of % tiles == 0);
+    }
+
+    /** Frequency each tile needs when spread over @p tiles (MHz). */
+    double
+    frequencyAt(unsigned tiles) const
+    {
+        return demand_mcycles_s / double(tiles);
+    }
+
+    /** Bus transfers/s when spread over @p tiles. */
+    double transfersAt(unsigned tiles) const;
+};
+
+/** An application = a list of algorithm loads + its data rate. */
+struct AppWorkload
+{
+    std::string name;
+    double sample_rate_hz = 0; //!< headline rate (for nW/sample)
+    std::vector<AlgoLoad> algos;
+
+    unsigned
+    totalRefTiles() const
+    {
+        unsigned n = 0;
+        for (const auto &a : algos)
+            n += a.ref_tiles;
+        return n;
+    }
+};
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_WORKLOAD_HH

@@ -1,0 +1,81 @@
+#include "power/activity.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace synchro::power
+{
+
+ActivityReport
+collectActivity(const arch::Chip &chip)
+{
+    ActivityReport report;
+    for (unsigned c = 0; c < chip.numColumns(); ++c) {
+        const arch::Column &col = chip.column(c);
+        const auto &st = col.controller().stats();
+        ColumnActivity act;
+        act.column = c;
+        for (unsigned t = 0; t < col.numTiles(); ++t) {
+            if (col.tileActive(t))
+                ++act.active_tiles;
+        }
+        act.compute_slots = st.value("issued");
+        act.issue_slots = st.value("issued") +
+                          st.value("branchStalls") +
+                          st.value("commStalls") +
+                          st.value("zormNops");
+        act.utilization =
+            act.issue_slots
+                ? double(act.compute_slots) / double(act.issue_slots)
+                : 0.0;
+        report.columns.push_back(act);
+    }
+    report.bus_transfers = chip.fabric().transfers();
+    report.wire_span_sum = chip.fabric().wireSpanSum();
+    return report;
+}
+
+PowerBreakdown
+priceSimulation(const arch::Chip &chip, uint64_t samples,
+                double sample_rate_hz, const SupplyLevels &levels,
+                const SystemPowerModel &model)
+{
+    if (samples == 0)
+        fatal("priceSimulation: zero samples");
+    ActivityReport act = collectActivity(chip);
+
+    // Simulated time the run represents.
+    double seconds = double(samples) / sample_rate_hz;
+
+    PowerBreakdown total;
+    double vmax = 0;
+    for (const auto &col : act.columns) {
+        if (col.issue_slots == 0 || col.active_tiles == 0)
+            continue; // supply-gated column
+        double f_mhz =
+            double(col.issue_slots) / seconds / 1e6;
+        double v = levels.voltageFor(f_mhz);
+        vmax = std::max(vmax, v);
+        DomainLoad load{strprintf("column%u", col.column),
+                        col.active_tiles, f_mhz, v, 0.0};
+        PowerBreakdown p = model.loadPower(load);
+        total.tile_mw += p.tile_mw;
+        total.leak_mw += p.leak_mw;
+    }
+
+    // Bus power from measured transfers, at the highest domain
+    // voltage (the buffers adapt tile voltages to the bus), with the
+    // measured mean segment span.
+    unsigned nodes = chip.numColumns() * 4 + 1;
+    double span = act.bus_transfers
+                      ? act.meanSpanFraction(nodes)
+                      : 0.0;
+    double transfers_per_s = double(act.bus_transfers) / seconds;
+    total.bus_mw = model.busModel().powerMw(transfers_per_s, 32,
+                                            vmax > 0 ? vmax : 1.0,
+                                            std::max(span, 1e-9));
+    return total;
+}
+
+} // namespace synchro::power

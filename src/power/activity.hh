@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Activity-driven power estimation: the bridge from a simulated chip
+ * to the Section 4.1 power model, closing the paper's methodology
+ * loop (steps 6-9: simulate to get cycles, derive frequencies from
+ * the data rate, look up voltages, evaluate the power equations).
+ *
+ * Given a finished simulation and the wall-clock data rate the run
+ * represents, each column's required frequency is
+ *
+ *     f_c = (issue slots consumed) / (samples processed) * rate
+ *
+ * and its bus traffic is the fabric's measured transfer count scaled
+ * to transfers/s. Voltages come from the quantized supply levels.
+ */
+
+#ifndef SYNC_POWER_ACTIVITY_HH
+#define SYNC_POWER_ACTIVITY_HH
+
+#include <vector>
+
+#include "arch/chip.hh"
+#include "power/system_power.hh"
+#include "power/vf_model.hh"
+
+namespace synchro::power
+{
+
+/** Activity of one simulated column. */
+struct ColumnActivity
+{
+    unsigned column = 0;
+    unsigned active_tiles = 0;
+    uint64_t issue_slots = 0;   //!< compute + stalls + zorm nops
+    uint64_t compute_slots = 0; //!< instructions actually issued
+    double utilization = 0;     //!< compute / issue
+};
+
+/** Activity extracted from a finished simulation. */
+struct ActivityReport
+{
+    std::vector<ColumnActivity> columns;
+    uint64_t bus_transfers = 0;
+    uint64_t wire_span_sum = 0;
+
+    /** Mean switched-span fraction per transfer (1.0 = full bus). */
+    double
+    meanSpanFraction(unsigned nodes_full_span) const
+    {
+        if (bus_transfers == 0)
+            return 0.0;
+        return double(wire_span_sum) /
+               (double(bus_transfers) * nodes_full_span);
+    }
+};
+
+/** Collect per-column and fabric activity from a chip. */
+ActivityReport collectActivity(const arch::Chip &chip);
+
+/**
+ * Price a simulated run with the Section 4.1 equations.
+ *
+ * @param chip             the finished simulation
+ * @param samples          input samples the run processed
+ * @param sample_rate_hz   the real-time rate those samples represent
+ * @param levels           quantized supply levels for voltage lookup
+ *
+ * Each column's frequency requirement is derived from its measured
+ * slots/sample; bus power uses the measured transfer count and spans.
+ */
+PowerBreakdown priceSimulation(const arch::Chip &chip,
+                               uint64_t samples,
+                               double sample_rate_hz,
+                               const SupplyLevels &levels,
+                               const SystemPowerModel &model);
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_ACTIVITY_HH

@@ -1,0 +1,44 @@
+#include "power/area.hh"
+
+namespace synchro::power
+{
+
+const std::vector<AreaComponent> &
+AreaModel::tileComponents()
+{
+    static const std::vector<AreaComponent> c = {
+        {"2 40-bit ALUs", 48000},
+        {"1 40-bit Shifter", 500000},
+        {"2 40-bit Accumulators", 11060},
+        {"2 16x16 mult", 100000},
+        {"32 KB SRAM", 5570560},
+        {"32x32 Regfile 4R/2W", 650000},
+        {"Rest (glue + wiring)", 393000},
+    };
+    return c;
+}
+
+const std::vector<AreaComponent> &
+AreaModel::controllerComponents()
+{
+    static const std::vector<AreaComponent> c = {
+        {"DOU", 350000},
+        {"2 KB Instruction SRAM", 350000},
+        {"Sequencer", 225000},
+        {"LBANK", 59000},
+        {"STACK32", 180000},
+        {"Rest", 140000},
+    };
+    return c;
+}
+
+double
+AreaModel::scaledTotalMm2(const std::vector<AreaComponent> &c) const
+{
+    double total_um2 = 0;
+    for (const auto &comp : c)
+        total_um2 += comp.area_um2_250nm;
+    return total_um2 * scaleFactor() * 1e-6;
+}
+
+} // namespace synchro::power

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Area model (paper Section 4.6 and Table 2).
+ *
+ * Component areas were synthesized at 0.25 um (memory, register file
+ * and multipliers estimated from technology-independent models [15])
+ * and scaled to 0.13 um. The headline numbers: tile = 1.82 mm^2, SIMD
+ * controller = 0.25 mm^2, DOU = 0.0875 mm^2.
+ *
+ * Note: Table 2's printed "Total 650000" for the controller section
+ * does not equal the sum of its own rows (1,304,000 um^2 at 0.25 um);
+ * the text's 0.25 + 0.0875 mm^2 at 0.13 um is consistent with the
+ * row sum and linear-area scaling, so we follow the rows.
+ */
+
+#ifndef SYNC_POWER_AREA_HH
+#define SYNC_POWER_AREA_HH
+
+#include <string>
+#include <vector>
+
+#include "power/interconnect.hh"
+#include "power/tech_params.hh"
+
+namespace synchro::power
+{
+
+struct AreaComponent
+{
+    std::string name;
+    double area_um2_250nm; //!< synthesized at 0.25 um
+};
+
+class AreaModel
+{
+  public:
+    explicit AreaModel(const TechParams &tech = defaultTech())
+        : tech_(tech)
+    {}
+
+    /** Table 2, tile section (um^2 at 0.25 um). */
+    static const std::vector<AreaComponent> &tileComponents();
+
+    /** Table 2, SIMD controller + DOU section (um^2 at 0.25 um). */
+    static const std::vector<AreaComponent> &controllerComponents();
+
+    /** Linear area scaling factor from 0.25 um to the target node. */
+    double
+    scaleFactor() const
+    {
+        double r = tech_.feature_nm / 250.0;
+        return r * r;
+    }
+
+    /** Sum of a component list after scaling (mm^2). */
+    double scaledTotalMm2(const std::vector<AreaComponent> &c) const;
+
+    /** The paper's headline per-tile area (mm^2). */
+    double tileAreaMm2() const { return tech_.tile_area_mm2; }
+
+    /** Per-column controller overhead: SIMD controller + DOU. */
+    double
+    columnOverheadMm2() const
+    {
+        return tech_.simd_ctrl_area_mm2 + tech_.dou_area_mm2;
+    }
+
+    /**
+     * Whole-design area: tiles, per-column controllers, and the bus
+     * (vertical lanes per column plus the horizontal run).
+     *
+     * @param tiles       total populated tiles
+     * @param columns     number of columns (ceil(tiles/4) typically)
+     * @param bus_bits    width of the data buses in bits
+     */
+    double
+    chipAreaMm2(unsigned tiles, unsigned columns,
+                unsigned bus_bits) const
+    {
+        InterconnectModel ic(tech_);
+        // One vertical bus per column (each spanning the column
+        // height, approximated as a full-length run amortized over
+        // the columns) plus one horizontal bus.
+        double bus = ic.busAreaMm2(bus_bits) * 2.0;
+        return tiles * tileAreaMm2() +
+               columns * columnOverheadMm2() + bus;
+    }
+
+  private:
+    TechParams tech_;
+};
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_AREA_HH

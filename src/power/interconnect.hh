@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interconnect power and capacitance model (paper Section 4.3).
+ *
+ * "The interconnect is modelled by the wire capacitance to a first
+ * order approximation": a semi-global wire has 387 fF/mm in 130 nm
+ * [Ho/Mai/Horowitz, The Future of Wires]; a chip-length (10 mm) wire
+ * is therefore ~3.87 pF, dwarfing driver/segmenter parasitics (8
+ * 10x-minimum drivers add only ~160 fF). A 32-bit lane transfer
+ * switches 32 wires: P = transfers/s * 32 * C_wire * V^2 (the paper's
+ * alpha * C * V^2 * f with full-swing switching).
+ */
+
+#ifndef SYNC_POWER_INTERCONNECT_HH
+#define SYNC_POWER_INTERCONNECT_HH
+
+#include "power/tech_params.hh"
+
+namespace synchro::power
+{
+
+class InterconnectModel
+{
+  public:
+    explicit InterconnectModel(const TechParams &tech = defaultTech())
+        : tech_(tech)
+    {}
+
+    /** Capacitance of one full-length bus wire (F). */
+    double
+    wireCapF(double span_fraction = 1.0) const
+    {
+        return tech_.wire_cap_ff_per_mm * 1e-15 * tech_.bus_length_mm *
+               span_fraction;
+    }
+
+    /**
+     * Energy of one @p bits-wide transfer at supply @p v over
+     * @p span_fraction of the bus length (J).
+     */
+    double
+    transferEnergyJ(unsigned bits, double v,
+                    double span_fraction = 1.0) const
+    {
+        return double(bits) * wireCapF(span_fraction) * v * v;
+    }
+
+    /** Bus power for a sustained transfer rate (mW). */
+    double
+    powerMw(double transfers_per_sec, unsigned bits_per_transfer,
+            double v, double span_fraction = 1.0) const
+    {
+        return transfers_per_sec *
+               transferEnergyJ(bits_per_transfer, v, span_fraction) *
+               1e3;
+    }
+
+    /** Area of a @p wires-wide bus run of the full length (mm^2). */
+    double
+    busAreaMm2(unsigned wires) const
+    {
+        return double(wires) * tech_.wire_pitch_um * 1e-3 *
+               tech_.bus_length_mm;
+    }
+
+    const TechParams &tech() const { return tech_; }
+
+  private:
+    TechParams tech_;
+};
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_INTERCONNECT_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Subthreshold leakage model (paper Section 4.4).
+ *
+ * I_sub = I_on * W * exp(-Vth / (n * v_T)), with v_T = kT/q. With the
+ * paper's assumptions (Vth = 0.332 V, T = 80 C, n in 1.3..1.5, I_on ~
+ * 0.3 uA/um) the calibration lands on 830 pA per transistor; at
+ * 1.8 M transistors that is ~1.5 mA per tile. Idle (supply-gated)
+ * tiles leak nothing.
+ */
+
+#ifndef SYNC_POWER_LEAKAGE_HH
+#define SYNC_POWER_LEAKAGE_HH
+
+#include <cmath>
+
+#include "power/tech_params.hh"
+
+namespace synchro::power
+{
+
+class LeakageModel
+{
+  public:
+    struct Params
+    {
+        double vth = 0.332;          //!< threshold voltage (V)
+        double temperature_c = 80.0;
+        double n = 1.4;              //!< subthreshold slope factor
+        double ion_ua_per_um = 0.3;  //!< on-current density
+        double avg_width_um = 6.7;   //!< calibrated to 830 pA/device
+    };
+
+    explicit LeakageModel(const TechParams &tech = defaultTech())
+        : tech_(tech), p_()
+    {}
+
+    LeakageModel(const TechParams &tech, const Params &p)
+        : tech_(tech), p_(p)
+    {}
+
+    /** Thermal voltage kT/q at the model temperature (V). */
+    double
+    thermalVoltage() const
+    {
+        constexpr double k_over_q = 8.617333e-5; // V per kelvin
+        return k_over_q * (p_.temperature_c + 273.15);
+    }
+
+    /** Subthreshold current of an average transistor (A). */
+    double
+    currentPerTransistorA() const
+    {
+        double ion = p_.ion_ua_per_um * 1e-6 * p_.avg_width_um;
+        return ion * std::exp(-p_.vth / (p_.n * thermalVoltage()));
+    }
+
+    /** Leakage current of one powered tile (mA). */
+    double
+    currentPerTileMa() const
+    {
+        return currentPerTransistorA() * tech_.transistors_per_tile *
+               1e3;
+    }
+
+    /** Leakage power of @p tiles powered tiles at supply @p v (mW). */
+    double
+    powerMw(unsigned tiles, double v) const
+    {
+        return currentPerTileMa() * tiles * v;
+    }
+
+    /** As powerMw but with an explicit per-tile current (the Figure
+     * 9/10 sensitivity sweeps set this directly). */
+    static double
+    powerMwAt(double i_leak_ma_per_tile, unsigned tiles, double v)
+    {
+        return i_leak_ma_per_tile * tiles * v;
+    }
+
+    const Params &params() const { return p_; }
+
+  private:
+    TechParams tech_;
+    Params p_;
+};
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_LEAKAGE_HH

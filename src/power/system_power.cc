@@ -1,0 +1,43 @@
+#include "power/system_power.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace synchro::power
+{
+
+PowerBreakdown
+SystemPowerModel::designPower(const std::vector<DomainLoad> &loads)
+    const
+{
+    PowerBreakdown total;
+    for (const auto &l : loads)
+        total += loadPower(l);
+    return total;
+}
+
+DomainLoad
+SystemPowerModel::atVoltage(const DomainLoad &l, double v) const
+{
+    DomainLoad out = l;
+    out.v = v;
+    return out;
+}
+
+PowerBreakdown
+SystemPowerModel::singleVoltagePower(
+    const std::vector<DomainLoad> &loads) const
+{
+    if (loads.empty())
+        return {};
+    double vmax = 0;
+    for (const auto &l : loads)
+        vmax = std::max(vmax, l.v);
+    PowerBreakdown total;
+    for (const auto &l : loads)
+        total += loadPower(atVoltage(l, vmax));
+    return total;
+}
+
+} // namespace synchro::power

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Whole-design power estimation — the equations of paper Section 4.1
+ * step 9:
+ *
+ *   P_total        = P_tile + P_interconnect + P_leakage
+ *   P_tile         = sum_c N_c * U * f_c * (V_c / V_ref)^2
+ *   P_interconnect = transfers/s * C_switched * V_bus^2
+ *   P_leakage      = sum_c N_c * I_leak * V_c
+ *
+ * A "load" is one algorithmic block mapped onto N tiles at one
+ * frequency/voltage, moving a given bus-transfer rate. An application
+ * is a list of loads; the single-voltage baseline re-evaluates every
+ * load at the application's maximum voltage (same frequencies).
+ */
+
+#ifndef SYNC_POWER_SYSTEM_POWER_HH
+#define SYNC_POWER_SYSTEM_POWER_HH
+
+#include <string>
+#include <vector>
+
+#include "power/interconnect.hh"
+#include "power/leakage.hh"
+#include "power/tile_power.hh"
+
+namespace synchro::power
+{
+
+/** One algorithmic block mapped to a frequency/voltage domain. */
+struct DomainLoad
+{
+    std::string name;
+    unsigned tiles = 0;
+    double f_mhz = 0;
+    double v = 0;
+    double bus_transfers_per_s = 0; //!< 32-bit bus transactions
+};
+
+/** Power breakdown of one load or one whole design (mW). */
+struct PowerBreakdown
+{
+    double tile_mw = 0;
+    double bus_mw = 0;
+    double leak_mw = 0;
+
+    double total() const { return tile_mw + bus_mw + leak_mw; }
+
+    PowerBreakdown &
+    operator+=(const PowerBreakdown &o)
+    {
+        tile_mw += o.tile_mw;
+        bus_mw += o.bus_mw;
+        leak_mw += o.leak_mw;
+        return *this;
+    }
+};
+
+class SystemPowerModel
+{
+  public:
+    explicit SystemPowerModel(const TechParams &tech = defaultTech())
+        : tech_(tech), tile_model_(tech), bus_model_(tech),
+          i_leak_ma_per_tile_(tech.leakMaPerTile())
+    {}
+
+    /** Override the per-tile leakage current (Figure 9/10 sweeps). */
+    void
+    setLeakMaPerTile(double ma)
+    {
+        i_leak_ma_per_tile_ = ma;
+    }
+
+    double leakMaPerTile() const { return i_leak_ma_per_tile_; }
+
+    /**
+     * Power of one load. Bus transfers switch the full-length bus at
+     * the driving domain's supply (the read/write buffers adapt tile
+     * voltage to bus voltage, paper Section 2.3).
+     */
+    PowerBreakdown
+    loadPower(const DomainLoad &l) const
+    {
+        PowerBreakdown b;
+        b.tile_mw = l.tiles * tile_model_.dynamicMw(l.f_mhz, l.v);
+        b.bus_mw = bus_model_.powerMw(l.bus_transfers_per_s, 32, l.v);
+        b.leak_mw =
+            LeakageModel::powerMwAt(i_leak_ma_per_tile_, l.tiles, l.v);
+        return b;
+    }
+
+    /** Sum over an application's loads. */
+    PowerBreakdown designPower(const std::vector<DomainLoad> &loads)
+        const;
+
+    /**
+     * The single-voltage baseline: every load re-evaluated at the
+     * application's maximum voltage with unchanged frequencies
+     * (Table 4's "Single Voltage" column).
+     */
+    PowerBreakdown singleVoltagePower(
+        const std::vector<DomainLoad> &loads) const;
+
+    /** A load as it would run in the single-voltage baseline. */
+    DomainLoad atVoltage(const DomainLoad &l, double v) const;
+
+    const TilePowerModel &tileModel() const { return tile_model_; }
+    const InterconnectModel &busModel() const { return bus_model_; }
+    const TechParams &tech() const { return tech_; }
+
+  private:
+    TechParams tech_;
+    TilePowerModel tile_model_;
+    InterconnectModel bus_model_;
+    double i_leak_ma_per_tile_;
+};
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_SYSTEM_POWER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Technology parameters of the Synchroscalar study (paper Table 1,
+ * 130 nm, Berkeley Predictive Technology Model).
+ *
+ * Known paper inconsistencies, preserved as documented:
+ *  - Table 1 lists "Wire Cap. 387 fF/um" but the interconnect text and
+ *    all arithmetic use 387 fF/mm; we use fF/mm.
+ *  - Max voltage is listed as 1.65 V yet the Viterbi ACS column runs
+ *    at 1.7 V; the model permits voltages up to extended_vmax.
+ */
+
+#ifndef SYNC_POWER_TECH_PARAMS_HH
+#define SYNC_POWER_TECH_PARAMS_HH
+
+namespace synchro::power
+{
+
+struct TechParams
+{
+    double feature_nm = 130.0;
+    double vdd_min = 0.7;          //!< voltage floor (V)
+    double vdd_max = 1.65;         //!< Table 1 nominal max (V)
+    double extended_vmax = 2.12;   //!< top of the Figure 5 sweep (V)
+    double vth = 0.332;            //!< threshold voltage (V)
+    double temperature_c = 80.0;   //!< leakage-analysis temperature
+    double freq_floor_mhz = 100.0; //!< frequency floor
+    double freq_max_mhz = 600.0;   //!< SPICE max at 20 FO4
+
+    double tile_power_mw_per_mhz = 0.1; //!< U at Vref = 1 V
+    double vref = 1.0;                  //!< reference voltage for U
+
+    double tile_area_mm2 = 1.82;
+    double simd_ctrl_area_mm2 = 0.25;
+    double dou_area_mm2 = 0.0875;
+
+    double wire_cap_ff_per_mm = 387.0; //!< semi-global wire
+    double bus_length_mm = 10.0;       //!< chip-length bus
+    double wire_pitch_um = 2.08;       //!< 16 x 130 nm semi-global
+
+    double transistors_per_tile = 1.8e6;
+    double leak_pa_per_transistor = 830.0; //!< at Vth/T above
+
+    /** Leakage current per tile in mA (~1.5 mA in the paper). */
+    double
+    leakMaPerTile() const
+    {
+        return transistors_per_tile * leak_pa_per_transistor * 1e-12 *
+               1e3;
+    }
+};
+
+/** The default 130 nm parameter set used throughout the study. */
+inline const TechParams &
+defaultTech()
+{
+    static const TechParams tech{};
+    return tech;
+}
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_TECH_PARAMS_HH

@@ -1,0 +1,117 @@
+#include "power/vf_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace synchro::power
+{
+
+namespace
+{
+
+/**
+ * The monotone subset of Table 4's (frequency MHz, voltage V) pairs
+ * used for the fit. Sub-floor frequencies (40/60/70 MHz at 0.7 V) are
+ * clamped points, not curve samples, and the 540 MHz @ 1.7 V Viterbi
+ * point sits above Table 1's 600 MHz @ 1.65 V — both are excluded
+ * from the regression but kept in the supply-level table.
+ */
+const std::vector<std::pair<double, double>> fit_points = {
+    {100.0, 0.7}, {120.0, 0.8}, {200.0, 1.0}, {280.0, 1.1},
+    {330.0, 1.2}, {380.0, 1.3}, {500.0, 1.5},
+};
+
+} // namespace
+
+VfModel::VfModel(const TechParams &tech, double fo4)
+    : tech_(tech), fo4_(fo4)
+{
+    if (fo4 <= 0)
+        fatal("VfModel: fo4 depth must be positive");
+    // Least-squares fit of ln(f*V) = ln k + alpha ln(V - Vth).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = double(fit_points.size());
+    for (auto [f, v] : fit_points) {
+        double x = std::log(v - tech_.vth);
+        double y = std::log(f * v);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    alpha_ = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    k_ = std::exp((sy - alpha_ * sx) / n);
+}
+
+double
+VfModel::frequencyMhz(double v) const
+{
+    if (v <= tech_.vth)
+        return 0.0;
+    double f20 = k_ * std::pow(v - tech_.vth, alpha_) / v;
+    // A shallower pipeline (fewer FO4 per stage) clocks faster in
+    // inverse proportion to its critical-path depth.
+    return f20 * (20.0 / fo4_);
+}
+
+double
+VfModel::voltageFor(double f_mhz) const
+{
+    if (f_mhz <= 0)
+        fatal("VfModel: frequency must be positive");
+    if (f_mhz <= frequencyMhz(tech_.vdd_min))
+        return tech_.vdd_min; // voltage floor
+    double lo = tech_.vdd_min;
+    double hi = tech_.extended_vmax;
+    if (frequencyMhz(hi) < f_mhz)
+        fatal("VfModel: %.1f MHz unreachable below %.2f V", f_mhz, hi);
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (frequencyMhz(mid) >= f_mhz)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+const std::vector<std::pair<double, double>> &
+SupplyLevels::paperPoints()
+{
+    static const std::vector<std::pair<double, double>> pts = {
+        {100.0, 0.7}, {120.0, 0.8}, {200.0, 1.0}, {280.0, 1.1},
+        {330.0, 1.2}, {380.0, 1.3}, {500.0, 1.5}, {540.0, 1.7},
+    };
+    return pts;
+}
+
+SupplyLevels::SupplyLevels(const VfModel &model)
+{
+    levels_ = paperPoints();
+    // Extend above the paper's published points using the fitted
+    // curve in 100 MHz steps up to the extended voltage ceiling.
+    double top_v = model.tech().extended_vmax;
+    double top_f = model.frequencyMhz(top_v);
+    for (double f = 600.0; f <= top_f; f += 100.0)
+        levels_.emplace_back(f, model.voltageFor(f));
+}
+
+double
+SupplyLevels::voltageFor(double f_mhz) const
+{
+    for (const auto &[f, v] : levels_) {
+        if (f_mhz <= f + 1e-9)
+            return v;
+    }
+    fatal("SupplyLevels: no supply level sustains %.1f MHz (max %.1f)",
+          f_mhz, levels_.back().first);
+}
+
+double
+SupplyLevels::maxFrequencyMhz() const
+{
+    return levels_.back().first;
+}
+
+} // namespace synchro::power

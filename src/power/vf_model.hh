@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Voltage-frequency model (paper Figure 5 and Section 4.2).
+ *
+ * The paper SPICEs a 20 FO4 critical path with the Berkeley Predictive
+ * Technology Model and captures the result as a lookup table. We
+ * reproduce it two ways:
+ *
+ *  1. An alpha-power-law MOSFET delay model
+ *         f(V) = k * (V - Vth)^alpha / V
+ *     with (k, alpha) least-squares fitted to the paper's published
+ *     operating points, standing in for the SPICE sweep (substitution
+ *     documented in DESIGN.md). A 15 FO4 pipeline is 20/15 faster.
+ *
+ *  2. The paper's own operating points as a quantized supply-level
+ *     table (Section 2.4: "we support only a small set of frequencies
+ *     and voltages"), used when mapping applications so Table 4
+ *     reproduces the published voltages exactly.
+ */
+
+#ifndef SYNC_POWER_VF_MODEL_HH
+#define SYNC_POWER_VF_MODEL_HH
+
+#include <utility>
+#include <vector>
+
+#include "power/tech_params.hh"
+
+namespace synchro::power
+{
+
+/** Analytic alpha-power-law frequency model. */
+class VfModel
+{
+  public:
+    /**
+     * @param tech  technology constants (Vth, floors)
+     * @param fo4   critical-path depth in FO4 (paper uses 20; 15 in
+     *              Figure 5's second curve)
+     */
+    explicit VfModel(const TechParams &tech = defaultTech(),
+                     double fo4 = 20.0);
+
+    /** Maximum operating frequency (MHz) at supply @p v. */
+    double frequencyMhz(double v) const;
+
+    /**
+     * Minimum supply for @p f_mhz, clamped to the voltage floor.
+     * fatal() if the frequency is unreachable below extended_vmax.
+     */
+    double voltageFor(double f_mhz) const;
+
+    double alpha() const { return alpha_; }
+    double k() const { return k_; }
+
+    const TechParams &tech() const { return tech_; }
+
+  private:
+    TechParams tech_;
+    double fo4_;
+    double alpha_;
+    double k_; //!< MHz scale constant (at 20 FO4)
+};
+
+/**
+ * The small set of supported (frequency ceiling, voltage) supply
+ * levels, derived from the paper's Table 4 operating points and
+ * extended above 540 MHz with the fitted model.
+ */
+class SupplyLevels
+{
+  public:
+    explicit SupplyLevels(const VfModel &model);
+
+    /**
+     * The lowest supported level sustaining @p f_mhz; fatal() if no
+     * level reaches it.
+     */
+    double voltageFor(double f_mhz) const;
+
+    /** Highest frequency supported at all (the top level). */
+    double maxFrequencyMhz() const;
+
+    /** (f_ceiling_mhz, voltage) pairs in ascending order. */
+    const std::vector<std::pair<double, double>> &
+    levels() const
+    {
+        return levels_;
+    }
+
+    /** The operating points published in the paper's Table 4. */
+    static const std::vector<std::pair<double, double>> &paperPoints();
+
+  private:
+    std::vector<std::pair<double, double>> levels_;
+};
+
+} // namespace synchro::power
+
+#endif // SYNC_POWER_VF_MODEL_HH

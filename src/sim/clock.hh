@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clock domains as integer dividers of the reference clock.
+ *
+ * The Synchroscalar chip distributes one PLL reference; each column's
+ * clock divider derives its domain clock (Figure 1). Modelling a
+ * domain as (divider, phase) pairs keeps every pair of domains
+ * rationally related by construction and makes cross-domain static
+ * schedules exact integer arithmetic.
+ */
+
+#ifndef SYNC_SIM_CLOCK_HH
+#define SYNC_SIM_CLOCK_HH
+
+#include "common/log.hh"
+#include "sim/types.hh"
+
+namespace synchro
+{
+
+class ClockDomain
+{
+  public:
+    /**
+     * @param ref_freq_hz frequency of the reference clock (divider 1)
+     * @param divider     integer divide ratio (>= 1)
+     * @param phase       offset of this domain's first edge, in ticks
+     */
+    ClockDomain(double ref_freq_hz, unsigned divider, Tick phase = 0)
+        : ref_freq_hz_(ref_freq_hz), divider_(divider), phase_(phase)
+    {
+        if (divider == 0)
+            fatal("clock divider must be >= 1");
+        if (phase >= divider)
+            fatal("clock phase %llu must be < divider %u",
+                  (unsigned long long)phase, divider);
+    }
+
+    unsigned divider() const { return divider_; }
+    Tick phase() const { return phase_; }
+    double frequencyHz() const { return ref_freq_hz_ / divider_; }
+    double frequencyMHz() const { return frequencyHz() / 1e6; }
+
+    /** Tick of this domain's cycle @p c (edges at phase + c*divider). */
+    Tick
+    cycleToTick(Cycle c) const
+    {
+        return phase_ + Tick(c) * divider_;
+    }
+
+    /** Number of complete domain cycles whose edge is at or before t. */
+    Cycle
+    tickToCycle(Tick t) const
+    {
+        if (t < phase_)
+            return 0;
+        return (t - phase_) / divider_ + 1;
+    }
+
+    /** First domain clock edge at a tick strictly greater than @p t. */
+    Tick
+    nextEdgeAfter(Tick t) const
+    {
+        if (t < phase_)
+            return phase_;
+        Tick n = (t - phase_) / divider_ + 1;
+        return phase_ + n * divider_;
+    }
+
+    /** True if @p t is exactly on an edge of this domain. */
+    bool
+    onEdge(Tick t) const
+    {
+        return t >= phase_ && (t - phase_) % divider_ == 0;
+    }
+
+  private:
+    double ref_freq_hz_;
+    unsigned divider_;
+    Tick phase_;
+};
+
+} // namespace synchro
+
+#endif // SYNC_SIM_CLOCK_HH

@@ -1,0 +1,68 @@
+#include "sim/eventq.hh"
+
+#include "common/log.hh"
+
+namespace synchro
+{
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    sync_assert(ev != nullptr, "null event");
+    if (ev->scheduled_)
+        panic("event '%s' already scheduled", ev->name().c_str());
+    if (when < cur_tick_) {
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              ev->name().c_str(), (unsigned long long)when,
+              (unsigned long long)cur_tick_);
+    }
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->seq_ = next_seq_++;
+    heap_.push(Entry{when, ev->priority_, ev->seq_, ev});
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    // Lazy deletion: mark unscheduled; stale heap entries are skipped.
+    if (ev && ev->scheduled_)
+        ev->scheduled_ = false;
+}
+
+Event *
+EventQueue::serviceOne()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        // Skip entries invalidated by deschedule() or reschedule.
+        if (!e.ev->scheduled_ || e.ev->seq_ != e.seq)
+            continue;
+        cur_tick_ = e.when;
+        e.ev->scheduled_ = false;
+        e.ev->process();
+        return e.ev;
+    }
+    return nullptr;
+}
+
+uint64_t
+EventQueue::run(Tick limit)
+{
+    uint64_t serviced = 0;
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (!top.ev->scheduled_ || top.ev->seq_ != top.seq) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        serviceOne();
+        ++serviced;
+    }
+    return serviced;
+}
+
+} // namespace synchro

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A deterministic discrete-event queue in the gem5 style.
+ *
+ * Events scheduled for the same tick are serviced in (priority,
+ * insertion-order) order, so simulations are bit-reproducible. The
+ * queue owns nothing: Event lifetime is the caller's problem (the
+ * architecture model keeps its events as members).
+ */
+
+#ifndef SYNC_SIM_EVENTQ_HH
+#define SYNC_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace synchro
+{
+
+class EventQueue;
+
+/** Schedulable callback with a stable priority. */
+class Event
+{
+  public:
+    /**
+     * Lower value runs first within a tick. The defaults order one
+     * simulated cycle: clock-edge producers run before bus movement,
+     * which runs before consumers.
+     */
+    enum Priority : int
+    {
+        ClockEdgePri = 0,
+        BusPri = 10,
+        ConsumePri = 20,
+        DefaultPri = 50,
+    };
+
+    explicit Event(std::string name, int priority = DefaultPri)
+        : name_(std::move(name)), priority_(priority)
+    {}
+
+    virtual ~Event() = default;
+
+    /** Body executed when the event fires. */
+    virtual void process() = 0;
+
+    const std::string &name() const { return name_; }
+    int priority() const { return priority_; }
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    int priority_;
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    uint64_t seq_ = 0; // insertion order for same-tick determinism
+};
+
+/** Convenience Event wrapping a std::function. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::string name, std::function<void()> fn,
+                int priority = DefaultPri)
+        : Event(std::move(name), priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+class EventQueue
+{
+  public:
+    /** Schedule @p ev at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a pending event. No-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Service the single earliest event; returns it (or nullptr). */
+    Event *serviceOne();
+
+    /**
+     * Run until the queue is empty or curTick would exceed @p limit.
+     * Returns the number of events serviced.
+     */
+    uint64_t run(Tick limit = MaxTick);
+
+    Tick curTick() const { return cur_tick_; }
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        uint64_t seq;
+        Event *ev;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick cur_tick_ = 0;
+    uint64_t next_seq_ = 0;
+};
+
+} // namespace synchro
+
+#endif // SYNC_SIM_EVENTQ_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fundamental simulation time types.
+ *
+ * A Tick is one period of the chip's reference clock — the maximum
+ * (bus/DOU) frequency. Column clocks are integer dividers of the
+ * reference, which keeps every domain rationally related exactly as
+ * the Synchroscalar paper requires (Section 6: "the restriction of
+ * using only rationally related frequencies between different
+ * columns ... avoids the use of asynchronous FIFOs").
+ */
+
+#ifndef SYNC_SIM_TYPES_HH
+#define SYNC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace synchro
+{
+
+using Tick = uint64_t;
+using Cycle = uint64_t;
+
+constexpr Tick MaxTick = std::numeric_limits<Tick>::max();
+
+} // namespace synchro
+
+#endif // SYNC_SIM_TYPES_HH

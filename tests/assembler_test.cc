@@ -1,0 +1,195 @@
+/** @file Assembler tests: syntax, labels, directives, diagnostics. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+using namespace synchro;
+using namespace synchro::isa;
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        ; a trivial program
+        movi r0, 5
+        movi r1, 7
+        add  r2, r0, r1
+        halt
+    )");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.insts[0].op, Opcode::MOVI);
+    EXPECT_EQ(p.insts[2].op, Opcode::ADD);
+    EXPECT_EQ(p.insts[2].rd, 2);
+    EXPECT_EQ(p.insts[3].op, Opcode::HALT);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBack)
+{
+    Program p = assemble(R"(
+    start:
+        movi r0, 0
+        jump end
+        movi r0, 1    ; skipped
+    end:
+        halt
+    )");
+    EXPECT_EQ(p.label("start"), 0u);
+    EXPECT_EQ(p.label("end"), 3u);
+    EXPECT_EQ(p.insts[1].imm, 3);
+}
+
+TEST(Assembler, LsetupWithLabel)
+{
+    Program p = assemble(R"(
+        lsetup lc0, body_end, 21
+        mac a0, r1, r2, ll
+        ld.h r1, [p0]++
+    body_end:
+        aext r3, a0, 15
+        halt
+    )");
+    EXPECT_EQ(p.insts[0].op, Opcode::LSETUP);
+    EXPECT_EQ(p.insts[0].end, 3);
+    EXPECT_EQ(p.insts[0].imm, 21);
+    // [p0]++ with ld.h means post-increment by 2.
+    EXPECT_EQ(p.insts[2].mode, MemMode::PostMod);
+    EXPECT_EQ(p.insts[2].imm, 2);
+}
+
+TEST(Assembler, MemoryAddressingForms)
+{
+    Program p = assemble(R"(
+        ld.w r0, [p0]
+        ld.w r1, [p1+8]
+        ld.w r2, [p2-4]
+        ld.w r3, [p3]+12
+        ld.w r4, [p4]-16
+        st.b r5, [p5]++
+        ld.b r6, [p0]--
+        halt
+    )");
+    EXPECT_EQ(p.insts[0].mode, MemMode::Offset);
+    EXPECT_EQ(p.insts[0].imm, 0);
+    EXPECT_EQ(p.insts[1].imm, 8);
+    EXPECT_EQ(p.insts[2].imm, -4);
+    EXPECT_EQ(p.insts[3].mode, MemMode::PostMod);
+    EXPECT_EQ(p.insts[3].imm, 12);
+    EXPECT_EQ(p.insts[4].imm, -16);
+    EXPECT_EQ(p.insts[5].imm, 1);  // st.b size
+    EXPECT_EQ(p.insts[6].imm, -1); // ld.b size
+}
+
+TEST(Assembler, EquAndNumericBases)
+{
+    Program p = assemble(R"(
+        .equ TAPS, 21
+        .equ BASE, 0x100
+        movi r0, TAPS
+        movpi p0, BASE
+        movi r1, 0b1010
+        halt
+    )");
+    EXPECT_EQ(p.insts[0].imm, 21);
+    EXPECT_EQ(p.insts[1].imm, 0x100);
+    EXPECT_EQ(p.insts[2].imm, 10);
+}
+
+TEST(Assembler, CommentsEverywhere)
+{
+    Program p = assemble(R"(
+        movi r0, 1   ; trailing semicolon comment
+        movi r1, 2   # hash comment
+        movi r2, 3   // slash comment
+        halt
+    )");
+    EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Assembler, HselVariants)
+{
+    Program p = assemble(R"(
+        mac a0, r0, r1
+        mac a0, r0, r1, lh
+        msu a1, r2, r3, hh
+        halt
+    )");
+    EXPECT_EQ(p.insts[0].hsel, HalfSel::LL); // default
+    EXPECT_EQ(p.insts[1].hsel, HalfSel::LH);
+    EXPECT_EQ(p.insts[2].op, Opcode::MSU);
+    EXPECT_EQ(p.insts[2].hsel, HalfSel::HH);
+    EXPECT_EQ(p.insts[2].acc, 1);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("movi r0, 1\nbogus r1, r2\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Assembler, DiagnosesCommonMistakes)
+{
+    EXPECT_THROW(assemble("movi r9, 1"), FatalError);   // bad reg
+    EXPECT_THROW(assemble("add r0, r1"), FatalError);   // arity
+    EXPECT_THROW(assemble("jump nowhere"), FatalError); // undef label
+    EXPECT_THROW(assemble("ld.w r0, [r1]"), FatalError); // not a preg
+    EXPECT_THROW(assemble("x: x: halt"), FatalError);   // dup label
+    EXPECT_THROW(assemble(".weird 3"), FatalError);     // directive
+    EXPECT_THROW(assemble("movi r0, 70000"), FatalError); // range
+    EXPECT_THROW(assemble("lsetup lc2, 4, 5\nhalt"), FatalError);
+}
+
+TEST(Assembler, WordsEncodeDecodeConsistency)
+{
+    Program p = assemble(R"(
+        movi r0, -42
+        lsl r1, r0, r0
+        st.w r1, [p0]+4
+        jcc 0
+        halt
+    )");
+    auto ws = p.words();
+    ASSERT_EQ(ws.size(), p.size());
+    for (size_t i = 0; i < ws.size(); ++i)
+        EXPECT_EQ(decode(ws[i]), p.insts[i]) << "inst " << i;
+}
+
+TEST(Assembler, DisasmReassembles)
+{
+    // Disassembled text must re-assemble to identical instructions.
+    Program p = assemble(R"(
+        movi r0, 100
+        movih r0, 0xdead
+        add r1, r0, r0
+        mac a0, r1, r1, hl
+        aext r2, a0, 12
+        ld.hu r3, [p1]+2
+        cmplt r3, r2
+        sel r4, r3, r2
+        cwr r7
+        crd r5
+        halt
+    )");
+    std::string round;
+    for (const auto &inst : p.insts)
+        round += disassemble(inst) + "\n";
+    Program q = assemble(round);
+    ASSERT_EQ(q.size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(q.insts[i], p.insts[i]) << disassemble(p.insts[i]);
+}
+
+TEST(Assembler, InlineLabelWithInstruction)
+{
+    Program p = assemble("top: movi r0, 1\n jump top\n");
+    EXPECT_EQ(p.label("top"), 0u);
+    EXPECT_EQ(p.insts[1].imm, 0);
+}

@@ -1,0 +1,217 @@
+/** @file AutoMapper tests: SDF graph -> complete chip plan (the
+ * paper's future-work tool chain). */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.hh"
+#include "common/log.hh"
+#include "mapping/auto_mapper.hh"
+
+using namespace synchro;
+using namespace synchro::mapping;
+using namespace synchro::power;
+
+namespace
+{
+
+SystemPowerModel &
+model()
+{
+    static SystemPowerModel m;
+    return m;
+}
+
+SupplyLevels &
+levels()
+{
+    static VfModel vf;
+    static SupplyLevels l(vf);
+    return l;
+}
+
+/** A DDC-shaped chain: mixer -> integrator -> (decimate 8) comb. */
+SdfGraph
+ddcGraph()
+{
+    SdfGraph g;
+    unsigned mixer = g.addActor("mixer", 15);
+    unsigned integ = g.addActor("integrator", 25);
+    unsigned comb = g.addActor("comb", 20);
+    g.addEdge(mixer, integ, 1, 1);
+    g.addEdge(integ, comb, 1, 8);
+    return g;
+}
+
+} // namespace
+
+TEST(AutoMapper, MapsDdcChain)
+{
+    AutoMapper mapper(model(), levels());
+    // One iteration = 8 front-end samples; 8 MHz iterations = the
+    // 64 MS/s GSM rate.
+    auto plan = mapper.map(ddcGraph(), 8e6);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->placements.size(), 3u);
+    EXPECT_EQ(plan->repetition,
+              (std::vector<uint64_t>{8, 8, 1}));
+    EXPECT_GT(plan->total_tiles, 0u);
+    EXPECT_GT(plan->power.total(), 0.0);
+    EXPECT_GE(plan->single_voltage.total(), plan->power.total());
+    EXPECT_FALSE(plan->report().empty());
+}
+
+TEST(AutoMapper, DividersCoverDemandExactly)
+{
+    AutoMapper mapper(model(), levels());
+    auto plan = mapper.map(ddcGraph(), 8e6);
+    ASSERT_TRUE(plan.has_value());
+    for (const auto &p : plan->placements) {
+        // The divided clock must cover the demand...
+        EXPECT_GE(p.f_column_mhz, p.f_needed_mhz - 1e-9) << p.actor;
+        // ...and be an exact divider of the reference.
+        EXPECT_NEAR(p.f_column_mhz * p.divider,
+                    plan->ref_freq_mhz, 1e-9);
+        // ZORM closes the residual: effective rate == demand.
+        double effective =
+            p.f_column_mhz * p.zorm.usefulFraction();
+        EXPECT_NEAR(effective, p.f_needed_mhz,
+                    1e-6 * p.f_needed_mhz)
+            << p.actor;
+    }
+}
+
+TEST(AutoMapper, PlanDrivesARealChip)
+{
+    // The produced divider list must configure an actual Chip.
+    AutoMapper mapper(model(), levels());
+    auto plan = mapper.map(ddcGraph(), 8e6);
+    ASSERT_TRUE(plan.has_value());
+    arch::ChipConfig cfg;
+    cfg.dividers = plan->dividers();
+    ASSERT_EQ(cfg.dividers.size(), plan->total_columns);
+    arch::Chip chip(cfg);
+    for (unsigned c = 0; c < chip.numColumns(); ++c) {
+        chip.column(c).controller().loadProgram(
+            isa::assemble("movi r0, 1\nhalt\n"));
+        // Apply the plan's ZORM setting for this column's actor.
+        for (const auto &p : plan->placements) {
+            if (c >= p.first_column &&
+                c < p.first_column + p.columns) {
+                chip.column(c).controller().setRateMatch(
+                    p.zorm.nops, p.zorm.period);
+            }
+        }
+    }
+    auto res = chip.run(100'000);
+    EXPECT_EQ(res.exit, arch::RunExit::AllHalted);
+}
+
+TEST(AutoMapper, ColumnsAllocatedContiguously)
+{
+    AutoMapper mapper(model(), levels());
+    auto plan = mapper.map(ddcGraph(), 8e6);
+    ASSERT_TRUE(plan.has_value());
+    unsigned next = 0;
+    for (const auto &p : plan->placements) {
+        EXPECT_EQ(p.first_column, next);
+        EXPECT_EQ(p.columns, (p.tiles + 3) / 4);
+        next += p.columns;
+    }
+    EXPECT_EQ(next, plan->total_columns);
+}
+
+TEST(AutoMapper, RespectsTileBudget)
+{
+    AutoMapper mapper(model(), levels());
+    auto small = mapper.map(ddcGraph(), 8e6, {}, 6);
+    auto large = mapper.map(ddcGraph(), 8e6, {}, 40);
+    ASSERT_TRUE(small.has_value());
+    ASSERT_TRUE(large.has_value());
+    EXPECT_LE(small->total_tiles, 6u);
+    // More budget can only help (or tie): power monotone.
+    EXPECT_LE(large->power.total(), small->power.total() + 1e-9);
+}
+
+TEST(AutoMapper, RejectsInconsistentGraph)
+{
+    SdfGraph g;
+    unsigned a = g.addActor("a", 10);
+    unsigned b = g.addActor("b", 10);
+    g.addEdge(a, b, 2, 1);
+    g.addEdge(a, b, 1, 1);
+    AutoMapper mapper(model(), levels());
+    EXPECT_FALSE(mapper.map(g, 1e6).has_value());
+}
+
+TEST(AutoMapper, RejectsDeadlockedGraph)
+{
+    SdfGraph g;
+    unsigned a = g.addActor("a", 10);
+    unsigned b = g.addActor("b", 10);
+    g.addEdge(a, b, 1, 1);
+    g.addEdge(b, a, 1, 1); // no initial tokens
+    AutoMapper mapper(model(), levels());
+    EXPECT_FALSE(mapper.map(g, 1e6).has_value());
+}
+
+TEST(AutoMapper, RejectsImpossibleRates)
+{
+    SdfGraph g;
+    g.addActor("hot", 1'000'000); // 1M cycles per firing
+    AutoMapper mapper(model(), levels());
+    // 1M cycles x 1 MHz iterations = 1 Tcycle/s on <= 64 tiles:
+    // far beyond any supply level.
+    EXPECT_FALSE(mapper.map(g, 1e6, {}, 64).has_value());
+}
+
+TEST(AutoMapper, SerialActorPinnedToOneTile)
+{
+    SdfGraph g;
+    unsigned svd = g.addActor("svd", 400);
+    unsigned pfe = g.addActor("pfe", 400);
+    g.addEdge(pfe, svd, 1, 1);
+    std::vector<ActorCommSpec> comm(2);
+    comm[svd].max_parallel = 1; // svd resists parallelization
+    (void)pfe;
+    AutoMapper mapper(model(), levels());
+    auto plan = mapper.map(g, 1e6, comm);
+    ASSERT_TRUE(plan.has_value());
+    for (const auto &p : plan->placements) {
+        if (p.actor == "svd") {
+            EXPECT_EQ(p.tiles, 1u);
+        }
+    }
+}
+
+TEST(AutoMapper, CommunicationShapesAllocation)
+{
+    // A chatty actor should get fewer tiles than a silent one with
+    // the same compute demand (linear comm scaling penalizes
+    // parallelism).
+    SdfGraph g;
+    g.addActor("silent", 1000);
+    g.addActor("chatty", 1000);
+    std::vector<ActorCommSpec> comm(2);
+    comm[1].words_per_firing = 40.0;
+    comm[1].scaling = CommScaling::Linear;
+    AutoMapper mapper(model(), levels());
+    auto plan = mapper.map(g, 1e6, comm);
+    ASSERT_TRUE(plan.has_value());
+    unsigned silent_tiles = 0, chatty_tiles = 0;
+    for (const auto &p : plan->placements) {
+        if (p.actor == "silent")
+            silent_tiles = p.tiles;
+        else
+            chatty_tiles = p.tiles;
+    }
+    EXPECT_GE(silent_tiles, chatty_tiles);
+}
+
+TEST(AutoMapper, BufferBoundsCertificateIncluded)
+{
+    AutoMapper mapper(model(), levels());
+    auto plan = mapper.map(ddcGraph(), 8e6);
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_EQ(plan->buffer_bounds.size(), 2u);
+    EXPECT_EQ(plan->buffer_bounds[1], 8u); // the decimation edge
+}

@@ -1,0 +1,377 @@
+/** @file Integration tests: DOU-scheduled communication over the
+ * segmented bus, within and across columns and clock domains. */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.hh"
+#include "common/log.hh"
+#include "isa/assembler.hh"
+
+using namespace synchro;
+using namespace synchro::arch;
+using synchro::isa::assemble;
+
+namespace
+{
+
+/** DOU program: one repeating state with the given controls. */
+DouProgram
+steadyState(std::array<uint8_t, 4> seg, std::array<BufferCtl, 4> bufs)
+{
+    DouProgram p;
+    DouState s;
+    s.seg = seg;
+    for (unsigned t = 0; t < 4; ++t)
+        s.buf[t] = bufs[t].byte();
+    p.states = {s};
+    return p;
+}
+
+BufferCtl
+driveOn(unsigned lane)
+{
+    BufferCtl c;
+    c.drive = true;
+    c.drive_lane = uint8_t(lane);
+    return c;
+}
+
+BufferCtl
+captureOn(unsigned lane)
+{
+    BufferCtl c;
+    c.capture = true;
+    c.capture_lane = uint8_t(lane);
+    return c;
+}
+
+BufferCtl
+driveAndCapture(unsigned lane)
+{
+    BufferCtl c = driveOn(lane);
+    c.capture = true;
+    c.capture_lane = uint8_t(lane);
+    return c;
+}
+
+} // namespace
+
+TEST(ChipComm, CrossColumnProducerConsumer)
+{
+    // Column 0 (1 tile) streams five values to column 1 (1 tile)
+    // through the horizontal bus; the consumer accumulates them.
+    ChipConfig cfg;
+    cfg.dividers = {1, 1};
+    cfg.tiles_per_column = 1;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 0
+        lsetup lc0, send_end, 5
+        addi r7, 1       ; values 1..5
+        cwr r7
+    send_end:
+        halt
+    )"));
+    chip.column(1).controller().loadProgram(assemble(R"(
+        movi r1, 0
+        lsetup lc0, recv_end, 5
+        crd r0
+        add r1, r1, r0
+    recv_end:
+        halt
+    )"));
+
+    // Producer drives lane 0 through its boundary switch onto the
+    // horizontal bus; consumer captures lane 0 from it.
+    auto seg_h = std::array<uint8_t, 4>{0, 0, 0, 0x1}; // seg[3] lane0/1
+    chip.column(0).dou().load(
+        steadyState(seg_h, {driveOn(0), {}, {}, {}}));
+    chip.column(1).dou().load(
+        steadyState(seg_h, {captureOn(0), {}, {}, {}}));
+
+    auto res = chip.run(10'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(1).tile(0).reg(1), 15u); // 1+2+3+4+5
+    EXPECT_EQ(chip.fabric().stats().value("conflicts"), 0u);
+    EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u);
+    EXPECT_EQ(chip.fabric().transfers(), 5u);
+}
+
+TEST(ChipComm, SegmentedBusCarriesParallelTransfers)
+{
+    // Paper Section 2.3: "two messages can pass between neighboring
+    // tiles using the same wires in different segments". Tiles 0->1
+    // and 2->3 exchange on lane 0 simultaneously; segment point 1
+    // stays open so the groups are disjoint.
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 4;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        tid r7
+        addi r7, 100     ; tile t sends 100 + t
+        cwr r7
+        crd r0
+        halt
+    )"));
+
+    auto seg = std::array<uint8_t, 4>{0x1, 0x0, 0x1, 0x0};
+    chip.column(0).dou().load(steadyState(
+        seg, {driveAndCapture(0), captureOn(0), driveAndCapture(0),
+              captureOn(0)}));
+
+    auto res = chip.run(1'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(0).tile(0).reg(0), 100u); // own value back
+    EXPECT_EQ(chip.column(0).tile(1).reg(0), 100u); // from tile 0
+    EXPECT_EQ(chip.column(0).tile(2).reg(0), 102u); // own value back
+    EXPECT_EQ(chip.column(0).tile(3).reg(0), 102u); // from tile 2
+    EXPECT_EQ(chip.fabric().stats().value("conflicts"), 0u);
+    // Both transfers happened in the same bus cycle on the same lane.
+    EXPECT_EQ(chip.fabric().transfers(), 2u);
+}
+
+TEST(ChipComm, BroadcastWhenAllSwitchesClosed)
+{
+    // "if all the controllers are turned on, the bus becomes a
+    // low-latency broadcast bus".
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 4;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        tid r0
+        movi r1, 0
+        cmpeq r0, r1
+        movi r7, 777
+        jncc skip_send
+        cwr r7          ; only reached by the column, but the DOU only
+    skip_send:          ; drives tile 0's buffer anyway
+        crd r2
+        halt
+    )"));
+
+    // All tiles capture lane 3; only tile 0 drives it.
+    auto seg = std::array<uint8_t, 4>{0xf, 0xf, 0xf, 0x0};
+    chip.column(0).dou().load(steadyState(
+        seg, {driveAndCapture(3), captureOn(3), captureOn(3),
+              captureOn(3)}));
+
+    auto res = chip.run(1'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(chip.column(0).tile(t).reg(2), 777u) << "tile " << t;
+    EXPECT_EQ(chip.fabric().transfers(), 1u);
+}
+
+TEST(ChipComm, ConflictDetectedWhenSegmentsMerge)
+{
+    // Same two pairs as the parallel-transfer test, but with every
+    // switch closed the two drivers collide in one group.
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 4;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        tid r7
+        cwr r7
+        halt
+    )"));
+    auto seg = std::array<uint8_t, 4>{0x1, 0x1, 0x1, 0x0};
+    chip.column(0).dou().load(steadyState(
+        seg, {driveOn(0), {}, driveOn(0), {}}));
+
+    auto res = chip.run(1'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.fabric().stats().value("conflicts"), 1u);
+}
+
+TEST(ChipComm, ConflictIsFatalInStrictMode)
+{
+    // In strict mode the schedule must be exact, so the DOU waits one
+    // cycle (for the cwr to land) and then creates the collision.
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 4;
+    cfg.strict = true;
+    Chip chip(cfg);
+    chip.column(0).controller().loadProgram(assemble(R"(
+        tid r7
+        cwr r7
+        halt
+    )"));
+    DouProgram p;
+    DouState wait; // tick 0: tid executes, nothing on the bus
+    wait.nxt0 = wait.nxt1 = 1;
+    DouState clash; // tick 1: both drivers in one merged group
+    clash.seg = {0x1, 0x1, 0x1, 0x0};
+    clash.buf[0] = driveOn(0).byte();
+    clash.buf[2] = driveOn(0).byte();
+    clash.nxt0 = clash.nxt1 = 2;
+    DouState done;
+    done.nxt0 = done.nxt1 = 2;
+    p.states = {wait, clash, done};
+    chip.column(0).dou().load(p);
+    EXPECT_THROW(chip.run(1'000), FatalError);
+}
+
+TEST(ChipComm, CrossClockDomainTransferWithStalls)
+{
+    // Producer at 600 MHz (divider 1), consumer at 200 MHz (divider
+    // 3): the consumer is the bottleneck, so the *producer* stalls on
+    // its write buffer. The data still arrives intact — this is the
+    // cross-domain synchronization the buffers provide.
+    ChipConfig cfg;
+    cfg.dividers = {1, 3};
+    cfg.tiles_per_column = 1;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 0
+        lsetup lc0, e, 8
+        addi r7, 1
+        cwr r7
+    e:
+        halt
+    )"));
+    chip.column(1).controller().loadProgram(assemble(R"(
+        movi r1, 0
+        lsetup lc0, e, 8
+        crd r0
+        add r1, r1, r0
+    e:
+        halt
+    )"));
+
+    // Rate-matched schedule: the consumer's 2-instruction loop at
+    // divider 3 consumes one value every 6 bus cycles, so the
+    // producer's DOU drives once per 6 bus cycles; write-buffer
+    // backpressure throttles the faster producer in between.
+    DouProgram prod;
+    for (unsigned s = 0; s < 6; ++s) {
+        DouState st;
+        if (s == 0) {
+            st.seg = {0, 0, 0, 0x1};
+            st.buf[0] = driveOn(0).byte();
+        }
+        st.nxt0 = st.nxt1 = uint8_t((s + 1) % 6);
+        prod.states.push_back(st);
+    }
+    chip.column(0).dou().load(prod);
+    chip.column(1).dou().load(steadyState(
+        {0, 0, 0, 0x1}, {captureOn(0), {}, {}, {}}));
+
+    auto res = chip.run(10'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(1).tile(0).reg(1), 36u); // 1+..+8
+    EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u);
+    // The fast producer had to wait on its write buffer: these stalls
+    // are the cross-domain synchronization nops of paper Section 4.5.
+    EXPECT_GT(chip.column(0).controller().stats().value("commStalls"),
+              0u);
+}
+
+TEST(ChipComm, WriteBufferBackpressureStallsProducer)
+{
+    // No consumer ever captures, and the DOU never drives: the second
+    // cwr must stall the producer column forever.
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 1;
+    Chip chip(cfg);
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 1
+        cwr r7
+        cwr r7
+        halt
+    )"));
+    auto res = chip.run(500);
+    EXPECT_EQ(res.exit, RunExit::TickLimit);
+    EXPECT_GT(chip.column(0).controller().stats().value("commStalls"),
+              400u);
+}
+
+TEST(ChipComm, GatherOverHorizontalBus)
+{
+    // Three producer columns send their column id; a fourth column
+    // gathers all three values in schedule order — the gather-scatter
+    // pattern the single horizontal bus supports (Section 2.3).
+    ChipConfig cfg;
+    cfg.dividers = {1, 1, 1, 1};
+    cfg.tiles_per_column = 1;
+    Chip chip(cfg);
+
+    for (unsigned c = 0; c < 3; ++c) {
+        chip.column(c).controller().loadProgram(assemble(strprintf(R"(
+            movi r7, %u
+            cwr r7
+            halt
+        )", c + 10)));
+    }
+    chip.column(3).controller().loadProgram(assemble(R"(
+        crd r1
+        crd r2
+        crd r3
+        add r0, r1, r2
+        add r0, r0, r3
+        halt
+    )"));
+
+    // Gather DOU schedules: producer c drives the horizontal bus in
+    // bus cycle c+1 (its cwr lands at tick 1; one producer per cycle
+    // avoids conflicts); the consumer captures every cycle.
+    for (unsigned c = 0; c < 3; ++c) {
+        DouProgram p;
+        // waiting states (seg open, no buffers)
+        for (unsigned w = 0; w < c + 1; ++w) {
+            DouState idle;
+            idle.nxt0 = idle.nxt1 = uint8_t(w + 1);
+            p.states.push_back(idle);
+        }
+        DouState send;
+        send.seg = {0, 0, 0, 0x1};
+        BufferCtl d = driveOn(0);
+        send.buf[0] = d.byte();
+        send.nxt0 = send.nxt1 = uint8_t(c + 1);
+        p.states.push_back(send);
+        DouState done;
+        done.nxt0 = done.nxt1 = uint8_t(p.states.size());
+        p.states.push_back(done);
+        chip.column(c).dou().load(p);
+    }
+    chip.column(3).dou().load(steadyState(
+        {0, 0, 0, 0x1}, {captureOn(0), {}, {}, {}}));
+
+    auto res = chip.run(10'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(3).tile(0).reg(0), 10u + 11u + 12u);
+}
+
+TEST(ChipComm, WireSpanShorterWithSegmentation)
+{
+    // Energy proxy: the same transfer touches fewer bus nodes when
+    // the unused switches stay open.
+    auto run_one = [](uint8_t seg0_all) -> uint64_t {
+        ChipConfig cfg;
+        cfg.dividers = {1};
+        cfg.tiles_per_column = 4;
+        Chip chip(cfg);
+        chip.column(0).controller().loadProgram(assemble(R"(
+            tid r7
+            cwr r7
+            halt
+        )"));
+        std::array<uint8_t, 4> seg{0x1, seg0_all, seg0_all, seg0_all};
+        chip.column(0).dou().load(steadyState(
+            seg, {driveOn(0), captureOn(0), {}, {}}));
+        chip.run(1'000);
+        return chip.fabric().wireSpanSum();
+    };
+    uint64_t segmented = run_one(0x0);
+    uint64_t flat = run_one(0x1);
+    EXPECT_LT(segmented, flat);
+}

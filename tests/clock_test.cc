@@ -1,0 +1,79 @@
+/** @file Unit tests for rationally-related clock domains. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/clock.hh"
+
+using namespace synchro;
+
+TEST(ClockDomain, FrequencyFromDivider)
+{
+    // The paper's DDC example: 120 MHz and 200 MHz both derived from
+    // a 600 MHz reference (dividers 5 and 3).
+    ClockDomain mixer(600e6, 5);
+    ClockDomain integ(600e6, 3);
+    EXPECT_DOUBLE_EQ(mixer.frequencyMHz(), 120.0);
+    EXPECT_DOUBLE_EQ(integ.frequencyMHz(), 200.0);
+}
+
+TEST(ClockDomain, EdgesAtMultiplesOfDivider)
+{
+    ClockDomain d(600e6, 4);
+    EXPECT_TRUE(d.onEdge(0));
+    EXPECT_FALSE(d.onEdge(1));
+    EXPECT_FALSE(d.onEdge(3));
+    EXPECT_TRUE(d.onEdge(8));
+    EXPECT_EQ(d.cycleToTick(0), 0u);
+    EXPECT_EQ(d.cycleToTick(3), 12u);
+}
+
+TEST(ClockDomain, PhaseOffset)
+{
+    ClockDomain d(600e6, 4, 2);
+    EXPECT_FALSE(d.onEdge(0));
+    EXPECT_TRUE(d.onEdge(2));
+    EXPECT_TRUE(d.onEdge(6));
+    EXPECT_EQ(d.nextEdgeAfter(0), 2u);
+    EXPECT_EQ(d.nextEdgeAfter(2), 6u);
+}
+
+TEST(ClockDomain, NextEdgeAfterIsStrict)
+{
+    ClockDomain d(600e6, 5);
+    EXPECT_EQ(d.nextEdgeAfter(0), 5u);
+    EXPECT_EQ(d.nextEdgeAfter(4), 5u);
+    EXPECT_EQ(d.nextEdgeAfter(5), 10u);
+}
+
+TEST(ClockDomain, TickToCycleCountsCompletedEdges)
+{
+    ClockDomain d(600e6, 3);
+    // Edges at 0, 3, 6, ...: at tick t the edges at <= t have fired.
+    EXPECT_EQ(d.tickToCycle(0), 1u);
+    EXPECT_EQ(d.tickToCycle(2), 1u);
+    EXPECT_EQ(d.tickToCycle(3), 2u);
+    EXPECT_EQ(d.tickToCycle(7), 3u);
+}
+
+TEST(ClockDomain, RationalRelation)
+{
+    // Any two domains' edges coincide every lcm(d1, d2) ticks — the
+    // property that lets Synchroscalar avoid GALS async FIFOs.
+    ClockDomain a(600e6, 5);
+    ClockDomain b(600e6, 3);
+    for (Tick t = 0; t < 200; ++t) {
+        bool coincide = a.onEdge(t) && b.onEdge(t);
+        EXPECT_EQ(coincide, t % 15 == 0) << "tick " << t;
+    }
+}
+
+TEST(ClockDomain, ZeroDividerRejected)
+{
+    EXPECT_THROW(ClockDomain(600e6, 0), FatalError);
+}
+
+TEST(ClockDomain, PhaseBeyondDividerRejected)
+{
+    EXPECT_THROW(ClockDomain(600e6, 4, 4), FatalError);
+}

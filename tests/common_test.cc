@@ -1,0 +1,188 @@
+/** @file Unit tests for the common substrate. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/fixed.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strutil.hh"
+
+using namespace synchro;
+
+TEST(Bitfield, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~uint64_t(0));
+}
+
+TEST(Bitfield, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xf0, 7, 4), 0xfu);
+    EXPECT_EQ(bits(0x80, 7), 1u);
+    EXPECT_EQ(bits(0x80, 6), 0u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 7, 0, 0), 0xffffff00u);
+    // Field wider than slot is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1f), 0xfu);
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0x3ff, 10), -1);
+    EXPECT_EQ(sext(0x1ff, 10), 511);
+}
+
+TEST(Bitfield, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 4), 3);
+    EXPECT_EQ(divCeil(8, 4), 2);
+    EXPECT_EQ(divCeil(1, 4), 1);
+}
+
+TEST(Fixed, Saturation)
+{
+    EXPECT_EQ(sat16(40000), INT16_MAX);
+    EXPECT_EQ(sat16(-40000), INT16_MIN);
+    EXPECT_EQ(sat16(1234), 1234);
+    EXPECT_EQ(sat32(int64_t(1) << 40), INT32_MAX);
+    EXPECT_EQ(sat40(int64_t(1) << 45), (int64_t(1) << 39) - 1);
+    EXPECT_EQ(sat40(-(int64_t(1) << 45)), -(int64_t(1) << 39));
+}
+
+TEST(Fixed, Q15RoundTrip)
+{
+    EXPECT_EQ(toQ15(0.5), 16384);
+    EXPECT_NEAR(fromQ15(toQ15(0.25)), 0.25, 1e-4);
+    EXPECT_EQ(toQ15(1.0), INT16_MAX); // saturates
+    EXPECT_EQ(toQ15(-1.0), INT16_MIN);
+}
+
+TEST(Fixed, MulQ15)
+{
+    // 0.5 * 0.5 = 0.25
+    EXPECT_NEAR(fromQ15(mulQ15(toQ15(0.5), toQ15(0.5))), 0.25, 1e-3);
+    // -1 * -1 saturates to just under 1.
+    EXPECT_EQ(mulQ15(INT16_MIN, INT16_MIN), INT16_MAX);
+}
+
+TEST(Fixed, ComplexMultiply)
+{
+    // (1+0j) * (0+1j) = j, at half scale to avoid saturation:
+    CplxQ15 a{toQ15(0.5), 0};
+    CplxQ15 b{0, toQ15(0.5)};
+    CplxQ15 p = mulCplxQ15(a, b);
+    EXPECT_NEAR(fromQ15(p.re), 0.0, 1e-3);
+    EXPECT_NEAR(fromQ15(p.im), 0.25, 1e-3);
+}
+
+TEST(Strutil, TrimAndCase)
+{
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t "), "");
+    EXPECT_EQ(toLower("MoVi R7"), "movi r7");
+}
+
+TEST(Strutil, Split)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[2], "");
+    auto w = splitWs("  one  two\tthree ");
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[1], "two");
+}
+
+TEST(Strutil, ParseInt)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-17", v));
+    EXPECT_EQ(v, -17);
+    EXPECT_TRUE(parseInt("0x1f", v));
+    EXPECT_EQ(v, 31);
+    EXPECT_TRUE(parseInt("0b101", v));
+    EXPECT_EQ(v, 5);
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("0x", v));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(10), 10u);
+        int64_t x = r.range(-5, 5);
+        EXPECT_GE(x, -5);
+        EXPECT_LE(x, 5);
+    }
+}
+
+TEST(Rng, GaussMoments)
+{
+    Rng r(11);
+    double sum = 0, sum2 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gauss();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Stats, CountersByName)
+{
+    StatGroup g;
+    g.counter("a") += 3;
+    ++g.counter("a");
+    EXPECT_EQ(g.value("a"), 4u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_FALSE(g.has("missing"));
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+}
+
+TEST(Log, PanicAndFatalThrow)
+{
+    EXPECT_THROW(panic("boom %d", 3), PanicError);
+    EXPECT_THROW(fatal("bad %s", "config"), FatalError);
+}
+
+TEST(Log, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 5, "z"), "x=5 y=z");
+}
+
+TEST(Log, AssertMacro)
+{
+    EXPECT_NO_THROW(sync_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(sync_assert(false, "ctx %d", 9), PanicError);
+}

@@ -1,0 +1,312 @@
+/** @file SIMD controller behaviour: loops, branches, ZORM, timing. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "test_util.hh"
+
+using namespace synchro;
+using namespace synchro::arch;
+using synchro::test::runToHalt;
+using synchro::test::singleColumnChip;
+
+TEST(SimdController, BroadcastsToAllTiles)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 42
+        halt
+    )");
+    auto res = runToHalt(*chip);
+    EXPECT_EQ(res.exit, RunExit::AllHalted);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(chip->column(0).tile(t).reg(0), 42u);
+}
+
+TEST(SimdController, SpmdViaTileId)
+{
+    auto chip = singleColumnChip(R"(
+        tid r0
+        lsli r1, r0, 2   ; r1 = 4 * tid
+        halt
+    )");
+    runToHalt(*chip);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(chip->column(0).tile(t).reg(1), 4 * t);
+}
+
+TEST(SimdController, ZeroOverheadLoopIterates)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 0
+        lsetup lc0, done, 10
+        addi r0, 1
+    done:
+        halt
+    )");
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).tile(0).reg(0), 10u);
+}
+
+TEST(SimdController, ZeroOverheadLoopCostsNothing)
+{
+    // Loop body of 1 instruction, N iterations: issue count must be
+    // exactly N + overhead (movi + lsetup + halt), no loop-back tax.
+    auto chip = singleColumnChip(R"(
+        movi r0, 0
+        lsetup lc0, done, 50
+        addi r0, 1
+    done:
+        halt
+    )");
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).controller().stats().value("issued"),
+              50u + 3u);
+    EXPECT_EQ(
+        chip->column(0).controller().stats().value("branchStalls"),
+        0u);
+}
+
+TEST(SimdController, NestedLoops)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 0
+        lsetup lc0, outer_end, 3
+        lsetup lc1, inner_end, 4
+        addi r0, 1
+    inner_end:
+        addi r0, 100
+    outer_end:
+        halt
+    )");
+    runToHalt(*chip);
+    // 3 * (4 * 1 + 100) = 312
+    EXPECT_EQ(chip->column(0).tile(0).reg(0), 312u);
+}
+
+TEST(SimdController, NestedLoopsSharingEndLabel)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 0
+        lsetup lc0, end, 3
+        lsetup lc1, end, 4
+        addi r0, 1
+    end:
+        halt
+    )");
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).tile(0).reg(0), 12u);
+}
+
+TEST(SimdController, ConditionalBranchTaken)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 5
+        movi r1, 5
+        cmpeq r0, r1
+        jcc equal
+        movi r2, 111
+        halt
+    equal:
+        movi r2, 222
+        halt
+    )");
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).tile(0).reg(2), 222u);
+}
+
+TEST(SimdController, ConditionalBranchCostsOneStall)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 1
+        movi r1, 2
+        cmpeq r0, r1   ; false
+        jcc never
+        halt
+    never:
+        halt
+    )");
+    runToHalt(*chip);
+    const auto &st = chip->column(0).controller().stats();
+    EXPECT_EQ(st.value("branchStalls"), 1u);
+    EXPECT_EQ(st.value("issued"), 5u); // movi x2, cmpeq, jcc, halt
+}
+
+TEST(SimdController, CountedLoopWithBackwardBranch)
+{
+    // Software loop: decrement and branch while nonzero.
+    auto chip = singleColumnChip(R"(
+        movi r0, 0
+        movi r1, 6
+        movi r2, 0
+    top:
+        addi r0, 2
+        addi r1, -1
+        cmpeq r1, r2
+        jncc top
+        halt
+    )");
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).tile(0).reg(0), 12u);
+    // Six taken/not-taken conditional branches = 6 stall cycles.
+    EXPECT_EQ(
+        chip->column(0).controller().stats().value("branchStalls"),
+        6u);
+}
+
+TEST(SimdController, ZormInsertsExactNopFraction)
+{
+    // 1 nop per 4 slots: a 30-instruction straight-line program needs
+    // 10 zorm nops interleaved (30 real / 40 slots issued total).
+    std::string body;
+    for (int i = 0; i < 29; ++i)
+        body += "addi r0, 1\n";
+    auto chip = singleColumnChip("movi r0, 0\n" + body + "halt\n");
+    chip->column(0).controller().setRateMatch(1, 4);
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).tile(0).reg(0), 29u);
+    const auto &st = chip->column(0).controller().stats();
+    // ceil-ish: every 4th slot is a nop while the program runs.
+    EXPECT_EQ(st.value("zormNops"), 10u);
+}
+
+TEST(SimdController, ZormRateIsExactOverLongRuns)
+{
+    // Property: for (n, d), issue slots split exactly d-n compute per
+    // d total in every window. Run a long loop and check the global
+    // ratio matches to within one slot.
+    auto chip = singleColumnChip(R"(
+        movi r0, 0
+        lsetup lc0, e, 300
+        addi r0, 1
+    e:
+        halt
+    )");
+    chip->column(0).controller().setRateMatch(3, 7);
+    runToHalt(*chip);
+    const auto &st = chip->column(0).controller().stats();
+    uint64_t real = st.value("issued");
+    uint64_t nops = st.value("zormNops");
+    // nops/(real+nops) must equal 3/7 within rounding.
+    EXPECT_NEAR(double(nops) / double(real + nops), 3.0 / 7.0, 0.01);
+}
+
+TEST(SimdController, ZormValidation)
+{
+    auto chip = singleColumnChip("halt\n");
+    EXPECT_THROW(chip->column(0).controller().setRateMatch(4, 4),
+                 FatalError);
+    EXPECT_THROW(chip->column(0).controller().setRateMatch(1, 0),
+                 FatalError);
+    EXPECT_NO_THROW(chip->column(0).controller().setRateMatch(0, 0));
+}
+
+TEST(SimdController, CcModesReduceAcrossTiles)
+{
+    // tid != 0 is true on tiles 1..3 and false on tile 0.
+    const char *src = R"(
+        tid r0
+        movi r1, 0
+        cmpeq r0, r1  ; CC = (tid == 0): true only on tile 0
+        jcc taken
+        movi r2, 1
+        halt
+    taken:
+        movi r2, 2
+        halt
+    )";
+    {
+        auto chip = singleColumnChip(src);
+        chip->column(0).controller().setCcMode(CcMode::Tile0);
+        runToHalt(*chip);
+        EXPECT_EQ(chip->column(0).tile(0).reg(2), 2u);
+    }
+    {
+        auto chip = singleColumnChip(src);
+        chip->column(0).controller().setCcMode(CcMode::All);
+        runToHalt(*chip);
+        EXPECT_EQ(chip->column(0).tile(0).reg(2), 1u);
+    }
+    {
+        auto chip = singleColumnChip(src);
+        chip->column(0).controller().setCcMode(CcMode::Any);
+        runToHalt(*chip);
+        EXPECT_EQ(chip->column(0).tile(0).reg(2), 2u);
+    }
+}
+
+TEST(SimdController, IdleTilesDoNotExecute)
+{
+    auto chip = singleColumnChip(R"(
+        movi r0, 9
+        halt
+    )");
+    chip->column(0).setTileActive(2, false);
+    runToHalt(*chip);
+    EXPECT_EQ(chip->column(0).tile(0).reg(0), 9u);
+    EXPECT_EQ(chip->column(0).tile(2).reg(0), 0u);
+    EXPECT_EQ(chip->column(0).tile(2).stats().value("instructions"),
+              0u);
+}
+
+TEST(SimdController, ProgramTooLargeRejected)
+{
+    std::string big;
+    for (unsigned i = 0; i < SimdController::InsnMemWords + 1; ++i)
+        big += "nop\n";
+    auto chip = singleColumnChip("halt\n");
+    EXPECT_THROW(
+        chip->column(0).controller().loadProgram(isa::assemble(big)),
+        FatalError);
+}
+
+TEST(SimdController, FallingOffProgramEndIsFatal)
+{
+    auto chip = singleColumnChip("movi r0, 1\n"); // no halt
+    EXPECT_THROW(runToHalt(*chip), FatalError);
+}
+
+TEST(SimdController, LoopReArmWhileActiveIsFatal)
+{
+    auto chip = singleColumnChip(R"(
+        lsetup lc0, end, 3
+        lsetup lc0, end, 2
+        nop
+    end:
+        halt
+    )");
+    EXPECT_THROW(runToHalt(*chip), FatalError);
+}
+
+TEST(Chip, MultiColumnDividersRunIndependently)
+{
+    ChipConfig cfg;
+    cfg.dividers = {1, 3};
+    Chip chip(cfg);
+    // Column 0 at full rate, column 1 at 1/3 rate; both count to 30.
+    const char *count = R"(
+        movi r0, 0
+        lsetup lc0, e, 30
+        addi r0, 1
+    e:
+        halt
+    )";
+    chip.column(0).controller().loadProgram(isa::assemble(count));
+    chip.column(1).controller().loadProgram(isa::assemble(count));
+    auto res = chip.run(1000);
+    EXPECT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(0).tile(0).reg(0), 30u);
+    EXPECT_EQ(chip.column(1).tile(0).reg(0), 30u);
+    // Column 1's last issue happens ~3x later in ticks.
+    EXPECT_EQ(chip.column(1).clock().frequencyMHz(), 200.0);
+}
+
+TEST(Chip, TickLimitReturnsWithoutHalt)
+{
+    auto chip = singleColumnChip(R"(
+    spin:
+        jump spin
+    )");
+    auto res = chip->run(100);
+    EXPECT_EQ(res.exit, RunExit::TickLimit);
+    EXPECT_FALSE(chip->allHalted());
+}

@@ -1,0 +1,126 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/eventq.hh"
+
+using namespace synchro;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent a("a", [&] { order.push_back(1); });
+    LambdaEvent b("b", [&] { order.push_back(2); });
+    LambdaEvent c("c", [&] { order.push_back(3); });
+    eq.schedule(&b, 20);
+    eq.schedule(&a, 10);
+    eq.schedule(&c, 30);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent bus("bus", [&] { order.push_back(2); },
+                    Event::BusPri);
+    LambdaEvent edge("edge", [&] { order.push_back(1); },
+                     Event::ClockEdgePri);
+    // Schedule the later-priority event first to prove priority wins.
+    eq.schedule(&bus, 5);
+    eq.schedule(&edge, 5);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SameTickSamePriorityInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent a("a", [&] { order.push_back(1); });
+    LambdaEvent b("b", [&] { order.push_back(2); });
+    eq.schedule(&a, 7);
+    eq.schedule(&b, 7);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SelfRescheduling)
+{
+    EventQueue eq;
+    int fires = 0;
+    LambdaEvent *tickp = nullptr;
+    LambdaEvent tick("tick", [&] {
+        if (++fires < 5)
+            eq.schedule(tickp, eq.curTick() + 3);
+    });
+    tickp = &tick;
+    eq.schedule(&tick, 0);
+    eq.run();
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(eq.curTick(), 12u);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    LambdaEvent a("a", [&] { ++fired; });
+    LambdaEvent b("b", [&] { ++fired; });
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 100);
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(b.scheduled());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    int fired = 0;
+    LambdaEvent a("a", [&] { ++fired; });
+    eq.schedule(&a, 10);
+    eq.deschedule(&a);
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty() || eq.size() <= 1); // lazy entry may remain
+}
+
+TEST(EventQueue, RescheduleAfterDeschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    LambdaEvent a("a", [&] { ++fired; });
+    eq.schedule(&a, 10);
+    eq.deschedule(&a);
+    eq.schedule(&a, 20);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 20u);
+}
+
+TEST(EventQueue, DoubleScheduleIsPanic)
+{
+    EventQueue eq;
+    LambdaEvent a("a", [] {});
+    eq.schedule(&a, 10);
+    EXPECT_THROW(eq.schedule(&a, 20), PanicError);
+}
+
+TEST(EventQueue, PastScheduleIsPanic)
+{
+    EventQueue eq;
+    LambdaEvent a("a", [] {});
+    LambdaEvent b("b", [] {});
+    eq.schedule(&a, 10);
+    eq.run();
+    EXPECT_THROW(eq.schedule(&b, 5), PanicError);
+}

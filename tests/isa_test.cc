@@ -1,0 +1,164 @@
+/** @file Encode/decode round-trip and validation tests for SyncBF. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+using namespace synchro;
+using namespace synchro::isa;
+namespace b = synchro::isa::build;
+
+namespace
+{
+
+/** A representative instruction of every format and corner. */
+std::vector<Inst>
+representativeInsts()
+{
+    return {
+        b::nop(),
+        b::halt(),
+        b::alu3(Opcode::ADD, 0, 1, 2),
+        b::alu3(Opcode::SUB, 7, 6, 5),
+        b::alu3(Opcode::MIN, 3, 3, 3),
+        b::alu3(Opcode::SEL, 1, 2, 3),
+        b::alu2(Opcode::NEG, 0, 7),
+        b::alu2(Opcode::ABS, 7, 0),
+        b::aluImm(Opcode::ADDI, 4, -32768),
+        b::aluImm(Opcode::ADDI, 4, 32767),
+        b::shiftImm(Opcode::LSLI, 2, 3, 31),
+        b::shiftImm(Opcode::ASRI, 2, 3, 0),
+        b::mac(Opcode::MAC, 0, 1, 2, HalfSel::LL),
+        b::mac(Opcode::MAC, 1, 7, 6, HalfSel::HH),
+        b::mac(Opcode::MSU, 1, 0, 0, HalfSel::LH),
+        b::saa(0, 1, 2),
+        b::aclr(1),
+        b::aext(5, 1, 15),
+        b::movi(0, -1),
+        b::movi(7, 32767),
+        b::movih(3, 0xffff),
+        b::movpi(5, 0x7ffc),
+        b::movp(0, 7),
+        b::movrp(7, 0),
+        b::paddi(2, -512),
+        b::tid(6),
+        b::load(Opcode::LDW, 1, 0, MemMode::Offset, 0),
+        b::load(Opcode::LDW, 1, 0, MemMode::Offset, 508),
+        b::load(Opcode::LDH, 2, 1, MemMode::PostMod, 2),
+        b::load(Opcode::LDHU, 2, 1, MemMode::PostMod, -2),
+        b::load(Opcode::LDB, 3, 2, MemMode::Offset, -512),
+        b::load(Opcode::LDBU, 3, 2, MemMode::Offset, 511),
+        b::store(Opcode::STW, 4, 3, MemMode::PostMod, 4),
+        b::store(Opcode::STH, 5, 4, MemMode::Offset, 2),
+        b::store(Opcode::STB, 6, 5, MemMode::PostMod, -1),
+        b::cmp(Opcode::CMPEQ, 1, 2),
+        b::cmp(Opcode::CMPLT, 7, 0),
+        b::cmp(Opcode::CMPLE, 0, 7),
+        b::cmp(Opcode::CMPLTU, 3, 4),
+        b::jump(0),
+        b::jump(511),
+        b::jcc(100),
+        b::jncc(200),
+        b::lsetup(0, 10, 1),
+        b::lsetup(1, 2047, 4095),
+        b::cwr(7),
+        b::crd(0),
+    };
+}
+
+} // namespace
+
+class RoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity)
+{
+    Inst inst = representativeInsts()[GetParam()];
+    uint32_t word = encode(inst);
+    Inst back = decode(word);
+    EXPECT_EQ(inst, back) << disassemble(inst) << " != "
+                          << disassemble(back);
+}
+
+TEST_P(RoundTrip, EncodingIsStable)
+{
+    Inst inst = representativeInsts()[GetParam()];
+    EXPECT_EQ(encode(inst), encode(decode(encode(inst))));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, RoundTrip,
+                         ::testing::Range<size_t>(
+                             0, representativeInsts().size()));
+
+TEST(Encoding, OpcodeInTopByte)
+{
+    EXPECT_EQ(encode(b::halt()) >> 24, uint32_t(Opcode::HALT));
+    EXPECT_EQ(encode(b::nop()), 0u);
+}
+
+TEST(Encoding, RejectsBadOperands)
+{
+    EXPECT_THROW(encode(b::alu3(Opcode::ADD, 8, 0, 0)), FatalError);
+    EXPECT_THROW(encode(b::movpi(6, 0)), FatalError);
+    EXPECT_THROW(encode(b::aluImm(Opcode::ADDI, 0, 40000)),
+                 FatalError);
+    EXPECT_THROW(encode(b::shiftImm(Opcode::LSLI, 0, 0, 32)),
+                 FatalError);
+    EXPECT_THROW(
+        encode(b::load(Opcode::LDW, 0, 0, MemMode::Offset, 600)),
+        FatalError);
+    EXPECT_THROW(encode(b::lsetup(0, 10, 0)), FatalError);
+    EXPECT_THROW(encode(b::lsetup(0, 4000, 5)), FatalError);
+}
+
+TEST(Encoding, DecodeRejectsUnknownOpcode)
+{
+    EXPECT_THROW(decode(0xff000000u), FatalError);
+}
+
+TEST(Encoding, SignedImmediatesSurvive)
+{
+    Inst i = decode(encode(b::movi(0, -32768)));
+    EXPECT_EQ(i.imm, -32768);
+    i = decode(encode(b::load(Opcode::LDW, 0, 0, MemMode::PostMod,
+                              -512)));
+    EXPECT_EQ(i.imm, -512);
+    // MOVIH is unsigned: 0xffff must not sign-extend.
+    i = decode(encode(b::movih(0, 0xffff)));
+    EXPECT_EQ(i.imm, 0xffff);
+}
+
+TEST(OpInfo, ControlFlagMatchesController)
+{
+    EXPECT_TRUE(opInfo(Opcode::JUMP).is_control);
+    EXPECT_TRUE(opInfo(Opcode::LSETUP).is_control);
+    EXPECT_TRUE(opInfo(Opcode::HALT).is_control);
+    EXPECT_TRUE(opInfo(Opcode::NOP).is_control);
+    EXPECT_FALSE(opInfo(Opcode::ADD).is_control);
+    EXPECT_FALSE(opInfo(Opcode::CWR).is_control);
+}
+
+TEST(OpInfo, MemoryFlags)
+{
+    EXPECT_TRUE(opInfo(Opcode::LDW).reads_mem);
+    EXPECT_TRUE(opInfo(Opcode::STB).writes_mem);
+    EXPECT_FALSE(opInfo(Opcode::ADD).reads_mem);
+}
+
+TEST(Disasm, MatchesExpectedSyntax)
+{
+    EXPECT_EQ(disassemble(b::alu3(Opcode::ADD, 0, 1, 2)),
+              "add r0, r1, r2");
+    EXPECT_EQ(disassemble(b::mac(Opcode::MAC, 0, 1, 2, HalfSel::HL)),
+              "mac a0, r1, r2, hl");
+    EXPECT_EQ(disassemble(
+                  b::load(Opcode::LDW, 1, 0, MemMode::PostMod, 4)),
+              "ld.w r1, [p0]+4");
+    EXPECT_EQ(disassemble(
+                  b::load(Opcode::LDW, 1, 0, MemMode::Offset, -8)),
+              "ld.w r1, [p0-8]");
+    EXPECT_EQ(disassemble(b::lsetup(1, 12, 3)), "lsetup lc1, 12, 3");
+}

@@ -1,0 +1,263 @@
+/** @file Assembly kernels vs golden DSP models: bit-exact results
+ * plus cycle-cost sanity (the paper's methodology step 6). */
+
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hh"
+#include "common/rng.hh"
+#include "dsp/cic.hh"
+#include "dsp/fir.hh"
+#include "dsp/mixer.hh"
+#include "dsp/nco.hh"
+#include "dsp/dct.hh"
+#include "dsp/viterbi.hh"
+
+using namespace synchro;
+using namespace synchro::apps::kernels;
+
+namespace
+{
+
+std::vector<int16_t>
+randomQ15(size_t n, uint64_t seed, int16_t bound = 30000)
+{
+    Rng rng(seed);
+    std::vector<int16_t> x(n);
+    for (auto &v : x)
+        v = int16_t(rng.range(-bound, bound));
+    return x;
+}
+
+} // namespace
+
+TEST(KernelFir, BitExactVsGolden21Taps)
+{
+    auto taps = dsp::designLowpassQ15(21, 0.2);
+    auto x = randomQ15(100, 7);
+    KernelRun run = runFir(taps, x);
+    dsp::FirQ15 golden(taps);
+    auto want = golden.process(x);
+    EXPECT_EQ(run.halves, want);
+}
+
+TEST(KernelFir, BitExactVsGolden63Taps)
+{
+    auto taps = dsp::designPfir63();
+    auto x = randomQ15(60, 9);
+    KernelRun run = runFir(taps, x);
+    dsp::FirQ15 golden(taps);
+    EXPECT_EQ(run.halves, golden.process(x));
+}
+
+TEST(KernelFir, CyclesPerSampleScalesWithTaps)
+{
+    // Inner loop is 3 cycles/tap + constant per-sample overhead.
+    auto taps21 = dsp::designLowpassQ15(21, 0.2);
+    auto x1 = randomQ15(32, 3), x2 = randomQ15(96, 3);
+    KernelCost c21 = marginalCost(runFir(taps21, x1), 32,
+                                  runFir(taps21, x2), 96);
+    EXPECT_NEAR(c21.cycles_per_sample, 3 * 21 + 9, 1.0);
+
+    auto taps63 = dsp::designPfir63();
+    KernelCost c63 = marginalCost(runFir(taps63, x1), 32,
+                                  runFir(taps63, x2), 96);
+    EXPECT_NEAR(c63.cycles_per_sample, 3 * 63 + 9, 1.0);
+}
+
+TEST(KernelMixer, BitExactVsGolden)
+{
+    auto x = randomQ15(128, 21, 32767);
+    dsp::Nco nco(5e6, 64e6);
+    auto lo = nco.generate(x.size());
+    KernelRun run = runMixer(x, lo);
+    auto want = dsp::mixBlock(x, lo);
+    ASSERT_EQ(run.halves.size(), 2 * want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(run.halves[2 * i], want[i].re) << i;
+        EXPECT_EQ(run.halves[2 * i + 1], want[i].im) << i;
+    }
+}
+
+TEST(KernelMixer, SeventeenCyclesPerSample)
+{
+    auto x1 = randomQ15(32, 5), x2 = randomQ15(128, 5);
+    dsp::Nco nco(1e6, 64e6);
+    auto lo1 = nco.generate(32);
+    nco.reset();
+    auto lo2 = nco.generate(128);
+    KernelCost c = marginalCost(runMixer(x1, lo1), 32,
+                                runMixer(x2, lo2), 128);
+    EXPECT_NEAR(c.cycles_per_sample, 17.0, 1.0);
+}
+
+TEST(KernelCic, BitExactVsGoldenFiveStages)
+{
+    Rng rng(31);
+    std::vector<int32_t> x(200);
+    for (auto &v : x)
+        v = int32_t(rng.range(-1000, 1000));
+    KernelRun run = runCicIntegrator(x, 5);
+    dsp::CicIntegrator golden(5);
+    EXPECT_EQ(run.words, golden.process(x));
+}
+
+TEST(KernelCic, WrapsExactlyLikeGolden)
+{
+    // Drive the integrator into 32-bit wraparound: results must
+    // still agree word-for-word (modular arithmetic by design).
+    std::vector<int32_t> x(300, INT32_MAX / 2);
+    KernelRun run = runCicIntegrator(x, 3);
+    dsp::CicIntegrator golden(3);
+    EXPECT_EQ(run.words, golden.process(x));
+}
+
+TEST(KernelCic, SevenCyclesPerSampleAtFiveStages)
+{
+    std::vector<int32_t> x1(32, 5), x2(160, 5);
+    KernelCost c = marginalCost(runCicIntegrator(x1), 32,
+                                runCicIntegrator(x2), 160);
+    EXPECT_NEAR(c.cycles_per_sample, 7.0, 0.5);
+}
+
+TEST(KernelSad, MatchesByteSum)
+{
+    Rng rng(17);
+    std::vector<uint8_t> a(256), b(256);
+    for (auto &v : a)
+        v = uint8_t(rng.below(256));
+    for (auto &v : b)
+        v = uint8_t(rng.below(256));
+    KernelRun run = runSad16(a, b);
+    uint32_t want = 0;
+    for (unsigned i = 0; i < 256; ++i)
+        want += uint32_t(std::abs(int(a[i]) - int(b[i])));
+    ASSERT_EQ(run.words.size(), 1u);
+    EXPECT_EQ(uint32_t(run.words[0]), want);
+    // 64 SAA iterations x 3 cycles + setup.
+    EXPECT_LT(run.cycles, 220u);
+}
+
+TEST(KernelDct, RowPassBitExactVsGolden)
+{
+    // The fixed-point golden's first (row) pass, replicated here.
+    Rng rng(13);
+    const unsigned rows = 8;
+    std::vector<int16_t> x(rows * 8);
+    for (auto &v : x)
+        v = int16_t(rng.range(-255, 255));
+    KernelRun run = runDct8Rows(x, rows);
+
+    std::vector<int16_t> want(rows * 8);
+    for (unsigned r = 0; r < rows; ++r) {
+        dsp::Block8x8 block{};
+        for (unsigned n = 0; n < 8; ++n)
+            block[n] = x[r * 8 + n];
+        // One row through the full golden: read out the row pass by
+        // computing with a block whose other rows are zero — the
+        // row pass of dct8x8 on row 0 equals columns of tmp, so
+        // instead compute the 1-D transform directly.
+        for (unsigned k = 0; k < 8; ++k) {
+            int64_t acc = 1 << 12;
+            for (unsigned n = 0; n < 8; ++n) {
+                double a = k == 0 ? std::sqrt(1.0 / 8.0)
+                                  : std::sqrt(2.0 / 8.0);
+                int16_t c = int16_t(std::lround(
+                    a * std::cos((2.0 * n + 1.0) * k * M_PI /
+                                 16.0) *
+                    8192.0));
+                acc += int32_t(c) * block[n];
+            }
+            want[r * 8 + k] = sat16(acc >> 13);
+        }
+    }
+    EXPECT_EQ(run.halves, want);
+}
+
+TEST(KernelAcs, DistributedMatchesGoldenUniformMetrics)
+{
+    // Zero branch metrics: every new metric is the min of its two
+    // predecessors.
+    std::vector<int32_t> init(64);
+    for (unsigned s = 0; s < 64; ++s)
+        init[s] = int32_t(1000 + 7 * s);
+    std::vector<std::vector<int32_t>> bm(
+        1, std::vector<int32_t>(128, 0));
+    KernelRun run = runAcs4(init, bm);
+
+    for (unsigned s = 0; s < 64; ++s) {
+        unsigned low = s & 31;
+        int32_t want = std::min(init[2 * low], init[2 * low + 1]);
+        EXPECT_EQ(run.words[s], want) << "state " << s;
+    }
+}
+
+TEST(KernelAcs, MultiStageMatchesGoldenViterbi)
+{
+    // Real branch metrics from a coded stream: the distributed
+    // kernel must track dsp::viterbiAcsStage exactly across stages.
+    Rng rng(41);
+    std::vector<uint8_t> bits(24);
+    for (auto &b : bits)
+        b = uint8_t(rng.below(2));
+    auto coded = dsp::convEncode(bits, false);
+    const unsigned stages = unsigned(coded.size() / 2);
+
+    // Golden metric evolution.
+    std::vector<uint32_t> gold(64, 1u << 20);
+    gold[0] = 0;
+    std::vector<uint8_t> survivors;
+
+    // Branch metric tables in the kernel's layout: bm[s*2 + tail] =
+    // metric cost of reaching state s from predecessor (low<<1)|tail.
+    std::vector<std::vector<int32_t>> bm(stages);
+    for (unsigned t = 0; t < stages; ++t) {
+        unsigned r0 = coded[2 * t], r1 = coded[2 * t + 1];
+        bm[t].resize(128);
+        for (unsigned s = 0; s < 64; ++s) {
+            unsigned b = s >> 5;
+            unsigned low = s & 31;
+            for (unsigned tail = 0; tail < 2; ++tail) {
+                unsigned pred = (low << 1) | tail;
+                unsigned reg = (b << 6) | pred;
+                unsigned c0 = __builtin_popcount(reg & 0133) & 1;
+                unsigned c1 = __builtin_popcount(reg & 0171) & 1;
+                bm[t][s * 2 + tail] =
+                    int32_t((c0 ^ r0) + (c1 ^ r1));
+            }
+        }
+    }
+
+    std::vector<int32_t> init(64);
+    for (unsigned s = 0; s < 64; ++s)
+        init[s] = int32_t(gold[s]);
+    KernelRun run = runAcs4(init, bm);
+
+    for (unsigned t = 0; t < stages; ++t)
+        dsp::viterbiAcsStage(gold, survivors, coded[2 * t],
+                             coded[2 * t + 1]);
+    for (unsigned s = 0; s < 64; ++s)
+        EXPECT_EQ(uint32_t(run.words[s]), gold[s]) << "state " << s;
+    // The clean stream's zero-error path survives: state 0 after the
+    // tailless stream has metric 0 only if bits end in zeros; just
+    // check the minimum metric is 0 (no channel errors).
+    int32_t best = run.words[0];
+    for (int32_t m : run.words)
+        best = std::min(best, m);
+    EXPECT_EQ(best, 0);
+}
+
+TEST(KernelAcs, ExchangeUsesFourLanesInParallel)
+{
+    std::vector<int32_t> init(64, 1);
+    std::vector<std::vector<int32_t>> bm(
+        4, std::vector<int32_t>(128, 0));
+    KernelRun run = runAcs4(init, bm);
+    // 4 tiles x 32 sends x 4 stages bus transactions.
+    EXPECT_EQ(run.bus_transfers, uint64_t(4 * 32 * 4));
+    // The send loop is 4 cycles/iteration with 4 lanes running in
+    // parallel; the whole stage (exchange + ACS + refill) stays
+    // within ~360 cycles.
+    double per_stage = double(run.cycles) / 4.0;
+    EXPECT_LT(per_stage, 400.0);
+    EXPECT_GT(per_stage, 250.0);
+}

@@ -1,0 +1,36 @@
+/** @file Shared helpers for architecture-level tests. */
+
+#ifndef SYNC_TESTS_TEST_UTIL_HH
+#define SYNC_TESTS_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "arch/chip.hh"
+#include "isa/assembler.hh"
+
+namespace synchro::test
+{
+
+/** A single-column chip with divider 1 running @p asm_src. */
+inline std::unique_ptr<arch::Chip>
+singleColumnChip(const std::string &asm_src, unsigned tiles = 4)
+{
+    arch::ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = tiles;
+    auto chip = std::make_unique<arch::Chip>(cfg);
+    chip->column(0).controller().loadProgram(isa::assemble(asm_src));
+    return chip;
+}
+
+/** Run to completion; EXPECTs in callers check the result. */
+inline arch::RunResult
+runToHalt(arch::Chip &chip, Tick limit = 1'000'000)
+{
+    return chip.run(limit);
+}
+
+} // namespace synchro::test
+
+#endif // SYNC_TESTS_TEST_UTIL_HH

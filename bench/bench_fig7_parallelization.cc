@@ -3,7 +3,10 @@
  * leakage (the dark bar segments), showing the diminishing returns
  * of Section 5.2. */
 
+#include <chrono>
+
 #include "apps/paper_workloads.hh"
+#include "bench_json.hh"
 #include "bench_util.hh"
 #include "mapping/optimizer.hh"
 #include "power/vf_model.hh"
@@ -30,11 +33,21 @@ main()
                 "budget", "used", "compute mW", "bus+leak mW",
                 "total mW");
 
+    uint64_t map_calls = 0, infeasible = 0;
+    double map_ns = 0;
+
     for (const auto &[app_name, sweeps] : fig7TileSweeps()) {
         AppWorkload app = appWorkload(app_name, model);
         for (unsigned budget : sweeps) {
+            auto t0 = std::chrono::steady_clock::now();
             auto m = opt.mapWithBudget(app, budget);
+            auto t1 = std::chrono::steady_clock::now();
+            map_ns += std::chrono::duration<double, std::nano>(
+                          t1 - t0)
+                          .count();
+            ++map_calls;
             if (!m) {
+                ++infeasible;
                 std::printf("  %-14s %6u       | infeasible under "
                             "the fitted V-f curve (see "
                             "EXPERIMENTS.md)\n",
@@ -57,5 +70,16 @@ main()
     bench::note("the paper's smallest sweep points (e.g. DDC at 14 "
                 "tiles) exceed the fitted V-f curve's reach; its "
                 "own Table 4 uses the larger counts");
+
+    bench::JsonReport report;
+    report.set("fig7_parallelization", "map_ns_per_op",
+               map_calls != 0 ? map_ns / double(map_calls) : 0.0);
+    report.set("fig7_parallelization", "map_calls",
+               double(map_calls));
+    report.set("fig7_parallelization", "infeasible_points",
+               double(infeasible));
+    if (!report.write())
+        std::fprintf(stderr, "warning: could not write "
+                             "BENCH_core.json\n");
     return 0;
 }

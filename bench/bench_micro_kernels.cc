@@ -7,10 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "apps/kernels.hh"
+#include "arch/chip.hh"
+#include "bench_json.hh"
+#include "common/log.hh"
 #include "common/rng.hh"
 #include "dsp/fir.hh"
 #include "dsp/nco.hh"
+#include "isa/assembler.hh"
 
 using namespace synchro;
 using namespace synchro::apps::kernels;
@@ -130,6 +136,99 @@ BM_Acs4Distributed(benchmark::State &state)
     state.counters["paper_implied_16tile"] = 540.0 / 54.0;
 }
 
+// ---------------------------------------------------------------
+// Core execution-engine throughput: fast-path vs event-queue
+// scheduler on a dividers={8,8,4,2} chip, recorded into
+// BENCH_core.json so the perf trajectory is tracked across PRs.
+
+double
+coreTicksPerSec(SchedulerKind kind, Tick &ticks_out)
+{
+    using clock = std::chrono::steady_clock;
+    double best_tps = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        arch::ChipConfig cfg;
+        cfg.dividers = {8, 8, 4, 2};
+        cfg.scheduler = kind;
+        arch::Chip chip(cfg);
+        for (unsigned c = 0; c < chip.numColumns(); ++c) {
+            chip.column(c).controller().loadProgram(isa::assemble(R"(
+                movi r0, 0
+                lsetup lc0, oe, 2000
+                lsetup lc1, ie, 100
+                addi r0, 1
+            ie:
+                nop
+            oe:
+                halt
+            )"));
+        }
+        auto t0 = clock::now();
+        auto res = chip.run(1'000'000'000);
+        auto t1 = clock::now();
+        if (res.exit != arch::RunExit::AllHalted)
+            fatal("core throughput chip did not halt");
+        double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        ticks_out = res.ticks;
+        best_tps = std::max(best_tps, double(res.ticks) / secs);
+    }
+    return best_tps;
+}
+
+/** Best-of-reps (minimum) wall time per call, in nanoseconds. */
+template <typename Fn>
+double
+nsPerOp(Fn &&fn, int reps = 5)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        best = std::min(
+            best,
+            std::chrono::duration<double, std::nano>(t1 - t0)
+                .count());
+    }
+    return best;
+}
+
+void
+emitBenchJson()
+{
+    bench::JsonReport report;
+
+    Tick ticks = 0;
+    double fast_tps = coreTicksPerSec(SchedulerKind::FastEdge, ticks);
+    double eq_tps =
+        coreTicksPerSec(SchedulerKind::EventQueue, ticks);
+    report.set("core", "fastpath_ticks_per_sec", fast_tps);
+    report.set("core", "eventq_ticks_per_sec", eq_tps);
+    report.set("core", "fastpath_speedup", fast_tps / eq_tps);
+    report.set("core", "run_ticks", double(ticks));
+
+    auto taps = dsp::designLowpassQ15(21, 0.2);
+    auto x = randomQ15(256, 1);
+    report.set("micro_kernels", "fir21_ns_per_op",
+               nsPerOp([&] { runFir(taps, x); }));
+    dsp::Nco nco(5e6, 64e6);
+    auto lo = nco.generate(x.size());
+    report.set("micro_kernels", "mixer_ns_per_op",
+               nsPerOp([&] { runMixer(x, lo); }));
+    std::vector<int32_t> ci(512, 7);
+    report.set("micro_kernels", "cic_integrator_ns_per_op",
+               nsPerOp([&] { runCicIntegrator(ci); }));
+
+    if (!report.write())
+        std::fprintf(stderr, "warning: could not write "
+                             "BENCH_core.json\n");
+    std::printf("\nBENCH_core.json: fast-path %.3g ticks/s, "
+                "event-queue %.3g ticks/s, speedup %.2fx\n",
+                fast_tps, eq_tps, fast_tps / eq_tps);
+}
+
 } // namespace
 
 BENCHMARK(BM_Fir21)->Unit(benchmark::kMillisecond);
@@ -140,4 +239,14 @@ BENCHMARK(BM_Sad16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Dct8Rows)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Acs4Distributed)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitBenchJson();
+    return 0;
+}

@@ -13,10 +13,13 @@
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "arch/chip.hh"
 #include "isa/assembler.hh"
 #include "mapping/auto_mapper.hh"
+#include "sim/session.hh"
 
 using namespace synchro;
 using namespace synchro::mapping;
@@ -66,31 +69,44 @@ main()
 
     // Bring up the planned chip and spot-check that every column
     // runs at its planned rate (a trivial counting program under the
-    // plan's ZORM throttling).
-    arch::ChipConfig cfg;
-    cfg.dividers = plan->dividers();
-    arch::Chip chip(cfg);
-    for (unsigned c = 0; c < chip.numColumns(); ++c) {
-        chip.column(c).controller().loadProgram(isa::assemble(R"(
-            movi r0, 0
-            lsetup lc0, e, 1000
-            addi r0, 1
-        e:
-            halt
-        )"));
-        for (const auto &p : plan->placements) {
-            if (c >= p.first_column &&
-                c < p.first_column + p.columns) {
-                chip.column(c).controller().setRateMatch(
-                    p.zorm.nops, p.zorm.period);
+    // plan's ZORM throttling). The batch runs through SimSession —
+    // one chip per scheduler backend, executed across the worker
+    // pool — so the plan is validated on the fast path and
+    // cross-checked against the event queue in one call.
+    sim::SimSession session;
+    for (auto kind : {SchedulerKind::FastEdge,
+                      SchedulerKind::EventQueue}) {
+        arch::ChipConfig cfg;
+        cfg.dividers = plan->dividers();
+        cfg.scheduler = kind;
+        unsigned id = session.addChip(cfg);
+        arch::Chip &chip = session.chip(id);
+        for (unsigned c = 0; c < chip.numColumns(); ++c) {
+            chip.column(c).controller().loadProgram(isa::assemble(R"(
+                movi r0, 0
+                lsetup lc0, e, 1000
+                addi r0, 1
+            e:
+                halt
+            )"));
+            for (const auto &p : plan->placements) {
+                if (c >= p.first_column &&
+                    c < p.first_column + p.columns) {
+                    chip.column(c).controller().setRateMatch(
+                        p.zorm.nops, p.zorm.period);
+                }
             }
         }
     }
-    auto res = chip.run(10'000'000);
-    std::printf("\nplanned chip executed: %s at tick %llu\n",
-                res.exit == arch::RunExit::AllHalted ? "halted"
-                                                     : "running",
-                (unsigned long long)res.ticks);
+    auto results = session.runAll(10'000'000);
+
+    arch::Chip &chip = session.chip(0);
+    std::printf("\nplanned chip executed (%s): %s at tick %llu\n",
+                schedulerName(chip.schedulerKind()),
+                results[0].exit == arch::RunExit::AllHalted
+                    ? "halted"
+                    : "running",
+                (unsigned long long)results[0].ticks);
     for (unsigned c = 0; c < chip.numColumns(); ++c) {
         const auto &st = chip.column(c).controller().stats();
         uint64_t real = st.value("issued");
@@ -102,5 +118,23 @@ main()
                     (unsigned long long)nops,
                     100.0 * double(nops) / double(real + nops));
     }
-    return 0;
+
+    // The gate compares everything observable: exit reason, final
+    // tick, and every statistic of both chips.
+    auto statsOf = [](const arch::Chip &c) {
+        std::map<std::string, uint64_t> out;
+        c.forEachStat([&out](const std::string &n, uint64_t v) {
+            out[n] = v;
+        });
+        return out;
+    };
+    bool identical =
+        results[0].exit == results[1].exit &&
+        results[0].ticks == results[1].ticks &&
+        statsOf(session.chip(0)) == statsOf(session.chip(1));
+    std::printf("\nfast-path vs event-queue cross-check: %s "
+                "(both at tick %llu, all stats compared)\n",
+                identical ? "identical" : "MISMATCH",
+                (unsigned long long)results[1].ticks);
+    return identical ? 0 : 1;
 }

@@ -6,53 +6,75 @@ namespace synchro::arch
 {
 
 Chip::Chip(const ChipConfig &cfg)
-    : cfg_(cfg), fabric_(unsigned(cfg.dividers.size()), cfg.strict)
+    : cfg_(cfg), sched_(makeScheduler(cfg.scheduler)),
+      fabric_(unsigned(cfg.dividers.size()), cfg.strict)
 {
     if (cfg.dividers.empty())
         fatal("chip needs at least one column");
+    if (!cfg.phases.empty() &&
+        cfg.phases.size() != cfg.dividers.size()) {
+        fatal("chip config has %zu phases for %zu columns",
+              cfg.phases.size(), cfg.dividers.size());
+    }
     for (unsigned c = 0; c < cfg.dividers.size(); ++c) {
-        ClockDomain dom(cfg.ref_freq_mhz * 1e6, cfg.dividers[c]);
+        Tick phase = cfg.phases.empty() ? 0 : cfg.phases[c];
+        ClockDomain dom(cfg.ref_freq_mhz * 1e6, cfg.dividers[c],
+                        phase);
         columns_.push_back(std::make_unique<Column>(
             c, cfg.tiles_per_column, dom));
     }
+}
 
-    // Self-rescheduling events: one per column at its divided clock,
-    // one chip-wide bus/DOU phase every tick.
-    for (unsigned c = 0; c < columns_.size(); ++c) {
-        column_events_.push_back(std::make_unique<LambdaEvent>(
-            strprintf("column%u.edge", c), [this, c] { columnPhase(c); },
-            Event::ClockEdgePri));
-    }
-    bus_event_ = std::make_unique<LambdaEvent>(
-        "chip.bus", [this] { busPhase(); }, Event::BusPri);
+const ClockDomain &
+Chip::domainClock(unsigned d) const
+{
+    return columns_[d]->clock();
+}
+
+bool
+Chip::domainHalted(unsigned d) const
+{
+    return columns_[d]->halted();
 }
 
 void
-Chip::columnPhase(unsigned c)
+Chip::domainEdge(unsigned d)
 {
-    Column &col = *columns_[c];
-    col.clockEdge();
-    if (!col.halted()) {
-        eq_.schedule(column_events_[c].get(),
-                     eq_.curTick() + col.clock().divider());
-    }
+    columns_[d]->clockEdge();
 }
 
 void
-Chip::busPhase()
+Chip::refPhase()
 {
-    std::vector<ColumnBusView> views(columns_.size());
-    // Step every DOU first so all outputs belong to the same cycle.
-    for (unsigned c = 0; c < columns_.size(); ++c) {
-        views[c].state = &columns_[c]->dou().current();
-        views[c].tiles = columns_[c]->busTiles();
-    }
-    fabric_.cycle(views);
+    // All DOU outputs belong to the same cycle: resolve the fabric
+    // against every column's current state, then step every DOU.
+    for (unsigned c = 0; c < columns_.size(); ++c)
+        views_[c].state = &columns_[c]->dou().current();
+    fabric_.cycle(views_);
     for (auto &col : columns_)
         col->dou().step();
+}
 
-    if (!allHalted())
-        eq_.schedule(bus_event_.get(), eq_.curTick() + 1);
+bool
+Chip::refPhaseInert()
+const
+{
+    // A reference phase moves nothing iff no DOU can drive or capture
+    // now or on any future tick reached without a state change —
+    // i.e. every DOU sits in an inert self-loop. The fabric itself is
+    // stateless between cycles.
+    for (const auto &col : columns_) {
+        if (!col->dou().inertSelfLoop())
+            return false;
+    }
+    return true;
+}
+
+void
+Chip::skipRefPhases(Tick n)
+{
+    for (auto &col : columns_)
+        col->dou().skipSteps(n);
 }
 
 bool
@@ -69,30 +91,29 @@ RunResult
 Chip::run(Tick max_ticks)
 {
     if (allHalted())
-        return {RunExit::AllHalted, eq_.curTick()};
+        return {RunExit::AllHalted, sched_->curTick()};
 
-    // (Re)arm events that are not pending: each column at its next
-    // clock edge at-or-after now, the bus phase at every tick.
-    for (unsigned c = 0; c < columns_.size(); ++c) {
-        Column &col = *columns_[c];
-        if (!col.halted() && !column_events_[c]->scheduled()) {
-            Tick when = col.clock().onEdge(eq_.curTick())
-                            ? eq_.curTick()
-                            : col.clock().nextEdgeAfter(eq_.curTick());
-            eq_.schedule(column_events_[c].get(), when);
-        }
+    // Tile population only changes between runs; refresh the bus
+    // views once here instead of re-allocating them every tick.
+    views_.resize(columns_.size());
+    for (unsigned c = 0; c < columns_.size(); ++c)
+        views_[c].tiles = columns_[c]->busTiles();
+
+    SchedStop stop = sched_->run(*this, max_ticks);
+
+    RunExit exit = RunExit::TickLimit;
+    switch (stop) {
+      case SchedStop::AllHalted:
+        exit = RunExit::AllHalted;
+        break;
+      case SchedStop::Idle:
+        exit = RunExit::Deadlock;
+        break;
+      case SchedStop::TickLimit:
+        exit = RunExit::TickLimit;
+        break;
     }
-    if (!bus_event_->scheduled())
-        eq_.schedule(bus_event_.get(), eq_.curTick());
-
-    Tick limit = eq_.curTick() + max_ticks;
-    eq_.run(limit);
-
-    if (allHalted())
-        return {RunExit::AllHalted, eq_.curTick()};
-    if (eq_.empty())
-        return {RunExit::Deadlock, eq_.curTick()};
-    return {RunExit::TickLimit, eq_.curTick()};
+    return {exit, sched_->curTick()};
 }
 
 void
@@ -100,6 +121,28 @@ Chip::resetColumns()
 {
     for (auto &col : columns_)
         col->reset();
+}
+
+void
+Chip::forEachStat(
+    const std::function<void(const std::string &, uint64_t)> &fn)
+    const
+{
+    for (const auto &kv : fabric_.stats().all())
+        fn("bus." + kv.first, kv.second.value());
+    for (unsigned c = 0; c < columns_.size(); ++c) {
+        const Column &col = *columns_[c];
+        std::string prefix = strprintf("col%u.", c);
+        for (const auto &kv : col.controller().stats().all())
+            fn(prefix + "ctrl." + kv.first, kv.second.value());
+        for (const auto &kv : col.dou().stats().all())
+            fn(prefix + "dou." + kv.first, kv.second.value());
+        for (unsigned t = 0; t < col.numTiles(); ++t) {
+            std::string tprefix = prefix + strprintf("tile%u.", t);
+            for (const auto &kv : col.tile(t).stats().all())
+                fn(tprefix + kv.first, kv.second.value());
+        }
+    }
 }
 
 } // namespace synchro::arch

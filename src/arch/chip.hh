@@ -6,24 +6,30 @@
  * Simulation model: one Tick = one reference (bus/DOU) clock period.
  * Every tick, each column's DOU advances one state and the bus fabric
  * resolves transfers; on ticks that are a column's divided clock
- * edges, that column's SIMD controller issues one slot. Event
- * ordering within a tick puts tile execution (priority ClockEdgePri)
- * before bus movement (BusPri), so a value written by `cwr` at tick T
- * can ride the bus at tick T and be read by `crd` at the consumer's
- * next edge — register-to-register communication in one bus cycle,
- * plus the capture alignment the DOU schedules.
+ * edges, that column's SIMD controller issues one slot. Within a tick
+ * tile execution runs before bus movement, so a value written by
+ * `cwr` at tick T can ride the bus at tick T and be read by `crd` at
+ * the consumer's next edge — register-to-register communication in
+ * one bus cycle, plus the capture alignment the DOU schedules.
+ *
+ * The tick loop itself is delegated to a pluggable Scheduler
+ * (sim/scheduler.hh). The default FastEdge backend exploits the
+ * statically-known edge pattern of the rationally-related column
+ * clocks to jump from edge to edge; the EventQueue backend keeps the
+ * original gem5-style event loop for bit-identical cross-checking.
  */
 
 #ifndef SYNC_ARCH_CHIP_HH
 #define SYNC_ARCH_CHIP_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/bus.hh"
 #include "arch/column.hh"
-#include "sim/eventq.hh"
+#include "sim/scheduler.hh"
 
 namespace synchro::arch
 {
@@ -36,11 +42,20 @@ struct ChipConfig
     /** Per-column integer clock dividers; size = number of columns. */
     std::vector<unsigned> dividers = {1, 1, 1, 1};
 
+    /**
+     * Per-column clock phase offsets in ticks (each < its divider).
+     * Empty means every column's first edge is at tick 0.
+     */
+    std::vector<Tick> phases;
+
     /** Tiles populated per column (1..4). */
     unsigned tiles_per_column = 4;
 
     /** Structural hazards and schedule slips are fatal when true. */
     bool strict = false;
+
+    /** Execution backend driving the tick loop. */
+    SchedulerKind scheduler = SchedulerKind::FastEdge;
 };
 
 /** Why Chip::run() returned. */
@@ -57,7 +72,7 @@ struct RunResult
     Tick ticks; //!< final tick reached
 };
 
-class Chip
+class Chip : private SchedModel
 {
   public:
     explicit Chip(const ChipConfig &cfg);
@@ -77,24 +92,45 @@ class Chip
      */
     RunResult run(Tick max_ticks = 100'000'000);
 
-    bool allHalted() const;
+    bool allHalted() const override;
 
-    Tick curTick() const { return eq_.curTick(); }
+    Tick curTick() const { return sched_->curTick(); }
+
+    /** The scheduler backend this chip runs on. */
+    SchedulerKind schedulerKind() const { return cfg_.scheduler; }
 
     /** Reset all columns and rewind nothing else (stats persist). */
     void resetColumns();
 
+    /**
+     * Visit every statistic of the chip under a dotted hierarchical
+     * name: "bus.<stat>", "colC.ctrl.<stat>", "colC.dou.<stat>",
+     * "colC.tileT.<stat>". Names are visited in a deterministic
+     * order; SimSession aggregates across chips with this.
+     */
+    void forEachStat(
+        const std::function<void(const std::string &, uint64_t)> &fn)
+        const;
+
   private:
-    void busPhase();
-    void columnPhase(unsigned c);
+    /// @name SchedModel interface (driven by the scheduler)
+    /// @{
+    unsigned numDomains() const override { return numColumns(); }
+    const ClockDomain &domainClock(unsigned d) const override;
+    bool domainHalted(unsigned d) const override;
+    void domainEdge(unsigned d) override;
+    void refPhase() override;
+    bool refPhaseInert() const override;
+    void skipRefPhases(Tick n) override;
+    /// @}
 
     ChipConfig cfg_;
-    EventQueue eq_;
+    std::unique_ptr<Scheduler> sched_;
     std::vector<std::unique_ptr<Column>> columns_;
     BusFabric fabric_;
 
-    std::vector<std::unique_ptr<LambdaEvent>> column_events_;
-    std::unique_ptr<LambdaEvent> bus_event_;
+    // Scratch for refPhase(), reused across ticks.
+    std::vector<ColumnBusView> views_;
 };
 
 } // namespace synchro::arch

@@ -40,6 +40,7 @@ class Column
     SimdController &controller() { return ctrl_; }
     const SimdController &controller() const { return ctrl_; }
     Dou &dou() { return dou_; }
+    const Dou &dou() const { return dou_; }
 
     const ClockDomain &clock() const { return clock_; }
 

@@ -109,6 +109,45 @@ Dou::current() const
     return prog_.states[state_];
 }
 
+bool
+Dou::inertSelfLoop() const
+{
+    const DouState &s = prog_.states[state_];
+    if (s.nxt0 != state_ || s.nxt1 != state_)
+        return false;
+    for (uint8_t b : s.buf) {
+        if (b != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+Dou::skipSteps(uint64_t n)
+{
+    if (n == 0)
+        return;
+    sync_assert(inertSelfLoop(),
+                "DOU %u: skipSteps through a non-inert state %u",
+                column_, state_);
+    const DouState &s = prog_.states[state_];
+    uint32_t &ctr = counters_[s.cntr];
+    const uint32_t reload = prog_.counter_init[s.cntr];
+    // step() maps v -> (v == 0 ? reload : v - 1); starting from
+    // v <= reload the value descends to 0 then cycles with period
+    // reload + 1, so n steps land at a closed-form position.
+    uint64_t v = ctr;
+    if (n <= v) {
+        v -= n;
+    } else {
+        uint64_t period = uint64_t(reload) + 1;
+        uint64_t rem = (n - v - 1) % period;
+        v = reload - rem;
+    }
+    ctr = uint32_t(v);
+    steps_ += n;
+}
+
 const DouState &
 Dou::step()
 {

@@ -119,12 +119,30 @@ class Dou
     /** Outputs for this cycle without advancing. */
     const DouState &current() const;
 
+    /**
+     * True if the current state is an inert self-loop: both successors
+     * point back at it and no tile drives or captures, so step() can
+     * only cycle the tested counter. This is the state an idle DOU (or
+     * a finished schedule's parking state) sits in.
+     */
+    bool inertSelfLoop() const;
+
+    /**
+     * Fast-forward @p n cycles through the current inert self-loop in
+     * O(1): the tested counter is advanced modulo its reload period
+     * and the step statistic is credited, exactly as n step() calls
+     * would have. panic() if the current state is not an inert
+     * self-loop.
+     */
+    void skipSteps(uint64_t n);
+
     unsigned stateIndex() const { return state_; }
     uint32_t counter(unsigned i) const { return counters_.at(i); }
 
     void reset();
 
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
   private:
     unsigned column_;

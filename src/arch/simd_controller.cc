@@ -7,8 +7,8 @@
 namespace synchro::arch
 {
 
-using isa::Inst;
-using isa::Opcode;
+using isa::MicroOp;
+using isa::UopKind;
 
 SimdController::SimdController(unsigned column)
     : column_(column), issued_(stats_.counter("issued")),
@@ -28,7 +28,7 @@ SimdController::loadProgram(const isa::Program &prog)
               column_, prog.insts.size(), InsnMemWords);
     if (prog.insts.empty())
         fatal("column %u: empty program", column_);
-    prog_ = prog.insts;
+    prog_ = isa::decodeProgram(prog);
     reset();
 }
 
@@ -36,7 +36,7 @@ void
 SimdController::reset()
 {
     pc_ = 0;
-    halted_ = prog_.empty();
+    halted_ = !prog_ || prog_->uops.empty();
     stall_ = 0;
     loops_[0] = loops_[1] = LoopUnit{};
     loop_stack_.clear();
@@ -119,59 +119,58 @@ SimdController::cycle(const std::vector<Tile *> &tiles)
         }
     }
 
-    if (pc_ >= prog_.size())
+    if (pc_ >= prog_->uops.size())
         fatal("column %u: pc %u fell off the program end (missing "
               "halt?)",
               column_, pc_);
 
-    const Inst &inst = prog_[pc_];
+    const MicroOp &uop = prog_->uops[pc_];
 
-    if (inst.isControl()) {
+    if (uop.isControl()) {
         ++issued_;
-        switch (inst.op) {
-          case Opcode::NOP:
+        switch (uop.kind) {
+          case UopKind::Nop:
             advancePc();
             break;
-          case Opcode::HALT:
+          case UopKind::Halt:
             halted_ = true;
             break;
-          case Opcode::JUMP:
-            pc_ = uint32_t(inst.imm);
+          case UopKind::Jump:
+            pc_ = uint32_t(uop.imm);
             break;
-          case Opcode::JCC:
-          case Opcode::JNCC: {
+          case UopKind::Jcc:
+          case UopKind::Jncc: {
             bool cc = readCc(tiles);
-            bool taken = inst.op == Opcode::JCC ? cc : !cc;
+            bool taken = uop.kind == UopKind::Jcc ? cc : !cc;
             if (taken)
-                pc_ = uint32_t(inst.imm);
+                pc_ = uint32_t(uop.imm);
             else
                 advancePc();
             stall_ = 1; // single-cycle conditional-branch stall
             break;
           }
-          case Opcode::LSETUP: {
-            if (inst.end <= pc_ + 1)
+          case UopKind::Lsetup: {
+            if (uop.end <= pc_ + 1)
                 fatal("column %u: lsetup at %u with empty body "
                       "(end %u)",
-                      column_, pc_, inst.end);
-            if (inst.end > prog_.size())
+                      column_, pc_, uop.end);
+            if (uop.end > prog_->uops.size())
                 fatal("column %u: lsetup end %u beyond program",
-                      column_, inst.end);
-            uint8_t lc = inst.lc;
+                      column_, uop.end);
+            uint8_t lc = uop.acc; // loop unit index
             for (uint8_t active : loop_stack_) {
                 if (active == lc)
                     fatal("column %u: lc%u re-armed while active",
                           column_, lc);
             }
-            loops_[lc] =
-                LoopUnit{pc_ + 1, inst.end, uint32_t(inst.imm)};
+            loops_[lc] = LoopUnit{pc_ + 1, uop.end, uint32_t(uop.imm)};
             loop_stack_.push_back(lc);
             advancePc();
             break;
           }
           default:
-            panic("column %u: unhandled control opcode '%s'", column_,
-                  isa::mnemonic(inst.op));
+            panic("column %u: unhandled control micro-op %u", column_,
+                  unsigned(uop.kind));
         }
         return;
     }
@@ -179,14 +178,14 @@ SimdController::cycle(const std::vector<Tile *> &tiles)
     // Communication hazard checks: the whole column stalls until every
     // active tile can complete the operation (these stall cycles are
     // the cross-domain synchronization nops of paper Section 4.5).
-    if (inst.op == Opcode::CRD) {
+    if (uop.kind == UopKind::CommRead) {
         for (Tile *t : tiles) {
             if (!t->readBuffer().valid()) {
                 ++comm_stalls_;
                 return;
             }
         }
-    } else if (inst.op == Opcode::CWR) {
+    } else if (uop.kind == UopKind::CommWrite) {
         for (Tile *t : tiles) {
             if (t->writeBuffer().valid()) {
                 ++comm_stalls_;
@@ -197,7 +196,7 @@ SimdController::cycle(const std::vector<Tile *> &tiles)
 
     ++issued_;
     for (Tile *t : tiles)
-        t->execute(inst);
+        t->execute(uop);
     advancePc();
 }
 

@@ -21,11 +21,13 @@
 #define SYNC_ARCH_SIMD_CONTROLLER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/tile.hh"
 #include "common/stats.hh"
 #include "isa/assembler.hh"
+#include "isa/uop.hh"
 
 namespace synchro::arch
 {
@@ -46,8 +48,20 @@ class SimdController
 
     explicit SimdController(unsigned column);
 
-    /** Load a program; fatal() if it exceeds instruction SRAM. */
+    /**
+     * Load a program; fatal() if it exceeds instruction SRAM. The
+     * program is decoded once into micro-ops through the shared
+     * decoded-program cache (isa/uop.hh); the per-slot broadcast
+     * path never re-decodes.
+     */
     void loadProgram(const isa::Program &prog);
+
+    /** The decoded program driving this column (null if none). */
+    const std::shared_ptr<const isa::DecodedProgram> &
+    decodedProgram() const
+    {
+        return prog_;
+    }
 
     /**
      * Configure rate matching: insert @p nops nops over every
@@ -86,7 +100,7 @@ class SimdController
     void advancePc();
 
     unsigned column_;
-    std::vector<isa::Inst> prog_;
+    std::shared_ptr<const isa::DecodedProgram> prog_;
 
     uint32_t pc_ = 0;
     bool halted_ = true;

@@ -8,10 +8,9 @@
 namespace synchro::arch
 {
 
-using isa::HalfSel;
 using isa::Inst;
-using isa::MemMode;
-using isa::Opcode;
+using isa::MicroOp;
+using isa::UopKind;
 
 Tile::Tile(unsigned column, unsigned index)
     : column_(column), index_(index), mem_(MemBytes, 0),
@@ -153,262 +152,233 @@ Tile::storeTo(uint32_t addr, unsigned size, uint32_t value)
 namespace
 {
 
-unsigned
-memAccessSize(Opcode op)
-{
-    switch (op) {
-      case Opcode::LDW:
-      case Opcode::STW:
-        return 4;
-      case Opcode::LDH:
-      case Opcode::LDHU:
-      case Opcode::STH:
-        return 2;
-      default:
-        return 1;
-    }
-}
-
 int16_t
 half(uint32_t v, bool high)
 {
     return int16_t(high ? (v >> 16) : (v & 0xffff));
 }
 
-/** Signed 16x16 product of the selected halves. */
+/** Signed 16x16 product of the halves selected at decode time. */
 int32_t
-halfProduct(uint32_t a, uint32_t b, HalfSel sel)
+halfProduct(uint32_t a, uint32_t b, uint8_t flags)
 {
-    bool a_hi = sel == HalfSel::HL || sel == HalfSel::HH;
-    bool b_hi = sel == HalfSel::LH || sel == HalfSel::HH;
-    return int32_t(half(a, a_hi)) * int32_t(half(b, b_hi));
+    return int32_t(half(a, flags & isa::UopAHigh)) *
+           int32_t(half(b, flags & isa::UopBHigh));
 }
 
 } // namespace
 
 uint32_t
-Tile::effectiveAddress(const Inst &inst, unsigned size)
+Tile::effectiveAddress(const MicroOp &uop)
 {
-    uint32_t p = pregs_[inst.rs1];
-    if (inst.mode == MemMode::Offset)
-        return p + uint32_t(inst.imm);
+    uint32_t p = pregs_[uop.rs1];
+    if (!(uop.flags & isa::UopPostMod))
+        return p + uint32_t(uop.imm);
     // Post-modify: access at p, then update the pointer.
-    pregs_[inst.rs1] = p + uint32_t(inst.imm);
-    (void)size;
+    pregs_[uop.rs1] = p + uint32_t(uop.imm);
     return p;
 }
 
 void
 Tile::execute(const Inst &inst)
 {
+    execute(isa::decodeInst(inst));
+}
+
+void
+Tile::execute(const MicroOp &uop)
+{
     ++instructions_;
     auto &r = regs_;
 
-    switch (inst.op) {
-      case Opcode::ADD:
-        r[inst.rd] = r[inst.rs1] + r[inst.rs2];
+    switch (uop.kind) {
+      case UopKind::Add:
+        r[uop.rd] = r[uop.rs1] + r[uop.rs2];
         break;
-      case Opcode::SUB:
-        r[inst.rd] = r[inst.rs1] - r[inst.rs2];
+      case UopKind::Sub:
+        r[uop.rd] = r[uop.rs1] - r[uop.rs2];
         break;
-      case Opcode::AND_:
-        r[inst.rd] = r[inst.rs1] & r[inst.rs2];
+      case UopKind::And:
+        r[uop.rd] = r[uop.rs1] & r[uop.rs2];
         break;
-      case Opcode::OR_:
-        r[inst.rd] = r[inst.rs1] | r[inst.rs2];
+      case UopKind::Or:
+        r[uop.rd] = r[uop.rs1] | r[uop.rs2];
         break;
-      case Opcode::XOR_:
-        r[inst.rd] = r[inst.rs1] ^ r[inst.rs2];
+      case UopKind::Xor:
+        r[uop.rd] = r[uop.rs1] ^ r[uop.rs2];
         break;
-      case Opcode::MIN:
-        r[inst.rd] = uint32_t(std::min(int32_t(r[inst.rs1]),
-                                       int32_t(r[inst.rs2])));
+      case UopKind::Min:
+        r[uop.rd] = uint32_t(std::min(int32_t(r[uop.rs1]),
+                                      int32_t(r[uop.rs2])));
         break;
-      case Opcode::MAX:
-        r[inst.rd] = uint32_t(std::max(int32_t(r[inst.rs1]),
-                                       int32_t(r[inst.rs2])));
+      case UopKind::Max:
+        r[uop.rd] = uint32_t(std::max(int32_t(r[uop.rs1]),
+                                      int32_t(r[uop.rs2])));
         break;
-      case Opcode::LSL:
-        r[inst.rd] = r[inst.rs1] << (r[inst.rs2] & 31);
+      case UopKind::Lsl:
+        r[uop.rd] = r[uop.rs1] << (r[uop.rs2] & 31);
         break;
-      case Opcode::LSR:
-        r[inst.rd] = r[inst.rs1] >> (r[inst.rs2] & 31);
+      case UopKind::Lsr:
+        r[uop.rd] = r[uop.rs1] >> (r[uop.rs2] & 31);
         break;
-      case Opcode::ASR:
-        r[inst.rd] =
-            uint32_t(int32_t(r[inst.rs1]) >> (r[inst.rs2] & 31));
+      case UopKind::Asr:
+        r[uop.rd] =
+            uint32_t(int32_t(r[uop.rs1]) >> (r[uop.rs2] & 31));
         break;
-      case Opcode::MUL:
-        r[inst.rd] =
-            uint32_t(int64_t(int32_t(r[inst.rs1])) *
-                     int64_t(int32_t(r[inst.rs2])));
+      case UopKind::Mul:
+        r[uop.rd] = uint32_t(int64_t(int32_t(r[uop.rs1])) *
+                             int64_t(int32_t(r[uop.rs2])));
         break;
-      case Opcode::SEL:
-        r[inst.rd] = cc_ ? r[inst.rs1] : r[inst.rs2];
+      case UopKind::Sel:
+        r[uop.rd] = cc_ ? r[uop.rs1] : r[uop.rs2];
         break;
 
-      case Opcode::NEG:
-        r[inst.rd] = uint32_t(-int32_t(r[inst.rs1]));
+      case UopKind::Neg:
+        r[uop.rd] = uint32_t(-int32_t(r[uop.rs1]));
         break;
-      case Opcode::NOT_:
-        r[inst.rd] = ~r[inst.rs1];
+      case UopKind::Not:
+        r[uop.rd] = ~r[uop.rs1];
         break;
-      case Opcode::ABS: {
+      case UopKind::Abs: {
         // DSP-style saturating abs: |INT32_MIN| -> INT32_MAX.
-        int32_t v = int32_t(r[inst.rs1]);
-        r[inst.rd] = v == INT32_MIN ? uint32_t(INT32_MAX)
-                                    : uint32_t(v < 0 ? -v : v);
+        int32_t v = int32_t(r[uop.rs1]);
+        r[uop.rd] = v == INT32_MIN ? uint32_t(INT32_MAX)
+                                   : uint32_t(v < 0 ? -v : v);
         break;
       }
-      case Opcode::MOV:
-        r[inst.rd] = r[inst.rs1];
+      case UopKind::Mov:
+        r[uop.rd] = r[uop.rs1];
         break;
 
-      case Opcode::ADDI:
-        r[inst.rd] += uint32_t(inst.imm);
+      case UopKind::AddImm:
+        r[uop.rd] += uint32_t(uop.imm);
         break;
-      case Opcode::LSLI:
-        r[inst.rd] = r[inst.rs1] << inst.imm;
+      case UopKind::LslImm:
+        r[uop.rd] = r[uop.rs1] << uop.imm;
         break;
-      case Opcode::LSRI:
-        r[inst.rd] = r[inst.rs1] >> inst.imm;
+      case UopKind::LsrImm:
+        r[uop.rd] = r[uop.rs1] >> uop.imm;
         break;
-      case Opcode::ASRI:
-        r[inst.rd] = uint32_t(int32_t(r[inst.rs1]) >> inst.imm);
+      case UopKind::AsrImm:
+        r[uop.rd] = uint32_t(int32_t(r[uop.rs1]) >> uop.imm);
         break;
 
-      case Opcode::ADD16: {
-        uint32_t a = r[inst.rs1], b = r[inst.rs2];
+      case UopKind::Add16: {
+        uint32_t a = r[uop.rs1], b = r[uop.rs2];
         uint32_t lo = uint16_t(sat16(int64_t(half(a, false)) +
                                      half(b, false)));
         uint32_t hi = uint16_t(sat16(int64_t(half(a, true)) +
                                      half(b, true)));
-        r[inst.rd] = (hi << 16) | lo;
+        r[uop.rd] = (hi << 16) | lo;
         break;
       }
-      case Opcode::SUB16: {
-        uint32_t a = r[inst.rs1], b = r[inst.rs2];
+      case UopKind::Sub16: {
+        uint32_t a = r[uop.rs1], b = r[uop.rs2];
         uint32_t lo = uint16_t(sat16(int64_t(half(a, false)) -
                                      half(b, false)));
         uint32_t hi = uint16_t(sat16(int64_t(half(a, true)) -
                                      half(b, true)));
-        r[inst.rd] = (hi << 16) | lo;
+        r[uop.rd] = (hi << 16) | lo;
         break;
       }
 
-      case Opcode::MAC:
+      case UopKind::Mac:
         ++mac_ops_;
-        accs_[inst.acc] = sat40(
-            accs_[inst.acc] +
-            halfProduct(r[inst.rs1], r[inst.rs2], inst.hsel));
+        accs_[uop.acc] = sat40(
+            accs_[uop.acc] +
+            halfProduct(r[uop.rs1], r[uop.rs2], uop.flags));
         break;
-      case Opcode::MSU:
+      case UopKind::Msu:
         ++mac_ops_;
-        accs_[inst.acc] = sat40(
-            accs_[inst.acc] -
-            halfProduct(r[inst.rs1], r[inst.rs2], inst.hsel));
+        accs_[uop.acc] = sat40(
+            accs_[uop.acc] -
+            halfProduct(r[uop.rs1], r[uop.rs2], uop.flags));
         break;
-      case Opcode::SAA: {
+      case UopKind::Saa: {
         // Video-ALU sum of absolute byte differences (4 lanes).
         ++mac_ops_;
-        uint32_t a = r[inst.rs1], b = r[inst.rs2];
+        uint32_t a = r[uop.rs1], b = r[uop.rs2];
         int64_t sum = 0;
         for (unsigned i = 0; i < 4; ++i) {
             int32_t ba = int32_t((a >> (8 * i)) & 0xff);
             int32_t bb = int32_t((b >> (8 * i)) & 0xff);
             sum += ba > bb ? ba - bb : bb - ba;
         }
-        accs_[inst.acc] = sat40(accs_[inst.acc] + sum);
+        accs_[uop.acc] = sat40(accs_[uop.acc] + sum);
         break;
       }
-      case Opcode::ACLR:
-        accs_[inst.acc] = 0;
+      case UopKind::AClr:
+        accs_[uop.acc] = 0;
         break;
-      case Opcode::AEXT:
-        r[inst.rd] = uint32_t(sat32(accs_[inst.acc] >> inst.imm));
-        break;
-
-      case Opcode::MOVI:
-        r[inst.rd] = uint32_t(inst.imm);
-        break;
-      case Opcode::MOVIH:
-        r[inst.rd] =
-            (r[inst.rd] & 0xffff) | (uint32_t(inst.imm) << 16);
-        break;
-      case Opcode::MOVPI:
-        pregs_[inst.rd] = uint32_t(inst.imm);
-        break;
-      case Opcode::MOVP:
-        pregs_[inst.rd] = r[inst.rs1];
-        break;
-      case Opcode::MOVRP:
-        r[inst.rd] = pregs_[inst.rs1];
-        break;
-      case Opcode::PADDI:
-        pregs_[inst.rd] += uint32_t(inst.imm);
-        break;
-      case Opcode::TID:
-        r[inst.rd] = index_;
+      case UopKind::AExt:
+        r[uop.rd] = uint32_t(sat32(accs_[uop.acc] >> uop.imm));
         break;
 
-      case Opcode::LDW:
-      case Opcode::LDH:
-      case Opcode::LDB: {
+      case UopKind::MovImm:
+        r[uop.rd] = uint32_t(uop.imm);
+        break;
+      case UopKind::MovImmHigh:
+        r[uop.rd] = (r[uop.rd] & 0xffff) | (uint32_t(uop.imm) << 16);
+        break;
+      case UopKind::MovPtrImm:
+        pregs_[uop.rd] = uint32_t(uop.imm);
+        break;
+      case UopKind::MovPtr:
+        pregs_[uop.rd] = r[uop.rs1];
+        break;
+      case UopKind::MovFromPtr:
+        r[uop.rd] = pregs_[uop.rs1];
+        break;
+      case UopKind::PtrAddImm:
+        pregs_[uop.rd] += uint32_t(uop.imm);
+        break;
+      case UopKind::TileId:
+        r[uop.rd] = index_;
+        break;
+
+      case UopKind::Load:
         ++mem_ops_;
-        unsigned size = memAccessSize(inst.op);
-        r[inst.rd] = loadFrom(effectiveAddress(inst, size), size, true);
+        r[uop.rd] = loadFrom(effectiveAddress(uop), uop.mem_size,
+                             uop.flags & isa::UopSignExtend);
         break;
-      }
-      case Opcode::LDHU:
-      case Opcode::LDBU: {
+      case UopKind::Store:
         ++mem_ops_;
-        unsigned size = memAccessSize(inst.op);
-        r[inst.rd] =
-            loadFrom(effectiveAddress(inst, size), size, false);
-        break;
-      }
-      case Opcode::STW:
-      case Opcode::STH:
-      case Opcode::STB: {
-        ++mem_ops_;
-        unsigned size = memAccessSize(inst.op);
-        storeTo(effectiveAddress(inst, size), size, r[inst.rd]);
-        break;
-      }
-
-      case Opcode::CMPEQ:
-        cc_ = r[inst.rd] == r[inst.rs1];
-        break;
-      case Opcode::CMPLT:
-        cc_ = int32_t(r[inst.rd]) < int32_t(r[inst.rs1]);
-        break;
-      case Opcode::CMPLE:
-        cc_ = int32_t(r[inst.rd]) <= int32_t(r[inst.rs1]);
-        break;
-      case Opcode::CMPLTU:
-        cc_ = r[inst.rd] < r[inst.rs1];
+        storeTo(effectiveAddress(uop), uop.mem_size, r[uop.rd]);
         break;
 
-      case Opcode::CWR:
-        if (!wbuf_.push(r[inst.rd]))
+      case UopKind::CmpEq:
+        cc_ = r[uop.rd] == r[uop.rs1];
+        break;
+      case UopKind::CmpLt:
+        cc_ = int32_t(r[uop.rd]) < int32_t(r[uop.rs1]);
+        break;
+      case UopKind::CmpLe:
+        cc_ = int32_t(r[uop.rd]) <= int32_t(r[uop.rs1]);
+        break;
+      case UopKind::CmpLtu:
+        cc_ = r[uop.rd] < r[uop.rs1];
+        break;
+
+      case UopKind::CommWrite:
+        if (!wbuf_.push(r[uop.rd]))
             panic("tile (%u,%u): cwr into a full write buffer "
                   "(controller must stall first)",
                   column_, index_);
         break;
-      case Opcode::CRD:
+      case UopKind::CommRead:
         if (!rbuf_.valid())
             panic("tile (%u,%u): crd from an empty read buffer "
                   "(controller must stall first)",
                   column_, index_);
-        r[inst.rd] = rbuf_.pop();
+        r[uop.rd] = rbuf_.pop();
         break;
 
-      case Opcode::NOP:
+      case UopKind::Nop:
         break;
 
       default:
-        panic("tile (%u,%u): control opcode '%s' broadcast to tile",
-              column_, index_, isa::mnemonic(inst.op));
+        panic("tile (%u,%u): control micro-op %u broadcast to tile",
+              column_, index_, unsigned(uop.kind));
     }
 }
 

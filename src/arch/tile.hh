@@ -21,6 +21,7 @@
 #include "arch/comm_buffer.hh"
 #include "common/stats.hh"
 #include "isa/inst.hh"
+#include "isa/uop.hh"
 
 namespace synchro::arch
 {
@@ -62,10 +63,17 @@ class Tile
     /// @}
 
     /**
-     * Execute one non-control instruction. The caller (SIMD
-     * controller) has already resolved hazards; executing `crd` with
-     * an empty read buffer or `cwr` with a full write buffer is a
-     * panic here.
+     * Execute one pre-decoded non-control micro-op — the broadcast
+     * fast path. The caller (SIMD controller) has already resolved
+     * hazards; executing `crd` with an empty read buffer or `cwr`
+     * with a full write buffer is a panic here, as is a control
+     * micro-op reaching a tile.
+     */
+    void execute(const isa::MicroOp &uop);
+
+    /**
+     * Convenience for tests and single-shot callers: decode (with
+     * full operand validation) and execute one instruction.
      */
     void execute(const isa::Inst &inst);
 
@@ -83,7 +91,7 @@ class Tile
   private:
     uint32_t loadFrom(uint32_t addr, unsigned size, bool sign_extend);
     void storeTo(uint32_t addr, unsigned size, uint32_t value);
-    uint32_t effectiveAddress(const isa::Inst &inst, unsigned size);
+    uint32_t effectiveAddress(const isa::MicroOp &uop);
 
     unsigned column_;
     unsigned index_;

@@ -20,11 +20,17 @@ mask(unsigned n)
     return n >= 64 ? ~uint64_t(0) : (uint64_t(1) << n) - 1;
 }
 
-/** Extract bits [last:first] (inclusive, last >= first) of @p val. */
+/**
+ * Extract bits [last:first] (inclusive) of @p val. A malformed range
+ * (last < first, or first >= 64) extracts nothing instead of hitting
+ * the undefined behaviour of an oversized shift.
+ */
 constexpr uint64_t
 bits(uint64_t val, unsigned last, unsigned first)
 {
-    return (val >> first) & mask(last - first + 1);
+    return (last < first || first >= 64)
+               ? 0
+               : (val >> first) & mask(last - first + 1);
 }
 
 /** Extract a single bit. */
@@ -34,18 +40,31 @@ bits(uint64_t val, unsigned bit)
     return bits(val, bit, bit);
 }
 
-/** Return @p val with bits [last:first] replaced by @p field. */
+/**
+ * Return @p val with bits [last:first] replaced by @p field. A
+ * malformed range (last < first, or first >= 64) replaces nothing.
+ */
 constexpr uint64_t
 insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
 {
+    if (last < first || first >= 64)
+        return val;
     uint64_t m = mask(last - first + 1) << first;
     return (val & ~m) | ((field << first) & m);
 }
 
-/** Sign-extend the low @p n bits of @p val to 64 bits. */
+/**
+ * Sign-extend the low @p n bits of @p val to 64 bits. n == 0 yields
+ * 0 and n >= 64 yields the value unchanged; both previously shifted
+ * by an out-of-range amount (undefined behaviour).
+ */
 constexpr int64_t
 sext(uint64_t val, unsigned n)
 {
+    if (n == 0)
+        return 0;
+    if (n >= 64)
+        return int64_t(val);
     uint64_t sign = uint64_t(1) << (n - 1);
     uint64_t v = val & mask(n);
     return int64_t((v ^ sign) - sign);

@@ -1,0 +1,419 @@
+#include "isa/uop.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/log.hh"
+
+namespace synchro::isa
+{
+
+namespace
+{
+
+void
+checkReg(const Inst &inst, unsigned r, const char *what)
+{
+    if (r >= NumDataRegs)
+        fatal("%s: %s index %u out of range (data regs are r0..r%u)",
+              mnemonic(inst.op), what, r, NumDataRegs - 1);
+}
+
+void
+checkPreg(const Inst &inst, unsigned p, const char *what)
+{
+    if (p >= NumPtrRegs)
+        fatal("%s: %s index %u out of range (pointer regs are "
+              "p0..p%u)",
+              mnemonic(inst.op), what, p, NumPtrRegs - 1);
+}
+
+void
+checkAcc(const Inst &inst, unsigned a)
+{
+    if (a >= NumAccums)
+        fatal("%s: accumulator index %u out of range",
+              mnemonic(inst.op), a);
+}
+
+void
+checkShift(const Inst &inst, int32_t imm)
+{
+    if (imm < 0 || imm > 31)
+        fatal("%s: shift amount %d outside 0..31", mnemonic(inst.op),
+              imm);
+}
+
+UopKind
+aluKind(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD:   return UopKind::Add;
+      case Opcode::SUB:   return UopKind::Sub;
+      case Opcode::AND_:  return UopKind::And;
+      case Opcode::OR_:   return UopKind::Or;
+      case Opcode::XOR_:  return UopKind::Xor;
+      case Opcode::MIN:   return UopKind::Min;
+      case Opcode::MAX:   return UopKind::Max;
+      case Opcode::LSL:   return UopKind::Lsl;
+      case Opcode::LSR:   return UopKind::Lsr;
+      case Opcode::ASR:   return UopKind::Asr;
+      case Opcode::MUL:   return UopKind::Mul;
+      case Opcode::SEL:   return UopKind::Sel;
+      case Opcode::ADD16: return UopKind::Add16;
+      case Opcode::SUB16: return UopKind::Sub16;
+      default:
+        panic("aluKind on non-ALU opcode '%s'", mnemonic(op));
+    }
+}
+
+} // namespace
+
+MicroOp
+decodeInst(const Inst &inst)
+{
+    MicroOp u;
+    u.imm = inst.imm;
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        u.kind = UopKind::Nop;
+        break;
+      case Opcode::HALT:
+        u.kind = UopKind::Halt;
+        break;
+      case Opcode::JUMP:
+        u.kind = UopKind::Jump;
+        break;
+      case Opcode::JCC:
+        u.kind = UopKind::Jcc;
+        break;
+      case Opcode::JNCC:
+        u.kind = UopKind::Jncc;
+        break;
+      case Opcode::LSETUP:
+        u.kind = UopKind::Lsetup;
+        if (inst.lc >= 2)
+            fatal("lsetup: loop unit lc%u out of range", inst.lc);
+        u.acc = inst.lc;
+        u.end = inst.end;
+        break;
+
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND_:
+      case Opcode::OR_: case Opcode::XOR_: case Opcode::MIN:
+      case Opcode::MAX: case Opcode::LSL: case Opcode::LSR:
+      case Opcode::ASR: case Opcode::MUL: case Opcode::SEL:
+      case Opcode::ADD16: case Opcode::SUB16:
+        u.kind = aluKind(inst.op);
+        checkReg(inst, inst.rd, "rd");
+        checkReg(inst, inst.rs1, "rs1");
+        checkReg(inst, inst.rs2, "rs2");
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        u.rs2 = inst.rs2;
+        break;
+
+      case Opcode::NEG:
+      case Opcode::NOT_:
+      case Opcode::ABS:
+      case Opcode::MOV:
+        u.kind = inst.op == Opcode::NEG   ? UopKind::Neg
+                 : inst.op == Opcode::NOT_ ? UopKind::Not
+                 : inst.op == Opcode::ABS  ? UopKind::Abs
+                                           : UopKind::Mov;
+        checkReg(inst, inst.rd, "rd");
+        checkReg(inst, inst.rs1, "rs");
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        break;
+
+      case Opcode::ADDI:
+        u.kind = UopKind::AddImm;
+        checkReg(inst, inst.rd, "rd");
+        u.rd = inst.rd;
+        break;
+      case Opcode::LSLI:
+      case Opcode::LSRI:
+      case Opcode::ASRI:
+        u.kind = inst.op == Opcode::LSLI   ? UopKind::LslImm
+                 : inst.op == Opcode::LSRI ? UopKind::LsrImm
+                                           : UopKind::AsrImm;
+        checkReg(inst, inst.rd, "rd");
+        checkReg(inst, inst.rs1, "rs");
+        checkShift(inst, inst.imm);
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        break;
+
+      case Opcode::MAC:
+      case Opcode::MSU:
+        u.kind = inst.op == Opcode::MAC ? UopKind::Mac : UopKind::Msu;
+        checkAcc(inst, inst.acc);
+        checkReg(inst, inst.rs1, "rs1");
+        checkReg(inst, inst.rs2, "rs2");
+        u.acc = inst.acc;
+        u.rs1 = inst.rs1;
+        u.rs2 = inst.rs2;
+        if (inst.hsel == HalfSel::HL || inst.hsel == HalfSel::HH)
+            u.flags |= UopAHigh;
+        if (inst.hsel == HalfSel::LH || inst.hsel == HalfSel::HH)
+            u.flags |= UopBHigh;
+        break;
+      case Opcode::SAA:
+        u.kind = UopKind::Saa;
+        checkAcc(inst, inst.acc);
+        checkReg(inst, inst.rs1, "rs1");
+        checkReg(inst, inst.rs2, "rs2");
+        u.acc = inst.acc;
+        u.rs1 = inst.rs1;
+        u.rs2 = inst.rs2;
+        break;
+      case Opcode::ACLR:
+        u.kind = UopKind::AClr;
+        checkAcc(inst, inst.acc);
+        u.acc = inst.acc;
+        break;
+      case Opcode::AEXT:
+        u.kind = UopKind::AExt;
+        checkReg(inst, inst.rd, "rd");
+        checkAcc(inst, inst.acc);
+        checkShift(inst, inst.imm);
+        u.rd = inst.rd;
+        u.acc = inst.acc;
+        break;
+
+      case Opcode::MOVI:
+        u.kind = UopKind::MovImm;
+        checkReg(inst, inst.rd, "rd");
+        u.rd = inst.rd;
+        break;
+      case Opcode::MOVIH:
+        u.kind = UopKind::MovImmHigh;
+        checkReg(inst, inst.rd, "rd");
+        u.rd = inst.rd;
+        break;
+      case Opcode::MOVPI:
+        u.kind = UopKind::MovPtrImm;
+        checkPreg(inst, inst.rd, "pd");
+        u.rd = inst.rd;
+        break;
+      case Opcode::MOVP:
+        u.kind = UopKind::MovPtr;
+        checkPreg(inst, inst.rd, "pd");
+        checkReg(inst, inst.rs1, "rs");
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        break;
+      case Opcode::MOVRP:
+        u.kind = UopKind::MovFromPtr;
+        checkReg(inst, inst.rd, "rd");
+        checkPreg(inst, inst.rs1, "ps");
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        break;
+      case Opcode::PADDI:
+        u.kind = UopKind::PtrAddImm;
+        checkPreg(inst, inst.rd, "pd");
+        u.rd = inst.rd;
+        break;
+      case Opcode::TID:
+        u.kind = UopKind::TileId;
+        checkReg(inst, inst.rd, "rd");
+        u.rd = inst.rd;
+        break;
+
+      case Opcode::LDW: case Opcode::LDH: case Opcode::LDB:
+      case Opcode::LDHU: case Opcode::LDBU:
+      case Opcode::STW: case Opcode::STH: case Opcode::STB: {
+        bool store = inst.op == Opcode::STW ||
+                     inst.op == Opcode::STH ||
+                     inst.op == Opcode::STB;
+        u.kind = store ? UopKind::Store : UopKind::Load;
+        checkReg(inst, inst.rd, store ? "rs" : "rd");
+        checkPreg(inst, inst.rs1, "p");
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        switch (inst.op) {
+          case Opcode::LDW: case Opcode::STW:
+            u.mem_size = 4;
+            break;
+          case Opcode::LDH: case Opcode::LDHU: case Opcode::STH:
+            u.mem_size = 2;
+            break;
+          default:
+            u.mem_size = 1;
+            break;
+        }
+        if (inst.op == Opcode::LDW || inst.op == Opcode::LDH ||
+            inst.op == Opcode::LDB) {
+            u.flags |= UopSignExtend;
+        }
+        if (inst.mode == MemMode::PostMod)
+            u.flags |= UopPostMod;
+        break;
+      }
+
+      case Opcode::CMPEQ: case Opcode::CMPLT: case Opcode::CMPLE:
+      case Opcode::CMPLTU:
+        u.kind = inst.op == Opcode::CMPEQ   ? UopKind::CmpEq
+                 : inst.op == Opcode::CMPLT ? UopKind::CmpLt
+                 : inst.op == Opcode::CMPLE ? UopKind::CmpLe
+                                            : UopKind::CmpLtu;
+        checkReg(inst, inst.rd, "lhs");
+        checkReg(inst, inst.rs1, "rhs");
+        u.rd = inst.rd;
+        u.rs1 = inst.rs1;
+        break;
+
+      case Opcode::CWR:
+        u.kind = UopKind::CommWrite;
+        checkReg(inst, inst.rd, "rs");
+        u.rd = inst.rd;
+        break;
+      case Opcode::CRD:
+        u.kind = UopKind::CommRead;
+        checkReg(inst, inst.rd, "rd");
+        u.rd = inst.rd;
+        break;
+
+      default:
+        fatal("decodeInst: unknown opcode %u", unsigned(inst.op));
+    }
+    return u;
+}
+
+namespace
+{
+
+/** FNV-1a over every architecturally-meaningful Inst field. */
+uint64_t
+hashProgram(const std::vector<Inst> &insts)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const Inst &i : insts) {
+        mix(uint64_t(i.op));
+        mix(i.rd);
+        mix(i.rs1);
+        mix(i.rs2);
+        mix(i.acc);
+        mix(uint64_t(i.hsel));
+        mix(uint64_t(i.mode));
+        mix(i.lc);
+        mix(uint64_t(uint32_t(i.imm)));
+        mix(i.end);
+    }
+    return h;
+}
+
+struct DecodeCache
+{
+    std::mutex mu;
+    // hash -> decoded programs with that hash (collision chain).
+    std::map<uint64_t,
+             std::vector<std::shared_ptr<const DecodedProgram>>>
+        entries;
+    uint64_t count = 0;
+    uint64_t capacity = 1024;
+    DecodeCacheStats stats;
+};
+
+DecodeCache &
+cache()
+{
+    static DecodeCache c;
+    return c;
+}
+
+std::shared_ptr<const DecodedProgram>
+decodeUncached(const Program &prog, uint64_t hash)
+{
+    auto out = std::make_shared<DecodedProgram>();
+    out->insts = prog.insts;
+    out->hash = hash;
+    out->uops.reserve(prog.insts.size());
+    for (const Inst &i : prog.insts)
+        out->uops.push_back(decodeInst(i));
+    return out;
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedProgram>
+decodeProgram(const Program &prog)
+{
+    uint64_t h = hashProgram(prog.insts);
+    DecodeCache &c = cache();
+    {
+        std::lock_guard<std::mutex> lock(c.mu);
+        auto it = c.entries.find(h);
+        if (it != c.entries.end()) {
+            for (const auto &dp : it->second) {
+                if (dp->insts == prog.insts) {
+                    ++c.stats.hits;
+                    return dp;
+                }
+            }
+        }
+        ++c.stats.misses;
+    }
+
+    // Decode outside the lock: decodes can fatal() and may be slow.
+    auto decoded = decodeUncached(prog, h);
+
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.capacity == 0)
+        return decoded;
+    if (c.count >= c.capacity) {
+        c.stats.evictions += c.count;
+        c.entries.clear();
+        c.count = 0;
+    }
+    auto &chain = c.entries[h];
+    // Another thread may have decoded the same program meanwhile.
+    for (const auto &dp : chain) {
+        if (dp->insts == prog.insts)
+            return dp;
+    }
+    chain.push_back(decoded);
+    ++c.count;
+    return decoded;
+}
+
+DecodeCacheStats
+decodeCacheStats()
+{
+    DecodeCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    DecodeCacheStats s = c.stats;
+    s.entries = c.count;
+    return s;
+}
+
+void
+clearDecodeCache()
+{
+    DecodeCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.stats.evictions += c.count;
+    c.entries.clear();
+    c.count = 0;
+}
+
+void
+setDecodeCacheCapacity(uint64_t n)
+{
+    DecodeCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.capacity = n;
+    if (c.count > n) {
+        c.stats.evictions += c.count;
+        c.entries.clear();
+        c.count = 0;
+    }
+}
+
+} // namespace synchro::isa

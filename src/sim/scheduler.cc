@@ -1,0 +1,221 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/eventq.hh"
+
+namespace synchro
+{
+
+const char *
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::EventQueue:
+        return "eventq";
+      case SchedulerKind::FastEdge:
+        return "fastedge";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/**
+ * The original formulation: one self-rescheduling event per clock
+ * domain at ClockEdgePri, one reference-phase event per tick at
+ * BusPri. Ordering within a tick therefore puts every domain edge
+ * before the bus phase, exactly as the Chip event loop always did.
+ */
+class EventQueueScheduler : public Scheduler
+{
+  public:
+    SchedStop
+    run(SchedModel &model, Tick max_ticks) override
+    {
+        model_ = &model;
+        if (domain_events_.empty()) {
+            for (unsigned d = 0; d < model.numDomains(); ++d) {
+                domain_events_.push_back(std::make_unique<LambdaEvent>(
+                    strprintf("domain%u.edge", d),
+                    [this, d] { domainEdge(d); },
+                    Event::ClockEdgePri));
+            }
+            ref_event_ = std::make_unique<LambdaEvent>(
+                "sched.ref", [this] { refPhase(); }, Event::BusPri);
+        }
+        sync_assert(domain_events_.size() == model.numDomains(),
+                    "model domain count changed between runs");
+
+        // (Re)arm events that are not pending: each domain at its next
+        // edge at-or-after now, the reference phase at every tick.
+        for (unsigned d = 0; d < model.numDomains(); ++d) {
+            if (model.domainHalted(d) || domain_events_[d]->scheduled())
+                continue;
+            const ClockDomain &clk = model.domainClock(d);
+            Tick when = clk.onEdge(eq_.curTick())
+                            ? eq_.curTick()
+                            : clk.nextEdgeAfter(eq_.curTick());
+            eq_.schedule(domain_events_[d].get(), when);
+        }
+        if (!ref_event_->scheduled())
+            eq_.schedule(ref_event_.get(), eq_.curTick());
+
+        eq_.run(eq_.curTick() + max_ticks);
+
+        if (model.allHalted())
+            return SchedStop::AllHalted;
+        if (eq_.empty())
+            return SchedStop::Idle;
+        return SchedStop::TickLimit;
+    }
+
+    Tick curTick() const override { return eq_.curTick(); }
+
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::EventQueue;
+    }
+
+  private:
+    void
+    domainEdge(unsigned d)
+    {
+        model_->domainEdge(d);
+        if (!model_->domainHalted(d)) {
+            eq_.schedule(domain_events_[d].get(),
+                         eq_.curTick() +
+                             model_->domainClock(d).divider());
+        }
+    }
+
+    void
+    refPhase()
+    {
+        model_->refPhase();
+        if (!model_->allHalted())
+            eq_.schedule(ref_event_.get(), eq_.curTick() + 1);
+    }
+
+    EventQueue eq_;
+    SchedModel *model_ = nullptr;
+    std::vector<std::unique_ptr<LambdaEvent>> domain_events_;
+    std::unique_ptr<LambdaEvent> ref_event_;
+};
+
+/**
+ * Edge-skipping fast path. Instead of a heap of events it keeps one
+ * pending tick per domain plus one for the reference phase — the
+ * whole "queue" is a handful of integers recomputed with the static
+ * (divider, phase) arithmetic of ClockDomain. Between domain edges it
+ * either executes reference phases directly or, when the model says
+ * they are inert, fast-forwards them in one skipRefPhases() call.
+ *
+ * MaxTick marks "not pending", mirroring an unscheduled event.
+ */
+class FastEdgeScheduler : public Scheduler
+{
+  public:
+    SchedStop
+    run(SchedModel &model, Tick max_ticks) override
+    {
+        const unsigned n = model.numDomains();
+        if (domain_next_.empty())
+            domain_next_.assign(n, MaxTick);
+        sync_assert(domain_next_.size() == n,
+                    "model domain count changed between runs");
+
+        // Arm pending work exactly like the event-queue backend.
+        for (unsigned d = 0; d < n; ++d) {
+            if (model.domainHalted(d) || domain_next_[d] != MaxTick)
+                continue;
+            const ClockDomain &clk = model.domainClock(d);
+            domain_next_[d] = clk.onEdge(cur_)
+                                  ? cur_
+                                  : clk.nextEdgeAfter(cur_);
+        }
+        if (ref_next_ == MaxTick)
+            ref_next_ = cur_;
+
+        const Tick limit = cur_ + max_ticks;
+
+        while (true) {
+            Tick t = ref_next_;
+            for (Tick dn : domain_next_)
+                t = std::min(t, dn);
+            if (t == MaxTick)
+                return model.allHalted() ? SchedStop::AllHalted
+                                         : SchedStop::Idle;
+            if (t > limit)
+                return SchedStop::TickLimit;
+
+            // All domain edges of this tick, then the reference phase
+            // — the ClockEdgePri-before-BusPri ordering of the event
+            // queue. Domains are mutually independent within the edge
+            // phase, so index order is as good as event-seq order.
+            for (unsigned d = 0; d < n; ++d) {
+                if (domain_next_[d] != t)
+                    continue;
+                model.domainEdge(d);
+                domain_next_[d] =
+                    model.domainHalted(d)
+                        ? MaxTick
+                        : t + model.domainClock(d).divider();
+            }
+            if (ref_next_ == t) {
+                model.refPhase();
+                ref_next_ = model.allHalted() ? MaxTick : t + 1;
+            }
+            cur_ = t;
+
+            if (model.allHalted())
+                return SchedStop::AllHalted;
+
+            // Edge skipping: if no domain has an edge before the next
+            // interesting tick and the reference phases in between are
+            // inert, fast-forward them in one O(1) call.
+            if (ref_next_ == t + 1) {
+                Tick next_edge = MaxTick;
+                for (Tick dn : domain_next_)
+                    next_edge = std::min(next_edge, dn);
+                Tick target = std::min(next_edge, limit);
+                if (target > t + 1 && model.refPhaseInert()) {
+                    model.skipRefPhases(target - (t + 1));
+                    ref_next_ = target;
+                    cur_ = target - 1;
+                }
+            }
+        }
+    }
+
+    Tick curTick() const override { return cur_; }
+
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::FastEdge;
+    }
+
+  private:
+    Tick cur_ = 0;
+    Tick ref_next_ = MaxTick;           //!< MaxTick = not pending
+    std::vector<Tick> domain_next_;     //!< per-domain pending edge
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::EventQueue:
+        return std::make_unique<EventQueueScheduler>();
+      case SchedulerKind::FastEdge:
+        return std::make_unique<FastEdgeScheduler>();
+    }
+    panic("unknown scheduler kind %d", int(kind));
+}
+
+} // namespace synchro

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pluggable execution schedulers for rationally-clocked models.
+ *
+ * The Synchroscalar restriction to integer clock dividers makes every
+ * domain's edge pattern statically computable (paper Section 6), so a
+ * simulator does not need a dynamic event queue to find the next thing
+ * to do. This header splits the "what happens" (SchedModel — the chip)
+ * from the "when" (Scheduler) and provides two interchangeable
+ * backends:
+ *
+ *  - SchedulerKind::EventQueue — the original gem5-style discrete
+ *    event queue. One self-rescheduling event per clock domain plus a
+ *    reference-clock event every tick. The reference semantics; keep
+ *    it around to cross-check the fast path bit-for-bit.
+ *
+ *  - SchedulerKind::FastEdge — precomputes each domain's next edge
+ *    from its (divider, phase) pair and jumps straight to the next
+ *    edge tick. Reference-clock work on edge-free ticks is either
+ *    executed directly or, when the model reports it inert (idle DOUs,
+ *    nothing on the bus), fast-forwarded in O(1) via skipRefPhases().
+ *
+ * Both backends drive the model through the same narrow interface and
+ * must produce identical architectural state and statistics; the
+ * scheduler_test suite enforces this.
+ */
+
+#ifndef SYNC_SIM_SCHEDULER_HH
+#define SYNC_SIM_SCHEDULER_HH
+
+#include <memory>
+
+#include "sim/clock.hh"
+#include "sim/types.hh"
+
+namespace synchro
+{
+
+/** Selects the scheduler backend driving a model. */
+enum class SchedulerKind
+{
+    EventQueue, //!< discrete event queue (reference semantics)
+    FastEdge,   //!< static edge-pattern fast path
+};
+
+/** Human-readable backend name ("eventq" / "fastedge"). */
+const char *schedulerName(SchedulerKind kind);
+
+/**
+ * What a scheduler needs to know about the simulated model: a set of
+ * divided clock domains (columns) plus work that happens every
+ * reference tick (bus movement and DOU stepping).
+ *
+ * Contract mirrored from the event-queue formulation:
+ *  - domainEdge(d) runs at every edge of domain d while the domain is
+ *    not halted (edges at phase + k * divider);
+ *  - refPhase() runs once per reference tick, after all domain edges
+ *    of that tick, from the first tick of run() until the tick on
+ *    which allHalted() becomes true (inclusive);
+ *  - when refPhaseInert() is true, a refPhase() would move no data and
+ *    touch no visible statistics other than what skipRefPhases(n)
+ *    reproduces; the fast path uses this to jump over idle ticks.
+ */
+class SchedModel
+{
+  public:
+    virtual ~SchedModel() = default;
+
+    virtual unsigned numDomains() const = 0;
+    virtual const ClockDomain &domainClock(unsigned d) const = 0;
+    virtual bool domainHalted(unsigned d) const = 0;
+    virtual bool allHalted() const = 0;
+
+    /** One divided-clock edge of domain @p d. */
+    virtual void domainEdge(unsigned d) = 0;
+
+    /** One reference-clock phase (bus resolution + DOU step). */
+    virtual void refPhase() = 0;
+
+    /** True if the next refPhase() is guaranteed to move nothing. */
+    virtual bool refPhaseInert() const = 0;
+
+    /** Fast-forward @p n inert reference phases in one call. */
+    virtual void skipRefPhases(Tick n) = 0;
+};
+
+/** Why Scheduler::run() returned. */
+enum class SchedStop
+{
+    AllHalted, //!< the model reported allHalted()
+    TickLimit, //!< the tick budget ran out
+    Idle,      //!< nothing left to schedule but not halted
+};
+
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Drive @p model until it halts or @p max_ticks reference cycles
+     * elapse. May be called repeatedly; time accumulates and pending
+     * work carries across calls, so run(1) in a loop is equivalent to
+     * one large run() (robustness_test relies on this).
+     */
+    virtual SchedStop run(SchedModel &model, Tick max_ticks) = 0;
+
+    virtual Tick curTick() const = 0;
+
+    virtual SchedulerKind kind() const = 0;
+
+    const char *name() const { return schedulerName(kind()); }
+};
+
+/** Construct a scheduler backend. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+} // namespace synchro
+
+#endif // SYNC_SIM_SCHEDULER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SimSession — a facade over a fleet of independent Synchroscalar
+ * chips.
+ *
+ * The chip model is single-threaded and deterministic; the scaling
+ * unit for batch workload sweeps (parameter studies, mapping
+ * searches) and request-serving traffic is therefore *many chips*,
+ * each an isolated simulation. SimSession owns N Chip instances,
+ * runs them across a worker pool (each chip always executes on
+ * exactly one thread, so per-chip results are bit-identical no
+ * matter how many workers are used), and aggregates RunResults and
+ * statistics.
+ *
+ * Typical use:
+ *
+ *   sim::SimSession session;
+ *   for (auto &cfg : configs) {
+ *       unsigned id = session.addChip(cfg);
+ *       session.chip(id).column(0).controller().loadProgram(prog);
+ *   }
+ *   auto results = session.runAll(1'000'000);
+ *   auto totals  = session.aggregate();
+ */
+
+#ifndef SYNC_SIM_SESSION_HH
+#define SYNC_SIM_SESSION_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/chip.hh"
+
+namespace synchro::sim
+{
+
+struct SessionConfig
+{
+    /** Worker threads for runAll(); 0 = hardware concurrency. */
+    unsigned threads = 0;
+};
+
+/** Cross-chip aggregate of a finished runAll(). */
+struct SessionStats
+{
+    uint64_t chips = 0;
+    uint64_t halted = 0;       //!< chips that reached AllHalted
+    uint64_t tick_limited = 0; //!< chips that hit the tick budget
+    uint64_t deadlocked = 0;
+    Tick max_ticks_reached = 0; //!< slowest chip's final tick
+    uint64_t total_ticks = 0;   //!< sum of final ticks
+    /** Chip counters summed across the fleet, by dotted name. */
+    std::map<std::string, uint64_t> counters;
+};
+
+class SimSession
+{
+  public:
+    explicit SimSession(SessionConfig cfg = {});
+    ~SimSession();
+
+    SimSession(const SimSession &) = delete;
+    SimSession &operator=(const SimSession &) = delete;
+
+    /** Add a chip; returns its index. Not thread-safe vs runAll(). */
+    unsigned addChip(const arch::ChipConfig &cfg);
+
+    unsigned numChips() const { return unsigned(chips_.size()); }
+
+    arch::Chip &chip(unsigned i) { return *chips_.at(i); }
+    const arch::Chip &chip(unsigned i) const { return *chips_.at(i); }
+
+    /**
+     * Run every chip until it halts or @p max_ticks elapse, spreading
+     * chips across the worker pool. Returns per-chip results in chip
+     * order. May be called repeatedly (chip time accumulates). An
+     * error raised inside any chip is rethrown here after all workers
+     * drain.
+     */
+    std::vector<arch::RunResult> runAll(Tick max_ticks = 100'000'000);
+
+    /** Results of the last runAll() (empty before the first). */
+    const std::vector<arch::RunResult> &results() const
+    {
+        return results_;
+    }
+
+    /** Aggregate exits, tick totals, and summed chip statistics. */
+    SessionStats aggregate() const;
+
+    /** The worker count runAll() will actually use. */
+    unsigned effectiveThreads() const;
+
+  private:
+    SessionConfig cfg_;
+    std::vector<std::unique_ptr<arch::Chip>> chips_;
+    std::vector<arch::RunResult> results_;
+};
+
+} // namespace synchro::sim
+
+#endif // SYNC_SIM_SESSION_HH

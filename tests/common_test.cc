@@ -45,6 +45,25 @@ TEST(Bitfield, SignExtend)
     EXPECT_EQ(sext(0x1ff, 10), 511);
 }
 
+TEST(Bitfield, DegenerateWidthsAreDefined)
+{
+    // Regression for shift-width overflow: these used to shift by
+    // out-of-range amounts (undefined behaviour); now they have
+    // defined, do-nothing results.
+    EXPECT_EQ(bits(0xdeadbeef, 3, 8), 0u);  // last < first
+    EXPECT_EQ(bits(0xdeadbeef, 70, 64), 0u); // first >= 64
+    EXPECT_EQ(bits(~uint64_t(0), 63, 0), ~uint64_t(0));
+
+    EXPECT_EQ(insertBits(0x1234, 3, 8, 0xff), 0x1234u);
+    EXPECT_EQ(insertBits(0x1234, 70, 64, 0xff), 0x1234u);
+    EXPECT_EQ(insertBits(0, 63, 0, ~uint64_t(0)), ~uint64_t(0));
+
+    EXPECT_EQ(sext(0xff, 0), 0);
+    EXPECT_EQ(sext(0x8000000000000000ull, 64),
+              int64_t(0x8000000000000000ull));
+    EXPECT_EQ(sext(0xff, 100), 0xff);
+}
+
 TEST(Bitfield, DivCeil)
 {
     EXPECT_EQ(divCeil(10, 4), 3);

@@ -1,0 +1,195 @@
+/** @file SimSession: multi-chip batches, thread-count-independent
+ * determinism, and cross-chip stat aggregation. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "sim/session.hh"
+
+using namespace synchro;
+using namespace synchro::arch;
+using synchro::isa::assemble;
+
+namespace
+{
+
+/** A small heterogeneous fleet: varied dividers and loop counts. */
+void
+populate(sim::SimSession &session, unsigned n_chips)
+{
+    for (unsigned i = 0; i < n_chips; ++i) {
+        ChipConfig cfg;
+        cfg.dividers = {1u + i % 4, 2u + i % 3};
+        cfg.tiles_per_column = 1 + i % 4;
+        unsigned id = session.addChip(cfg);
+        EXPECT_EQ(id, i);
+        for (unsigned c = 0; c < session.chip(id).numColumns(); ++c) {
+            session.chip(id).column(c).controller().loadProgram(
+                assemble(strprintf(R"(
+                movi r0, 0
+                lsetup lc0, e, %u
+                addi r0, 1
+            e:
+                halt
+            )", 50 + 13 * i)));
+        }
+    }
+}
+
+std::map<std::string, uint64_t>
+chipStats(const Chip &chip)
+{
+    std::map<std::string, uint64_t> out;
+    chip.forEachStat([&out](const std::string &name, uint64_t v) {
+        out[name] = v;
+    });
+    return out;
+}
+
+} // namespace
+
+TEST(SimSession, RunsEveryChipToCompletion)
+{
+    sim::SimSession session;
+    populate(session, 6);
+    auto results = session.runAll(1'000'000);
+    ASSERT_EQ(results.size(), 6u);
+    for (unsigned i = 0; i < 6; ++i) {
+        EXPECT_EQ(int(results[i].exit), int(RunExit::AllHalted)) << i;
+        EXPECT_EQ(session.chip(i).column(0).tile(0).reg(0),
+                  50u + 13 * i);
+    }
+    EXPECT_EQ(session.results().size(), 6u);
+}
+
+TEST(SimSession, DeterministicAcrossThreadCounts)
+{
+    // Same fleet, 1 worker vs many workers: per-chip results and
+    // every statistic must be identical.
+    sim::SessionConfig one;
+    one.threads = 1;
+    sim::SimSession serial(one);
+    populate(serial, 8);
+    auto serial_results = serial.runAll(1'000'000);
+
+    sim::SessionConfig many;
+    many.threads = 4;
+    sim::SimSession parallel(many);
+    populate(parallel, 8);
+    auto parallel_results = parallel.runAll(1'000'000);
+
+    ASSERT_EQ(serial_results.size(), parallel_results.size());
+    for (size_t i = 0; i < serial_results.size(); ++i) {
+        EXPECT_EQ(int(parallel_results[i].exit),
+                  int(serial_results[i].exit))
+            << i;
+        EXPECT_EQ(parallel_results[i].ticks, serial_results[i].ticks)
+            << i;
+        EXPECT_EQ(chipStats(parallel.chip(unsigned(i))),
+                  chipStats(serial.chip(unsigned(i))))
+            << i;
+    }
+
+    auto sa = serial.aggregate();
+    auto pa = parallel.aggregate();
+    EXPECT_EQ(pa.counters, sa.counters);
+    EXPECT_EQ(pa.total_ticks, sa.total_ticks);
+    EXPECT_EQ(pa.halted, sa.halted);
+}
+
+TEST(SimSession, AggregateCountsExitsAndSumsCounters)
+{
+    sim::SimSession session;
+    // Chip 0 halts; chip 1 spins into its tick budget.
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 1;
+    session.addChip(cfg);
+    session.addChip(cfg);
+    session.chip(0).column(0).controller().loadProgram(assemble(R"(
+        movi r0, 7
+        halt
+    )"));
+    session.chip(1).column(0).controller().loadProgram(assemble(R"(
+    spin:
+        jump spin
+    )"));
+
+    auto results = session.runAll(500);
+    EXPECT_EQ(int(results[0].exit), int(RunExit::AllHalted));
+    EXPECT_EQ(int(results[1].exit), int(RunExit::TickLimit));
+
+    auto agg = session.aggregate();
+    EXPECT_EQ(agg.chips, 2u);
+    EXPECT_EQ(agg.halted, 1u);
+    EXPECT_EQ(agg.tick_limited, 1u);
+    EXPECT_EQ(agg.deadlocked, 0u);
+    EXPECT_EQ(agg.max_ticks_reached, 500u);
+
+    // Summed counters equal the per-chip sums.
+    uint64_t issued0 =
+        session.chip(0).column(0).controller().stats().value("issued");
+    uint64_t issued1 =
+        session.chip(1).column(0).controller().stats().value("issued");
+    EXPECT_EQ(agg.counters.at("col0.ctrl.issued"), issued0 + issued1);
+    EXPECT_GT(agg.counters.at("col0.dou.steps"), 0u);
+}
+
+TEST(SimSession, RepeatedRunAllAccumulatesTime)
+{
+    sim::SimSession session;
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 1;
+    session.addChip(cfg);
+    session.chip(0).column(0).controller().loadProgram(assemble(R"(
+    spin:
+        jump spin
+    )"));
+    auto first = session.runAll(100);
+    EXPECT_EQ(first[0].ticks, 100u);
+    auto second = session.runAll(100);
+    EXPECT_EQ(second[0].ticks, 200u);
+}
+
+TEST(SimSession, MixedSchedulerBackendsAgree)
+{
+    // A session may mix backends chip-by-chip; both halves of a
+    // mirrored fleet must produce identical results.
+    sim::SimSession session;
+    for (auto kind :
+         {SchedulerKind::EventQueue, SchedulerKind::FastEdge}) {
+        ChipConfig cfg;
+        cfg.dividers = {8, 8, 4, 2};
+        cfg.scheduler = kind;
+        unsigned id = session.addChip(cfg);
+        for (unsigned c = 0; c < 4; ++c) {
+            session.chip(id).column(c).controller().loadProgram(
+                assemble(R"(
+                movi r0, 0
+                lsetup lc0, e, 400
+                addi r0, 1
+            e:
+                halt
+            )"));
+        }
+    }
+    auto results = session.runAll(1'000'000);
+    EXPECT_EQ(results[0].ticks, results[1].ticks);
+    EXPECT_EQ(chipStats(session.chip(0)), chipStats(session.chip(1)));
+}
+
+TEST(SimSession, EmptySessionIsHarmless)
+{
+    sim::SimSession session;
+    EXPECT_EQ(session.numChips(), 0u);
+    auto results = session.runAll(100);
+    EXPECT_TRUE(results.empty());
+    auto agg = session.aggregate();
+    EXPECT_EQ(agg.chips, 0u);
+    EXPECT_TRUE(agg.counters.empty());
+}

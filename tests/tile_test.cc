@@ -291,6 +291,33 @@ TEST_F(TileTest, ControlOpcodeOnTileIsPanic)
     EXPECT_THROW(t.execute(b::jump(0)), PanicError);
 }
 
+TEST_F(TileTest, AccessorIndicesAreBoundsChecked)
+{
+    // Regression for the latent-UB audit: every architectural-state
+    // accessor rejects out-of-range indices instead of indexing past
+    // the register file.
+    EXPECT_THROW(t.reg(NumDataRegs), PanicError);
+    EXPECT_THROW(t.setReg(NumDataRegs, 1), PanicError);
+    EXPECT_THROW(t.preg(NumPtrRegs), PanicError);
+    EXPECT_THROW(t.setPreg(NumPtrRegs, 1), PanicError);
+    EXPECT_THROW(t.acc(NumAccums), PanicError);
+    EXPECT_THROW(t.setAcc(NumAccums, 1), PanicError);
+    // In-range indices still work after the failed accesses.
+    t.setReg(NumDataRegs - 1, 7);
+    EXPECT_EQ(t.reg(NumDataRegs - 1), 7u);
+}
+
+TEST_F(TileTest, BroadcastOperandsAreBoundsChecked)
+{
+    // A hand-built instruction with a bad register index is rejected
+    // at decode time (fatal), never reaching the datapath arrays.
+    EXPECT_THROW(t.execute(b::alu3(Opcode::ADD, 9, 0, 0)),
+                 FatalError);
+    EXPECT_THROW(t.execute(b::movp(7, 0)), FatalError);
+    EXPECT_THROW(t.execute(b::shiftImm(Opcode::LSRI, 0, 0, 33)),
+                 FatalError);
+}
+
 TEST_F(TileTest, StatsCountInstructions)
 {
     t.setPreg(0, 0);

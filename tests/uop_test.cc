@@ -1,0 +1,237 @@
+/** @file Pre-decoded micro-ops: decode correctness, decode-time
+ * operand validation (the UB fix), and the decoded-program cache. */
+
+#include <gtest/gtest.h>
+
+#include "arch/tile.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "isa/uop.hh"
+
+using namespace synchro;
+using namespace synchro::isa;
+namespace b = synchro::isa::build;
+
+namespace
+{
+
+/** Reset the cache to a known state for each cache test. */
+struct CacheReset
+{
+    CacheReset()
+    {
+        clearDecodeCache();
+        setDecodeCacheCapacity(1024);
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// decodeInst field mapping
+
+TEST(UopDecode, ControlComputeSplitMatchesOpInfo)
+{
+    for (unsigned op = 0; op < unsigned(Opcode::NumOpcodes); ++op) {
+        Inst i;
+        i.op = Opcode(op);
+        i.end = 2; // keep lsetup decodable
+        MicroOp u = decodeInst(i);
+        EXPECT_EQ(u.isControl(), i.isControl())
+            << mnemonic(Opcode(op));
+    }
+}
+
+TEST(UopDecode, MemoryOpsPreResolveSizeAndSign)
+{
+    auto ldw = decodeInst(
+        b::load(Opcode::LDW, 1, 2, MemMode::Offset, 8));
+    EXPECT_EQ(int(ldw.kind), int(UopKind::Load));
+    EXPECT_EQ(ldw.mem_size, 4u);
+    EXPECT_TRUE(ldw.flags & UopSignExtend);
+    EXPECT_FALSE(ldw.flags & UopPostMod);
+
+    auto ldhu = decodeInst(
+        b::load(Opcode::LDHU, 1, 2, MemMode::PostMod, 2));
+    EXPECT_EQ(ldhu.mem_size, 2u);
+    EXPECT_FALSE(ldhu.flags & UopSignExtend);
+    EXPECT_TRUE(ldhu.flags & UopPostMod);
+
+    auto stb = decodeInst(
+        b::store(Opcode::STB, 3, 4, MemMode::Offset, 1));
+    EXPECT_EQ(int(stb.kind), int(UopKind::Store));
+    EXPECT_EQ(stb.mem_size, 1u);
+}
+
+TEST(UopDecode, MacHalfSelectsBecomeFlags)
+{
+    auto ll = decodeInst(b::mac(Opcode::MAC, 0, 1, 2, HalfSel::LL));
+    EXPECT_FALSE(ll.flags & UopAHigh);
+    EXPECT_FALSE(ll.flags & UopBHigh);
+    auto hl = decodeInst(b::mac(Opcode::MAC, 0, 1, 2, HalfSel::HL));
+    EXPECT_TRUE(hl.flags & UopAHigh);
+    EXPECT_FALSE(hl.flags & UopBHigh);
+    auto lh = decodeInst(b::mac(Opcode::MSU, 1, 1, 2, HalfSel::LH));
+    EXPECT_EQ(int(lh.kind), int(UopKind::Msu));
+    EXPECT_FALSE(lh.flags & UopAHigh);
+    EXPECT_TRUE(lh.flags & UopBHigh);
+    EXPECT_EQ(lh.acc, 1u);
+}
+
+// ---------------------------------------------------------------
+// Decode-time operand validation: out-of-range indices that would
+// previously have indexed register files unchecked now fatal().
+
+TEST(UopDecode, RejectsOutOfRangeOperands)
+{
+    EXPECT_THROW(decodeInst(b::alu3(Opcode::ADD, 8, 0, 0)),
+                 FatalError);
+    EXPECT_THROW(decodeInst(b::alu3(Opcode::ADD, 0, 9, 0)),
+                 FatalError);
+    EXPECT_THROW(decodeInst(b::movp(6, 0)), FatalError); // p6 absent
+    EXPECT_THROW(decodeInst(b::movrp(0, 7)), FatalError);
+    EXPECT_THROW(decodeInst(b::load(Opcode::LDW, 0, 6,
+                                    MemMode::Offset, 0)),
+                 FatalError);
+    EXPECT_THROW(decodeInst(b::aclr(2)), FatalError);
+    EXPECT_THROW(decodeInst(b::shiftImm(Opcode::LSLI, 0, 0, 32)),
+                 FatalError);
+    EXPECT_THROW(decodeInst(b::aext(0, 0, 40)), FatalError);
+    Inst bad_lsetup = b::lsetup(0, 4, 2);
+    bad_lsetup.lc = 2;
+    EXPECT_THROW(decodeInst(bad_lsetup), FatalError);
+}
+
+TEST(UopDecode, TileRejectsBadRegisterInstruction)
+{
+    // The tile-facing regression for the latent UB: executing a
+    // hand-built instruction with a bad register index must throw,
+    // not silently index past the register file.
+    arch::Tile t(0, 0);
+    EXPECT_THROW(t.execute(b::alu3(Opcode::ADD, 0, 0, 12)),
+                 FatalError);
+    EXPECT_THROW(t.execute(b::cwr(9)), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Inst-path and MicroOp-path execution agree
+
+TEST(UopExecute, WrapperMatchesDirectMicroOpPath)
+{
+    Rng rng(4242);
+    arch::Tile via_inst(0, 0), via_uop(0, 1);
+    for (int trial = 0; trial < 500; ++trial) {
+        Inst inst;
+        switch (rng.below(6)) {
+          case 0:
+            inst = b::alu3(Opcode::ADD, unsigned(rng.below(8)),
+                           unsigned(rng.below(8)),
+                           unsigned(rng.below(8)));
+            break;
+          case 1:
+            inst = b::movi(unsigned(rng.below(8)),
+                           int32_t(rng.range(-32768, 32767)));
+            break;
+          case 2:
+            inst = b::mac(Opcode::MAC, unsigned(rng.below(2)),
+                          unsigned(rng.below(8)),
+                          unsigned(rng.below(8)),
+                          HalfSel(rng.below(4)));
+            break;
+          case 3:
+            inst = b::shiftImm(Opcode::ASRI, unsigned(rng.below(8)),
+                               unsigned(rng.below(8)),
+                               unsigned(rng.below(32)));
+            break;
+          case 4:
+            inst = b::cmp(Opcode::CMPLT, unsigned(rng.below(8)),
+                          unsigned(rng.below(8)));
+            break;
+          default:
+            inst = b::alu2(Opcode::ABS, unsigned(rng.below(8)),
+                           unsigned(rng.below(8)));
+        }
+        via_inst.execute(inst);
+        via_uop.execute(decodeInst(inst));
+    }
+    for (unsigned r = 0; r < NumDataRegs; ++r)
+        EXPECT_EQ(via_uop.reg(r), via_inst.reg(r)) << r;
+    for (unsigned a = 0; a < NumAccums; ++a)
+        EXPECT_EQ(via_uop.acc(a), via_inst.acc(a)) << a;
+    EXPECT_EQ(via_uop.cc(), via_inst.cc());
+}
+
+// ---------------------------------------------------------------
+// Decoded-program cache
+
+TEST(DecodeCache, HitOnIdenticalProgram)
+{
+    CacheReset reset;
+    Program p = assemble(R"(
+        movi r0, 1
+        addi r0, 2
+        halt
+    )");
+    auto base = decodeCacheStats();
+    auto d1 = decodeProgram(p);
+    auto d2 = decodeProgram(p);
+    EXPECT_EQ(d1.get(), d2.get()); // literally shared
+    auto s = decodeCacheStats();
+    EXPECT_EQ(s.misses, base.misses + 1);
+    EXPECT_EQ(s.hits, base.hits + 1);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(d1->uops.size(), 3u);
+    EXPECT_EQ(d1->insts.size(), 3u);
+}
+
+TEST(DecodeCache, DifferentProgramMisses)
+{
+    CacheReset reset;
+    auto d1 = decodeProgram(assemble("movi r0, 1\nhalt\n"));
+    auto d2 = decodeProgram(assemble("movi r0, 2\nhalt\n"));
+    EXPECT_NE(d1.get(), d2.get());
+    EXPECT_NE(d1->hash, d2->hash);
+    EXPECT_EQ(decodeCacheStats().entries, 2u);
+}
+
+TEST(DecodeCache, ClearInvalidates)
+{
+    CacheReset reset;
+    Program p = assemble("halt\n");
+    auto d1 = decodeProgram(p);
+    clearDecodeCache();
+    EXPECT_EQ(decodeCacheStats().entries, 0u);
+    auto d2 = decodeProgram(p);
+    // A fresh decode after invalidation: new object, same content.
+    EXPECT_NE(d1.get(), d2.get());
+    EXPECT_EQ(d1->hash, d2->hash);
+    EXPECT_EQ(d1->insts, d2->insts);
+}
+
+TEST(DecodeCache, CapacityFlushEvicts)
+{
+    CacheReset reset;
+    setDecodeCacheCapacity(4);
+    auto before = decodeCacheStats();
+    for (int i = 0; i < 6; ++i) {
+        decodeProgram(
+            assemble(strprintf("movi r0, %d\nhalt\n", i)));
+    }
+    auto s = decodeCacheStats();
+    EXPECT_GT(s.evictions, before.evictions);
+    EXPECT_LE(s.entries, 4u);
+    setDecodeCacheCapacity(1024);
+}
+
+TEST(DecodeCache, ZeroCapacityDisablesCaching)
+{
+    CacheReset reset;
+    setDecodeCacheCapacity(0);
+    Program p = assemble("halt\n");
+    auto d1 = decodeProgram(p);
+    auto d2 = decodeProgram(p);
+    EXPECT_NE(d1.get(), d2.get());
+    EXPECT_EQ(decodeCacheStats().entries, 0u);
+    setDecodeCacheCapacity(1024);
+}

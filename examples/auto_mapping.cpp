@@ -2,62 +2,40 @@
  * @file
  * Automated mapping example — the paper's future-work tool chain
  * (Section 7: "a software tool chain to automate and optimize
- * application parallelization and communication scheduling").
+ * application parallelization and communication scheduling"), now
+ * closed end to end:
  *
- * Describe a software-radio receiver as an SDF graph with measured
+ * The DDC receiver is described as an SDF graph with measured
  * per-firing cycle costs; the AutoMapper checks the SDF certificates
- * (consistency, deadlock freedom, buffer bounds), chooses
+ * (consistency, deadlock freedom, buffer bounds) and chooses
  * power-optimal tile counts, dividers off the 600 MHz reference,
- * supply voltages, and exact ZORM settings — then the plan
- * configures a real simulated chip.
+ * supply voltages and exact ZORM settings; codegen lowers the real
+ * kernels and the static transfer schedule onto the planned columns;
+ * the chip then streams samples through the mapped receiver and the
+ * output is checked bit-exactly against the dsp:: golden chain —
+ * cross-checked on both scheduler backends, with measured-activity
+ * power priced next to the plan's analytic estimate.
  */
 
 #include <cstdio>
-#include <map>
-#include <string>
 
-#include "arch/chip.hh"
-#include "isa/assembler.hh"
-#include "mapping/auto_mapper.hh"
-#include "sim/session.hh"
+#include "apps/pipeline_runner.hh"
 
 using namespace synchro;
-using namespace synchro::mapping;
+using namespace synchro::apps;
 
 int
 main()
 {
-    // A software-radio receiver: front end at 8 M iterations/s
-    // (one iteration = 8 input samples through the decimator).
-    SdfGraph g;
-    unsigned mixer = g.addActor("mixer", 17);       // measured on
-    unsigned integ = g.addActor("integrator", 7);   // the simulator
-    unsigned comb = g.addActor("comb", 7);          // (see
-    unsigned chan = g.addActor("channel-fir", 72);  // bench_micro_
-    unsigned demod = g.addActor("demod", 30);       // kernels)
-    g.addEdge(mixer, integ, 1, 1);
-    g.addEdge(integ, comb, 1, 8); // decimate by 8
-    g.addEdge(comb, chan, 1, 1);
-    g.addEdge(chan, demod, 1, 1);
+    DdcPipelineParams params;
+    params.samples = 2048;
 
-    std::vector<ActorCommSpec> comm(g.numActors());
-    comm[mixer].words_per_firing = 1; // stream to the next column
-    comm[integ].words_per_firing = 1;
-    comm[comb].words_per_firing = 1;
-    comm[chan].words_per_firing = 1;
-    comm[demod].max_parallel = 2; // mostly serial bit logic
-
-    power::SystemPowerModel model;
-    power::VfModel vf;
-    power::SupplyLevels levels(vf);
-    AutoMapper mapper(model, levels);
-
-    auto plan = mapper.map(g, 8e6, comm);
+    // --- the plan and its SDF certificates ----------------------
+    auto plan = planDdc(params);
     if (!plan) {
         std::printf("no feasible mapping\n");
         return 1;
     }
-
     std::printf("%s", plan->report().c_str());
     std::printf("\nSDF certificates:\n  repetition vector:");
     for (uint64_t q : plan->repetition)
@@ -67,74 +45,51 @@ main()
         std::printf(" %llu", (unsigned long long)b);
     std::printf("\n");
 
-    // Bring up the planned chip and spot-check that every column
-    // runs at its planned rate (a trivial counting program under the
-    // plan's ZORM throttling). The batch runs through SimSession —
-    // one chip per scheduler backend, executed across the worker
-    // pool — so the plan is validated on the fast path and
-    // cross-checked against the event queue in one call.
-    sim::SimSession session;
-    for (auto kind : {SchedulerKind::FastEdge,
-                      SchedulerKind::EventQueue}) {
-        arch::ChipConfig cfg;
-        cfg.dividers = plan->dividers();
-        cfg.scheduler = kind;
-        unsigned id = session.addChip(cfg);
-        arch::Chip &chip = session.chip(id);
-        for (unsigned c = 0; c < chip.numColumns(); ++c) {
-            chip.column(c).controller().loadProgram(isa::assemble(R"(
-                movi r0, 0
-                lsetup lc0, e, 1000
-                addi r0, 1
-            e:
-                halt
-            )"));
-            for (const auto &p : plan->placements) {
-                if (c >= p.first_column &&
-                    c < p.first_column + p.columns) {
-                    chip.column(c).controller().setRateMatch(
-                        p.zorm.nops, p.zorm.period);
-                }
-            }
-        }
-    }
-    auto results = session.runAll(10'000'000);
-
-    arch::Chip &chip = session.chip(0);
-    std::printf("\nplanned chip executed (%s): %s at tick %llu\n",
-                schedulerName(chip.schedulerKind()),
-                results[0].exit == arch::RunExit::AllHalted
-                    ? "halted"
-                    : "running",
-                (unsigned long long)results[0].ticks);
-    for (unsigned c = 0; c < chip.numColumns(); ++c) {
-        const auto &st = chip.column(c).controller().stats();
-        uint64_t real = st.value("issued");
-        uint64_t nops = st.value("zormNops");
-        std::printf("  column %u (/%u): %llu compute slots, %llu "
-                    "ZORM nops (%.1f%% throttle)\n",
-                    c, chip.column(c).clock().divider(),
-                    (unsigned long long)real,
-                    (unsigned long long)nops,
-                    100.0 * double(nops) / double(real + nops));
+    // --- run the real mapped receiver on both backends ----------
+    MappedDdcRun runs[2];
+    SchedulerKind kinds[2] = {SchedulerKind::FastEdge,
+                              SchedulerKind::EventQueue};
+    for (int i = 0; i < 2; ++i) {
+        params.scheduler = kinds[i];
+        runs[i] = runMappedDdc(params);
+        const MappedDdcRun &r = runs[i];
+        std::printf("\n%s: %u samples -> %zu outputs in %llu ticks "
+                    "(%.2f MS/s sustained)\n",
+                    schedulerName(kinds[i]), params.samples,
+                    r.output.size(), (unsigned long long)r.ticks,
+                    r.achieved_sample_rate_hz / 1e6);
+        std::printf("  vs dsp:: golden chain: %s; %llu bus "
+                    "transfers, %llu overruns, %llu conflicts\n",
+                    r.bit_exact ? "bit-exact" : "MISMATCH",
+                    (unsigned long long)r.bus_transfers,
+                    (unsigned long long)r.overruns,
+                    (unsigned long long)r.conflicts);
     }
 
-    // The gate compares everything observable: exit reason, final
-    // tick, and every statistic of both chips.
-    auto statsOf = [](const arch::Chip &c) {
-        std::map<std::string, uint64_t> out;
-        c.forEachStat([&out](const std::string &n, uint64_t v) {
-            out[n] = v;
-        });
-        return out;
-    };
-    bool identical =
-        results[0].exit == results[1].exit &&
-        results[0].ticks == results[1].ticks &&
-        statsOf(session.chip(0)) == statsOf(session.chip(1));
+    // --- cross-check: everything observable must be identical ---
+    bool identical = runs[0].result.exit == runs[1].result.exit &&
+                     runs[0].ticks == runs[1].ticks &&
+                     runs[0].output == runs[1].output &&
+                     runs[0].stats == runs[1].stats;
     std::printf("\nfast-path vs event-queue cross-check: %s "
                 "(both at tick %llu, all stats compared)\n",
                 identical ? "identical" : "MISMATCH",
-                (unsigned long long)results[1].ticks);
-    return identical ? 0 : 1;
+                (unsigned long long)runs[1].ticks);
+
+    // --- measured power vs the plan's analytic estimate ---------
+    const auto &pw = runs[0].power;
+    std::printf("\nmeasured power (priced at the sustained rate):\n");
+    for (const auto &load : pw.loads) {
+        std::printf("  %-10s %.1f MHz @ %.2f V\n", load.name.c_str(),
+                    load.f_mhz, load.v);
+    }
+    std::printf("  multi-V %.2f mW vs single-V %.2f mW -> %.1f%% "
+                "saved (plan estimated %.2f / %.2f mW)\n",
+                pw.multi_v.total(), pw.single_v.total(),
+                pw.savingsPct(), plan->power.total(),
+                plan->single_voltage.total());
+
+    bool ok = identical && runs[0].bit_exact && runs[1].bit_exact &&
+              runs[0].overruns == 0 && runs[0].conflicts == 0;
+    return ok ? 0 : 1;
 }

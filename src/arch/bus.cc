@@ -42,6 +42,26 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                 "bus cycle expects %u column views, got %zu",
                 n_columns_, views.size());
 
+    // Fast path: on most cycles no DOU drives or captures anything
+    // (statically scheduled transfers are sparse), and segment
+    // switches without endpoints move no data — skip the per-lane
+    // resolution entirely. Bit-identical: with every buffer-control
+    // byte zero the full scan below counts and delivers nothing.
+    bool any_buf = false;
+    for (unsigned c = 0; c < n_columns_ && !any_buf; ++c) {
+        const DouState *st = views[c].state;
+        if (!st)
+            continue;
+        for (unsigned t = 0; t < TilesPerColumn; ++t) {
+            if (st->buf[t] != 0) {
+                any_buf = true;
+                break;
+            }
+        }
+    }
+    if (!any_buf)
+        return;
+
     // Node numbering per lane: column c tile position t -> c*4 + t;
     // the horizontal bus is node n_columns*4.
     const int n_nodes = int(n_columns_) * 4 + 1;
@@ -155,6 +175,8 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                     continue;
                 }
                 if (!tile->readBuffer().push(d.value)) {
+                    // Drop-new: the pending unread word survives and
+                    // the word on the bus this cycle is the one lost.
                     ++overruns_;
                     if (strict_)
                         fatal("bus: tile (%u,%u) read buffer overrun "

@@ -24,14 +24,22 @@ class CommBuffer
     bool valid() const { return valid_; }
     uint32_t peek() const { return data_; }
 
-    /** Latch a value; returns false if a value was still pending. */
+    /**
+     * Latch a value; returns false if a value was still pending.
+     *
+     * Drop-new semantics: a failed push leaves the buffer untouched,
+     * so the pending *unread* word survives and the new word is the
+     * one lost — matching what a single-entry register with a valid
+     * bit does in hardware (the latch enable is gated on !valid).
+     */
     bool
     push(uint32_t v)
     {
-        bool ok = !valid_;
+        if (valid_)
+            return false;
         data_ = v;
         valid_ = true;
-        return ok;
+        return true;
     }
 
     /** Consume the value (caller checked valid()). */

@@ -51,6 +51,20 @@ class CicComb
     std::vector<unsigned> pos_;
 };
 
+/**
+ * Hogenauer-style gain removal at the decimator: sat16((v + 2^14)
+ * >> 15) with a wrapping add, exactly the tile's addi/asri/min/max
+ * sequence — removes the 2^15 DC gain of a 5-stage, decimate-by-8
+ * CIC so the comb can run at 16-bit width (the mapped pipeline's
+ * bus token format).
+ */
+constexpr int16_t
+cicScaleQ15(int32_t v)
+{
+    int32_t t = int32_t(uint32_t(v) + 16384u);
+    return sat16(t >> 15);
+}
+
 /** The full decimating CIC: integrators -> ÷R -> combs -> scaling. */
 class CicDecimator
 {

@@ -30,6 +30,19 @@ std::vector<CplxQ15> mixBlock(const std::vector<int16_t> &x,
 std::vector<CplxQ15> mixBlock(const std::vector<CplxQ15> &x,
                               const std::vector<CplxQ15> &lo);
 
+/**
+ * Baseband power demodulator: sat16((2^14 + I^2 + Q^2) >> 15),
+ * rounded Q15 — the tile's aclr/mac/mac/mac/aext chain, used as the
+ * DDC receiver's final stage.
+ */
+constexpr int16_t
+powerDemodQ15(CplxQ15 s)
+{
+    int64_t acc =
+        16384 + int64_t(s.re) * s.re + int64_t(s.im) * s.im;
+    return sat16(sat32(acc >> 15));
+}
+
 } // namespace synchro::dsp
 
 #endif // SYNC_DSP_MIXER_HH

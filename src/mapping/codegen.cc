@@ -1,0 +1,215 @@
+#include "mapping/codegen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/chip.hh"
+#include "common/log.hh"
+
+namespace synchro::mapping
+{
+
+namespace
+{
+
+const ActorPlacement &
+placementFor(const ChipPlan &plan, const std::string &actor)
+{
+    for (const auto &p : plan.placements) {
+        if (p.actor == actor)
+            return p;
+    }
+    fatal("codegen: actor '%s' has no placement in the chip plan",
+          actor.c_str());
+}
+
+/** Wrap one firing body into a complete column program. */
+isa::Program
+stitchProgram(const PipelineStage &stage)
+{
+    if (stage.firings == 0 || stage.firings > 4095) {
+        fatal("codegen: stage '%s' needs 1..4095 firings "
+              "(lsetup range), got %llu",
+              stage.actor.c_str(),
+              (unsigned long long)stage.firings);
+    }
+    std::string src = stage.prologue;
+    src += strprintf("\n        lsetup lc0, __fire_end, %llu\n",
+                     (unsigned long long)stage.firings);
+    src += stage.body;
+    src += "\n    __fire_end:\n        halt\n";
+    return isa::assemble(src);
+}
+
+} // namespace
+
+void
+PipelineProgram::load(arch::Chip &chip) const
+{
+    sync_assert(chip.numColumns() >= total_columns,
+                "pipeline needs %u columns; chip has %u",
+                total_columns, chip.numColumns());
+    for (const auto &col : columns) {
+        arch::Column &c = chip.column(col.column);
+        c.controller().loadProgram(col.program);
+        c.controller().setRateMatch(col.zorm.nops, col.zorm.period);
+        c.dou().load(col.dou);
+        for (const auto &[addr, bytes] : col.images)
+            c.tile(0).writeMem(addr, bytes.data(),
+                               uint32_t(bytes.size()));
+        // The kernels are sequential: one tile per column does the
+        // work, the rest are supply-gated (paper Section 2.2).
+        for (unsigned t = 1; t < c.numTiles(); ++t)
+            c.setTileActive(t, false);
+    }
+}
+
+const ColumnProgram &
+PipelineProgram::columnFor(const std::string &actor) const
+{
+    for (const auto &col : columns) {
+        if (col.actor == actor)
+            return col;
+    }
+    fatal("pipeline program has no column for actor '%s'",
+          actor.c_str());
+}
+
+PipelineProgram
+lowerPipeline(const std::vector<PipelineStage> &stages,
+              const ChipPlan &plan, double iterations_per_sec,
+              double slack)
+{
+    if (stages.size() < 2)
+        fatal("codegen: a pipeline needs at least two stages");
+    if (iterations_per_sec <= 0 || slack < 1.0)
+        fatal("codegen: need a positive rate and slack >= 1");
+    if (stages.front().reads_per_firing != 0)
+        fatal("codegen: source stage '%s' cannot read upstream",
+              stages.front().actor.c_str());
+    if (stages.back().writes_per_firing != 0)
+        fatal("codegen: sink stage '%s' cannot write downstream",
+              stages.back().actor.c_str());
+
+    // Every stage must describe the same number of SDF iterations,
+    // and adjacent stages must balance their edge token rates —
+    // the balance equations of Section 2.1, checked on the code.
+    if (stages[0].per_iteration == 0)
+        fatal("codegen: stage '%s' fires zero times per iteration",
+              stages[0].actor.c_str());
+    const uint64_t iters = stages[0].firings / stages[0].per_iteration;
+    for (const auto &s : stages) {
+        if (s.per_iteration == 0 || s.firings % s.per_iteration != 0 ||
+            s.firings / s.per_iteration != iters) {
+            fatal("codegen: stage '%s' firing count %llu does not "
+                  "describe %llu iterations of %llu firings each",
+                  s.actor.c_str(), (unsigned long long)s.firings,
+                  (unsigned long long)iters,
+                  (unsigned long long)s.per_iteration);
+        }
+    }
+    const size_t n_edges = stages.size() - 1;
+    uint64_t max_words = 0;
+    for (size_t e = 0; e < n_edges; ++e) {
+        const PipelineStage &src = stages[e];
+        const PipelineStage &dst = stages[e + 1];
+        if (src.writes_per_firing == 0 || dst.reads_per_firing == 0)
+            fatal("codegen: edge %zu (%s -> %s) carries no data",
+                  e, src.actor.c_str(), dst.actor.c_str());
+        uint64_t w_src = src.writes_per_firing * src.per_iteration;
+        uint64_t w_dst = dst.reads_per_firing * dst.per_iteration;
+        if (w_src != w_dst) {
+            fatal("codegen: edge %s -> %s is rate-inconsistent "
+                  "(%llu produced vs %llu consumed per iteration)",
+                  src.actor.c_str(), dst.actor.c_str(),
+                  (unsigned long long)w_src,
+                  (unsigned long long)w_dst);
+        }
+        max_words = std::max(max_words, w_src);
+    }
+    if (n_edges > arch::BusLanes)
+        fatal("codegen: %zu chain edges exceed the %u bus lanes",
+              n_edges, arch::BusLanes);
+
+    // Delivery grid: every edge gets one drive/capture slot per G
+    // bus cycles — capacity of max_words tokens per edge per stretched
+    // iteration window, phase-staggered by edge index so each
+    // column's DOU pattern stays two-gap regular.
+    const double ref_hz = plan.ref_freq_mhz * 1e6;
+    uint64_t spacing = uint64_t(
+        ref_hz * slack / (iterations_per_sec * double(max_words)));
+    if (spacing <= n_edges)
+        fatal("codegen: delivery grid spacing %llu too tight for "
+              "%zu staggered edges (rate too high for the "
+              "reference clock)",
+              (unsigned long long)spacing, n_edges);
+    const unsigned G = unsigned(std::min<uint64_t>(spacing, 1u << 20));
+    const unsigned period = unsigned(max_words) * G;
+
+    PipelineProgram out;
+    out.total_columns = plan.total_columns;
+    out.period = period;
+    out.slot_spacing = G;
+
+    // One CommSchedule per programmed column; edge e rides lane e.
+    std::vector<CommSchedule> scheds(stages.size());
+    for (auto &s : scheds)
+        s.period = period;
+    for (size_t e = 0; e < n_edges; ++e) {
+        out.lanes.push_back(unsigned(e));
+        for (uint64_t k = 0; k < max_words; ++k) {
+            unsigned off = unsigned(e + k * G);
+            Transfer drive;
+            drive.offset = off;
+            drive.lane = unsigned(e);
+            drive.src_tile = 0;
+            drive.to_horizontal = true;
+            scheds[e].transfers.push_back(drive);
+            Transfer capture;
+            capture.offset = off;
+            capture.lane = unsigned(e);
+            capture.src_tile = -1; // from the horizontal bus
+            capture.dst_tiles = {0};
+            scheds[e + 1].transfers.push_back(capture);
+        }
+    }
+
+    for (size_t i = 0; i < stages.size(); ++i) {
+        const PipelineStage &stage = stages[i];
+        const ActorPlacement &p = placementFor(plan, stage.actor);
+        // The kernels are sequential single-column programs; a plan
+        // that provisioned parallel columns/tiles (max_parallel > 1)
+        // would silently run at a fraction of its planned rate, so
+        // reject it instead of under-delivering.
+        if (p.columns != 1 || p.tiles != 1) {
+            fatal("codegen: actor '%s' planned across %u columns / "
+                  "%u tiles; pipeline kernels are single-column "
+                  "(map with max_parallel = 1)",
+                  stage.actor.c_str(), p.columns, p.tiles);
+        }
+        ColumnProgram col;
+        col.column = p.first_column;
+        col.actor = stage.actor;
+        col.program = stitchProgram(stage);
+        col.schedule = scheds[i];
+        col.dou = compileSchedule(col.schedule);
+        col.zorm = p.zorm;
+        col.images = stage.images;
+        out.columns.push_back(std::move(col));
+    }
+
+    // Placements must not share columns (a column runs one actor).
+    for (size_t a = 0; a < out.columns.size(); ++a) {
+        for (size_t b = a + 1; b < out.columns.size(); ++b) {
+            if (out.columns[a].column == out.columns[b].column)
+                fatal("codegen: actors '%s' and '%s' both placed on "
+                      "column %u",
+                      out.columns[a].actor.c_str(),
+                      out.columns[b].actor.c_str(),
+                      out.columns[a].column);
+        }
+    }
+    return out;
+}
+
+} // namespace synchro::mapping

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Pipeline code generation: lower a linear chain of SDF actors plus
+ * the AutoMapper's ChipPlan onto a fully programmed chip — the
+ * missing piece between the paper's methodology steps 3-5 (partition,
+ * statically schedule all data transfers, program the DOUs) and the
+ * cycle-accurate simulation of step 6.
+ *
+ * Each stage carries a hand-scheduled SyncBF kernel body for one
+ * actor firing (with its `crd`/`cwr` communication inlined, like the
+ * distributed ACS kernel in apps/kernels); the lowerer stitches it
+ * into a firing loop on the actor's planned column, applies the
+ * plan's per-column ZORM throttling, and compiles the plan's
+ * inter-actor transfers through the comm-schedule compiler into one
+ * DOU program per column.
+ *
+ * Transfer scheduling: every chain edge gets its own 32-bit bus lane
+ * on the horizontal bus and a drive/capture slot once per grid period
+ * of G reference cycles, phase-staggered by edge index. G is derived
+ * from the mapping's iteration rate with a configurable slack factor,
+ * so delivery capacity matches the planned token rate and a slot that
+ * finds an empty write buffer simply idles (a counted underrun, not
+ * an error). Producer-side backpressure (a full write buffer stalls
+ * `cwr`) then self-times the chain, and the slack guarantees a
+ * consumer is drained before its next capture — the run must finish
+ * with zero read-buffer overruns and zero lane conflicts, which the
+ * runner and tests assert.
+ */
+
+#ifndef SYNC_MAPPING_CODEGEN_HH
+#define SYNC_MAPPING_CODEGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/dou.hh"
+#include "isa/assembler.hh"
+#include "mapping/auto_mapper.hh"
+#include "mapping/comm_schedule.hh"
+#include "mapping/rate_match.hh"
+
+namespace synchro::arch
+{
+class Chip;
+}
+
+namespace synchro::mapping
+{
+
+/** One actor of a linear pipeline, ready for lowering. */
+struct PipelineStage
+{
+    /** Actor name; must match a ChipPlan placement. */
+    std::string actor;
+
+    /** Run-once setup (constants, persistent pointers). */
+    std::string prologue;
+
+    /**
+     * Kernel body for ONE firing. Must execute exactly
+     * reads_per_firing `crd`s and writes_per_firing `cwr`s, spread
+     * through the computation (hand-scheduled). Loop unit lc0 is
+     * owned by the generated firing loop; lc1 is free.
+     */
+    std::string body;
+
+    /** Total firings this run (1..4095, the lsetup range). */
+    uint64_t firings = 0;
+
+    /** Firings per SDF iteration (the repetition-vector entry). */
+    uint64_t per_iteration = 1;
+
+    /** 32-bit words consumed from upstream per firing. */
+    unsigned reads_per_firing = 0;
+
+    /** 32-bit words produced downstream per firing. */
+    unsigned writes_per_firing = 0;
+
+    /** Tile-SRAM images to preload (input data, coefficients). */
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> images;
+};
+
+/** Everything one column needs to run its piece of the pipeline. */
+struct ColumnProgram
+{
+    unsigned column = 0;
+    std::string actor;
+    isa::Program program;
+    CommSchedule schedule; //!< transfers feeding the DOU program
+    arch::DouProgram dou;
+    ZormSetting zorm;
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> images;
+};
+
+/** A fully lowered pipeline. */
+struct PipelineProgram
+{
+    std::vector<ColumnProgram> columns; //!< programmed columns only
+    unsigned total_columns = 0;         //!< per the plan
+    unsigned period = 0;       //!< DOU schedule period (bus cycles)
+    unsigned slot_spacing = 0; //!< delivery grid spacing G
+    std::vector<unsigned> lanes; //!< bus lane per chain edge
+
+    /**
+     * Load programs, DOU schedules, ZORM settings and memory images
+     * onto @p chip, and supply-gate the tiles the pipeline does not
+     * use. The chip must have been built with the plan's dividers.
+     */
+    void load(arch::Chip &chip) const;
+
+    /** The programmed column running @p actor; fatal() if absent. */
+    const ColumnProgram &columnFor(const std::string &actor) const;
+};
+
+/**
+ * Lower @p stages (a linear chain, in dataflow order) onto the
+ * columns @p plan assigned them.
+ *
+ * @param iterations_per_sec  the rate the plan was mapped for
+ * @param slack  delivery-grid stretch (> 1); larger values trade
+ *               throughput for more overrun margin
+ *
+ * fatal() on: unknown actors, token-rate mismatches between adjacent
+ * stages (writes x per_iteration must balance), stage firing counts
+ * describing different iteration counts, more chain edges than bus
+ * lanes, or bodies that do not assemble.
+ */
+PipelineProgram lowerPipeline(const std::vector<PipelineStage> &stages,
+                              const ChipPlan &plan,
+                              double iterations_per_sec,
+                              double slack = 1.4);
+
+} // namespace synchro::mapping
+
+#endif // SYNC_MAPPING_CODEGEN_HH

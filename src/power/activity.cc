@@ -36,10 +36,60 @@ collectActivity(const arch::Chip &chip)
     return report;
 }
 
+namespace
+{
+
+/** Bus power of the measured run at the given supply. */
+double
+measuredBusMw(const arch::Chip &chip, const ActivityReport &act,
+              double seconds, double v,
+              const SystemPowerModel &model)
+{
+    unsigned nodes = chip.numColumns() * 4 + 1;
+    double span = act.bus_transfers
+                      ? act.meanSpanFraction(nodes)
+                      : 0.0;
+    double transfers_per_s = double(act.bus_transfers) / seconds;
+    return model.busModel().powerMw(transfers_per_s, 32,
+                                    v > 0 ? v : 1.0,
+                                    std::max(span, 1e-9));
+}
+
+/** Per-column loads of a measured run (f from slots/sample). */
+std::vector<DomainLoad>
+measuredLoads(const ActivityReport &act, double seconds,
+              const SupplyLevels &levels)
+{
+    std::vector<DomainLoad> loads;
+    for (const auto &col : act.columns) {
+        if (col.issue_slots == 0 || col.active_tiles == 0)
+            continue; // supply-gated column
+        double f_mhz =
+            double(col.issue_slots) / seconds / 1e6;
+        double v = levels.voltageFor(f_mhz);
+        loads.push_back(DomainLoad{strprintf("column%u", col.column),
+                                   col.active_tiles, f_mhz, v, 0.0});
+    }
+    return loads;
+}
+
+} // namespace
+
 PowerBreakdown
 priceSimulation(const arch::Chip &chip, uint64_t samples,
                 double sample_rate_hz, const SupplyLevels &levels,
                 const SystemPowerModel &model)
+{
+    return priceSimulationComparison(chip, samples, sample_rate_hz,
+                                     levels, model)
+        .multi_v;
+}
+
+MeasuredComparison
+priceSimulationComparison(const arch::Chip &chip, uint64_t samples,
+                          double sample_rate_hz,
+                          const SupplyLevels &levels,
+                          const SystemPowerModel &model)
 {
     if (samples == 0)
         fatal("priceSimulation: zero samples");
@@ -48,34 +98,32 @@ priceSimulation(const arch::Chip &chip, uint64_t samples,
     // Simulated time the run represents.
     double seconds = double(samples) / sample_rate_hz;
 
-    PowerBreakdown total;
-    double vmax = 0;
-    for (const auto &col : act.columns) {
-        if (col.issue_slots == 0 || col.active_tiles == 0)
-            continue; // supply-gated column
-        double f_mhz =
-            double(col.issue_slots) / seconds / 1e6;
-        double v = levels.voltageFor(f_mhz);
-        vmax = std::max(vmax, v);
-        DomainLoad load{strprintf("column%u", col.column),
-                        col.active_tiles, f_mhz, v, 0.0};
+    MeasuredComparison cmp;
+    cmp.loads = measuredLoads(act, seconds, levels);
+    for (const auto &load : cmp.loads) {
+        cmp.vmax = std::max(cmp.vmax, load.v);
         PowerBreakdown p = model.loadPower(load);
-        total.tile_mw += p.tile_mw;
-        total.leak_mw += p.leak_mw;
+        cmp.multi_v.tile_mw += p.tile_mw;
+        cmp.multi_v.leak_mw += p.leak_mw;
+    }
+
+    // Single-voltage baseline: same frequencies, every column at the
+    // run's maximum supply (Table 4's "Single Voltage" column).
+    for (const auto &load : cmp.loads) {
+        PowerBreakdown p =
+            model.loadPower(model.atVoltage(load, cmp.vmax));
+        cmp.single_v.tile_mw += p.tile_mw;
+        cmp.single_v.leak_mw += p.leak_mw;
     }
 
     // Bus power from measured transfers, at the highest domain
     // voltage (the buffers adapt tile voltages to the bus), with the
-    // measured mean segment span.
-    unsigned nodes = chip.numColumns() * 4 + 1;
-    double span = act.bus_transfers
-                      ? act.meanSpanFraction(nodes)
-                      : 0.0;
-    double transfers_per_s = double(act.bus_transfers) / seconds;
-    total.bus_mw = model.busModel().powerMw(transfers_per_s, 32,
-                                            vmax > 0 ? vmax : 1.0,
-                                            std::max(span, 1e-9));
-    return total;
+    // measured mean segment span. Identical in both columns, as in
+    // the paper: the bus always runs at the top supply.
+    double bus = measuredBusMw(chip, act, seconds, cmp.vmax, model);
+    cmp.multi_v.bus_mw = bus;
+    cmp.single_v.bus_mw = bus;
+    return cmp;
 }
 
 } // namespace synchro::power

@@ -74,6 +74,34 @@ PowerBreakdown priceSimulation(const arch::Chip &chip,
                                const SupplyLevels &levels,
                                const SystemPowerModel &model);
 
+/**
+ * Measured multi-V vs single-V comparison — Table 4's two power
+ * columns, but produced from simulated activity instead of the
+ * paper's calibrated estimates. The multi-V breakdown is exactly
+ * priceSimulation()'s; the single-voltage baseline re-prices every
+ * column at the run's maximum supply with unchanged frequencies
+ * (paper Section 4.4).
+ */
+struct MeasuredComparison
+{
+    PowerBreakdown multi_v;
+    PowerBreakdown single_v;
+    double vmax = 0;           //!< highest per-column supply seen
+    std::vector<DomainLoad> loads; //!< derived per-column loads
+
+    /** Percentage saved by multiple voltage domains. */
+    double
+    savingsPct() const
+    {
+        double sv = single_v.total();
+        return sv > 0 ? 100.0 * (1.0 - multi_v.total() / sv) : 0.0;
+    }
+};
+
+MeasuredComparison priceSimulationComparison(
+    const arch::Chip &chip, uint64_t samples, double sample_rate_hz,
+    const SupplyLevels &levels, const SystemPowerModel &model);
+
 } // namespace synchro::power
 
 #endif // SYNC_POWER_ACTIVITY_HH

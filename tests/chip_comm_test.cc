@@ -351,6 +351,113 @@ TEST(ChipComm, GatherOverHorizontalBus)
     EXPECT_EQ(chip.column(3).tile(0).reg(0), 10u + 11u + 12u);
 }
 
+TEST(CommBuffer, FailedPushLeavesPendingWordUntouched)
+{
+    // Drop-new semantics: the unread word survives a refused push.
+    CommBuffer buf;
+    EXPECT_TRUE(buf.push(111));
+    EXPECT_FALSE(buf.push(222));
+    EXPECT_TRUE(buf.valid());
+    EXPECT_EQ(buf.peek(), 111u);
+    EXPECT_EQ(buf.pop(), 111u);
+    EXPECT_FALSE(buf.valid());
+    EXPECT_TRUE(buf.push(222));
+    EXPECT_EQ(buf.pop(), 222u);
+}
+
+TEST(ChipComm, NonStrictOverrunDropsNewWordDeliversFirst)
+{
+    // The producer fires two values onto the bus in back-to-back
+    // cycles while the consumer is still busy, forcing a read-buffer
+    // overrun. The *first* word must survive (drop-new) and be the
+    // one the consumer's crd eventually sees; overruns_ records that
+    // the second word was the casualty.
+    ChipConfig cfg;
+    cfg.dividers = {1, 1};
+    cfg.tiles_per_column = 1;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 111
+        cwr r7
+        movi r7, 222
+        cwr r7
+        halt
+    )"));
+    chip.column(1).controller().loadProgram(assemble(R"(
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        crd r0
+        halt
+    )"));
+
+    auto seg_h = std::array<uint8_t, 4>{0, 0, 0, 0x1};
+    chip.column(0).dou().load(
+        steadyState(seg_h, {driveOn(0), {}, {}, {}}));
+    chip.column(1).dou().load(
+        steadyState(seg_h, {captureOn(0), {}, {}, {}}));
+
+    auto res = chip.run(1'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(1).tile(0).reg(0), 111u);
+    EXPECT_EQ(chip.fabric().stats().value("overruns"), 1u);
+}
+
+TEST(ChipComm, StrictModeOverrunIsFatal)
+{
+    ChipConfig cfg;
+    cfg.dividers = {1, 1};
+    cfg.tiles_per_column = 1;
+    cfg.strict = true;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 111
+        cwr r7
+        movi r7, 222
+        cwr r7
+        halt
+    )"));
+    // The consumer never reads, so the second capture must overrun.
+    chip.column(1).controller().loadProgram(assemble(R"(
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        halt
+    )"));
+
+    // Strict mode demands an exact schedule, so the DOUs touch the
+    // bus only on the two cycles the cwr values are actually there
+    // (ticks 1 and 3): state sequence idle, xfer, idle, xfer, park.
+    auto timed = [](bool capture) {
+        DouProgram p;
+        for (unsigned s = 0; s < 5; ++s) {
+            DouState st;
+            if (s == 1 || s == 3) {
+                st.seg = {0, 0, 0, 0x1};
+                st.buf[0] =
+                    capture ? captureOn(0).byte() : driveOn(0).byte();
+            }
+            st.nxt0 = st.nxt1 = uint8_t(std::min(s + 1, 4u));
+            p.states.push_back(st);
+        }
+        return p;
+    };
+    chip.column(0).dou().load(timed(false));
+    chip.column(1).dou().load(timed(true));
+
+    EXPECT_THROW(chip.run(1'000), FatalError);
+}
+
 TEST(ChipComm, WireSpanShorterWithSegmentation)
 {
     // Energy proxy: the same transfer touches fewer bus nodes when

@@ -1,0 +1,234 @@
+/** @file Pipeline code generation: lowering linear actor chains onto
+ * planned columns and running them bit-exactly against the SDF
+ * reference firing order. */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.hh"
+#include "common/log.hh"
+#include "mapping/codegen.hh"
+#include "sim/scheduler.hh"
+
+using namespace synchro;
+using namespace synchro::mapping;
+
+namespace
+{
+
+/** A hand-built plan: one actor per column with the given dividers
+ * and ZORM settings (what AutoMapper would emit, minus the search). */
+ChipPlan
+makePlan(const std::vector<std::string> &actors,
+         const std::vector<unsigned> &dividers,
+         const std::vector<ZormSetting> &zorm)
+{
+    ChipPlan plan;
+    plan.ref_freq_mhz = 600.0;
+    for (size_t i = 0; i < actors.size(); ++i) {
+        ActorPlacement p;
+        p.actor = actors[i];
+        p.tiles = 1;
+        p.first_column = unsigned(i);
+        p.columns = 1;
+        p.divider = dividers[i];
+        p.f_column_mhz = plan.ref_freq_mhz / dividers[i];
+        p.zorm = zorm[i];
+        plan.placements.push_back(p);
+        ++plan.total_tiles;
+    }
+    plan.total_columns = unsigned(actors.size());
+    return plan;
+}
+
+constexpr uint32_t OutBase = 0x1000;
+
+/**
+ * Two-actor pipeline: a source streams the sequence n*3 + 1 and the
+ * sink keeps a running sum it stores to SRAM — small enough that the
+ * SDF reference (fire the source, then the sink, once per iteration)
+ * is a five-line loop in C++.
+ */
+std::vector<PipelineStage>
+twoActorStages(unsigned firings)
+{
+    PipelineStage src;
+    src.actor = "source";
+    src.prologue = "        movi r1, 0\n";
+    src.body = R"(
+        addi r1, 3
+        mov r7, r1
+        addi r7, -2
+        cwr r7
+    )";
+    src.firings = firings;
+    src.writes_per_firing = 1;
+
+    PipelineStage sink;
+    sink.actor = "sink";
+    sink.prologue = strprintf("        movi r2, 0\n"
+                              "        movpi p0, %u\n",
+                              OutBase);
+    sink.body = R"(
+        crd r0
+        add r2, r2, r0
+        st.w r2, [p0]+4
+    )";
+    sink.firings = firings;
+    sink.reads_per_firing = 1;
+    return {src, sink};
+}
+
+/** The SDF reference: source then sink, in firing order. */
+std::vector<int32_t>
+twoActorReference(unsigned firings)
+{
+    std::vector<int32_t> out;
+    int32_t v = 0, sum = 0;
+    for (unsigned n = 0; n < firings; ++n) {
+        v += 3;           // source firing n
+        sum += v - 2;     // sink firing n
+        out.push_back(sum);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Codegen, TwoActorPipelineBitExactOnBothBackends)
+{
+    const unsigned firings = 200;
+    // The sink column is ZORM-throttled to 3 useful slots in 4 — the
+    // generated pipeline must still deliver every token in order.
+    ChipPlan plan = makePlan({"source", "sink"}, {2, 3},
+                             {ZormSetting{}, ZormSetting{1, 4}});
+    auto prog = lowerPipeline(twoActorStages(firings), plan,
+                              /*iterations_per_sec=*/20e6);
+    ASSERT_EQ(prog.columns.size(), 2u);
+    EXPECT_EQ(prog.columns[0].column, 0u);
+    EXPECT_EQ(prog.columns[1].column, 1u);
+
+    std::vector<int32_t> expect = twoActorReference(firings);
+
+    for (auto kind :
+         {SchedulerKind::FastEdge, SchedulerKind::EventQueue}) {
+        arch::ChipConfig cfg;
+        cfg.dividers = plan.dividers();
+        cfg.scheduler = kind;
+        arch::Chip chip(cfg);
+        prog.load(chip);
+
+        auto res = chip.run(10'000'000);
+        ASSERT_EQ(res.exit, arch::RunExit::AllHalted)
+            << schedulerName(kind);
+        auto got = chip.column(1).tile(0).readMemWords(OutBase,
+                                                       firings);
+        EXPECT_EQ(got, expect) << schedulerName(kind);
+        // The static schedule must never destroy data.
+        EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u)
+            << schedulerName(kind);
+        EXPECT_EQ(chip.fabric().stats().value("conflicts"), 0u)
+            << schedulerName(kind);
+        EXPECT_EQ(chip.fabric().transfers(), firings);
+        // The ZORM throttle was actually applied to the sink column.
+        EXPECT_GT(
+            chip.column(1).controller().stats().value("zormNops"),
+            0u);
+    }
+}
+
+TEST(Codegen, MultiRateChainDecimatesCorrectly)
+{
+    // source fires 4x per iteration, the decimator consumes 4 tokens
+    // per firing and forwards their sum: a rate change like the DDC's
+    // CIC, checked against the same C++ reference.
+    const unsigned iters = 64;
+    PipelineStage src;
+    src.actor = "source";
+    src.prologue = "        movi r1, 0\n";
+    src.body = R"(
+        addi r1, 1
+        mov r7, r1
+        cwr r7
+    )";
+    src.firings = iters * 4;
+    src.per_iteration = 4;
+    src.writes_per_firing = 1;
+
+    PipelineStage dec;
+    dec.actor = "decim";
+    dec.prologue = strprintf("        movpi p0, %u\n", OutBase);
+    dec.body = R"(
+        movi r2, 0
+        lsetup lc1, __acc, 4
+        crd r0
+        add r2, r2, r0
+    __acc:
+        st.w r2, [p0]+4
+    )";
+    dec.firings = iters;
+    dec.reads_per_firing = 4;
+
+    ChipPlan plan = makePlan({"source", "decim"}, {1, 4},
+                             {ZormSetting{}, ZormSetting{}});
+    auto prog =
+        lowerPipeline({src, dec}, plan, /*iterations_per_sec=*/5e6);
+
+    arch::ChipConfig cfg;
+    cfg.dividers = plan.dividers();
+    arch::Chip chip(cfg);
+    prog.load(chip);
+    auto res = chip.run(10'000'000);
+    ASSERT_EQ(res.exit, arch::RunExit::AllHalted);
+
+    std::vector<int32_t> expect;
+    int32_t v = 0;
+    for (unsigned n = 0; n < iters; ++n) {
+        int32_t sum = 0;
+        for (unsigned k = 0; k < 4; ++k)
+            sum += ++v;
+        expect.push_back(sum);
+    }
+    EXPECT_EQ(chip.column(1).tile(0).readMemWords(OutBase, iters),
+              expect);
+    EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u);
+}
+
+TEST(Codegen, RejectsInconsistentPipelines)
+{
+    ChipPlan plan = makePlan({"source", "sink"}, {1, 1},
+                             {ZormSetting{}, ZormSetting{}});
+    auto stages = twoActorStages(16);
+
+    {
+        auto bad = stages;
+        bad[1].actor = "nobody";
+        EXPECT_THROW(lowerPipeline(bad, plan, 1e6), FatalError);
+    }
+    {
+        auto bad = stages;
+        bad[1].reads_per_firing = 2; // token-rate imbalance
+        EXPECT_THROW(lowerPipeline(bad, plan, 1e6), FatalError);
+    }
+    {
+        auto bad = stages;
+        bad[1].firings = 8; // different iteration count
+        EXPECT_THROW(lowerPipeline(bad, plan, 1e6), FatalError);
+    }
+    {
+        auto bad = stages;
+        bad[0].firings = bad[1].firings = 5000; // beyond lsetup
+        EXPECT_THROW(lowerPipeline(bad, plan, 1e6), FatalError);
+    }
+    {
+        auto bad = stages;
+        bad[0].per_iteration = 0; // would divide by zero
+        EXPECT_THROW(lowerPipeline(bad, plan, 1e6), FatalError);
+    }
+    {
+        // Plans that provisioned parallel columns are rejected: the
+        // kernels are sequential single-column programs.
+        ChipPlan wide = plan;
+        wide.placements[0].columns = 2;
+        EXPECT_THROW(lowerPipeline(stages, wide, 1e6), FatalError);
+    }
+}

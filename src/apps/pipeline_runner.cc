@@ -407,6 +407,7 @@ runMappedDdc(const DdcPipelineParams &p)
     cfg.ref_freq_mhz = run.plan.ref_freq_mhz;
     cfg.dividers = run.plan.dividers();
     cfg.scheduler = p.scheduler;
+    cfg.self_timed_bus = prog.self_timed;
     arch::Chip chip(cfg);
     prog.load(chip);
 

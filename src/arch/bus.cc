@@ -5,13 +5,16 @@
 namespace synchro::arch
 {
 
-BusFabric::BusFabric(unsigned n_columns, bool strict)
+BusFabric::BusFabric(unsigned n_columns, bool strict,
+                     bool self_timed)
     : n_columns_(n_columns), strict_(strict),
+      self_timed_(self_timed),
       transfers_(stats_.counter("transfers")),
       captures_(stats_.counter("captures")),
       conflicts_(stats_.counter("conflicts")),
       underruns_(stats_.counter("underruns")),
       overruns_(stats_.counter("overruns")),
+      deferrals_(stats_.counter("deferrals")),
       wire_span_(stats_.counter("wireSpanSum"))
 {
 }
@@ -69,8 +72,9 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
 
     struct Driver
     {
-        uint32_t value;
-        int src_node;
+        uint32_t value = 0;
+        int src_node = 0;
+        Tile *src_tile = nullptr;
         bool present = false;
         bool conflicted = false;
     };
@@ -95,7 +99,9 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                 unite(int(c * 4), h_node);
         }
 
-        // Gather drivers.
+        // Gather candidate drivers (peek only: whether the word
+        // actually leaves the write buffer is decided below, once
+        // the capture side of its group is known).
         std::vector<Driver> group_driver(n_nodes);
         for (unsigned c = 0; c < n_columns_; ++c) {
             const DouState *st = views[c].state;
@@ -111,10 +117,18 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                 any_activity = true;
                 if (!tile->writeBuffer().valid()) {
                     ++underruns_;
-                    if (strict_)
+                    if (strict_ && !self_timed_)
                         fatal("bus: tile (%u,%u) scheduled to drive "
                               "lane %u with empty write buffer",
                               c, t, lane);
+                    continue;
+                }
+                int wtag = tile->writeBuffer().laneTag();
+                if (wtag >= 0 && unsigned(wtag) != lane) {
+                    // The pending word belongs to another edge's
+                    // lane; this slot idles and the word waits for
+                    // its own slot.
+                    ++deferrals_;
                     continue;
                 }
                 int node = int(c * 4 + t);
@@ -134,14 +148,53 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                     continue;
                 }
                 d.present = true;
-                d.value = tile->writeBuffer().pop();
+                d.value = tile->writeBuffer().peek();
                 d.src_node = node;
-                ++transfers_;
+                d.src_tile = tile;
             }
         }
 
         if (!any_activity)
             continue;
+
+        // Self-timed: a transfer delivers only when every scheduled
+        // capture in its group can accept the word; otherwise the
+        // whole group defers and the driver keeps it for the next
+        // slot (Section 2.3's buffers double as the handshake).
+        std::vector<char> group_deferred(n_nodes, 0);
+        if (self_timed_) {
+            for (unsigned c = 0; c < n_columns_; ++c) {
+                const DouState *st = views[c].state;
+                if (!st)
+                    continue;
+                for (unsigned t = 0; t < views[c].tiles.size(); ++t) {
+                    Tile *tile = views[c].tiles[t];
+                    if (!tile)
+                        continue;
+                    BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
+                    if (!ctl.capture || ctl.capture_lane != lane)
+                        continue;
+                    int root = find(int(c * 4 + t));
+                    if (group_driver[root].present &&
+                        tile->readBuffer(lane).valid())
+                        group_deferred[root] = 1;
+                }
+            }
+        }
+
+        // Commit drivers: pop delivered words, defer held ones.
+        for (int i = 0; i < n_nodes; ++i) {
+            Driver &d = group_driver[i];
+            if (!d.present)
+                continue;
+            if (group_deferred[i]) {
+                d.present = false;
+                ++deferrals_;
+                continue;
+            }
+            d.src_tile->writeBuffer().pop();
+            ++transfers_;
+        }
 
         // Wire-span accounting: nodes per driven group.
         std::vector<uint32_t> group_size(n_nodes, 0);
@@ -152,7 +205,7 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                 wire_span_ += group_size[i];
         }
 
-        // Deliver captures.
+        // Deliver captures into the per-lane read buffers.
         for (unsigned c = 0; c < n_columns_; ++c) {
             const DouState *st = views[c].state;
             if (!st)
@@ -167,14 +220,17 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
                 int root = find(int(c * 4 + t));
                 const Driver &d = group_driver[root];
                 if (!d.present) {
+                    if (group_deferred[root])
+                        continue; // deferral already counted
                     ++underruns_;
-                    if (strict_)
+                    if (strict_ && !self_timed_)
                         fatal("bus: tile (%u,%u) captures lane %u "
                               "but no driver is connected",
                               c, t, lane);
                     continue;
                 }
-                if (!tile->readBuffer().push(d.value)) {
+                if (!tile->readBuffer(lane).push(d.value,
+                                                 int(lane))) {
                     // Drop-new: the pending unread word survives and
                     // the word on the bus this cycle is the one lost.
                     ++overruns_;

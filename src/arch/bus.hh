@@ -47,12 +47,28 @@ struct ColumnBusView
 class BusFabric
 {
   public:
-    explicit BusFabric(unsigned n_columns, bool strict = false);
+    /**
+     * @param self_timed  latency-insensitive delivery: a transfer
+     *        whose destination read buffer is still full *defers* —
+     *        the driver keeps its word and the slot retries next
+     *        period — instead of overrunning. Producer-side
+     *        backpressure (`cwr` stalls on a full write buffer) plus
+     *        capture-side deferral self-time a whole DAG of edges;
+     *        drop-new overruns never happen on scheduled transfers.
+     */
+    explicit BusFabric(unsigned n_columns, bool strict = false,
+                       bool self_timed = false);
 
     /**
      * Resolve one bus cycle. Applies each column's current DOU
      * outputs: pops driving tiles' write buffers onto lanes, resolves
-     * segment connectivity, pushes captured values into read buffers.
+     * segment connectivity, pushes captured values into the per-lane
+     * read buffers.
+     *
+     * A drive slot whose write buffer holds a word tagged for a
+     * *different* lane defers (counted, never fatal): the word waits
+     * for its own lane's slot. This is what lets one producer feed
+     * several DAG edges through a single write buffer.
      *
      * In strict mode, structural hazards (two drivers in one connected
      * group), driver underruns (drive with empty write buffer) and
@@ -60,6 +76,8 @@ class BusFabric
      * fatal; otherwise they are counted in stats.
      */
     void cycle(std::vector<ColumnBusView> &views);
+
+    bool selfTimed() const { return self_timed_; }
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -78,6 +96,7 @@ class BusFabric
   private:
     unsigned n_columns_;
     bool strict_;
+    bool self_timed_;
 
     StatGroup stats_;
     Counter &transfers_;
@@ -85,6 +104,7 @@ class BusFabric
     Counter &conflicts_;
     Counter &underruns_;
     Counter &overruns_;
+    Counter &deferrals_;
     Counter &wire_span_;
 
     // Union-find scratch (reused across cycles).

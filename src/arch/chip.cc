@@ -7,7 +7,8 @@ namespace synchro::arch
 
 Chip::Chip(const ChipConfig &cfg)
     : cfg_(cfg), sched_(makeScheduler(cfg.scheduler)),
-      fabric_(unsigned(cfg.dividers.size()), cfg.strict)
+      fabric_(unsigned(cfg.dividers.size()), cfg.strict,
+              cfg.self_timed_bus)
 {
     if (cfg.dividers.empty())
         fatal("chip needs at least one column");

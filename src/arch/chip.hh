@@ -54,6 +54,14 @@ struct ChipConfig
     /** Structural hazards and schedule slips are fatal when true. */
     bool strict = false;
 
+    /**
+     * Latency-insensitive bus delivery: transfers whose destination
+     * read buffer is still full defer (driver keeps the word) instead
+     * of overrunning. Required by DAG pipelines, where several edges
+     * share a producer's write buffer; see BusFabric.
+     */
+    bool self_timed_bus = false;
+
     /** Execution backend driving the tick loop. */
     SchedulerKind scheduler = SchedulerKind::FastEdge;
 };

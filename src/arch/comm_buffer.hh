@@ -17,12 +17,21 @@
 namespace synchro::arch
 {
 
-/** Single-entry buffer with a valid bit. */
+/** Single-entry buffer with a valid bit and an optional lane tag. */
 class CommBuffer
 {
   public:
     bool valid() const { return valid_; }
     uint32_t peek() const { return data_; }
+
+    /**
+     * Bus lane the pending word is bound to, or -1 for a lane-
+     * agnostic word. A tagged word in a write buffer is only popped
+     * by a DOU drive slot on the matching lane — the binding that
+     * lets one producer feed several DAG edges through one buffer
+     * without time-slot misdelivery.
+     */
+    int laneTag() const { return tag_; }
 
     /**
      * Latch a value; returns false if a value was still pending.
@@ -33,11 +42,12 @@ class CommBuffer
      * bit does in hardware (the latch enable is gated on !valid).
      */
     bool
-    push(uint32_t v)
+    push(uint32_t v, int lane_tag = -1)
     {
         if (valid_)
             return false;
         data_ = v;
+        tag_ = int8_t(lane_tag);
         valid_ = true;
         return true;
     }
@@ -47,6 +57,7 @@ class CommBuffer
     pop()
     {
         valid_ = false;
+        tag_ = -1;
         return data_;
     }
 
@@ -55,10 +66,12 @@ class CommBuffer
     {
         valid_ = false;
         data_ = 0;
+        tag_ = -1;
     }
 
   private:
     uint32_t data_ = 0;
+    int8_t tag_ = -1;
     bool valid_ = false;
 };
 

@@ -180,7 +180,12 @@ SimdController::cycle(const std::vector<Tile *> &tiles)
     // the cross-domain synchronization nops of paper Section 4.5).
     if (uop.kind == UopKind::CommRead) {
         for (Tile *t : tiles) {
-            if (!t->readBuffer().valid()) {
+            // Tagged reads wait for their specific lane buffer — the
+            // join-side handshake; untagged reads wait for any lane.
+            bool ready = uop.imm >= 0
+                             ? t->readBuffer(unsigned(uop.imm)).valid()
+                             : t->anyReadValid();
+            if (!ready) {
                 ++comm_stalls_;
                 return;
             }

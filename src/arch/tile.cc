@@ -116,7 +116,30 @@ Tile::resetState()
     accs_.fill(0);
     cc_ = false;
     wbuf_.clear();
-    rbuf_.clear();
+    for (auto &b : rbufs_)
+        b.clear();
+}
+
+CommBuffer &
+Tile::readBuffer(unsigned lane)
+{
+    return rbufs_.at(lane);
+}
+
+const CommBuffer &
+Tile::readBuffer(unsigned lane) const
+{
+    return rbufs_.at(lane);
+}
+
+bool
+Tile::anyReadValid() const
+{
+    for (const auto &b : rbufs_) {
+        if (b.valid())
+            return true;
+    }
+    return false;
 }
 
 uint32_t
@@ -360,17 +383,30 @@ Tile::execute(const MicroOp &uop)
         break;
 
       case UopKind::CommWrite:
-        if (!wbuf_.push(r[uop.rd]))
+        if (!wbuf_.push(r[uop.rd], int(uop.imm)))
             panic("tile (%u,%u): cwr into a full write buffer "
                   "(controller must stall first)",
                   column_, index_);
         break;
       case UopKind::CommRead:
-        if (!rbuf_.valid())
-            panic("tile (%u,%u): crd from an empty read buffer "
-                  "(controller must stall first)",
-                  column_, index_);
-        r[uop.rd] = rbuf_.pop();
+        if (uop.imm >= 0) {
+            CommBuffer &b = rbufs_[unsigned(uop.imm)];
+            if (!b.valid())
+                panic("tile (%u,%u): crd from empty lane-%d read "
+                      "buffer (controller must stall first)",
+                      column_, index_, int(uop.imm));
+            r[uop.rd] = b.pop();
+            break;
+        }
+        for (auto &b : rbufs_) {
+            if (b.valid()) {
+                r[uop.rd] = b.pop();
+                return;
+            }
+        }
+        panic("tile (%u,%u): crd with no valid read buffer "
+              "(controller must stall first)",
+              column_, index_);
         break;
 
       case UopKind::Nop:

@@ -19,12 +19,18 @@
 #include <vector>
 
 #include "arch/comm_buffer.hh"
+#include "arch/dou.hh"
 #include "common/stats.hh"
 #include "isa/inst.hh"
 #include "isa/uop.hh"
 
 namespace synchro::arch
 {
+
+// The ISA's lane-operand range must track the bus width: a lane tag
+// encodable in crd/cwr has to address a real lane and read buffer.
+static_assert(isa::BusLaneCount == BusLanes,
+              "isa::BusLaneCount must equal arch::BusLanes");
 
 class Tile
 {
@@ -77,10 +83,28 @@ class Tile
      */
     void execute(const isa::Inst &inst);
 
+    /**
+     * The single write buffer. Words may carry a lane tag (from a
+     * tagged `cwr`); the DOU only drives a tagged word onto its
+     * matching lane.
+     */
     CommBuffer &writeBuffer() { return wbuf_; }
-    CommBuffer &readBuffer() { return rbuf_; }
     const CommBuffer &writeBuffer() const { return wbuf_; }
-    const CommBuffer &readBuffer() const { return rbuf_; }
+
+    /**
+     * Per-lane read buffers (paper Figure 2: the buffers align words
+     * onto any 32-bit split of the 256-bit bus — one latch per
+     * split). A DOU capture on lane L fills readBuffer(L); a tagged
+     * `crd rd, L` drains exactly that buffer, so a join actor can
+     * wait on each input edge independently. Untagged `crd` drains
+     * the lowest-indexed valid buffer (legacy single-buffer code has
+     * at most one valid at a time).
+     */
+    CommBuffer &readBuffer(unsigned lane = 0);
+    const CommBuffer &readBuffer(unsigned lane = 0) const;
+
+    /** True if any lane's read buffer holds a word. */
+    bool anyReadValid() const;
 
     /** Reset architectural state (not SRAM contents). */
     void resetState();
@@ -103,7 +127,7 @@ class Tile
 
     std::vector<uint8_t> mem_;
     CommBuffer wbuf_;
-    CommBuffer rbuf_;
+    std::array<CommBuffer, BusLanes> rbufs_; //!< one per lane
 
     StatGroup stats_;
     Counter &instructions_;

@@ -132,4 +132,28 @@ qamDemap(const std::vector<std::complex<double>> &symbols,
     return out;
 }
 
+std::vector<uint8_t>
+qamDemapHardQ15(const std::vector<CplxQ15> &symbols, Modulation m)
+{
+    std::vector<uint8_t> out;
+    out.reserve(symbols.size() * bitsPerSymbol(m));
+    for (const auto &s : symbols) {
+        switch (m) {
+          case Modulation::BPSK:
+            out.push_back(s.re >= 0 ? 1 : 0);
+            break;
+          case Modulation::QPSK:
+            // Gray QPSK: each component decides one bit by sign;
+            // exactly grayPamInverse() over {-1, +1} (v == 0 -> 0).
+            out.push_back(s.re > 0 ? 1 : 0);
+            out.push_back(s.im > 0 ? 1 : 0);
+            break;
+          default:
+            fatal("qamDemapHardQ15: only BPSK/QPSK sign slicing is "
+                  "implemented");
+        }
+    }
+    return out;
+}
+
 } // namespace synchro::dsp

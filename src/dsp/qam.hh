@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fixed.hh"
+
 namespace synchro::dsp
 {
 
@@ -36,6 +38,17 @@ std::vector<std::complex<double>> qamMap(
 /** Hard-decision demap back to bits. */
 std::vector<uint8_t> qamDemap(
     const std::vector<std::complex<double>> &symbols, Modulation m);
+
+/**
+ * Hard-decision demap of Q15-quantized symbols in pure integer
+ * arithmetic — exactly what the mapped demap tile kernel computes,
+ * so the golden chain and the chip agree bit for bit. BPSK and QPSK
+ * only (sign decisions; denser constellations need amplitude
+ * slicing). Agrees with qamDemap() of the unquantized symbols
+ * whenever quantization does not move a component across zero.
+ */
+std::vector<uint8_t> qamDemapHardQ15(
+    const std::vector<CplxQ15> &symbols, Modulation m);
 
 } // namespace synchro::dsp
 

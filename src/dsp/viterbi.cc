@@ -25,6 +25,13 @@ codeBits(unsigned s, unsigned b)
 
 } // namespace
 
+unsigned
+convCodePair(unsigned state, unsigned bit)
+{
+    auto [c0, c1] = codeBits(state & (ConvStates - 1), bit & 1);
+    return c0 | (c1 << 1);
+}
+
 std::vector<uint8_t>
 convEncode(const std::vector<uint8_t> &bits, bool add_tail)
 {

@@ -31,6 +31,14 @@ std::vector<uint8_t> convEncode(const std::vector<uint8_t> &bits,
                                 bool add_tail = true);
 
 /**
+ * The encoder's output pair in state @p state consuming @p bit,
+ * packed c0 | c1 << 1. This is the branch-label table the tile ACS
+ * kernel preloads: the branch metric against a received pair r is
+ * popcount(pair ^ r).
+ */
+unsigned convCodePair(unsigned state, unsigned bit);
+
+/**
  * Hard-decision Viterbi decoder.
  *
  * @param coded  pairs of code bits (g0 then g1 per input bit)

@@ -333,6 +333,26 @@ class Assembler
                 }
                 break;
               case Format::F1R:
+                if (op == Opcode::CWR || op == Opcode::CRD) {
+                    // Optional bus-lane tag: "crd r0, 3". Untagged
+                    // keeps the legacy lane-agnostic behaviour.
+                    if (ops.size() != 1 && ops.size() != 2)
+                        err(ri.line, "'" + ri.mnemonic +
+                                         "' expects reg [, lane]");
+                    inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
+                    if (ops.size() == 2) {
+                        int64_t lane = parseImmediate(ri, ops[1]);
+                        // An explicit lane must be a real lane; the
+                        // untagged form is spelled by omission, not
+                        // as -1 (which the +1 bias would alias).
+                        if (lane < 0 || lane >= int64_t(BusLaneCount))
+                            err(ri.line,
+                                "comm lane must be 0..7, got '" +
+                                    trim(ops[1]) + "'");
+                        inst.imm = int32_t(lane + 1);
+                    }
+                    break;
+                }
                 need(ri, 1);
                 inst.rd = parseReg(ri, ops[0], 'r', NumDataRegs);
                 break;

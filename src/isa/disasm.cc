@@ -42,6 +42,8 @@ disassemble(const Inst &i)
             return strprintf("%s r%u, p%u", m, i.rd, i.rs1);
         return strprintf("%s r%u, r%u", m, i.rd, i.rs1);
       case Format::F1R:
+        if ((i.op == Opcode::CWR || i.op == Opcode::CRD) && i.imm > 0)
+            return strprintf("%s r%u, %d", m, i.rd, i.imm - 1);
         return strprintf("%s r%u", m, i.rd);
       case Format::FRI:
         if (i.op == Opcode::MOVPI || i.op == Opcode::PADDI)

@@ -60,6 +60,13 @@ validate(const Inst &i)
         break;
       case Format::F1R:
         checkReg(i.rd, NumDataRegs, "reg", i.op);
+        // CWR/CRD carry an optional bus-lane tag as imm = lane + 1
+        // (0 = untagged, the legacy lane-agnostic form).
+        if (i.op == Opcode::CWR || i.op == Opcode::CRD) {
+            if (i.imm < 0 || i.imm > int32_t(BusLaneCount))
+                fatal("%s: lane %d out of range 0..%u",
+                      mnemonic(i.op), i.imm - 1, BusLaneCount - 1);
+        }
         break;
       case Format::FRI:
         if (isPtrOpDest(i.op))
@@ -137,6 +144,10 @@ encode(const Inst &i)
         break;
       case Format::F1R:
         w = insertBits(w, 23, 20, i.rd);
+        // Lane tag of CWR/CRD in the otherwise-unused low nibble;
+        // legacy encodings have it zero, which decodes to untagged.
+        if (i.op == Opcode::CWR || i.op == Opcode::CRD)
+            w = insertBits(w, 3, 0, uint32_t(i.imm));
         break;
       case Format::FRI:
         w = insertBits(w, 23, 20, i.rd);
@@ -202,6 +213,8 @@ decode(uint32_t w)
         break;
       case Format::F1R:
         i.rd = uint8_t(bits(w, 23, 20));
+        if (i.op == Opcode::CWR || i.op == Opcode::CRD)
+            i.imm = int32_t(bits(w, 3, 0));
         break;
       case Format::FRI:
         i.rd = uint8_t(bits(w, 23, 20));

@@ -315,20 +315,22 @@ lsetup(unsigned lc, uint16_t end, uint16_t count)
 }
 
 Inst
-cwr(unsigned rs)
+cwr(unsigned rs, int lane)
 {
     Inst i;
     i.op = Opcode::CWR;
     i.rd = rs;
+    i.imm = lane + 1; // 0 = untagged
     return i;
 }
 
 Inst
-crd(unsigned rd)
+crd(unsigned rd, int lane)
 {
     Inst i;
     i.op = Opcode::CRD;
     i.rd = rd;
+    i.imm = lane + 1; // 0 = untagged
     return i;
 }
 

@@ -30,6 +30,7 @@ constexpr unsigned NumDataRegs = 8;
 constexpr unsigned NumPtrRegs = 6;
 constexpr unsigned NumAccums = 2;
 constexpr unsigned CommReg = 7; //!< R7 (paper Figure 2)
+constexpr unsigned BusLaneCount = 8; //!< 32-bit splits of the bus
 
 /** Halfword pair selector for MAC/MSU: which 16-bit halves multiply. */
 enum class HalfSel : uint8_t
@@ -93,7 +94,12 @@ enum class Opcode : uint8_t
     JNCC,   //!< if (!CC) pc = imm (1-cycle stall)
     LSETUP, //!< zero-overhead loop: body [pc+1, end), count times
 
-    // Communication (through read/write buffers to the column bus)
+    // Communication (through read/write buffers to the column bus).
+    // Both take an optional bus-lane operand: `cwr r7, 3` tags the
+    // buffered word for lane 3 so the DOU only drives it onto that
+    // lane; `crd r0, 3` reads the lane-3 read buffer. Untagged forms
+    // keep the legacy lane-agnostic behaviour (drive on any scheduled
+    // lane / read the lowest-indexed valid lane buffer).
     CWR, //!< write buffer <- rs (by convention R7)
     CRD, //!< rd <- read buffer (stalls column until valid)
 
@@ -190,8 +196,8 @@ Inst jump(uint16_t target);
 Inst jcc(uint16_t target);
 Inst jncc(uint16_t target);
 Inst lsetup(unsigned lc, uint16_t end, uint16_t count);
-Inst cwr(unsigned rs);
-Inst crd(unsigned rd);
+Inst cwr(unsigned rs, int lane = -1);
+Inst crd(unsigned rd, int lane = -1);
 
 } // namespace build
 

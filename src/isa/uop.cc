@@ -266,14 +266,17 @@ decodeInst(const Inst &inst)
         break;
 
       case Opcode::CWR:
-        u.kind = UopKind::CommWrite;
-        checkReg(inst, inst.rd, "rs");
-        u.rd = inst.rd;
-        break;
       case Opcode::CRD:
-        u.kind = UopKind::CommRead;
-        checkReg(inst, inst.rd, "rd");
+        u.kind = inst.op == Opcode::CWR ? UopKind::CommWrite
+                                        : UopKind::CommRead;
+        checkReg(inst, inst.rd,
+                 inst.op == Opcode::CWR ? "rs" : "rd");
         u.rd = inst.rd;
+        // Bus-lane tag, pre-biased back to -1 = untagged.
+        if (inst.imm < 0 || inst.imm > int32_t(BusLaneCount))
+            fatal("decodeInst: %s lane %d out of range",
+                  mnemonic(inst.op), inst.imm - 1);
+        u.imm = inst.imm - 1;
         break;
 
       default:

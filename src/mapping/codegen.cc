@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <map>
 
 #include "arch/chip.hh"
 #include "common/log.hh"
@@ -25,7 +27,7 @@ placementFor(const ChipPlan &plan, const std::string &actor)
 
 /** Wrap one firing body into a complete column program. */
 isa::Program
-stitchProgram(const PipelineStage &stage)
+stitchProgram(const DagStage &stage)
 {
     if (stage.firings == 0 || stage.firings > 4095) {
         fatal("codegen: stage '%s' needs 1..4095 firings "
@@ -41,6 +43,18 @@ stitchProgram(const PipelineStage &stage)
     return isa::assemble(src);
 }
 
+/** Stage index of @p actor in the spec; fatal() if absent. */
+size_t
+stageIndex(const std::map<std::string, size_t> &idx,
+           const std::string &actor, const char *role)
+{
+    auto it = idx.find(actor);
+    if (it == idx.end())
+        fatal("codegen: edge %s '%s' is not a stage of the DAG",
+              role, actor.c_str());
+    return it->second;
+}
+
 } // namespace
 
 void
@@ -49,6 +63,11 @@ PipelineProgram::load(arch::Chip &chip) const
     sync_assert(chip.numColumns() >= total_columns,
                 "pipeline needs %u columns; chip has %u",
                 total_columns, chip.numColumns());
+    sync_assert(chip.fabric().selfTimed() == self_timed,
+                "pipeline program wants a %s bus; build the chip "
+                "with ChipConfig::self_timed_bus = %s",
+                self_timed ? "self-timed" : "legacy",
+                self_timed ? "true" : "false");
     for (const auto &col : columns) {
         arch::Column &c = chip.column(col.column);
         c.controller().loadProgram(col.program);
@@ -76,23 +95,25 @@ PipelineProgram::columnFor(const std::string &actor) const
 }
 
 PipelineProgram
-lowerPipeline(const std::vector<PipelineStage> &stages,
-              const ChipPlan &plan, double iterations_per_sec,
-              double slack)
+lowerDag(const DagSpec &spec, const ChipPlan &plan,
+         double iterations_per_sec, double slack)
 {
+    const std::vector<DagStage> &stages = spec.stages;
     if (stages.size() < 2)
         fatal("codegen: a pipeline needs at least two stages");
     if (iterations_per_sec <= 0 || slack < 1.0)
         fatal("codegen: need a positive rate and slack >= 1");
-    if (stages.front().reads_per_firing != 0)
-        fatal("codegen: source stage '%s' cannot read upstream",
-              stages.front().actor.c_str());
-    if (stages.back().writes_per_firing != 0)
-        fatal("codegen: sink stage '%s' cannot write downstream",
-              stages.back().actor.c_str());
+    if (spec.edges.empty())
+        fatal("codegen: a DAG pipeline needs at least one edge");
 
-    // Every stage must describe the same number of SDF iterations,
-    // and adjacent stages must balance their edge token rates —
+    std::map<std::string, size_t> idx;
+    for (size_t i = 0; i < stages.size(); ++i) {
+        if (!idx.emplace(stages[i].actor, i).second)
+            fatal("codegen: duplicate stage '%s'",
+                  stages[i].actor.c_str());
+    }
+
+    // Every stage must describe the same number of SDF iterations —
     // the balance equations of Section 2.1, checked on the code.
     if (stages[0].per_iteration == 0)
         fatal("codegen: stage '%s' fires zero times per iteration",
@@ -108,74 +129,118 @@ lowerPipeline(const std::vector<PipelineStage> &stages,
                   (unsigned long long)s.per_iteration);
         }
     }
-    const size_t n_edges = stages.size() - 1;
+
+    // Edges: endpoints, token-rate balance (the join-rate check),
+    // per-iteration word counts.
+    const size_t n_edges = spec.edges.size();
+    std::vector<size_t> e_src(n_edges), e_dst(n_edges);
+    std::vector<char> connected(stages.size(), 0);
     uint64_t max_words = 0;
     for (size_t e = 0; e < n_edges; ++e) {
-        const PipelineStage &src = stages[e];
-        const PipelineStage &dst = stages[e + 1];
-        if (src.writes_per_firing == 0 || dst.reads_per_firing == 0)
-            fatal("codegen: edge %zu (%s -> %s) carries no data",
-                  e, src.actor.c_str(), dst.actor.c_str());
-        uint64_t w_src = src.writes_per_firing * src.per_iteration;
-        uint64_t w_dst = dst.reads_per_firing * dst.per_iteration;
+        const DagEdgeSpec &edge = spec.edges[e];
+        size_t s = stageIndex(idx, edge.src, "producer");
+        size_t d = stageIndex(idx, edge.dst, "consumer");
+        if (s == d)
+            fatal("codegen: edge %zu is a self-loop on '%s' (the "
+                  "graph must be acyclic)",
+                  e, edge.src.c_str());
+        if (edge.src_words_per_firing == 0 ||
+            edge.dst_words_per_firing == 0)
+            fatal("codegen: edge %zu (%s -> %s) carries no data", e,
+                  edge.src.c_str(), edge.dst.c_str());
+        uint64_t w_src =
+            edge.src_words_per_firing * stages[s].per_iteration;
+        uint64_t w_dst =
+            edge.dst_words_per_firing * stages[d].per_iteration;
         if (w_src != w_dst) {
             fatal("codegen: edge %s -> %s is rate-inconsistent "
                   "(%llu produced vs %llu consumed per iteration)",
-                  src.actor.c_str(), dst.actor.c_str(),
+                  edge.src.c_str(), edge.dst.c_str(),
                   (unsigned long long)w_src,
                   (unsigned long long)w_dst);
         }
+        e_src[e] = s;
+        e_dst[e] = d;
+        connected[s] = connected[d] = 1;
         max_words = std::max(max_words, w_src);
     }
-    if (n_edges > arch::BusLanes)
-        fatal("codegen: %zu chain edges exceed the %u bus lanes",
-              n_edges, arch::BusLanes);
+    for (size_t i = 0; i < stages.size(); ++i) {
+        if (!connected[i])
+            fatal("codegen: stage '%s' is disconnected from the DAG",
+                  stages[i].actor.c_str());
+    }
+
+    // Acyclicity (Kahn): SDF cycles need initial-token delays, which
+    // this lowerer does not model — reject instead of deadlocking.
+    {
+        std::vector<unsigned> indeg(stages.size(), 0);
+        for (size_t e = 0; e < n_edges; ++e)
+            ++indeg[e_dst[e]];
+        std::deque<size_t> ready;
+        for (size_t i = 0; i < stages.size(); ++i) {
+            if (indeg[i] == 0)
+                ready.push_back(i);
+        }
+        size_t seen = 0;
+        while (!ready.empty()) {
+            size_t i = ready.front();
+            ready.pop_front();
+            ++seen;
+            for (size_t e = 0; e < n_edges; ++e) {
+                if (e_src[e] == i && --indeg[e_dst[e]] == 0)
+                    ready.push_back(e_dst[e]);
+            }
+        }
+        if (seen != stages.size())
+            fatal("codegen: the actor graph is cyclic; cyclic SDF "
+                  "graphs need initial-token delays the DAG lowerer "
+                  "does not model");
+    }
 
     // Delivery grid: every edge gets one drive/capture slot per G
-    // bus cycles — capacity of max_words tokens per edge per stretched
-    // iteration window, phase-staggered by edge index so each
-    // column's DOU pattern stays two-gap regular.
+    // bus cycles, so each lane's slot rate covers the busiest edge's
+    // token rate with the requested slack; lighter edges simply idle
+    // some of their slots.
     const double ref_hz = plan.ref_freq_mhz * 1e6;
     uint64_t spacing = uint64_t(
         ref_hz * slack / (iterations_per_sec * double(max_words)));
-    if (spacing <= n_edges)
-        fatal("codegen: delivery grid spacing %llu too tight for "
-              "%zu staggered edges (rate too high for the "
-              "reference clock)",
-              (unsigned long long)spacing, n_edges);
-    const unsigned G = unsigned(std::min<uint64_t>(spacing, 1u << 20));
-    const unsigned period = unsigned(max_words) * G;
+    spacing = std::min<uint64_t>(spacing, 1u << 20);
+    std::vector<unsigned> slot_counts;
+    for (const auto &edge : spec.edges)
+        slot_counts.push_back(edge.slots_per_period);
+    EdgeSlots slots = allocateEdgeSlots(slot_counts, spacing);
 
     PipelineProgram out;
     out.total_columns = plan.total_columns;
-    out.period = period;
-    out.slot_spacing = G;
+    out.period = slots.period;
+    out.slot_spacing = slots.period;
+    out.lanes = slots.lane;
+    out.self_timed = true;
 
-    // One CommSchedule per programmed column; edge e rides lane e.
+    // One CommSchedule per stage; edge e rides lane e at its
+    // staggered slot.
     std::vector<CommSchedule> scheds(stages.size());
     for (auto &s : scheds)
-        s.period = period;
+        s.period = slots.period;
     for (size_t e = 0; e < n_edges; ++e) {
-        out.lanes.push_back(unsigned(e));
-        for (uint64_t k = 0; k < max_words; ++k) {
-            unsigned off = unsigned(e + k * G);
+        for (unsigned off : slots.offsets[e]) {
             Transfer drive;
             drive.offset = off;
-            drive.lane = unsigned(e);
+            drive.lane = slots.lane[e];
             drive.src_tile = 0;
             drive.to_horizontal = true;
-            scheds[e].transfers.push_back(drive);
+            scheds[e_src[e]].transfers.push_back(drive);
             Transfer capture;
             capture.offset = off;
-            capture.lane = unsigned(e);
+            capture.lane = slots.lane[e];
             capture.src_tile = -1; // from the horizontal bus
             capture.dst_tiles = {0};
-            scheds[e + 1].transfers.push_back(capture);
+            scheds[e_dst[e]].transfers.push_back(capture);
         }
     }
 
     for (size_t i = 0; i < stages.size(); ++i) {
-        const PipelineStage &stage = stages[i];
+        const DagStage &stage = stages[i];
         const ActorPlacement &p = placementFor(plan, stage.actor);
         // The kernels are sequential single-column programs; a plan
         // that provisioned parallel columns/tiles (max_parallel > 1)
@@ -209,6 +274,49 @@ lowerPipeline(const std::vector<PipelineStage> &stages,
                       out.columns[a].column);
         }
     }
+    return out;
+}
+
+PipelineProgram
+lowerPipeline(const std::vector<PipelineStage> &stages,
+              const ChipPlan &plan, double iterations_per_sec,
+              double slack)
+{
+    if (stages.size() < 2)
+        fatal("codegen: a pipeline needs at least two stages");
+    if (stages.front().reads_per_firing != 0)
+        fatal("codegen: source stage '%s' cannot read upstream",
+              stages.front().actor.c_str());
+    if (stages.back().writes_per_firing != 0)
+        fatal("codegen: sink stage '%s' cannot write downstream",
+              stages.back().actor.c_str());
+
+    DagSpec spec;
+    for (const auto &s : stages) {
+        DagStage d;
+        d.actor = s.actor;
+        d.prologue = s.prologue;
+        d.body = s.body;
+        d.firings = s.firings;
+        d.per_iteration = s.per_iteration;
+        d.images = s.images;
+        spec.stages.push_back(std::move(d));
+    }
+    for (size_t e = 0; e + 1 < stages.size(); ++e) {
+        DagEdgeSpec edge;
+        edge.src = stages[e].actor;
+        edge.dst = stages[e + 1].actor;
+        edge.src_words_per_firing = stages[e].writes_per_firing;
+        edge.dst_words_per_firing = stages[e + 1].reads_per_firing;
+        spec.edges.push_back(std::move(edge));
+    }
+
+    PipelineProgram out =
+        lowerDag(spec, plan, iterations_per_sec, slack);
+    // Linear chains keep the legacy drop-new bus: bodies use
+    // untagged crd/cwr and every column has at most one edge per
+    // direction, so slot-order binding is already unambiguous.
+    out.self_timed = false;
     return out;
 }
 

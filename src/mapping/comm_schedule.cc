@@ -88,6 +88,59 @@ cycleOutputs(const CommSchedule &sched, unsigned offset)
 
 } // namespace
 
+EdgeSlots
+allocateEdgeSlots(const std::vector<unsigned> &slots_per_edge,
+                  uint64_t spacing)
+{
+    const size_t n_edges = slots_per_edge.size();
+    if (n_edges == 0)
+        fatal("edge slots: a DAG schedule needs at least one edge");
+    if (n_edges > arch::BusLanes)
+        fatal("edge slots: %zu DAG edges exceed the %u bus lanes",
+              n_edges, arch::BusLanes);
+    uint64_t total = 0;
+    for (unsigned m : slots_per_edge) {
+        if (m == 0)
+            fatal("edge slots: every edge needs at least one slot "
+                  "per period");
+        total += m;
+    }
+    if (spacing <= total + n_edges)
+        fatal("edge slots: grid period %llu too tight for %llu "
+              "staggered slots (rate too high for the reference "
+              "clock)",
+              (unsigned long long)spacing,
+              (unsigned long long)total);
+
+    EdgeSlots slots;
+    slots.period = unsigned(spacing);
+    slots.offsets.resize(n_edges);
+    std::vector<char> used(size_t(spacing), 0);
+    for (size_t e = 0; e < n_edges; ++e) {
+        slots.lane.push_back(unsigned(e));
+        const unsigned m = slots_per_edge[e];
+        const uint64_t stride = spacing / m;
+        uint64_t prev = 0;
+        bool first = true;
+        for (unsigned j = 0; j < m; ++j) {
+            uint64_t o = uint64_t(e) + j * stride;
+            if (!first && o <= prev)
+                o = prev + 1; // keep the lane's slots time-ordered
+            while (o < spacing && used[size_t(o)])
+                ++o;
+            if (o >= spacing)
+                fatal("edge slots: no conflict-free offset left for "
+                      "slot %u of edge %zu in a period of %llu",
+                      j, e, (unsigned long long)spacing);
+            used[size_t(o)] = 1;
+            slots.offsets[e].push_back(unsigned(o));
+            prev = o;
+            first = false;
+        }
+    }
+    return slots;
+}
+
 DouState
 scheduleOutputAt(const CommSchedule &sched, uint64_t bus_cycle)
 {

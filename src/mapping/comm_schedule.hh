@@ -51,6 +51,32 @@ struct CommSchedule
 arch::DouProgram compileSchedule(const CommSchedule &sched);
 
 /**
+ * Delivery slots for the edges of an SDF DAG within one grid period
+ * of @p spacing bus cycles: edge e rides its own 32-bit lane e and
+ * gets slots_per_edge[e] drive/capture slots per period, spread
+ * evenly through it and phase-staggered by edge index. Offsets are
+ * globally unique (a greedy forward probe resolves collisions), so
+ * no tile ever has to drive or capture two edges in the same cycle —
+ * every column's transfers stay conflict-free by construction,
+ * whatever the DAG's fan-out/fan-in shape — and each lane's slots
+ * stay in time order, preserving token order through the
+ * single-entry buffers.
+ *
+ * fatal() when the edges exceed the bus lanes or the period is too
+ * tight to place every slot (the data rate is too high for the
+ * reference clock).
+ */
+struct EdgeSlots
+{
+    unsigned period = 0;        //!< the grid period (== spacing)
+    std::vector<unsigned> lane; //!< bus lane per edge
+    std::vector<std::vector<unsigned>> offsets; //!< slots per edge
+};
+
+EdgeSlots allocateEdgeSlots(const std::vector<unsigned> &slots_per_edge,
+                            uint64_t spacing);
+
+/**
  * Reference interpretation of a schedule: the (seg, buf) outputs the
  * DOU must produce at the given absolute bus cycle. Tests compare
  * the compiled program's trace against this.

@@ -409,6 +409,108 @@ TEST(ChipComm, NonStrictOverrunDropsNewWordDeliversFirst)
     EXPECT_EQ(chip.fabric().stats().value("overruns"), 1u);
 }
 
+TEST(ChipComm, SelfTimedBusDefersInsteadOfOverrunning)
+{
+    // The same back-to-back producer / busy consumer race as the
+    // drop-new test above, but on the self-timed bus: the second
+    // transfer defers (the producer keeps the word and its cwr
+    // backpressure self-times the retry), so BOTH words arrive and
+    // nothing overruns.
+    ChipConfig cfg;
+    cfg.dividers = {1, 1};
+    cfg.tiles_per_column = 1;
+    cfg.self_timed_bus = true;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 111
+        cwr r7
+        movi r7, 222
+        cwr r7
+        halt
+    )"));
+    chip.column(1).controller().loadProgram(assemble(R"(
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        crd r0
+        crd r1
+        halt
+    )"));
+
+    auto seg_h = std::array<uint8_t, 4>{0, 0, 0, 0x1};
+    chip.column(0).dou().load(
+        steadyState(seg_h, {driveOn(0), {}, {}, {}}));
+    chip.column(1).dou().load(
+        steadyState(seg_h, {captureOn(0), {}, {}, {}}));
+
+    auto res = chip.run(1'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    EXPECT_EQ(chip.column(1).tile(0).reg(0), 111u);
+    EXPECT_EQ(chip.column(1).tile(0).reg(1), 222u);
+    EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u);
+    EXPECT_GT(chip.fabric().stats().value("deferrals"), 0u);
+}
+
+TEST(ChipComm, LaneTaggedWordsWaitForTheirDriveSlot)
+{
+    // A producer emits one word for lane 0 and one for lane 1; its
+    // DOU alternates drive slots lane1-first. The lane-1 slot must
+    // defer while the buffered word is tagged for lane 0, so each
+    // word still departs on its own lane — the binding that lets one
+    // producer feed two DAG edges through a single write buffer.
+    ChipConfig cfg;
+    cfg.dividers = {1, 1};
+    cfg.tiles_per_column = 1;
+    cfg.self_timed_bus = true;
+    Chip chip(cfg);
+
+    chip.column(0).controller().loadProgram(assemble(R"(
+        movi r7, 1111
+        cwr r7, 0
+        movi r7, 2222
+        cwr r7, 1
+        halt
+    )"));
+    chip.column(1).controller().loadProgram(assemble(R"(
+        crd r1, 1
+        crd r0, 0
+        halt
+    )"));
+
+    // Alternate lane-1 and lane-0 drive/capture slots every cycle.
+    DouProgram prod;
+    DouState d1, d0;
+    d1.seg = {0, 0, 0, 0x3};
+    d1.buf[0] = driveOn(1).byte();
+    d0.seg = {0, 0, 0, 0x3};
+    d0.buf[0] = driveOn(0).byte();
+    d1.nxt0 = d1.nxt1 = 1;
+    d0.nxt0 = d0.nxt1 = 0;
+    prod.states = {d1, d0};
+    chip.column(0).dou().load(prod);
+
+    DouProgram cons;
+    DouState c1 = d1, c0 = d0;
+    c1.buf[0] = captureOn(1).byte();
+    c0.buf[0] = captureOn(0).byte();
+    cons.states = {c1, c0};
+    chip.column(1).dou().load(cons);
+
+    auto res = chip.run(1'000);
+    ASSERT_EQ(res.exit, RunExit::AllHalted);
+    // The consumer read lane 1's word into r1 and lane 0's into r0:
+    // tags beat slot order.
+    EXPECT_EQ(chip.column(1).tile(0).reg(0), 1111u);
+    EXPECT_EQ(chip.column(1).tile(0).reg(1), 2222u);
+    EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u);
+}
+
 TEST(ChipComm, StrictModeOverrunIsFatal)
 {
     ChipConfig cfg;

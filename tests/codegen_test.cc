@@ -1,6 +1,6 @@
-/** @file Pipeline code generation: lowering linear actor chains onto
- * planned columns and running them bit-exactly against the SDF
- * reference firing order. */
+/** @file Pipeline code generation: lowering linear actor chains and
+ * fork/join DAGs onto planned columns and running them bit-exactly
+ * against the SDF reference firing order. */
 
 #include <gtest/gtest.h>
 
@@ -191,6 +191,182 @@ TEST(Codegen, MultiRateChainDecimatesCorrectly)
     EXPECT_EQ(chip.column(1).tile(0).readMemWords(OutBase, iters),
               expect);
     EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u);
+}
+
+namespace
+{
+
+/**
+ * Diamond fork/join DAG on the self-timed bus:
+ *
+ *   source -+-> double -+-> merge
+ *           +-> triple -+
+ *
+ * The source streams n+1 and forks each value to both workers on
+ * separate lanes; the join reads doubled then tripled per firing and
+ * stores their sum — so word k of the output must be 5*(k+1), easy
+ * to check without modelling any timing.
+ */
+DagSpec
+diamondSpec(unsigned firings)
+{
+    DagStage src;
+    src.actor = "source";
+    src.prologue = "        movi r1, 0\n";
+    src.body = R"(
+        addi r1, 1
+        cwr r1, 0
+        cwr r1, 1
+    )";
+    src.firings = firings;
+
+    DagStage dbl;
+    dbl.actor = "double";
+    dbl.body = R"(
+        crd r0, 0
+        add r0, r0, r0
+        cwr r0, 2
+    )";
+    dbl.firings = firings;
+
+    DagStage tpl;
+    tpl.actor = "triple";
+    tpl.body = R"(
+        crd r0, 1
+        add r2, r0, r0
+        add r0, r2, r0
+        cwr r0, 3
+    )";
+    tpl.firings = firings;
+
+    DagStage merge;
+    merge.actor = "merge";
+    merge.prologue = strprintf("        movpi p0, %u\n", OutBase);
+    merge.body = R"(
+        crd r0, 2
+        crd r1, 3
+        add r0, r0, r1
+        st.w r0, [p0]+4
+    )";
+    merge.firings = firings;
+
+    DagSpec spec;
+    spec.stages = {src, dbl, tpl, merge};
+    spec.edges = {
+        {"source", "double", 1, 1},
+        {"source", "triple", 1, 1},
+        {"double", "merge", 1, 1},
+        {"triple", "merge", 1, 1},
+    };
+    return spec;
+}
+
+} // namespace
+
+TEST(Codegen, ForkJoinDiamondBitExactOnBothBackends)
+{
+    const unsigned firings = 150;
+    // Mismatched dividers plus a ZORM throttle on one fork leg: the
+    // self-timed delivery must still bind every token to its edge.
+    ChipPlan plan =
+        makePlan({"source", "double", "triple", "merge"},
+                 {2, 1, 3, 2},
+                 {ZormSetting{}, ZormSetting{}, ZormSetting{1, 5},
+                  ZormSetting{}});
+    auto prog = lowerDag(diamondSpec(firings), plan,
+                         /*iterations_per_sec=*/10e6);
+    EXPECT_TRUE(prog.self_timed);
+    ASSERT_EQ(prog.columns.size(), 4u);
+    ASSERT_EQ(prog.lanes.size(), 4u);
+
+    std::vector<int32_t> expect;
+    for (unsigned n = 1; n <= firings; ++n)
+        expect.push_back(int32_t(5 * n));
+
+    for (auto kind :
+         {SchedulerKind::FastEdge, SchedulerKind::EventQueue}) {
+        arch::ChipConfig cfg;
+        cfg.dividers = plan.dividers();
+        cfg.scheduler = kind;
+        cfg.self_timed_bus = true;
+        arch::Chip chip(cfg);
+        prog.load(chip);
+
+        auto res = chip.run(10'000'000);
+        ASSERT_EQ(res.exit, arch::RunExit::AllHalted)
+            << schedulerName(kind);
+        auto got = chip.column(3).tile(0).readMemWords(OutBase,
+                                                       firings);
+        EXPECT_EQ(got, expect) << schedulerName(kind);
+        // Deferral, not data loss, is the flow-control mechanism.
+        EXPECT_EQ(chip.fabric().stats().value("overruns"), 0u)
+            << schedulerName(kind);
+        EXPECT_EQ(chip.fabric().stats().value("conflicts"), 0u)
+            << schedulerName(kind);
+        // Every token crossed the bus exactly once: two fork copies
+        // and two join inputs per firing.
+        EXPECT_EQ(chip.fabric().transfers(), 4u * firings);
+    }
+}
+
+TEST(Codegen, RejectsBadDags)
+{
+    ChipPlan plan =
+        makePlan({"source", "double", "triple", "merge"},
+                 {1, 1, 1, 1},
+                 {ZormSetting{}, ZormSetting{}, ZormSetting{},
+                  ZormSetting{}});
+    DagSpec good = diamondSpec(16);
+    // The baseline spec itself must lower.
+    lowerDag(good, plan, 1e6);
+
+    {
+        // Cyclic graph: feed the merge output back into the source.
+        DagSpec bad = good;
+        bad.edges.push_back({"merge", "source", 1, 1});
+        bad.stages[0].body += "        crd r2, 4\n";
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
+    {
+        // Self-loop is the smallest cycle.
+        DagSpec bad = good;
+        bad.edges.push_back({"double", "double", 1, 1});
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
+    {
+        // Fan-out exceeding the 8 bus lanes.
+        DagSpec bad = good;
+        for (unsigned e = 0; e < 6; ++e)
+            bad.edges.push_back({"source", "merge", 1, 1});
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
+    {
+        // Join with mismatched rates: merge consumes two words per
+        // firing on a lane the producer feeds with one.
+        DagSpec bad = good;
+        bad.edges[3].dst_words_per_firing = 2;
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
+    {
+        // Unknown actor in an edge.
+        DagSpec bad = good;
+        bad.edges[0].dst = "nobody";
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
+    {
+        // Disconnected stage: drop both of triple's edges.
+        DagSpec bad = good;
+        bad.edges.erase(bad.edges.begin() + 3);
+        bad.edges.erase(bad.edges.begin() + 1);
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
+    {
+        // An edge that carries no data.
+        DagSpec bad = good;
+        bad.edges[1].src_words_per_firing = 0;
+        bad.edges[1].dst_words_per_firing = 0;
+        EXPECT_THROW(lowerDag(bad, plan, 1e6), FatalError);
+    }
 }
 
 TEST(Codegen, RejectsInconsistentPipelines)

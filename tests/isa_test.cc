@@ -131,6 +131,24 @@ TEST(Encoding, SignedImmediatesSurvive)
     EXPECT_EQ(i.imm, 0xffff);
 }
 
+TEST(Encoding, CommLaneTagsSurvive)
+{
+    // Tagged forms round-trip through the low nibble of F1R...
+    for (int lane = 0; lane < 8; ++lane) {
+        Inst i = decode(encode(b::crd(3, lane)));
+        EXPECT_EQ(i.imm, lane + 1);
+        i = decode(encode(b::cwr(7, lane)));
+        EXPECT_EQ(i.imm, lane + 1);
+    }
+    // ...the untagged legacy forms stay untagged (imm == 0), and a
+    // legacy encoding with a zero nibble decodes as untagged.
+    EXPECT_EQ(decode(encode(b::crd(0))).imm, 0);
+    EXPECT_EQ(decode(encode(b::cwr(7))).imm, 0);
+    // Out-of-range lanes are rejected at validation.
+    EXPECT_THROW(encode(b::crd(0, 8)), FatalError);
+    EXPECT_THROW(encode(b::cwr(0, -2)), FatalError);
+}
+
 TEST(OpInfo, ControlFlagMatchesController)
 {
     EXPECT_TRUE(opInfo(Opcode::JUMP).is_control);
@@ -161,4 +179,7 @@ TEST(Disasm, MatchesExpectedSyntax)
                   b::load(Opcode::LDW, 1, 0, MemMode::Offset, -8)),
               "ld.w r1, [p0-8]");
     EXPECT_EQ(disassemble(b::lsetup(1, 12, 3)), "lsetup lc1, 12, 3");
+    EXPECT_EQ(disassemble(b::crd(0)), "crd r0");
+    EXPECT_EQ(disassemble(b::crd(0, 3)), "crd r0, 3");
+    EXPECT_EQ(disassemble(b::cwr(7, 5)), "cwr r7, 5");
 }

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Bench perf-regression gate.
+
+Compares freshly emitted BENCH_*.json trajectory files against the
+committed baselines and fails CI when the perf trajectory regresses:
+
+  * any machine-independent throughput metric (``*_kbps``,
+    ``*_msps`` — sustained simulated rates, functions of tick counts
+    only) drops more than ``--tolerance`` (default 25%) below its
+    baseline,
+  * any wall-clock throughput metric (``*_ticks_per_sec``,
+    ``*_mticks_per_s``, ``*_speedup``) drops more than
+    ``--wall-tolerance`` (default 60%) — looser because the
+    committed baselines and the CI runner are different machines;
+    the floor still catches order-of-magnitude slowdowns,
+  * a ``bit_exact`` flag regresses (1 in the baseline, 0 now),
+  * a measured ``savings_pct`` drops more than 5 percentage points
+    (``paper_*`` reference values are informational and ignored).
+
+Baselines missing a section/key that the fresh file has are fine
+(new benches extend the trajectory); fresh files missing a baseline
+key are a failure (the trajectory must never silently lose a metric).
+
+Usage:
+    tools/bench_check.py --baseline-dir <dir-with-committed-json> \
+                         --fresh-dir <dir-with-new-json>
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SIMULATED_SUFFIXES = ("_kbps", "_msps")
+WALL_CLOCK_SUFFIXES = ("_ticks_per_sec", "_mticks_per_s", "_speedup")
+SAVINGS_DROP_PP = 5.0
+
+
+def classify(key):
+    if key == "bit_exact":
+        return "bit_exact"
+    if key.endswith("savings_pct") and not key.startswith("paper"):
+        return "savings"
+    if key.endswith(SIMULATED_SUFFIXES):
+        return "throughput"
+    if key.endswith(WALL_CLOCK_SUFFIXES):
+        return "wall_throughput"
+    return None
+
+
+def check_file(name, baseline, fresh, tolerance, wall_tolerance,
+               failures):
+    for section, base_kv in baseline.items():
+        fresh_kv = fresh.get(section)
+        if fresh_kv is None:
+            failures.append(f"{name}: section '{section}' vanished")
+            continue
+        for key, base_v in base_kv.items():
+            kind = classify(key)
+            if kind is None:
+                continue
+            if key not in fresh_kv:
+                failures.append(
+                    f"{name}: {section}.{key} vanished "
+                    f"(baseline {base_v})")
+                continue
+            new_v = fresh_kv[key]
+            if kind == "bit_exact":
+                if new_v < base_v:
+                    failures.append(
+                        f"{name}: {section}.{key} regressed "
+                        f"{base_v} -> {new_v}")
+            elif kind == "savings":
+                if new_v < base_v - SAVINGS_DROP_PP:
+                    failures.append(
+                        f"{name}: {section}.{key} dropped "
+                        f"{base_v:.2f} -> {new_v:.2f} "
+                        f"(> {SAVINGS_DROP_PP} pp)")
+            else:
+                tol = (tolerance if kind == "throughput"
+                       else wall_tolerance)
+                floor = base_v * (1.0 - tol)
+                if new_v < floor:
+                    pct = (1.0 - new_v / base_v) * 100 if base_v else 0
+                    failures.append(
+                        f"{name}: {section}.{key} dropped "
+                        f"{base_v:.4g} -> {new_v:.4g} "
+                        f"(-{pct:.1f}%, floor {floor:.4g})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", required=True,
+                    type=pathlib.Path)
+    ap.add_argument("--fresh-dir", required=True, type=pathlib.Path)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop for simulated "
+                         "throughput metrics (default 0.25)")
+    ap.add_argument("--wall-tolerance", type=float, default=0.60,
+                    help="allowed fractional drop for wall-clock "
+                         "metrics, looser for cross-machine "
+                         "baselines (default 0.60)")
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_check: no BENCH_*.json baselines in "
+              f"{args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for base_path in baselines:
+        fresh_path = args.fresh_dir / base_path.name
+        if not fresh_path.exists():
+            failures.append(f"{base_path.name}: not re-emitted by "
+                            f"the bench run")
+            continue
+        with open(base_path) as f:
+            baseline = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        check_file(base_path.name, baseline, fresh, args.tolerance,
+                   args.wall_tolerance, failures)
+        checked += 1
+
+    if failures:
+        print("bench_check: PERF TRAJECTORY REGRESSED:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(f"bench_check: {checked} trajectory file(s) OK "
+          f"(simulated tolerance {args.tolerance:.0%}, wall-clock "
+          f"{args.wall_tolerance:.0%}, savings drop "
+          f"< {SAVINGS_DROP_PP} pp, bit_exact stable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * End-to-end mapped MPEG-4 motion estimation bench: the two
+ * macroblock-sharded SAA search columns and their best-vector join,
+ * planned by the AutoMapper and executed cycle-accurately, producing
+ * (1) the FastEdge vs EventQueue throughput comparison and (2) the
+ * measured-activity multi-V vs single-V power comparison next to the
+ * paper's Table 4 MPEG4-QCIF row. Appends its numbers to
+ * BENCH_motion.json so the trajectory is tracked across PRs
+ * (tools/bench_check.py gates regressions in CI).
+ */
+
+#include <cstdio>
+
+#include "apps/motion_runner.hh"
+#include "apps/paper_workloads.hh"
+#include "bench_json.hh"
+
+using namespace synchro;
+using namespace synchro::apps;
+
+int
+main()
+{
+    MotionPipelineParams params;
+
+    std::printf("mapped MPEG-4 motion estimation, %ux%u, +-%d "
+                "search over %u shard columns, both backends:\n",
+                MotionWidth, MotionHeight, MotionRange,
+                MotionColumns);
+    MappedMotionRun runs[2];
+    double wall[2] = {0, 0};
+    SchedulerKind kinds[2] = {SchedulerKind::FastEdge,
+                              SchedulerKind::EventQueue};
+    for (int i = 0; i < 2; ++i) {
+        params.scheduler = kinds[i];
+        runs[i] = runMappedMotion(params);
+        wall[i] = runs[i].sim_seconds;
+        std::printf("  %-10s %8llu ticks in %6.1f ms = %6.2f "
+                    "Mticks/s  (%s, %llu overruns)\n",
+                    schedulerName(kinds[i]),
+                    (unsigned long long)runs[i].ticks, wall[i] * 1e3,
+                    double(runs[i].ticks) / wall[i] / 1e6,
+                    runs[i].bit_exact ? "bit-exact" : "MISMATCH",
+                    (unsigned long long)runs[i].overruns);
+    }
+    bool identical = runs[0].ticks == runs[1].ticks &&
+                     runs[0].output_keys == runs[1].output_keys &&
+                     runs[0].stats == runs[1].stats;
+    double speedup = wall[1] > 0 ? wall[1] / wall[0] : 0.0;
+    std::printf("  fast-path speedup %.2fx, backends %s, pan hit "
+                "rate %.0f%%\n",
+                speedup, identical ? "identical" : "MISMATCH",
+                100.0 * runs[0].pan_hit_rate);
+
+    // --- measured power next to the paper's Table 4 row ----------
+    const auto &pw = runs[0].power;
+    int paper_pct = 0;
+    for (const auto &row : paperAppTotals()) {
+        if (row.app == "MPEG4-QCIF")
+            paper_pct = row.savings_pct;
+    }
+    std::printf("\nmulti-V vs single-V (measured activity, %.1f "
+                "kMB/s sustained): %.2f mW vs %.2f mW = %.1f%% "
+                "saved (paper: %d%%)\n",
+                runs[0].achieved_mb_rate_hz / 1e3,
+                pw.multi_v.total(), pw.single_v.total(),
+                pw.savingsPct(), paper_pct);
+
+    bench::JsonReport report("BENCH_motion.json");
+    report.set("motion_dag", "ticks", double(runs[0].ticks));
+    report.set("motion_dag", "fast_mticks_per_s",
+               double(runs[0].ticks) / wall[0] / 1e6);
+    report.set("motion_dag", "eventq_mticks_per_s",
+               double(runs[1].ticks) / wall[1] / 1e6);
+    report.set("motion_dag", "fast_speedup", speedup);
+    report.set("motion_dag", "bit_exact",
+               runs[0].bit_exact && runs[1].bit_exact && identical
+                   ? 1.0
+                   : 0.0);
+    report.set("motion_dag", "sustained_kmb_s",
+               runs[0].achieved_mb_rate_hz / 1e3);
+    report.set("motion_power_measured", "multi_v_mw",
+               pw.multi_v.total());
+    report.set("motion_power_measured", "single_v_mw",
+               pw.single_v.total());
+    report.set("motion_power_measured", "savings_pct",
+               pw.savingsPct());
+    report.set("motion_power_measured", "paper_savings_pct",
+               double(paper_pct));
+    if (!report.write())
+        std::printf("(could not write BENCH_motion.json)\n");
+    else
+        std::printf("\nwrote BENCH_motion.json\n");
+
+    return runs[0].bit_exact && runs[1].bit_exact && identical &&
+                   runs[0].overruns == 0 && runs[0].conflicts == 0
+               ? 0
+               : 1;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * End-to-end mapped stereo vision bench: the prefilter ->
+ * fork(SAD x4) -> min-SAD join DAG planned by the AutoMapper and
+ * executed cycle-accurately, producing (1) the FastEdge vs
+ * EventQueue throughput comparison on the five-lane fan-out workload
+ * and (2) the measured-activity multi-V vs single-V power comparison
+ * next to the paper's Table 4 SV row. Appends its numbers to
+ * BENCH_stereo.json so the trajectory is tracked across PRs
+ * (tools/bench_check.py gates regressions in CI).
+ */
+
+#include <cstdio>
+
+#include "apps/paper_workloads.hh"
+#include "apps/stereo_runner.hh"
+#include "bench_json.hh"
+
+using namespace synchro;
+using namespace synchro::apps;
+
+int
+main()
+{
+    StereoPipelineParams params;
+
+    std::printf("mapped stereo vision, %ux%u, %u disparities over "
+                "%u SAD columns, both backends:\n",
+                StereoWidth, StereoHeight, StereoMaxDisp,
+                StereoSadColumns);
+    MappedStereoRun runs[2];
+    double wall[2] = {0, 0};
+    SchedulerKind kinds[2] = {SchedulerKind::FastEdge,
+                              SchedulerKind::EventQueue};
+    for (int i = 0; i < 2; ++i) {
+        params.scheduler = kinds[i];
+        runs[i] = runMappedStereo(params);
+        wall[i] = runs[i].sim_seconds;
+        std::printf("  %-10s %8llu ticks in %6.1f ms = %6.2f "
+                    "Mticks/s  (%s, %llu overruns, %llu "
+                    "deferrals)\n",
+                    schedulerName(kinds[i]),
+                    (unsigned long long)runs[i].ticks, wall[i] * 1e3,
+                    double(runs[i].ticks) / wall[i] / 1e6,
+                    runs[i].bit_exact ? "bit-exact" : "MISMATCH",
+                    (unsigned long long)runs[i].overruns,
+                    (unsigned long long)runs[i].deferrals);
+    }
+    bool identical = runs[0].ticks == runs[1].ticks &&
+                     runs[0].output == runs[1].output &&
+                     runs[0].stats == runs[1].stats;
+    double speedup = wall[1] > 0 ? wall[1] / wall[0] : 0.0;
+    std::printf("  fast-path speedup %.2fx, backends %s, truth hit "
+                "rate %.0f%%\n",
+                speedup, identical ? "identical" : "MISMATCH",
+                100.0 * runs[0].truth_hit_rate);
+
+    // --- measured power next to the paper's Table 4 row ----------
+    const auto &pw = runs[0].power;
+    int paper_pct = 0;
+    for (const auto &row : paperAppTotals()) {
+        if (row.app == "SV")
+            paper_pct = row.savings_pct;
+    }
+    std::printf("\nmulti-V vs single-V (measured activity, %.1f "
+                "kblocks/s sustained): %.2f mW vs %.2f mW = %.1f%% "
+                "saved (paper: %d%%)\n",
+                runs[0].achieved_block_rate_hz / 1e3,
+                pw.multi_v.total(), pw.single_v.total(),
+                pw.savingsPct(), paper_pct);
+
+    bench::JsonReport report("BENCH_stereo.json");
+    report.set("stereo_dag", "ticks", double(runs[0].ticks));
+    report.set("stereo_dag", "fast_mticks_per_s",
+               double(runs[0].ticks) / wall[0] / 1e6);
+    report.set("stereo_dag", "eventq_mticks_per_s",
+               double(runs[1].ticks) / wall[1] / 1e6);
+    report.set("stereo_dag", "fast_speedup", speedup);
+    report.set("stereo_dag", "bit_exact",
+               runs[0].bit_exact && runs[1].bit_exact && identical
+                   ? 1.0
+                   : 0.0);
+    report.set("stereo_dag", "sustained_kblocks_s",
+               runs[0].achieved_block_rate_hz / 1e3);
+    report.set("stereo_power_measured", "multi_v_mw",
+               pw.multi_v.total());
+    report.set("stereo_power_measured", "single_v_mw",
+               pw.single_v.total());
+    report.set("stereo_power_measured", "savings_pct",
+               pw.savingsPct());
+    report.set("stereo_power_measured", "paper_savings_pct",
+               double(paper_pct));
+    if (!report.write())
+        std::printf("(could not write BENCH_stereo.json)\n");
+    else
+        std::printf("\nwrote BENCH_stereo.json\n");
+
+    return runs[0].bit_exact && runs[1].bit_exact && identical &&
+                   runs[0].overruns == 0 && runs[0].conflicts == 0
+               ? 0
+               : 1;
+}

@@ -3,13 +3,18 @@
  * MPEG-4 encoder core example — the paper's video workload
  * (Section 3): motion estimation + DCT + quantization over a
  * synthetic moving scene ("constitute about 90% of the video
- * encoder"), with PSNR/residual statistics and the Table 4 mapping.
+ * encoder"), with PSNR/residual statistics, the Table 4 mapping —
+ * and then the motion-estimation core *executed on the simulated
+ * chip* (two macroblock-sharded SAA search columns + best-vector
+ * join via apps::runMappedMotion), bit-exact against
+ * dsp::fullSearch and priced next to Table 4's MPEG4-QCIF row.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "apps/motion_runner.hh"
 #include "apps/paper_workloads.hh"
 #include "common/rng.hh"
 #include "dsp/dct.hh"
@@ -121,5 +126,27 @@ main()
         }
         std::printf("  total: %.2f mW\n", total);
     }
-    return 0;
+
+    // --- the mapped search, executed on the chip ------------------
+    std::printf("\nmapped motion estimation on the chip (%ux%u, "
+                "+-%d full search over %u shard columns):\n",
+                apps::MotionWidth, apps::MotionHeight,
+                apps::MotionRange, apps::MotionColumns);
+    apps::MotionPipelineParams mp;
+    apps::MappedMotionRun run = apps::runMappedMotion(mp);
+    std::printf("%s\n", run.plan.report().c_str());
+    std::printf("  %llu ticks, %s vs dsp::fullSearch, pan hit rate "
+                "%.0f%%, %.1f kMB/s sustained\n",
+                (unsigned long long)run.ticks,
+                run.bit_exact ? "bit-exact" : "MISMATCH",
+                100.0 * run.pan_hit_rate,
+                run.achieved_mb_rate_hz / 1e3);
+    std::printf("  measured power: %.2f mW multi-V vs %.2f mW "
+                "single-V = %.1f%% saved (Table 4 MPEG4-QCIF: 0%%) "
+                "— the symmetric search shards dominate at the top "
+                "supply, so multiple voltage domains buy almost "
+                "nothing here, exactly the paper's observation\n",
+                run.power.multi_v.total(), run.power.single_v.total(),
+                run.power.savingsPct());
+    return run.bit_exact ? 0 : 1;
 }

@@ -3,7 +3,10 @@
  * Stereo vision example — the paper's Mars-Rover workload (Section
  * 3): Tomasi-Kanade point feature extraction on a synthetic stereo
  * pair, SVD-based feature correlation (Pilu), disparity/depth
- * recovery, and the Table 4 mapping.
+ * recovery — and then the real thing: the dense block-matching
+ * disparity pipeline *executed on the simulated chip* (prefilter ->
+ * fork(SAD x4) -> min-SAD join via apps::runMappedStereo), bit-exact
+ * against the dsp:: golden and priced next to Table 4's SV row.
  */
 
 #include <algorithm>
@@ -11,6 +14,7 @@
 #include <cstdio>
 
 #include "apps/paper_workloads.hh"
+#include "apps/stereo_runner.hh"
 #include "common/rng.hh"
 #include "dsp/stereo.hh"
 #include "dsp/svd.hh"
@@ -133,5 +137,26 @@ main()
                 "to 500 MHz / 1.5 V — the voltage-scaling win of "
                 "Table 4's 32%% savings)\n",
                 total);
-    return 0;
+
+    // --- the mapped pipeline, executed on the chip ----------------
+    std::printf("\nmapped block-matching disparity on the chip "
+                "(%ux%u, %u disparities over %u SAD columns):\n",
+                apps::StereoWidth, apps::StereoHeight,
+                apps::StereoMaxDisp, apps::StereoSadColumns);
+    apps::StereoPipelineParams sp;
+    apps::MappedStereoRun run = apps::runMappedStereo(sp);
+    std::printf("%s\n", run.plan.report().c_str());
+    std::printf("  %llu ticks, %s vs dsp::stereoBlockDisparities, "
+                "truth hit rate %.0f%%, %.1f kblocks/s sustained\n",
+                (unsigned long long)run.ticks,
+                run.bit_exact ? "bit-exact" : "MISMATCH",
+                100.0 * run.truth_hit_rate,
+                run.achieved_block_rate_hz / 1e3);
+    std::printf("  measured power: %.2f mW multi-V vs %.2f mW "
+                "single-V = %.1f%% saved (Table 4 SV: 32%%) — the "
+                "serial prefilter column pins the top supply while "
+                "the SAD farm idles down, the paper's SV shape\n",
+                run.power.multi_v.total(), run.power.single_v.total(),
+                run.power.savingsPct());
+    return run.bit_exact ? 0 : 1;
 }

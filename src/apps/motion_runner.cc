@@ -1,0 +1,389 @@
+#include "apps/motion_runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace synchro::apps
+{
+
+using mapping::DagEdgeSpec;
+using mapping::DagSpec;
+using mapping::DagStage;
+
+namespace
+{
+
+constexpr unsigned W = MotionWidth;
+constexpr unsigned H = MotionHeight;
+constexpr unsigned Mb = MotionMb;
+constexpr int R = MotionRange;
+constexpr unsigned PadW = W + 2 * R; //!< padded reference stride
+constexpr unsigned PadH = H + 2 * R;
+constexpr unsigned RefBytes = PadW * PadH;
+
+/** Macroblocks per search column (even/odd shards). */
+constexpr unsigned MbsPerCol = MotionMbs / MotionColumns;
+
+// Tile-SRAM layout, search columns: current frame, four byte-shifted
+// mirror copies of the padded reference (copy s holds the padded
+// bytes starting at byte s, so a candidate row starting at padded
+// byte g is 4-byte aligned in copy g % 4), and the per-macroblock
+// candidate tables.
+constexpr uint32_t MeCur = 0x0000;            //!< W x H bytes
+constexpr uint32_t MeRef = 0x0C00;            //!< 4 x RefBytes
+constexpr uint32_t MeTab = MeRef + 4 * RefBytes;
+
+/** Table stride per macroblock: cur base + one address per cand. */
+constexpr unsigned TabWords = 1 + MotionCands;
+
+// The packed search key is (SAD << 7 | candidate index): the index
+// needs the full 7-bit field and the worst-case SAD must leave the
+// shifted key positive, or both the chip kernel and the golden
+// re-encoding compute wrong argmins while still comparing equal.
+static_assert(MotionCands <= 128,
+              "candidate index overflows the 7-bit key field");
+static_assert(uint64_t(Mb) * Mb * 255 < (uint64_t(1) << 24),
+              "worst-case SAD overflows the packed key");
+
+// Tile-SRAM layout, join column.
+constexpr uint32_t JoinOut = 0x0000; //!< one packed key per mb
+
+/**
+ * Static issue-slot costs per firing (straight-line slots plus loop
+ * bodies; zero-overhead loops and the outer firing loop are free,
+ * conditional branches pay their one stall). These feed the SDF
+ * graph so the AutoMapper's frequency demands match what the
+ * simulator will actually execute.
+ */
+constexpr uint64_t CandCost = 4 + Mb * 14 + 4 + 2 + 1 + 2;
+constexpr uint64_t MeCost = 5 + MotionCands * CandCost + 1;
+constexpr uint64_t JoinCost = 4;
+
+/**
+ * Demand margin for the join: it is pure latency (two lane-tagged
+ * reads), and clocking it at its raw throughput demand would make
+ * draining the candidate lanes the pipeline's bottleneck.
+ */
+constexpr unsigned JoinMargin = 16;
+
+void
+checkParams(const MotionPipelineParams &p)
+{
+    if (p.mb_rate_hz <= 0)
+        fatal("motion: need a positive macroblock rate");
+    if (std::abs(p.pan_dx) > R || std::abs(p.pan_dy) > R)
+        fatal("motion: pan (%d, %d) outside the +-%d search range",
+              p.pan_dx, p.pan_dy, R);
+}
+
+/** Replicate-pad @p img by R pixels on every side. */
+dsp::Image
+padImage(const dsp::Image &img)
+{
+    dsp::Image out(PadW, PadH);
+    for (unsigned y = 0; y < PadH; ++y)
+        for (unsigned x = 0; x < PadW; ++x)
+            out(x, y) = img.at(int(x) - R, int(y) - R);
+    return out;
+}
+
+DagStage
+meStage(unsigned which, const dsp::Image &cur,
+        const dsp::Image &ref)
+{
+    DagStage s;
+    s.actor = strprintf("me-%u", which);
+    s.firings = MbsPerCol;
+    s.per_iteration = 1;
+    s.prologue = strprintf("        movpi p3, %u\n"
+                           "        movi r7, 0\n",
+                           MeTab);
+
+    // One firing = one macroblock: walk its candidate table in
+    // tie-break order, SAA the 16x16 SAD of each candidate, and keep
+    // the minimum packed (SAD << 7 | index) key.
+    s.body = strprintf(R"(
+        ld.w r0, [p3]+4
+        movi r2, -1
+        movih r2, 32767
+        movi r4, %u
+        movi r6, 0
+    __cand:
+        ld.w r1, [p3]+4
+        movp p1, r1
+        movp p0, r0
+        aclr a0
+        lsetup lc1, __row, %u
+        ld.w r1, [p0]+4
+        ld.w r3, [p1]+4
+        saa a0, r1, r3
+        ld.w r1, [p0]+4
+        ld.w r3, [p1]+4
+        saa a0, r1, r3
+        ld.w r1, [p0]+4
+        ld.w r3, [p1]+4
+        saa a0, r1, r3
+        ld.w r1, [p0]+4
+        ld.w r3, [p1]+4
+        saa a0, r1, r3
+        paddi p0, %u
+        paddi p1, %u
+    __row:
+        aext r1, a0, 0
+        lsli r1, r1, 7
+        or r1, r1, r6
+        min r2, r2, r1
+        addi r6, 1
+        addi r4, -1
+        cmplt r7, r4
+        jcc __cand
+        cwr r2, %u
+)",
+                       MotionCands, Mb, W - Mb, PadW - Mb, which);
+
+    // Current frame and the four alignment mirrors of the padded
+    // reference.
+    s.images.push_back({MeCur, cur.pixels()});
+    dsp::Image padded = padImage(ref);
+    for (unsigned shift = 0; shift < 4; ++shift) {
+        std::vector<uint8_t> copy(RefBytes, 0);
+        for (unsigned b = 0; b + shift < RefBytes; ++b)
+            copy[b] = padded.pixels()[b + shift];
+        s.images.push_back({MeRef + shift * RefBytes, std::move(copy)});
+    }
+
+    // Candidate tables for this shard's macroblocks: [cur mb base,
+    // then one padded-reference address per candidate].
+    auto cands = motionCandidates();
+    std::vector<int32_t> tab;
+    tab.reserve(MbsPerCol * TabWords);
+    for (unsigned m = 0; m < MbsPerCol; ++m) {
+        unsigned g = MotionColumns * m + which;
+        unsigned x0 = (g % (W / Mb)) * Mb;
+        unsigned y0 = (g / (W / Mb)) * Mb;
+        tab.push_back(int32_t(MeCur + y0 * W + x0));
+        for (const auto &[dx, dy] : cands) {
+            unsigned gx = unsigned(int(x0) + R + dx);
+            unsigned gy = unsigned(int(y0) + R + dy);
+            unsigned shift = gx % 4;
+            tab.push_back(int32_t(MeRef + shift * RefBytes +
+                                  gy * PadW + gx - shift));
+        }
+    }
+    std::vector<uint8_t> tab_bytes(tab.size() * 4);
+    std::memcpy(tab_bytes.data(), tab.data(), tab_bytes.size());
+    s.images.push_back({MeTab, std::move(tab_bytes)});
+    return s;
+}
+
+DagStage
+joinStage()
+{
+    DagStage s;
+    s.actor = "join";
+    s.firings = MbsPerCol;
+    s.per_iteration = 1;
+    s.prologue = strprintf("        movpi p0, %u\n", JoinOut);
+    // The best-vector join: interleave the shards' winning keys back
+    // into macroblock order, each crd waiting on its own lane.
+    s.body = R"(
+        crd r0, 0
+        st.w r0, [p0]+4
+        crd r0, 1
+        st.w r0, [p0]+4
+)";
+    return s;
+}
+
+} // namespace
+
+void
+motionScene(const MotionPipelineParams &p, dsp::Image &cur,
+            dsp::Image &ref)
+{
+    checkParams(p);
+    // A textured scene translated by the pan with a little sensor
+    // noise — the same construction the mpeg4_encode example uses.
+    auto scene = [&](int dx, int dy, dsp::Image &img) {
+        Rng rng(p.seed);
+        for (unsigned y = 0; y < H; ++y) {
+            for (unsigned x = 0; x < W; ++x) {
+                double v =
+                    128 + 50 * std::sin((int(x) + dx) / 7.0) +
+                    40 * std::cos((int(y) + dy) / 9.0) +
+                    20 * std::sin(((int(x) + dx) + (int(y) + dy)) /
+                                  5.0);
+                v += rng.gauss() * 2.0;
+                img(x, y) = uint8_t(
+                    std::min(255.0, std::max(0.0, std::round(v))));
+            }
+        }
+    };
+    scene(0, 0, ref);
+    scene(p.pan_dx, p.pan_dy, cur);
+}
+
+std::vector<std::pair<int, int>>
+motionCandidates()
+{
+    std::vector<std::pair<int, int>> cands;
+    cands.reserve(MotionCands);
+    for (int dy = -R; dy <= R; ++dy)
+        for (int dx = -R; dx <= R; ++dx)
+            cands.emplace_back(dx, dy);
+    // dsp::fullSearch's tie-break order: smaller |v|1, then dy, then
+    // dx. Visiting candidates in this order and keeping the strict
+    // minimum of (SAD << 7 | index) reproduces its argmin exactly.
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const auto &a, const auto &b) {
+                         int na = std::abs(a.first) +
+                                  std::abs(a.second);
+                         int nb = std::abs(b.first) +
+                                  std::abs(b.second);
+                         if (na != nb)
+                             return na < nb;
+                         if (a.second != b.second)
+                             return a.second < b.second;
+                         return a.first < b.first;
+                     });
+    return cands;
+}
+
+mapping::SdfGraph
+motionGraph(const MotionPipelineParams &p,
+            std::vector<mapping::ActorCommSpec> *comm)
+{
+    checkParams(p);
+    mapping::SdfGraph g;
+    unsigned me0 = g.addActor("me-0", MeCost);
+    unsigned me1 = g.addActor("me-1", MeCost);
+    unsigned join = g.addActor("join", JoinCost * JoinMargin);
+    // One iteration = one macroblock pair: q = (1, 1, 1).
+    g.addEdge(me0, join, 1, 1);
+    g.addEdge(me1, join, 1, 1);
+
+    if (comm) {
+        comm->assign(g.numActors(), {});
+        (*comm)[me0].words_per_firing = 1;
+        (*comm)[me1].words_per_firing = 1;
+        // The kernels keep streaming state (table cursors), so none
+        // of them parallelize further.
+        for (auto &spec : *comm)
+            spec.max_parallel = 1;
+    }
+    return g;
+}
+
+std::optional<mapping::ChipPlan>
+planMotion(const MotionPipelineParams &p)
+{
+    std::vector<mapping::ActorCommSpec> comm;
+    mapping::SdfGraph g = motionGraph(p, &comm);
+    return planApp(g, comm, p.mb_rate_hz / MotionColumns);
+}
+
+DagSpec
+motionDag(const MotionPipelineParams &p, const dsp::Image &cur,
+          const dsp::Image &ref)
+{
+    checkParams(p);
+    sync_assert(cur.width() == W && cur.height() == H &&
+                    ref.width() == W && ref.height() == H,
+                "motion: the mapped pipeline is fixed at %ux%u", W,
+                H);
+    DagSpec spec;
+    spec.stages = {meStage(0, cur, ref), meStage(1, cur, ref),
+                   joinStage()};
+    // Edge order defines the bus lanes: two delivery slots per grid
+    // period so a deferred key never waits a whole period behind the
+    // other shard's.
+    spec.edges = {
+        {"me-0", "join", 1, 1, 2},
+        {"me-1", "join", 1, 1, 2},
+    };
+    return spec;
+}
+
+MappedMotionRun
+runMappedMotion(const MotionPipelineParams &p)
+{
+    checkParams(p);
+    MappedMotionRun run;
+    dsp::Image cur(W, H), ref(W, H);
+    motionScene(p, cur, ref);
+
+    // Golden: dsp::fullSearch per macroblock, re-encoded with the
+    // candidate order's packed key for the bit-exact compare.
+    auto cands = motionCandidates();
+    std::vector<dsp::MotionVector> golden_mvs;
+    for (unsigned g = 0; g < MotionMbs; ++g) {
+        unsigned x0 = (g % (W / Mb)) * Mb;
+        unsigned y0 = (g / (W / Mb)) * Mb;
+        dsp::MotionVector mv =
+            dsp::fullSearch(cur, ref, x0, y0, R, Mb);
+        golden_mvs.push_back(mv);
+        unsigned idx = 0;
+        while (idx < cands.size() &&
+               (cands[idx].first != mv.dx ||
+                cands[idx].second != mv.dy))
+            ++idx;
+        sync_assert(idx < cands.size(), "pan outside search range");
+        run.golden_keys.push_back(
+            int32_t((mv.sad << 7) | idx));
+    }
+
+    auto plan = planMotion(p);
+    if (!plan)
+        fatal("motion: no feasible mapping at %.0f macroblocks/s",
+              p.mb_rate_hz);
+
+    auto prog = mapping::lowerDag(motionDag(p, cur, ref), *plan,
+                                  p.mb_rate_hz / MotionColumns,
+                                  p.slack);
+
+    MappedAppParams hp;
+    hp.app = "motion";
+    hp.scheduler = p.scheduler;
+    // Generous budget: one key per shard per slot_spacing ticks plus
+    // the search itself, with plenty of slack.
+    hp.tick_limit =
+        Tick(MbsPerCol) * (prog.slot_spacing + MeCost) * 4 +
+        1'000'000;
+    hp.priced_items = MotionMbs;
+    MappedApp app(hp, *plan, prog);
+    static_cast<MappedAppRun &>(run) = app.run();
+    run.achieved_mb_rate_hz = run.achieved_items_per_sec;
+
+    const auto &join_col = prog.columnFor("join");
+    run.output_keys = app.chip()
+                          .column(join_col.column)
+                          .tile(0)
+                          .readMemWords(JoinOut, MotionMbs);
+    run.bit_exact = run.output_keys == run.golden_keys;
+    if (!run.bit_exact)
+        warn("%s",
+             describeMismatch("motion search keys", run.output_keys,
+                              run.golden_keys)
+                 .c_str());
+
+    unsigned hits = 0;
+    for (unsigned g = 0; g < MotionMbs; ++g) {
+        uint32_t key = uint32_t(run.output_keys[g]);
+        unsigned idx = key & 127;
+        dsp::MotionVector mv;
+        mv.dx = cands[idx].first;
+        mv.dy = cands[idx].second;
+        mv.sad = key >> 7;
+        run.vectors.push_back(mv);
+        hits += mv.dx == p.pan_dx && mv.dy == p.pan_dy;
+    }
+    run.pan_hit_rate = double(hits) / MotionMbs;
+    return run;
+}
+
+} // namespace synchro::apps

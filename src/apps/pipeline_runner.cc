@@ -1,6 +1,5 @@
 #include "apps/pipeline_runner.hh"
 
-#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -9,7 +8,6 @@
 #include "dsp/cic.hh"
 #include "dsp/fir.hh"
 #include "dsp/mixer.hh"
-#include "power/vf_model.hh"
 
 namespace synchro::apps
 {
@@ -173,11 +171,7 @@ planDdc(const DdcPipelineParams &p)
 {
     std::vector<mapping::ActorCommSpec> comm;
     mapping::SdfGraph g = ddcGraph(p, &comm);
-    power::SystemPowerModel model;
-    power::VfModel vf;
-    power::SupplyLevels levels(vf);
-    mapping::AutoMapper mapper(model, levels);
-    return mapper.map(g, p.sample_rate_hz / Decim, comm);
+    return planApp(g, comm, p.sample_rate_hz / Decim);
 }
 
 std::vector<PipelineStage>
@@ -397,61 +391,34 @@ runMappedDdc(const DdcPipelineParams &p)
     if (!plan)
         fatal("ddc: no feasible mapping at %.1f MS/s",
               p.sample_rate_hz / 1e6);
-    run.plan = *plan;
 
-    auto prog = mapping::lowerPipeline(ddcStages(p, x), run.plan,
+    auto prog = mapping::lowerPipeline(ddcStages(p, x), *plan,
                                        p.sample_rate_hz / Decim,
                                        p.slack);
 
-    arch::ChipConfig cfg;
-    cfg.ref_freq_mhz = run.plan.ref_freq_mhz;
-    cfg.dividers = run.plan.dividers();
-    cfg.scheduler = p.scheduler;
-    cfg.self_timed_bus = prog.self_timed;
-    arch::Chip chip(cfg);
-    prog.load(chip);
-
+    MappedAppParams hp;
+    hp.app = "ddc";
+    hp.scheduler = p.scheduler;
     // Generous budget: the delivery grid paces one sample per
     // slot_spacing ticks, plus pipeline fill and drain.
-    Tick limit = Tick(p.samples) * prog.slot_spacing * 8 + 1'000'000;
-    auto t0 = std::chrono::steady_clock::now();
-    run.result = chip.run(limit);
-    run.sim_seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    if (run.result.exit != arch::RunExit::AllHalted)
-        fatal("ddc: mapped pipeline did not drain (%s at tick %llu)",
-              run.result.exit == arch::RunExit::Deadlock
-                  ? "deadlock"
-                  : "tick limit",
-              (unsigned long long)run.result.ticks);
-    run.ticks = run.result.ticks;
+    hp.tick_limit =
+        Tick(p.samples) * prog.slot_spacing * 8 + 1'000'000;
+    hp.priced_items = p.samples;
+    MappedApp app(hp, *plan, prog);
+    static_cast<MappedAppRun &>(run) = app.run();
+    run.achieved_sample_rate_hz = run.achieved_items_per_sec;
 
     const auto &demod_col = prog.columnFor("demod");
-    run.output = chip.column(demod_col.column)
+    run.output = app.chip()
+                     .column(demod_col.column)
                      .tile(0)
                      .readMemHalves(DemodOutBase, p.samples / Decim);
     run.bit_exact = run.output == run.golden;
-
-    run.overruns = chip.fabric().stats().value("overruns");
-    run.conflicts = chip.fabric().stats().value("conflicts");
-    run.bus_transfers = chip.fabric().transfers();
-
-    // Price the run at the throughput it actually sustained, so the
-    // derived per-column frequencies are exactly what this silicon
-    // would need to process the stream in real time.
-    double ref_hz = run.plan.ref_freq_mhz * 1e6;
-    run.achieved_sample_rate_hz =
-        double(p.samples) * ref_hz / double(run.ticks);
-    power::SystemPowerModel model;
-    power::VfModel vf;
-    power::SupplyLevels levels(vf);
-    run.power = power::priceSimulationComparison(
-        chip, p.samples, run.achieved_sample_rate_hz, levels, model);
-
-    chip.forEachStat([&run](const std::string &name, uint64_t v) {
-        run.stats[name] = v;
-    });
+    if (!run.bit_exact)
+        warn("%s",
+             describeMismatch("ddc demod output", run.output,
+                              run.golden)
+                 .c_str());
     return run;
 }
 

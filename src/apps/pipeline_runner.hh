@@ -24,15 +24,10 @@
 #define SYNC_APPS_PIPELINE_RUNNER_HH
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <string>
 #include <vector>
 
-#include "arch/chip.hh"
-#include "mapping/auto_mapper.hh"
-#include "mapping/codegen.hh"
-#include "power/activity.hh"
+#include "apps/app_harness.hh"
 
 namespace synchro::apps
 {
@@ -58,32 +53,18 @@ struct DdcPipelineParams
     SchedulerKind scheduler = SchedulerKind::FastEdge;
 };
 
-/** Everything a finished mapped-DDC run produced. */
-struct MappedDdcRun
+/**
+ * Everything a finished mapped-DDC run produced; the common slice
+ * (plan, ticks, fabric stats, power, ...) comes from the harness.
+ */
+struct MappedDdcRun : MappedAppRun
 {
-    mapping::ChipPlan plan;
-    arch::RunResult result{};
-
     std::vector<int16_t> output; //!< demod output read from the chip
     std::vector<int16_t> golden; //!< dsp:: reference chain
     bool bit_exact = false;
 
-    uint64_t ticks = 0;
-    uint64_t overruns = 0;
-    uint64_t conflicts = 0;
-    uint64_t bus_transfers = 0;
-
     /** Input throughput the run actually sustained. */
     double achieved_sample_rate_hz = 0;
-
-    /** Host wall-clock seconds spent inside Chip::run alone. */
-    double sim_seconds = 0;
-
-    /** Measured-activity power, multi-V vs single-V (Table 4). */
-    power::MeasuredComparison power;
-
-    /** Full chip statistics (for backend cross-checking). */
-    std::map<std::string, uint64_t> stats;
 };
 
 /** The synthetic RF input (tone + interferer + noise). */

@@ -1,6 +1,5 @@
 #include "apps/wifi_runner.hh"
 
-#include <chrono>
 #include <cstring>
 
 #include "common/log.hh"
@@ -10,7 +9,6 @@
 #include "dsp/ofdm.hh"
 #include "dsp/qam.hh"
 #include "dsp/viterbi.hh"
-#include "power/vf_model.hh"
 
 namespace synchro::apps
 {
@@ -210,11 +208,7 @@ planWifi(const WifiPipelineParams &p)
 {
     std::vector<mapping::ActorCommSpec> comm;
     mapping::SdfGraph g = wifiGraph(p, &comm);
-    power::SystemPowerModel model;
-    power::VfModel vf;
-    power::SupplyLevels levels(vf);
-    mapping::AutoMapper mapper(model, levels);
-    return mapper.map(g, p.bit_rate_hz / (2 * WifiFrameBits), comm);
+    return planApp(g, comm, p.bit_rate_hz / (2 * WifiFrameBits));
 }
 
 namespace
@@ -534,45 +528,30 @@ runMappedWifi(const WifiPipelineParams &p)
     if (!plan)
         fatal("wifi: no feasible mapping at %.1f kbit/s",
               p.bit_rate_hz / 1e3);
-    run.plan = *plan;
 
     auto prog =
-        mapping::lowerDag(wifiDag(p, carriers), run.plan,
+        mapping::lowerDag(wifiDag(p, carriers), *plan,
                           p.bit_rate_hz / (2 * WifiFrameBits),
                           p.slack);
 
-    arch::ChipConfig cfg;
-    cfg.ref_freq_mhz = run.plan.ref_freq_mhz;
-    cfg.dividers = run.plan.dividers();
-    cfg.scheduler = p.scheduler;
-    cfg.self_timed_bus = prog.self_timed;
-    arch::Chip chip(cfg);
-    prog.load(chip);
-
+    MappedAppParams hp;
+    hp.app = "wifi";
+    hp.scheduler = p.scheduler;
     // Generous budget: the delivery grid paces one token per lane
     // per slot_spacing ticks, 96 tokens per iteration on the widest
     // lane, plus pipeline fill and drain.
-    Tick limit = Tick(p.symbols / 2) * prog.slot_spacing * 96 * 6 +
-                 2'000'000;
-    auto t0 = std::chrono::steady_clock::now();
-    run.result = chip.run(limit);
-    run.sim_seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    if (run.result.exit != arch::RunExit::AllHalted)
-        fatal("wifi: mapped receiver did not drain (%s at tick "
-              "%llu)",
-              run.result.exit == arch::RunExit::Deadlock
-                  ? "deadlock"
-                  : "tick limit",
-              (unsigned long long)run.result.ticks);
-    run.ticks = run.result.ticks;
+    hp.tick_limit = Tick(p.symbols / 2) * prog.slot_spacing * 96 * 6 +
+                    2'000'000;
+    hp.priced_items = uint64_t(p.symbols) * WifiFrameBits;
+    MappedApp app(hp, *plan, prog);
+    static_cast<MappedAppRun &>(run) = app.run();
+    run.achieved_bit_rate_hz = run.achieved_items_per_sec;
 
     // The traceback column wrote one byte per trellis stage; the
     // first WifiFrameBits of each frame are the payload (the rest
     // are the flushed tail).
     const auto &tb_col = prog.columnFor("traceback");
-    arch::Tile &tb_tile = chip.column(tb_col.column).tile(0);
+    arch::Tile &tb_tile = app.chip().column(tb_col.column).tile(0);
     run.output.reserve(size_t(p.symbols) * WifiFrameBits);
     for (unsigned f = 0; f < p.symbols; ++f) {
         std::vector<uint8_t> frame(WifiFrameStages);
@@ -582,28 +561,11 @@ runMappedWifi(const WifiPipelineParams &p)
                           frame.begin() + WifiFrameBits);
     }
     run.bit_exact = run.output == run.golden;
-
-    run.overruns = chip.fabric().stats().value("overruns");
-    run.conflicts = chip.fabric().stats().value("conflicts");
-    run.deferrals = chip.fabric().stats().value("deferrals");
-    run.bus_transfers = chip.fabric().transfers();
-
-    // Price the run at the throughput it actually sustained, so the
-    // derived per-column frequencies are exactly what this silicon
-    // would need to decode the stream in real time.
-    double ref_hz = run.plan.ref_freq_mhz * 1e6;
-    uint64_t bits_total = uint64_t(p.symbols) * WifiFrameBits;
-    run.achieved_bit_rate_hz =
-        double(bits_total) * ref_hz / double(run.ticks);
-    power::SystemPowerModel model;
-    power::VfModel vf;
-    power::SupplyLevels levels(vf);
-    run.power = power::priceSimulationComparison(
-        chip, bits_total, run.achieved_bit_rate_hz, levels, model);
-
-    chip.forEachStat([&run](const std::string &name, uint64_t v) {
-        run.stats[name] = v;
-    });
+    if (!run.bit_exact)
+        warn("%s",
+             describeMismatch("wifi decoded bits", run.output,
+                              run.golden)
+                 .c_str());
     return run;
 }
 

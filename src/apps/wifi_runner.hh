@@ -44,16 +44,11 @@
 #define SYNC_APPS_WIFI_RUNNER_HH
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <string>
 #include <vector>
 
-#include "arch/chip.hh"
+#include "apps/app_harness.hh"
 #include "common/fixed.hh"
-#include "mapping/auto_mapper.hh"
-#include "mapping/codegen.hh"
-#include "power/activity.hh"
 
 namespace synchro::apps
 {
@@ -90,12 +85,13 @@ struct WifiPipelineParams
     SchedulerKind scheduler = SchedulerKind::FastEdge;
 };
 
-/** Everything a finished mapped-802.11a run produced. */
-struct MappedWifiRun
+/**
+ * Everything a finished mapped-802.11a run produced; the common
+ * slice (plan, ticks, fabric stats, power, ...) comes from the
+ * harness.
+ */
+struct MappedWifiRun : MappedAppRun
 {
-    mapping::ChipPlan plan;
-    arch::RunResult result{};
-
     std::vector<uint8_t> tx_bits; //!< transmitted payload bits
     std::vector<uint8_t> output;  //!< decoded bits read from the chip
     std::vector<uint8_t> golden;  //!< dsp:: reference chain
@@ -107,23 +103,8 @@ struct MappedWifiRun
     /** Golden chain recovered the transmitted payload. */
     bool golden_matches_tx = false;
 
-    uint64_t ticks = 0;
-    uint64_t overruns = 0;
-    uint64_t conflicts = 0;
-    uint64_t deferrals = 0;
-    uint64_t bus_transfers = 0;
-
     /** Data-bit throughput the run actually sustained. */
     double achieved_bit_rate_hz = 0;
-
-    /** Host wall-clock seconds spent inside Chip::run alone. */
-    double sim_seconds = 0;
-
-    /** Measured-activity power, multi-V vs single-V (Table 4). */
-    power::MeasuredComparison power;
-
-    /** Full chip statistics (for backend cross-checking). */
-    std::map<std::string, uint64_t> stats;
 };
 
 /** The transmitted payload bits (symbols x WifiFrameBits). */

@@ -3,10 +3,33 @@
  * Tile communication buffers (paper Section 2.3, Figure 2).
  *
  * Each tile has one write buffer (tile -> bus) and one read buffer
- * (bus -> tile). Their dual purpose in the paper is (1) crossing from
- * the tile's voltage/clock domain to the bus domain and (2) aligning a
- * word onto the desired 32-bit split of the 256-bit bus; here they are
+ * PER BUS LANE (bus -> tile; arch::Tile::readBuffer(lane)). Their
+ * dual purpose in the paper is (1) crossing from the tile's
+ * voltage/clock domain to the bus domain and (2) aligning a word
+ * onto the desired 32-bit split of the 256-bit bus; here they are
  * single-entry valid-bit registers moved by the DOU at bus cycles.
+ *
+ * ## The tag-matching pop rule (self-timed DAG delivery)
+ *
+ * With DAG pipelines one producer tile can feed several consumer
+ * columns through its single write buffer, each edge on its own
+ * 32-bit bus lane. Time-slot order alone cannot bind a buffered word
+ * to the right edge — the producer may run ahead or behind the DOU's
+ * static schedule — so the word itself carries the binding:
+ *
+ *  - a lane-tagged `cwr rs, L` latches the word with laneTag() == L;
+ *  - a DOU *drive* slot on lane L pops the write buffer ONLY if the
+ *    pending word's tag matches L (BusFabric::cycle; a mismatched
+ *    slot idles and counts a deferral, and the word waits for its
+ *    own lane's next slot);
+ *  - the capture side fills the destination tile's per-lane read
+ *    buffer readBuffer(L), and a lane-tagged `crd rd, L` drains
+ *    exactly that buffer — a join actor's reads wait on each input
+ *    edge independently.
+ *
+ * Untagged words (laneTag() == -1, the legacy linear-pipeline forms)
+ * are popped by whichever drive slot comes first, and an untagged
+ * `crd` drains the lowest-indexed valid read buffer.
  */
 
 #ifndef SYNC_ARCH_COMM_BUFFER_HH
@@ -27,9 +50,9 @@ class CommBuffer
     /**
      * Bus lane the pending word is bound to, or -1 for a lane-
      * agnostic word. A tagged word in a write buffer is only popped
-     * by a DOU drive slot on the matching lane — the binding that
-     * lets one producer feed several DAG edges through one buffer
-     * without time-slot misdelivery.
+     * by a DOU drive slot on the matching lane (the pop rule in the
+     * file header) — the binding that lets one producer feed several
+     * DAG edges through one buffer without time-slot misdelivery.
      */
     int laneTag() const { return tag_; }
 

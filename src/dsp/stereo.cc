@@ -122,6 +122,80 @@ svdCorrelate(const Image &left_img, const std::vector<Feature> &left,
     return matchesFromPairing(p);
 }
 
+Image
+padLeftReplicate(const Image &img, unsigned n)
+{
+    Image out(img.width() + n, img.height());
+    for (unsigned y = 0; y < img.height(); ++y)
+        for (unsigned x = 0; x < out.width(); ++x)
+            out(x, y) = img.at(int(x) - int(n), int(y));
+    return out;
+}
+
+Image
+prefilter3(const Image &img)
+{
+    Image out(img.width(), img.height());
+    for (unsigned y = 0; y < img.height(); ++y) {
+        for (unsigned x = 0; x < img.width(); ++x) {
+            unsigned v = unsigned(img.at(int(x) - 1, int(y))) +
+                         2u * img.at(int(x), int(y)) +
+                         img.at(int(x) + 1, int(y));
+            out(x, y) = uint8_t((v + 2) >> 2);
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+blockMatchDisparities(const Image &left, const Image &right_padded,
+                      unsigned bsize, unsigned max_disp)
+{
+    const unsigned w = left.width(), h = left.height();
+    sync_assert(bsize > 0 && w % bsize == 0 && h % bsize == 0,
+                "block size %u must tile the %ux%u image", bsize, w,
+                h);
+    sync_assert(right_padded.width() == w + max_disp &&
+                    right_padded.height() == h,
+                "right image must be padLeftReplicate'd by max_disp");
+    sync_assert(max_disp >= 1 && max_disp <= 63,
+                "1..63 disparities (the sadKey field)");
+    sync_assert(uint64_t(bsize) * bsize * 255 < (1u << 25),
+                "block too large for the sadKey SAD field (keys "
+                "must stay positive in the chip's signed min "
+                "reduction)");
+
+    std::vector<uint8_t> out;
+    out.reserve(size_t(w / bsize) * (h / bsize));
+    for (unsigned by = 0; by < h; by += bsize) {
+        for (unsigned bx = 0; bx < w; bx += bsize) {
+            uint32_t best = UINT32_MAX;
+            for (unsigned d = 0; d < max_disp; ++d) {
+                uint32_t sad = 0;
+                for (unsigned j = 0; j < bsize; ++j)
+                    for (unsigned i = 0; i < bsize; ++i)
+                        sad += uint32_t(std::abs(
+                            int(left(bx + i, by + j)) -
+                            int(right_padded(bx + i + max_disp - d,
+                                             by + j))));
+                best = std::min(best, sadKey(sad, d));
+            }
+            out.push_back(uint8_t(best & 63));
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+stereoBlockDisparities(const Image &left, const Image &right,
+                       unsigned bsize, unsigned max_disp)
+{
+    return blockMatchDisparities(
+        prefilter3(left),
+        prefilter3(padLeftReplicate(right, max_disp)), bsize,
+        max_disp);
+}
+
 std::vector<double>
 disparities(const std::vector<Feature> &left,
             const std::vector<Feature> &right,

@@ -55,6 +55,72 @@ std::vector<double> disparities(const std::vector<Feature> &left,
                                 const std::vector<Feature> &right,
                                 const std::vector<Match> &matches);
 
+/// @name Dense block-matching disparity (the mapped-chip golden)
+///
+/// The feature pipeline above is the paper's full Mars-Rover stack;
+/// the integer chain below is the dense correlation core the
+/// simulated chip executes (apps/stereo_runner): a horizontal
+/// prefilter, then per-block SAD search over a disparity range. All
+/// arithmetic is exact in integers so the chip kernels can match it
+/// bit for bit.
+/// @{
+
+/**
+ * Replicate-pad @p img on the left by @p n columns (column 0
+ * repeated), so index x+n on the result reads clamped index x of the
+ * original — the layout the chip preloads so disparity-shifted reads
+ * never need a bounds check.
+ */
+Image padLeftReplicate(const Image &img, unsigned n);
+
+/**
+ * Horizontal [1 2 1]/4 bandpass-prep smoothing with rounding and
+ * edge clamping:
+ *
+ *     out(x, y) = (at(x-1, y) + 2 at(x, y) + at(x+1, y) + 2) >> 2
+ *
+ * — the intensity prefilter real correlation stereo runs before SAD
+ * so block matching is less sensitive to per-camera bias.
+ */
+Image prefilter3(const Image &img);
+
+/**
+ * The packed search key the SAD minimization orders by: SAD in the
+ * high bits, disparity in the low 6. Minimizing the key gives the
+ * lowest SAD and breaks ties toward the smaller disparity — the
+ * exact rule the chip's branch-free `min` reduction implements.
+ */
+inline uint32_t
+sadKey(uint32_t sad, unsigned d)
+{
+    return (sad << 6) | d;
+}
+
+/**
+ * Dense block-matching disparity between a filtered left image and a
+ * filtered *padded* right image (padLeftReplicate by @p max_disp,
+ * then prefilter3). For every bsize x bsize block (raster order) the
+ * SAD over disparities d in [0, max_disp) compares the left block at
+ * x with the padded right image at x + max_disp - d; the returned
+ * byte is the argmin disparity under the sadKey() ordering.
+ *
+ * Requires bsize | width and bsize | height, max_disp <= 63 (the
+ * key's disparity field) and bsize*bsize*255 < 2^25 (keys must stay
+ * positive: the chip folds them through a signed `min` reduction).
+ */
+std::vector<uint8_t> blockMatchDisparities(const Image &left,
+                                           const Image &right_padded,
+                                           unsigned bsize,
+                                           unsigned max_disp);
+
+/** The whole golden chain: pad, prefilter both, block-match. */
+std::vector<uint8_t> stereoBlockDisparities(const Image &left,
+                                            const Image &right,
+                                            unsigned bsize,
+                                            unsigned max_disp);
+
+/// @}
+
 } // namespace synchro::dsp
 
 #endif // SYNC_DSP_STEREO_HH

@@ -62,6 +62,20 @@ arch::DouProgram compileSchedule(const CommSchedule &sched);
  * stay in time order, preserving token order through the
  * single-entry buffers.
  *
+ * A slot is a delivery *opportunity*, not an obligation, because
+ * delivery is self-timed: a drive slot on lane e pops the producer's
+ * write buffer only if the pending word is tagged for lane e (the
+ * tag-matching pop rule — see arch/comm_buffer.hh); a slot that
+ * finds no matching word, or whose destination read buffer is still
+ * full, idles and counts an underrun or deferral. slots_per_edge[e]
+ * therefore sets edge e's delivery *ceiling*: it must cover the
+ * edge's worst-case token rate (tokens per iteration x iteration
+ * rate, plus lowering slack), or producers stall on `cwr` and the
+ * whole DAG runs below its planned rate. codegen::lowerDag sizes the
+ * period so ONE slot covers the busiest edge divided by the slack
+ * factor; burstier edges ask for more via DagEdgeSpec::
+ * slots_per_period.
+ *
  * fatal() when the edges exceed the bus lanes or the period is too
  * tight to place every slot (the data rate is too high for the
  * reference clock).

@@ -5,9 +5,9 @@ Compares freshly emitted BENCH_*.json trajectory files against the
 committed baselines and fails CI when the perf trajectory regresses:
 
   * any machine-independent throughput metric (``*_kbps``,
-    ``*_msps`` — sustained simulated rates, functions of tick counts
-    only) drops more than ``--tolerance`` (default 25%) below its
-    baseline,
+    ``*_msps``, ``*_kblocks_s``, ``*_kmb_s`` — sustained simulated
+    rates, functions of tick counts only) drops more than
+    ``--tolerance`` (default 25%) below its baseline,
   * any wall-clock throughput metric (``*_ticks_per_sec``,
     ``*_mticks_per_s``, ``*_speedup``) drops more than
     ``--wall-tolerance`` (default 60%) — looser because the
@@ -31,7 +31,7 @@ import json
 import pathlib
 import sys
 
-SIMULATED_SUFFIXES = ("_kbps", "_msps")
+SIMULATED_SUFFIXES = ("_kbps", "_msps", "_kblocks_s", "_kmb_s")
 WALL_CLOCK_SUFFIXES = ("_ticks_per_sec", "_mticks_per_s", "_speedup")
 SAVINGS_DROP_PP = 5.0
 

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Docs link / file-reference checker.
+
+Scans ``README.md`` and ``docs/*.md`` for
+
+  * markdown links ``[text](target)`` whose target is intra-repo
+    (no scheme, no pure anchor): the referenced file must exist,
+    relative to the markdown file's directory (anchors are stripped
+    before checking);
+  * repo file references in prose or code spans — any token shaped
+    like ``src/...``, ``docs/...``, ``tests/...``, ``tools/...``,
+    ``bench/...`` or ``examples/...``, plus committed
+    ``BENCH_*.json`` names: the path must exist relative to the repo
+    root. Brace groups expand (``codegen.{hh,cc}`` checks both),
+    trailing ``/`` means a directory, and tokens containing ``*``
+    are treated as intentional wildcards and skipped;
+  * measured numbers quoted in results tables: a markdown table row
+    that cites a ``BENCH_*.json`` and contains percentage cells is
+    cross-checked — the last percentage in the row must match the
+    cited trajectory file's measured ``savings_pct`` (to the quoted
+    precision), so re-baselining a bench without updating the docs
+    fails the gate instead of leaving a stale headline number.
+
+Docs rot silently when code moves; CI runs this so a renamed source
+file or a dropped bench JSON fails the build instead of leaving a
+stale pointer in the documentation.
+
+Usage:
+    tools/check_docs.py [--repo-root <dir>]
+    tools/check_docs.py --self-test   # prove the gate still catches rot
+
+``--self-test`` builds a scratch repo with planted rot (broken link,
+stale reference, brace group, root-absolute link, stale table
+number) and fails unless the checker flags every one of them and
+passes the clean version — CI runs it before the real check so a
+regressed regex cannot make the docs gate pass vacuously.
+"""
+
+import argparse
+import itertools
+import json
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PCT_RE = re.compile(r"(-?\d+(?:\.\d+)?)%")
+PATH_RE = re.compile(
+    r"(?<![\w/-])((?:src|docs|tests|tools|bench|examples)/"
+    r"[A-Za-z0-9_.{},/-]+|BENCH_[A-Za-z0-9_*]+\.json)")
+
+
+def expand_braces(token):
+    """codegen.{hh,cc} -> [codegen.hh, codegen.cc] (one group)."""
+    m = re.search(r"\{([^}]*)\}", token)
+    if not m:
+        return [token]
+    head, tail = token[: m.start()], token[m.end():]
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(head + alt + tail)
+            for alt in m.group(1).split(",")))
+
+
+def measured_savings_pct(json_path):
+    """The measured savings_pct of a trajectory file, or None."""
+    try:
+        data = json.loads(json_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    for section, kv in sorted(data.items()):
+        if section.endswith("power_measured") and "savings_pct" in kv:
+            return float(kv["savings_pct"])
+    return None
+
+
+def check_table_row(md_path, repo_root, lineno, line, failures):
+    """Cross-check a results-table row's measured %% against the
+    trajectory file it cites."""
+    if "|" not in line:
+        return
+    cited = re.findall(r"\bBENCH_\w+\.json\b", line)
+    pcts = PCT_RE.findall(line)
+    if len(cited) != 1 or not pcts:
+        return
+    actual = measured_savings_pct(repo_root / cited[0])
+    if actual is None:
+        return  # no measured power section (e.g. BENCH_core.json)
+    quoted = pcts[-1]  # last % cell = the measured column
+    # Match to the precision the doc quotes (a row saying 13.0% is
+    # fine while the json holds 13.0474).
+    decimals = len(quoted.split(".")[1]) if "." in quoted else 0
+    if abs(float(quoted) - actual) > 0.5 * 10.0**-decimals + 1e-9:
+        failures.append(
+            f"{md_path.relative_to(repo_root)}:{lineno}: quoted "
+            f"measured savings {quoted}% does not match {cited[0]} "
+            f"(savings_pct = {actual:.4g})")
+
+
+def check_file(md_path, repo_root, failures):
+    text = md_path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        check_table_row(md_path, repo_root, lineno, line, failures)
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure anchor
+            if target.startswith("/"):
+                # GitHub resolves root-absolute links against the
+                # repository, not the filesystem.
+                resolved = (repo_root / target.lstrip("/")).resolve()
+            else:
+                resolved = (md_path.parent / target).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{md_path.relative_to(repo_root)}:{lineno}: "
+                    f"broken link '{m.group(1)}'")
+        for m in PATH_RE.finditer(line):
+            token = m.group(1).rstrip(".,;:")
+            if "*" in token:
+                continue  # intentional wildcard (BENCH_*.json)
+            for path in expand_braces(token):
+                resolved = repo_root / path
+                ok = (resolved.is_dir()
+                      if path.endswith("/") else resolved.exists())
+                if not ok:
+                    failures.append(
+                        f"{md_path.relative_to(repo_root)}:{lineno}:"
+                        f" stale file reference '{path}'")
+
+
+def run_checks(root):
+    """All failures across the root's README.md + docs/*.md, or
+    None when there is nothing to check."""
+    docs = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        docs.insert(0, readme)
+    if not docs:
+        return None
+    failures = []
+    for md in docs:
+        check_file(md, root, failures)
+    return failures
+
+
+def self_test():
+    """Plant every category of rot and prove the checker bites."""
+    import json as json_mod
+    import shutil
+    import tempfile
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="check_docs_test"))
+    try:
+        (root / "docs").mkdir()
+        (root / "docs" / "GOOD.md").write_text("fine\n")
+        (root / "src").mkdir()
+        (root / "src" / "real.hh").write_text("")
+        (root / "src" / "real.cc").write_text("")
+        (root / "BENCH_x.json").write_text(json_mod.dumps(
+            {"x_power_measured": {"savings_pct": 37.3005}}))
+
+        clean = ("[good](docs/GOOD.md) [abs](/docs/GOOD.md) "
+                 "`src/real.{hh,cc}` see BENCH_*.json\n"
+                 "| app | 32% | 37.3% | `BENCH_x.json` |\n")
+        rotten = ("[gone](docs/NOPE.md) [abs](/docs/NOPE.md) "
+                  "`src/gone.{hh,cc}`\n"
+                  "| app | 32% | 12.0% | `BENCH_x.json` |\n")
+
+        (root / "README.md").write_text(clean)
+        failures = run_checks(root)
+        if failures:
+            print("check_docs --self-test: clean tree flagged:\n  " +
+                  "\n  ".join(failures), file=sys.stderr)
+            return 1
+
+        (root / "README.md").write_text(rotten)
+        failures = run_checks(root)
+        wanted = ["docs/NOPE.md", "/docs/NOPE.md", "src/gone.hh",
+                  "src/gone.cc", "12.0%"]
+        text = "\n".join(failures)
+        missed = [w for w in wanted if w not in text]
+        if missed:
+            print(f"check_docs --self-test: planted rot NOT caught: "
+                  f"{missed}\ngot:\n  " + "\n  ".join(failures),
+                  file=sys.stderr)
+            return 1
+        print("check_docs --self-test: all planted rot caught, "
+              "clean tree passes")
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--repo-root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent)
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the checker itself catches "
+                         "planted rot")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = args.repo_root.resolve()
+
+    failures = run_checks(root)
+    if failures is None:
+        print("check_docs: no README.md or docs/*.md found",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print("check_docs: STALE DOCUMENTATION:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print("check_docs: OK (links, repo file references and quoted "
+          "bench numbers all resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

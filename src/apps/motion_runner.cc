@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -26,8 +27,15 @@ constexpr unsigned PadW = W + 2 * R; //!< padded reference stride
 constexpr unsigned PadH = H + 2 * R;
 constexpr unsigned RefBytes = PadW * PadH;
 
-/** Macroblocks per search column (even/odd shards). */
-constexpr unsigned MbsPerCol = MotionMbs / MotionColumns;
+/** Macroblocks per search column (residue shards mod @p cols). */
+constexpr unsigned
+mbsPerCol(unsigned cols)
+{
+    return MotionMbs / cols;
+}
+
+/** Widest search farm the join's input lanes can absorb. */
+constexpr unsigned MaxMotionColumns = 6;
 
 // Tile-SRAM layout, search columns: current frame, four byte-shifted
 // mirror copies of the padded reference (copy s holds the padded
@@ -62,7 +70,13 @@ constexpr uint32_t JoinOut = 0x0000; //!< one packed key per mb
  */
 constexpr uint64_t CandCost = 4 + Mb * 14 + 4 + 2 + 1 + 2;
 constexpr uint64_t MeCost = 5 + MotionCands * CandCost + 1;
-constexpr uint64_t JoinCost = 4;
+
+/** Join slots per firing: one crd + one store per search column. */
+constexpr uint64_t
+joinCost(unsigned cols)
+{
+    return 2 * uint64_t(cols);
+}
 
 /**
  * Demand margin for the join: it is pure latency (two lane-tagged
@@ -79,6 +93,11 @@ checkParams(const MotionPipelineParams &p)
     if (std::abs(p.pan_dx) > R || std::abs(p.pan_dy) > R)
         fatal("motion: pan (%d, %d) outside the +-%d search range",
               p.pan_dx, p.pan_dy, R);
+    if (p.columns == 0 || p.columns > MaxMotionColumns ||
+        MotionMbs % p.columns != 0)
+        fatal("motion: %u search columns unsupported (need a "
+              "divisor of %u macroblocks within 1..%u)",
+              p.columns, MotionMbs, MaxMotionColumns);
 }
 
 /** Replicate-pad @p img by R pixels on every side. */
@@ -93,12 +112,12 @@ padImage(const dsp::Image &img)
 }
 
 DagStage
-meStage(unsigned which, const dsp::Image &cur,
+meStage(unsigned which, unsigned cols, const dsp::Image &cur,
         const dsp::Image &ref)
 {
     DagStage s;
     s.actor = strprintf("me-%u", which);
-    s.firings = MbsPerCol;
+    s.firings = mbsPerCol(cols);
     s.per_iteration = 1;
     s.prologue = strprintf("        movpi p3, %u\n"
                            "        movi r7, 0\n",
@@ -159,11 +178,12 @@ meStage(unsigned which, const dsp::Image &cur,
 
     // Candidate tables for this shard's macroblocks: [cur mb base,
     // then one padded-reference address per candidate].
+    // (Shard = macroblock residue mod cols.)
     auto cands = motionCandidates();
     std::vector<int32_t> tab;
-    tab.reserve(MbsPerCol * TabWords);
-    for (unsigned m = 0; m < MbsPerCol; ++m) {
-        unsigned g = MotionColumns * m + which;
+    tab.reserve(mbsPerCol(cols) * TabWords);
+    for (unsigned m = 0; m < mbsPerCol(cols); ++m) {
+        unsigned g = cols * m + which;
         unsigned x0 = (g % (W / Mb)) * Mb;
         unsigned y0 = (g / (W / Mb)) * Mb;
         tab.push_back(int32_t(MeCur + y0 * W + x0));
@@ -182,22 +202,79 @@ meStage(unsigned which, const dsp::Image &cur,
 }
 
 DagStage
-joinStage()
+joinStage(unsigned cols)
 {
     DagStage s;
     s.actor = "join";
-    s.firings = MbsPerCol;
+    s.firings = mbsPerCol(cols);
     s.per_iteration = 1;
     s.prologue = strprintf("        movpi p0, %u\n", JoinOut);
     // The best-vector join: interleave the shards' winning keys back
     // into macroblock order, each crd waiting on its own lane.
-    s.body = R"(
-        crd r0, 0
-        st.w r0, [p0]+4
-        crd r0, 1
-        st.w r0, [p0]+4
-)";
+    for (unsigned c = 0; c < cols; ++c) {
+        s.body += strprintf("        crd r0, %u\n"
+                            "        st.w r0, [p0]+4\n",
+                            c);
+    }
     return s;
+}
+
+/**
+ * Golden: dsp::fullSearch per macroblock, re-encoded with the
+ * candidate order's packed key for the bit-exact compare.
+ */
+std::vector<int32_t>
+motionGoldenKeys(const dsp::Image &cur, const dsp::Image &ref)
+{
+    auto cands = motionCandidates();
+    std::vector<int32_t> keys;
+    keys.reserve(MotionMbs);
+    for (unsigned g = 0; g < MotionMbs; ++g) {
+        unsigned x0 = (g % (W / Mb)) * Mb;
+        unsigned y0 = (g / (W / Mb)) * Mb;
+        dsp::MotionVector mv =
+            dsp::fullSearch(cur, ref, x0, y0, R, Mb);
+        unsigned idx = 0;
+        while (idx < cands.size() &&
+               (cands[idx].first != mv.dx ||
+                cands[idx].second != mv.dy))
+            ++idx;
+        sync_assert(idx < cands.size(), "pan outside search range");
+        keys.push_back(int32_t((mv.sad << 7) | idx));
+    }
+    return keys;
+}
+
+/**
+ * Tick budget for one run: generous — one key per shard per
+ * slot_spacing ticks plus the search itself, with plenty of slack.
+ */
+Tick
+motionTickLimit(unsigned cols, const mapping::PipelineProgram &prog)
+{
+    return Tick(mbsPerCol(cols)) * (prog.slot_spacing + MeCost) * 4 +
+           1'000'000;
+}
+
+/** The packed search keys, read back from a finished chip. */
+std::vector<int32_t>
+readMotionOutput(arch::Chip &chip,
+                 const mapping::PipelineProgram &prog)
+{
+    const auto &join_col = prog.columnFor("join");
+    return chip.column(join_col.column)
+        .tile(0)
+        .readMemWords(JoinOut, MotionMbs);
+}
+
+/** Search-farm width a candidate plan encodes (its me-* actors). */
+unsigned
+planColumns(const mapping::ChipPlan &plan)
+{
+    unsigned cols = 0;
+    for (const auto &pl : plan.placements)
+        cols += pl.actor.rfind("me-", 0) == 0;
+    return cols;
 }
 
 } // namespace
@@ -260,17 +337,19 @@ motionGraph(const MotionPipelineParams &p,
 {
     checkParams(p);
     mapping::SdfGraph g;
-    unsigned me0 = g.addActor("me-0", MeCost);
-    unsigned me1 = g.addActor("me-1", MeCost);
-    unsigned join = g.addActor("join", JoinCost * JoinMargin);
-    // One iteration = one macroblock pair: q = (1, 1, 1).
-    g.addEdge(me0, join, 1, 1);
-    g.addEdge(me1, join, 1, 1);
+    std::vector<unsigned> mes;
+    for (unsigned c = 0; c < p.columns; ++c)
+        mes.push_back(g.addActor(strprintf("me-%u", c), MeCost));
+    unsigned join =
+        g.addActor("join", joinCost(p.columns) * JoinMargin);
+    // One iteration = one macroblock group: q = (1, ..., 1).
+    for (unsigned me : mes)
+        g.addEdge(me, join, 1, 1);
 
     if (comm) {
         comm->assign(g.numActors(), {});
-        (*comm)[me0].words_per_firing = 1;
-        (*comm)[me1].words_per_firing = 1;
+        for (unsigned me : mes)
+            (*comm)[me].words_per_firing = 1;
         // The kernels keep streaming state (table cursors), so none
         // of them parallelize further.
         for (auto &spec : *comm)
@@ -284,7 +363,7 @@ planMotion(const MotionPipelineParams &p)
 {
     std::vector<mapping::ActorCommSpec> comm;
     mapping::SdfGraph g = motionGraph(p, &comm);
-    return planApp(g, comm, p.mb_rate_hz / MotionColumns);
+    return planApp(g, comm, p.mb_rate_hz / p.columns);
 }
 
 DagSpec
@@ -297,15 +376,15 @@ motionDag(const MotionPipelineParams &p, const dsp::Image &cur,
                 "motion: the mapped pipeline is fixed at %ux%u", W,
                 H);
     DagSpec spec;
-    spec.stages = {meStage(0, cur, ref), meStage(1, cur, ref),
-                   joinStage()};
+    for (unsigned c = 0; c < p.columns; ++c)
+        spec.stages.push_back(meStage(c, p.columns, cur, ref));
+    spec.stages.push_back(joinStage(p.columns));
     // Edge order defines the bus lanes: two delivery slots per grid
-    // period so a deferred key never waits a whole period behind the
-    // other shard's.
-    spec.edges = {
-        {"me-0", "join", 1, 1, 2},
-        {"me-1", "join", 1, 1, 2},
-    };
+    // period so a deferred key never waits a whole period behind
+    // another shard's.
+    for (unsigned c = 0; c < p.columns; ++c)
+        spec.edges.push_back(
+            {strprintf("me-%u", c), "join", 1, 1, 2});
     return spec;
 }
 
@@ -317,25 +396,8 @@ runMappedMotion(const MotionPipelineParams &p)
     dsp::Image cur(W, H), ref(W, H);
     motionScene(p, cur, ref);
 
-    // Golden: dsp::fullSearch per macroblock, re-encoded with the
-    // candidate order's packed key for the bit-exact compare.
     auto cands = motionCandidates();
-    std::vector<dsp::MotionVector> golden_mvs;
-    for (unsigned g = 0; g < MotionMbs; ++g) {
-        unsigned x0 = (g % (W / Mb)) * Mb;
-        unsigned y0 = (g / (W / Mb)) * Mb;
-        dsp::MotionVector mv =
-            dsp::fullSearch(cur, ref, x0, y0, R, Mb);
-        golden_mvs.push_back(mv);
-        unsigned idx = 0;
-        while (idx < cands.size() &&
-               (cands[idx].first != mv.dx ||
-                cands[idx].second != mv.dy))
-            ++idx;
-        sync_assert(idx < cands.size(), "pan outside search range");
-        run.golden_keys.push_back(
-            int32_t((mv.sad << 7) | idx));
-    }
+    run.golden_keys = motionGoldenKeys(cur, ref);
 
     auto plan = planMotion(p);
     if (!plan)
@@ -343,27 +405,19 @@ runMappedMotion(const MotionPipelineParams &p)
               p.mb_rate_hz);
 
     auto prog = mapping::lowerDag(motionDag(p, cur, ref), *plan,
-                                  p.mb_rate_hz / MotionColumns,
+                                  p.mb_rate_hz / p.columns,
                                   p.slack);
 
     MappedAppParams hp;
     hp.app = "motion";
     hp.scheduler = p.scheduler;
-    // Generous budget: one key per shard per slot_spacing ticks plus
-    // the search itself, with plenty of slack.
-    hp.tick_limit =
-        Tick(MbsPerCol) * (prog.slot_spacing + MeCost) * 4 +
-        1'000'000;
+    hp.tick_limit = motionTickLimit(p.columns, prog);
     hp.priced_items = MotionMbs;
     MappedApp app(hp, *plan, prog);
     static_cast<MappedAppRun &>(run) = app.run();
     run.achieved_mb_rate_hz = run.achieved_items_per_sec;
 
-    const auto &join_col = prog.columnFor("join");
-    run.output_keys = app.chip()
-                          .column(join_col.column)
-                          .tile(0)
-                          .readMemWords(JoinOut, MotionMbs);
+    run.output_keys = readMotionOutput(app.chip(), prog);
     run.bit_exact = run.output_keys == run.golden_keys;
     if (!run.bit_exact)
         warn("%s",
@@ -384,6 +438,64 @@ runMappedMotion(const MotionPipelineParams &p)
     }
     run.pan_hit_rate = double(hits) / MotionMbs;
     return run;
+}
+
+mapping::ExplorableApp
+explorableMotion(const MotionPipelineParams &p)
+{
+    checkParams(p);
+    auto cur = std::make_shared<dsp::Image>(W, H);
+    auto ref = std::make_shared<dsp::Image>(W, H);
+    motionScene(p, *cur, *ref);
+    auto golden = std::make_shared<std::vector<int32_t>>(
+        motionGoldenKeys(*cur, *ref));
+    auto plan = planMotion(p);
+    if (!plan)
+        fatal("motion: no feasible mapping at %.0f macroblocks/s",
+              p.mb_rate_hz);
+
+    mapping::ExplorableApp app;
+    app.name = "motion";
+    app.iterations_per_sec = p.mb_rate_hz / p.columns;
+    app.priced_items = MotionMbs;
+    app.baseline = *plan;
+    // The hooks infer the search-farm width from the candidate plan
+    // itself, so one lower() serves every shard variant.
+    app.lower = [p, cur, ref](const mapping::ChipPlan &candidate,
+                              double rate) {
+        MotionPipelineParams q = p;
+        q.columns = planColumns(candidate);
+        return mapping::lowerDag(motionDag(q, *cur, *ref), candidate,
+                                 rate, p.slack);
+    };
+    app.tick_limit = [](const mapping::ChipPlan &candidate,
+                        const mapping::PipelineProgram &prog) {
+        return motionTickLimit(planColumns(candidate), prog);
+    };
+    app.verify = [golden](arch::Chip &chip,
+                          const mapping::PipelineProgram &prog) {
+        return describeMismatch("motion search keys",
+                                readMotionOutput(chip, prog),
+                                *golden);
+    };
+
+    // Shard variants: the same total macroblock rate spread across
+    // a different number of symmetric search columns. Each carries
+    // its own AutoMapper plan (per-column demand changes with the
+    // width) and per-column iteration rate.
+    for (unsigned cols = 1; cols <= MaxMotionColumns; ++cols) {
+        if (cols == p.columns || MotionMbs % cols != 0)
+            continue;
+        MotionPipelineParams q = p;
+        q.columns = cols;
+        auto vplan = planMotion(q);
+        if (!vplan)
+            continue;
+        app.shard_variants.push_back(
+            {strprintf("shards=%u", cols), *vplan,
+             p.mb_rate_hz / cols});
+    }
+    return app;
 }
 
 } // namespace synchro::apps

@@ -41,6 +41,7 @@
 #include "apps/app_harness.hh"
 #include "dsp/image.hh"
 #include "dsp/motion.hh"
+#include "mapping/explorer.hh"
 
 namespace synchro::apps
 {
@@ -77,6 +78,15 @@ struct MotionPipelineParams
     int pan_dx = 3;
     int pan_dy = -2;
     uint32_t seed = 4;
+
+    /**
+     * Macroblock-sharded search columns (the kernel generator
+     * regenerates the whole DAG for any width): must divide
+     * MotionMbs and fit the join's input lanes. The paper's Table 4
+     * shape is MotionColumns = 2; the design-space explorer sweeps
+     * the others as shard variants.
+     */
+    unsigned columns = MotionColumns;
 
     /** Execution backend. */
     SchedulerKind scheduler = SchedulerKind::FastEdge;
@@ -139,6 +149,14 @@ mapping::DagSpec motionDag(const MotionPipelineParams &p,
  * no feasible mapping exists or the run does not drain.
  */
 MappedMotionRun runMappedMotion(const MotionPipelineParams &p);
+
+/**
+ * Package the pipeline for mapping::explorePlans — the plan-variant
+ * hook: lowers, budgets, and golden-verifies an arbitrary candidate
+ * ChipPlan, and offers the alternative search-farm widths as shard
+ * variants. fatal() if no feasible baseline mapping exists.
+ */
+mapping::ExplorableApp explorableMotion(const MotionPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -82,6 +83,28 @@ firCost(unsigned taps)
     return 6 + 2 * (4 + 3 * uint64_t(taps) + 4) + 5;
 }
 constexpr uint64_t DemodCost = 12;
+
+/**
+ * Tick budget for one run: generous — the delivery grid paces one
+ * sample per slot_spacing ticks, plus pipeline fill and drain.
+ */
+Tick
+ddcTickLimit(const DdcPipelineParams &p,
+             const mapping::PipelineProgram &prog)
+{
+    return Tick(p.samples) * prog.slot_spacing * 8 + 1'000'000;
+}
+
+/** The demod output halves, read back from a finished chip. */
+std::vector<int16_t>
+readDdcOutput(arch::Chip &chip, const mapping::PipelineProgram &prog,
+              unsigned outputs)
+{
+    const auto &demod_col = prog.columnFor("demod");
+    return chip.column(demod_col.column)
+        .tile(0)
+        .readMemHalves(DemodOutBase, outputs);
+}
 
 } // namespace
 
@@ -399,20 +422,13 @@ runMappedDdc(const DdcPipelineParams &p)
     MappedAppParams hp;
     hp.app = "ddc";
     hp.scheduler = p.scheduler;
-    // Generous budget: the delivery grid paces one sample per
-    // slot_spacing ticks, plus pipeline fill and drain.
-    hp.tick_limit =
-        Tick(p.samples) * prog.slot_spacing * 8 + 1'000'000;
+    hp.tick_limit = ddcTickLimit(p, prog);
     hp.priced_items = p.samples;
     MappedApp app(hp, *plan, prog);
     static_cast<MappedAppRun &>(run) = app.run();
     run.achieved_sample_rate_hz = run.achieved_items_per_sec;
 
-    const auto &demod_col = prog.columnFor("demod");
-    run.output = app.chip()
-                     .column(demod_col.column)
-                     .tile(0)
-                     .readMemHalves(DemodOutBase, p.samples / Decim);
+    run.output = readDdcOutput(app.chip(), prog, p.samples / Decim);
     run.bit_exact = run.output == run.golden;
     if (!run.bit_exact)
         warn("%s",
@@ -420,6 +436,40 @@ runMappedDdc(const DdcPipelineParams &p)
                               run.golden)
                  .c_str());
     return run;
+}
+
+mapping::ExplorableApp
+explorableDdc(const DdcPipelineParams &p)
+{
+    auto x = std::make_shared<std::vector<int16_t>>(ddcInput(p));
+    auto golden =
+        std::make_shared<std::vector<int16_t>>(ddcGolden(p, *x));
+    auto plan = planDdc(p);
+    if (!plan)
+        fatal("ddc: no feasible mapping at %.1f MS/s",
+              p.sample_rate_hz / 1e6);
+
+    mapping::ExplorableApp app;
+    app.name = "ddc";
+    app.iterations_per_sec = p.sample_rate_hz / Decim;
+    app.priced_items = p.samples;
+    app.baseline = *plan;
+    app.lower = [p, x](const mapping::ChipPlan &candidate,
+                       double rate) {
+        return mapping::lowerPipeline(ddcStages(p, *x), candidate,
+                                      rate, p.slack);
+    };
+    app.tick_limit = [p](const mapping::ChipPlan &,
+                         const mapping::PipelineProgram &prog) {
+        return ddcTickLimit(p, prog);
+    };
+    app.verify = [p, golden](arch::Chip &chip,
+                             const mapping::PipelineProgram &prog) {
+        return describeMismatch(
+            "ddc demod output",
+            readDdcOutput(chip, prog, p.samples / Decim), *golden);
+    };
+    return app;
 }
 
 } // namespace synchro::apps

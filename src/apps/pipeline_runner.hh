@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "apps/app_harness.hh"
+#include "mapping/explorer.hh"
 
 namespace synchro::apps
 {
@@ -97,6 +98,13 @@ std::vector<mapping::PipelineStage> ddcStages(
  * no feasible mapping exists or the run does not halt.
  */
 MappedDdcRun runMappedDdc(const DdcPipelineParams &p);
+
+/**
+ * Package the receiver for mapping::explorePlans — the plan-variant
+ * hook: lowers, budgets, and golden-verifies an arbitrary candidate
+ * ChipPlan. fatal() if no feasible baseline mapping exists.
+ */
+mapping::ExplorableApp explorableDdc(const DdcPipelineParams &p);
 
 } // namespace synchro::apps
 

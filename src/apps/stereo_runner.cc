@@ -1,5 +1,7 @@
 #include "apps/stereo_runner.hh"
 
+#include <memory>
+
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "dsp/stereo.hh"
@@ -313,6 +315,29 @@ selectStage()
     return s;
 }
 
+/**
+ * Tick budget for one run: generous — the delivery grid paces
+ * RowWords tokens per row lane per slot_spacing ticks, H rows, plus
+ * fill and drain.
+ */
+Tick
+stereoTickLimit(const mapping::PipelineProgram &prog)
+{
+    return Tick(H) * RowWords * prog.slot_spacing * 4 + 1'000'000;
+}
+
+/** The per-block disparity map, read back from a finished chip. */
+std::vector<uint8_t>
+readStereoOutput(arch::Chip &chip,
+                 const mapping::PipelineProgram &prog)
+{
+    const auto &sel_col = prog.columnFor("select");
+    arch::Tile &tile = chip.column(sel_col.column).tile(0);
+    std::vector<uint8_t> out(StereoBlocks);
+    tile.readMem(SelOut, out.data(), StereoBlocks);
+    return out;
+}
+
 } // namespace
 
 void
@@ -451,19 +476,13 @@ runMappedStereo(const StereoPipelineParams &p)
     MappedAppParams hp;
     hp.app = "stereo";
     hp.scheduler = p.scheduler;
-    // Generous budget: the delivery grid paces RowWords tokens per
-    // row lane per slot_spacing ticks, H rows, plus fill and drain.
-    hp.tick_limit =
-        Tick(H) * RowWords * prog.slot_spacing * 4 + 1'000'000;
+    hp.tick_limit = stereoTickLimit(prog);
     hp.priced_items = StereoBlocks;
     MappedApp app(hp, *plan, prog);
     static_cast<MappedAppRun &>(run) = app.run();
     run.achieved_block_rate_hz = run.achieved_items_per_sec;
 
-    const auto &sel_col = prog.columnFor("select");
-    arch::Tile &tile = app.chip().column(sel_col.column).tile(0);
-    run.output.resize(StereoBlocks);
-    tile.readMem(SelOut, run.output.data(), StereoBlocks);
+    run.output = readStereoOutput(app.chip(), prog);
     run.bit_exact = run.output == run.golden;
     if (!run.bit_exact)
         warn("%s",
@@ -480,6 +499,43 @@ runMappedStereo(const StereoPipelineParams &p)
     }
     run.truth_hit_rate = scored ? double(hits) / scored : 0.0;
     return run;
+}
+
+mapping::ExplorableApp
+explorableStereo(const StereoPipelineParams &p)
+{
+    checkParams(p);
+    auto left = std::make_shared<dsp::Image>(W, H);
+    auto right = std::make_shared<dsp::Image>(W, H);
+    stereoScene(p, *left, *right);
+    auto golden = std::make_shared<std::vector<uint8_t>>(
+        dsp::stereoBlockDisparities(*left, *right, B, D));
+    auto plan = planStereo(p);
+    if (!plan)
+        fatal("stereo: no feasible mapping at %.0f frames/s",
+              p.frame_rate_hz);
+
+    mapping::ExplorableApp app;
+    app.name = "stereo";
+    app.iterations_per_sec = p.frame_rate_hz;
+    app.priced_items = StereoBlocks;
+    app.baseline = *plan;
+    app.lower = [p, left, right](const mapping::ChipPlan &candidate,
+                                 double rate) {
+        return mapping::lowerDag(stereoDag(p, *left, *right),
+                                 candidate, rate, p.slack);
+    };
+    app.tick_limit = [](const mapping::ChipPlan &,
+                        const mapping::PipelineProgram &prog) {
+        return stereoTickLimit(prog);
+    };
+    app.verify = [golden](arch::Chip &chip,
+                          const mapping::PipelineProgram &prog) {
+        return describeMismatch("stereo disparity map",
+                                readStereoOutput(chip, prog),
+                                *golden);
+    };
+    return app;
 }
 
 } // namespace synchro::apps

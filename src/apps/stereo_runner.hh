@@ -50,6 +50,7 @@
 
 #include "apps/app_harness.hh"
 #include "dsp/image.hh"
+#include "mapping/explorer.hh"
 
 namespace synchro::apps
 {
@@ -137,6 +138,13 @@ mapping::DagSpec stereoDag(const StereoPipelineParams &p,
  * no feasible mapping exists or the run does not drain.
  */
 MappedStereoRun runMappedStereo(const StereoPipelineParams &p);
+
+/**
+ * Package the pipeline for mapping::explorePlans — the plan-variant
+ * hook: lowers, budgets, and golden-verifies an arbitrary candidate
+ * ChipPlan. fatal() if no feasible baseline mapping exists.
+ */
+mapping::ExplorableApp explorableStereo(const StereoPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -1,6 +1,7 @@
 #include "apps/wifi_runner.hh"
 
 #include <cstring>
+#include <memory>
 
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -87,6 +88,44 @@ frameSlice(const std::vector<T> &v, unsigned f, unsigned n)
 {
     return std::vector<T>(v.begin() + size_t(f) * n,
                           v.begin() + size_t(f + 1) * n);
+}
+
+/**
+ * Tick budget for one run: generous — the delivery grid paces one
+ * token per lane per slot_spacing ticks, 96 tokens per iteration on
+ * the widest lane, plus pipeline fill and drain.
+ */
+Tick
+wifiTickLimit(const WifiPipelineParams &p,
+              const mapping::PipelineProgram &prog)
+{
+    return Tick(p.symbols / 2) * prog.slot_spacing * 96 * 6 +
+           2'000'000;
+}
+
+/**
+ * The decoded payload bits, read back from a finished chip: the
+ * traceback column wrote one byte per trellis stage; the first
+ * WifiFrameBits of each frame are the payload (the rest are the
+ * flushed tail).
+ */
+std::vector<uint8_t>
+readWifiOutput(arch::Chip &chip,
+               const mapping::PipelineProgram &prog,
+               unsigned symbols)
+{
+    const auto &tb_col = prog.columnFor("traceback");
+    arch::Tile &tb_tile = chip.column(tb_col.column).tile(0);
+    std::vector<uint8_t> out;
+    out.reserve(size_t(symbols) * WifiFrameBits);
+    for (unsigned f = 0; f < symbols; ++f) {
+        std::vector<uint8_t> frame(WifiFrameStages);
+        tb_tile.readMem(TbOut + f * WifiFrameStages, frame.data(),
+                        WifiFrameStages);
+        out.insert(out.end(), frame.begin(),
+                   frame.begin() + WifiFrameBits);
+    }
+    return out;
 }
 
 } // namespace
@@ -537,29 +576,13 @@ runMappedWifi(const WifiPipelineParams &p)
     MappedAppParams hp;
     hp.app = "wifi";
     hp.scheduler = p.scheduler;
-    // Generous budget: the delivery grid paces one token per lane
-    // per slot_spacing ticks, 96 tokens per iteration on the widest
-    // lane, plus pipeline fill and drain.
-    hp.tick_limit = Tick(p.symbols / 2) * prog.slot_spacing * 96 * 6 +
-                    2'000'000;
+    hp.tick_limit = wifiTickLimit(p, prog);
     hp.priced_items = uint64_t(p.symbols) * WifiFrameBits;
     MappedApp app(hp, *plan, prog);
     static_cast<MappedAppRun &>(run) = app.run();
     run.achieved_bit_rate_hz = run.achieved_items_per_sec;
 
-    // The traceback column wrote one byte per trellis stage; the
-    // first WifiFrameBits of each frame are the payload (the rest
-    // are the flushed tail).
-    const auto &tb_col = prog.columnFor("traceback");
-    arch::Tile &tb_tile = app.chip().column(tb_col.column).tile(0);
-    run.output.reserve(size_t(p.symbols) * WifiFrameBits);
-    for (unsigned f = 0; f < p.symbols; ++f) {
-        std::vector<uint8_t> frame(WifiFrameStages);
-        tb_tile.readMem(TbOut + f * WifiFrameStages, frame.data(),
-                        WifiFrameStages);
-        run.output.insert(run.output.end(), frame.begin(),
-                          frame.begin() + WifiFrameBits);
-    }
+    run.output = readWifiOutput(app.chip(), prog, p.symbols);
     run.bit_exact = run.output == run.golden;
     if (!run.bit_exact)
         warn("%s",
@@ -567,6 +590,44 @@ runMappedWifi(const WifiPipelineParams &p)
                               run.golden)
                  .c_str());
     return run;
+}
+
+mapping::ExplorableApp
+explorableWifi(const WifiPipelineParams &p)
+{
+    checkParams(p);
+    auto bits =
+        std::make_shared<std::vector<uint8_t>>(wifiPayload(p));
+    auto carriers = std::make_shared<std::vector<CplxQ15>>(
+        wifiCarriers(p, *bits));
+    auto golden = std::make_shared<std::vector<uint8_t>>(
+        wifiGolden(p, *carriers));
+    auto plan = planWifi(p);
+    if (!plan)
+        fatal("wifi: no feasible mapping at %.1f kbit/s",
+              p.bit_rate_hz / 1e3);
+
+    mapping::ExplorableApp app;
+    app.name = "wifi";
+    app.iterations_per_sec = p.bit_rate_hz / (2 * WifiFrameBits);
+    app.priced_items = uint64_t(p.symbols) * WifiFrameBits;
+    app.baseline = *plan;
+    app.lower = [p, carriers](const mapping::ChipPlan &candidate,
+                              double rate) {
+        return mapping::lowerDag(wifiDag(p, *carriers), candidate,
+                                 rate, p.slack);
+    };
+    app.tick_limit = [p](const mapping::ChipPlan &,
+                         const mapping::PipelineProgram &prog) {
+        return wifiTickLimit(p, prog);
+    };
+    app.verify = [p, golden](arch::Chip &chip,
+                             const mapping::PipelineProgram &prog) {
+        return describeMismatch("wifi decoded bits",
+                                readWifiOutput(chip, prog, p.symbols),
+                                *golden);
+    };
+    return app;
 }
 
 } // namespace synchro::apps

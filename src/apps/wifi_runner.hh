@@ -49,6 +49,7 @@
 
 #include "apps/app_harness.hh"
 #include "common/fixed.hh"
+#include "mapping/explorer.hh"
 
 namespace synchro::apps
 {
@@ -149,6 +150,13 @@ mapping::DagSpec wifiDag(const WifiPipelineParams &p,
  * no feasible mapping exists or the run does not drain.
  */
 MappedWifiRun runMappedWifi(const WifiPipelineParams &p);
+
+/**
+ * Package the receiver for mapping::explorePlans — the plan-variant
+ * hook: lowers, budgets, and golden-verifies an arbitrary candidate
+ * ChipPlan. fatal() if no feasible baseline mapping exists.
+ */
+mapping::ExplorableApp explorableWifi(const WifiPipelineParams &p);
 
 } // namespace synchro::apps
 

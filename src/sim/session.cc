@@ -17,8 +17,37 @@ SimSession::~SimSession() = default;
 unsigned
 SimSession::addChip(const arch::ChipConfig &cfg)
 {
-    chips_.push_back(std::make_unique<arch::Chip>(cfg));
+    return adoptChip(std::make_unique<arch::Chip>(cfg));
+}
+
+unsigned
+SimSession::adoptChip(std::unique_ptr<arch::Chip> chip,
+                      Tick tick_limit)
+{
+    if (!chip)
+        fatal("SimSession::adoptChip: null chip");
+    Slot slot;
+    slot.chip = chip.get();
+    slot.owned = std::move(chip);
+    slot.tick_limit = tick_limit;
+    chips_.push_back(std::move(slot));
     return unsigned(chips_.size() - 1);
+}
+
+unsigned
+SimSession::attachChip(arch::Chip &chip, Tick tick_limit)
+{
+    Slot slot;
+    slot.chip = &chip;
+    slot.tick_limit = tick_limit;
+    chips_.push_back(std::move(slot));
+    return unsigned(chips_.size() - 1);
+}
+
+void
+SimSession::setTickLimit(unsigned i, Tick tick_limit)
+{
+    chips_.at(i).tick_limit = tick_limit;
 }
 
 unsigned
@@ -55,7 +84,10 @@ SimSession::runAll(Tick max_ticks)
             if (i >= chips_.size())
                 return;
             try {
-                results_[i] = chips_[i]->run(max_ticks);
+                Tick budget = chips_[i].tick_limit != 0
+                                  ? chips_[i].tick_limit
+                                  : max_ticks;
+                results_[i] = chips_[i].chip->run(budget);
             } catch (...) {
                 // Stop the pool at the next chip boundary: the whole
                 // batch is abandoned once any chip errors.
@@ -107,7 +139,7 @@ SimSession::aggregate() const
                                            r.ticks);
             s.total_ticks += r.ticks;
         }
-        chips_[i]->forEachStat(
+        chips_[i].chip->forEachStat(
             [&s](const std::string &name, uint64_t value) {
                 s.counters[name] += value;
             });

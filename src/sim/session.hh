@@ -6,11 +6,18 @@
  * The chip model is single-threaded and deterministic; the scaling
  * unit for batch workload sweeps (parameter studies, mapping
  * searches) and request-serving traffic is therefore *many chips*,
- * each an isolated simulation. SimSession owns N Chip instances,
- * runs them across a worker pool (each chip always executes on
- * exactly one thread, so per-chip results are bit-identical no
- * matter how many workers are used), and aggregates RunResults and
- * statistics.
+ * each an isolated simulation. SimSession runs N Chip instances
+ * across a worker pool (each chip always executes on exactly one
+ * thread, so per-chip results are bit-identical no matter how many
+ * workers are used), and aggregates RunResults and statistics.
+ *
+ * Batches may be fully *heterogeneous*: chips built by the session
+ * from a ChipConfig (addChip) and externally constructed,
+ * pre-programmed chips adopted or merely attached (adoptChip /
+ * attachChip) mix freely, each with its own configuration, programs
+ * and optional per-chip tick budget — the substrate the mapped
+ * design-space explorer (mapping/explorer.hh) batches candidate
+ * plans on.
  *
  * Typical use:
  *
@@ -67,17 +74,40 @@ class SimSession
     /** Add a chip; returns its index. Not thread-safe vs runAll(). */
     unsigned addChip(const arch::ChipConfig &cfg);
 
-    unsigned numChips() const { return unsigned(chips_.size()); }
-
-    arch::Chip &chip(unsigned i) { return *chips_.at(i); }
-    const arch::Chip &chip(unsigned i) const { return *chips_.at(i); }
+    /**
+     * Adopt an externally built (and typically already programmed)
+     * chip — the heterogeneous-batch entry point. @p tick_limit, when
+     * nonzero, overrides runAll()'s budget for this chip only.
+     */
+    unsigned adoptChip(std::unique_ptr<arch::Chip> chip,
+                       Tick tick_limit = 0);
 
     /**
-     * Run every chip until it halts or @p max_ticks elapse, spreading
-     * chips across the worker pool. Returns per-chip results in chip
-     * order. May be called repeatedly (chip time accumulates). An
-     * error raised inside any chip is rethrown here after all workers
-     * drain.
+     * Attach a chip the caller keeps ownership of (it must outlive
+     * the session, or at least every runAll()). Same per-chip budget
+     * semantics as adoptChip().
+     */
+    unsigned attachChip(arch::Chip &chip, Tick tick_limit = 0);
+
+    /** Per-chip tick budget override (0 = use runAll()'s budget). */
+    void setTickLimit(unsigned i, Tick tick_limit);
+
+    unsigned numChips() const { return unsigned(chips_.size()); }
+
+    arch::Chip &chip(unsigned i) { return *chips_.at(i).chip; }
+    const arch::Chip &
+    chip(unsigned i) const
+    {
+        return *chips_.at(i).chip;
+    }
+
+    /**
+     * Run every chip until it halts or its budget — the per-chip
+     * tick limit when set, @p max_ticks otherwise — elapses,
+     * spreading chips across the worker pool. Returns per-chip
+     * results in chip order. May be called repeatedly (chip time
+     * accumulates). An error raised inside any chip is rethrown here
+     * after all workers drain.
      */
     std::vector<arch::RunResult> runAll(Tick max_ticks = 100'000'000);
 
@@ -94,8 +124,16 @@ class SimSession
     unsigned effectiveThreads() const;
 
   private:
+    /** One chip of the batch: owned or attached, plus its budget. */
+    struct Slot
+    {
+        arch::Chip *chip = nullptr;
+        std::unique_ptr<arch::Chip> owned; //!< null when attached
+        Tick tick_limit = 0;               //!< 0 = runAll() budget
+    };
+
     SessionConfig cfg_;
-    std::vector<std::unique_ptr<arch::Chip>> chips_;
+    std::vector<Slot> chips_;
     std::vector<arch::RunResult> results_;
 };
 

@@ -1,0 +1,208 @@
+/** @file Design-space explorer: variant enumeration feasibility,
+ * measured Pareto frontiers over heterogeneous SimSession batches,
+ * optimizer agreement, and determinism across pool widths. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/motion_runner.hh"
+#include "apps/pipeline_runner.hh"
+#include "common/log.hh"
+#include "mapping/explorer.hh"
+
+using namespace synchro;
+using namespace synchro::mapping;
+
+namespace
+{
+
+/** A small, fast DDC instance for exploration tests. */
+apps::DdcPipelineParams
+smallDdc()
+{
+    apps::DdcPipelineParams p;
+    p.samples = 512;
+    return p;
+}
+
+ExploreOptions
+quickOptions()
+{
+    ExploreOptions opt;
+    opt.rate_factors = {0.8, 1.2};
+    opt.divider_steps = 1;
+    return opt;
+}
+
+} // namespace
+
+TEST(Explorer, EnumeratesFeasibleVariantsAroundBaseline)
+{
+    auto app = apps::explorableDdc(smallDdc());
+    power::VfModel vf;
+    power::SupplyLevels levels(vf);
+    auto variants = enumeratePlanVariants(
+        app.baseline, app.iterations_per_sec, levels, {});
+
+    ASSERT_FALSE(variants.empty());
+    EXPECT_EQ(variants[0].label, "baseline");
+    EXPECT_EQ(variants[0].plan.placements.size(),
+              app.baseline.placements.size());
+
+    // More than the baseline alone, and every variant feasible by
+    // construction: the divided clock covers the demand and the
+    // ZORM's useful fraction closes the gap exactly.
+    EXPECT_GT(variants.size(), 1u);
+    for (const auto &v : variants) {
+        EXPECT_GT(v.iterations_per_sec, 0.0) << v.label;
+        for (const auto &p : v.plan.placements) {
+            EXPECT_GE(p.f_column_mhz + 1e-9, p.f_needed_mhz)
+                << v.label << " " << p.actor;
+            EXPECT_GT(p.v, 0.0) << v.label << " " << p.actor;
+            EXPECT_NEAR(p.f_column_mhz * p.zorm.usefulFraction(),
+                        p.f_needed_mhz, 1e-3)
+                << v.label << " " << p.actor;
+            EXPECT_DOUBLE_EQ(p.f_column_mhz,
+                             v.plan.ref_freq_mhz / p.divider)
+                << v.label << " " << p.actor;
+        }
+    }
+}
+
+TEST(Explorer, DividerVariantsRaiseOnePlacementsClock)
+{
+    auto app = apps::explorableDdc(smallDdc());
+    power::VfModel vf;
+    power::SupplyLevels levels(vf);
+    ExploreOptions opt;
+    opt.rate_factors = {}; // divider axis only
+    opt.divider_steps = 2;
+    auto variants = enumeratePlanVariants(
+        app.baseline, app.iterations_per_sec, levels, opt);
+
+    ASSERT_GT(variants.size(), 1u);
+    for (size_t i = 1; i < variants.size(); ++i) {
+        const auto &v = variants[i];
+        unsigned changed = 0;
+        for (size_t j = 0; j < v.plan.placements.size(); ++j) {
+            const auto &vp = v.plan.placements[j];
+            const auto &bp = app.baseline.placements[j];
+            EXPECT_DOUBLE_EQ(vp.f_needed_mhz, bp.f_needed_mhz)
+                << v.label;
+            if (vp.divider != bp.divider) {
+                ++changed;
+                EXPECT_LT(vp.divider, bp.divider) << v.label;
+                EXPECT_GE(vp.v, bp.v) << v.label;
+            }
+        }
+        EXPECT_EQ(changed, 1u) << v.label;
+    }
+}
+
+TEST(Explorer, MeasuredFrontierIsBitExactAndAgrees)
+{
+    auto res =
+        explorePlans(apps::explorableDdc(smallDdc()), quickOptions());
+
+    EXPECT_EQ(res.app, "ddc");
+    ASSERT_FALSE(res.points.empty());
+    ASSERT_FALSE(res.frontier.empty());
+    EXPECT_TRUE(res.all_bit_exact);
+    EXPECT_TRUE(res.agreement);
+    EXPECT_LE(res.baseline_gap_pct, 10.0);
+
+    // Every measured point matched its golden; every frontier point
+    // survived the EventQueue cross-check.
+    for (const auto &pt : res.points) {
+        if (pt.ran)
+            EXPECT_TRUE(pt.bit_exact) << pt.label << ": "
+                                      << pt.failure;
+        if (pt.on_frontier)
+            EXPECT_TRUE(pt.crosschecked) << pt.label;
+    }
+
+    // The frontier is a proper Pareto set: ascending achieved rate,
+    // ascending power, and nothing dominated inside it.
+    for (size_t k = 1; k < res.frontier.size(); ++k) {
+        const auto &lo = res.points[res.frontier[k - 1]];
+        const auto &hi = res.points[res.frontier[k]];
+        EXPECT_LT(lo.achieved_items_per_sec,
+                  hi.achieved_items_per_sec);
+        EXPECT_LT(lo.total_mw, hi.total_mw);
+    }
+
+    // The baseline is the first point and measurable.
+    const auto &base = res.points[res.baseline_index];
+    EXPECT_EQ(base.label, "baseline");
+    EXPECT_TRUE(base.ran);
+    EXPECT_GT(base.total_mw, 0.0);
+
+    // No point with at least the baseline's rate undercuts it by
+    // more than the agreement gap reports.
+    for (size_t i : res.frontier) {
+        const auto &pt = res.points[i];
+        if (pt.achieved_items_per_sec >=
+            base.achieved_items_per_sec) {
+            EXPECT_GE(pt.total_mw * (1 + res.baseline_gap_pct / 100 +
+                                     1e-9),
+                      base.total_mw);
+        }
+    }
+}
+
+TEST(Explorer, DeterministicAcrossPoolWidths)
+{
+    ExploreOptions serial = quickOptions();
+    serial.threads = 1;
+    ExploreOptions parallel = quickOptions();
+    parallel.threads = 4;
+
+    auto a = explorePlans(apps::explorableDdc(smallDdc()), serial);
+    auto b = explorePlans(apps::explorableDdc(smallDdc()), parallel);
+
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].label, b.points[i].label);
+        EXPECT_EQ(a.points[i].ticks, b.points[i].ticks) << i;
+        EXPECT_EQ(a.points[i].on_frontier, b.points[i].on_frontier)
+            << i;
+        EXPECT_DOUBLE_EQ(a.points[i].total_mw, b.points[i].total_mw)
+            << i;
+    }
+    EXPECT_EQ(a.frontier, b.frontier);
+    EXPECT_DOUBLE_EQ(a.baseline_gap_pct, b.baseline_gap_pct);
+}
+
+TEST(Explorer, MotionShardVariantsWidenTheSearch)
+{
+    apps::MotionPipelineParams p;
+    auto app = apps::explorableMotion(p);
+
+    // The runner offers the other feasible farm widths as variants.
+    ASSERT_FALSE(app.shard_variants.empty());
+    for (const auto &sv : app.shard_variants) {
+        unsigned me = 0;
+        for (const auto &pl : sv.plan.placements)
+            me += pl.actor.rfind("me-", 0) == 0;
+        EXPECT_NE(me, p.columns) << sv.label;
+        EXPECT_GT(me, 0u) << sv.label;
+        EXPECT_NEAR(sv.iterations_per_sec * me, p.mb_rate_hz, 1e-6)
+            << sv.label;
+    }
+
+    ExploreOptions opt;
+    opt.rate_factors = {};
+    opt.divider_steps = 0;
+    auto res = explorePlans(app, opt);
+    EXPECT_TRUE(res.all_bit_exact);
+    EXPECT_TRUE(res.agreement);
+
+    // At least one shard variant must have measured successfully.
+    unsigned measured_shards = 0;
+    for (const auto &pt : res.points) {
+        if (pt.label.rfind("shards=", 0) == 0 && pt.ran)
+            ++measured_shards;
+    }
+    EXPECT_GT(measured_shards, 0u);
+}

@@ -96,6 +96,36 @@ TEST(MotionPipeline, PlanMapsTheDagToThreeColumns)
     EXPECT_LE(plan->placements[2].v, plan->placements[0].v);
 }
 
+TEST(MotionPipeline, ShardWidthVariantsStayBitExact)
+{
+    // The kernel generator regenerates the whole DAG for any farm
+    // width that divides the macroblock count: the serial 1-column
+    // search and the 4-wide farm must reproduce dsp::fullSearch bit
+    // for bit on both backends, like the paper-shaped 2-wide does.
+    for (unsigned cols : {1u, 4u}) {
+        for (auto kind :
+             {SchedulerKind::FastEdge, SchedulerKind::EventQueue}) {
+            MotionPipelineParams p = smallRun(kind);
+            p.columns = cols;
+            // A single serial column cannot sustain the default
+            // rate (its demand exceeds the 600 MHz reference), so
+            // map it at a rate one column can carry.
+            if (cols == 1)
+                p.mb_rate_hz = 20000;
+            MappedMotionRun run = runMappedMotion(p);
+            EXPECT_TRUE(run.bit_exact)
+                << cols << " columns on " << schedulerName(kind);
+            EXPECT_EQ(run.overruns, 0u);
+            EXPECT_EQ(run.conflicts, 0u);
+        }
+    }
+
+    // Unsupported widths are rejected up front.
+    MotionPipelineParams bad;
+    bad.columns = 5; // does not divide 12 macroblocks
+    EXPECT_THROW(runMappedMotion(bad), FatalError);
+}
+
 TEST(MotionPipeline, MeasuredPowerComparisonIsTable4Consistent)
 {
     MappedMotionRun run =

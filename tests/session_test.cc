@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/log.hh"
@@ -181,6 +182,141 @@ TEST(SimSession, MixedSchedulerBackendsAgree)
     auto results = session.runAll(1'000'000);
     EXPECT_EQ(results[0].ticks, results[1].ticks);
     EXPECT_EQ(chipStats(session.chip(0)), chipStats(session.chip(1)));
+}
+
+TEST(SimSession, HeterogeneousBatchMixesAddAdoptAttach)
+{
+    // One batch, three provenances: a session-built chip, an adopted
+    // externally built chip with a different config, and an attached
+    // caller-owned chip — each with its own program.
+    sim::SimSession session;
+
+    ChipConfig built;
+    built.dividers = {2};
+    built.tiles_per_column = 1;
+    unsigned a = session.addChip(built);
+    session.chip(a).column(0).controller().loadProgram(assemble(R"(
+        movi r0, 11
+        halt
+    )"));
+
+    ChipConfig adopted_cfg;
+    adopted_cfg.dividers = {1, 3};
+    adopted_cfg.tiles_per_column = 2;
+    adopted_cfg.scheduler = SchedulerKind::EventQueue;
+    auto adopted = std::make_unique<Chip>(adopted_cfg);
+    for (unsigned c = 0; c < 2; ++c) {
+        adopted->column(c).controller().loadProgram(assemble(R"(
+            movi r0, 22
+            halt
+        )"));
+    }
+    unsigned b = session.adoptChip(std::move(adopted));
+
+    ChipConfig attached_cfg;
+    attached_cfg.dividers = {4};
+    attached_cfg.tiles_per_column = 1;
+    Chip attached(attached_cfg);
+    attached.column(0).controller().loadProgram(assemble(R"(
+        movi r0, 33
+        halt
+    )"));
+    unsigned c = session.attachChip(attached);
+
+    auto results = session.runAll(1'000'000);
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results)
+        EXPECT_EQ(int(r.exit), int(RunExit::AllHalted));
+    EXPECT_EQ(session.chip(a).column(0).tile(0).reg(0), 11u);
+    EXPECT_EQ(session.chip(b).column(0).tile(0).reg(0), 22u);
+    EXPECT_EQ(session.chip(c).column(0).tile(0).reg(0), 33u);
+    EXPECT_EQ(&session.chip(c), &attached);
+
+    // Per-chip stats isolation: the attached chip's statistics are
+    // exactly what the same chip produces running solo.
+    Chip solo(attached_cfg);
+    solo.column(0).controller().loadProgram(assemble(R"(
+        movi r0, 33
+        halt
+    )"));
+    solo.run(1'000'000);
+    EXPECT_EQ(chipStats(attached), chipStats(solo));
+
+    // And the aggregate is the sum of all three distinct chips.
+    auto agg = session.aggregate();
+    EXPECT_EQ(agg.chips, 3u);
+    EXPECT_EQ(agg.halted, 3u);
+}
+
+TEST(SimSession, PerChipTickLimitsGovern)
+{
+    sim::SimSession session;
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 1;
+    auto spinner = [&] {
+        auto chip = std::make_unique<Chip>(cfg);
+        chip->column(0).controller().loadProgram(assemble(R"(
+        spin:
+            jump spin
+        )"));
+        return chip;
+    };
+    session.adoptChip(spinner(), 100);
+    session.adoptChip(spinner()); // 0 = use runAll's budget
+    unsigned third = session.adoptChip(spinner(), 1000);
+    session.setTickLimit(third, 50);
+
+    auto results = session.runAll(500);
+    EXPECT_EQ(results[0].ticks, 100u);
+    EXPECT_EQ(results[1].ticks, 500u);
+    EXPECT_EQ(results[2].ticks, 50u);
+}
+
+TEST(SimSession, HeterogeneousBatchDeterministicAcrossThreadCounts)
+{
+    // The same heterogeneous batch — mixed dividers, schedulers and
+    // per-chip budgets — run under different pool widths must
+    // produce identical per-chip ticks and statistics.
+    auto build = [](unsigned threads) {
+        sim::SessionConfig scfg;
+        scfg.threads = threads;
+        auto session = std::make_unique<sim::SimSession>(scfg);
+        for (unsigned i = 0; i < 9; ++i) {
+            ChipConfig cfg;
+            cfg.dividers = {1u + i % 5, 2u + i % 4};
+            cfg.tiles_per_column = 1 + i % 4;
+            cfg.scheduler = i % 2 ? SchedulerKind::EventQueue
+                                  : SchedulerKind::FastEdge;
+            auto chip = std::make_unique<Chip>(cfg);
+            for (unsigned c = 0; c < chip->numColumns(); ++c) {
+                chip->column(c).controller().loadProgram(
+                    assemble(strprintf(R"(
+                    movi r0, 0
+                    lsetup lc0, e, %u
+                    addi r0, 1
+                e:
+                    halt
+                )", 40 + 17 * i)));
+            }
+            session->adoptChip(std::move(chip),
+                               i % 3 == 0 ? 200 + 100 * i : 0);
+        }
+        return session;
+    };
+
+    auto serial = build(1);
+    auto parallel = build(4);
+    auto rs = serial->runAll(1'000'000);
+    auto rp = parallel->runAll(1'000'000);
+    ASSERT_EQ(rs.size(), rp.size());
+    for (size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(int(rp[i].exit), int(rs[i].exit)) << i;
+        EXPECT_EQ(rp[i].ticks, rs[i].ticks) << i;
+        EXPECT_EQ(chipStats(parallel->chip(unsigned(i))),
+                  chipStats(serial->chip(unsigned(i))))
+            << i;
+    }
 }
 
 TEST(SimSession, EmptySessionIsHarmless)

@@ -13,17 +13,26 @@ committed baselines and fails CI when the perf trajectory regresses:
     ``--wall-tolerance`` (default 60%) — looser because the
     committed baselines and the CI runner are different machines;
     the floor still catches order-of-magnitude slowdowns,
-  * a ``bit_exact`` flag regresses (1 in the baseline, 0 now),
+  * a ``bit_exact`` or ``agreement`` flag regresses (1 in the
+    baseline, 0 now),
   * a measured ``savings_pct`` drops more than 5 percentage points
-    (``paper_*`` reference values are informational and ignored).
+    (``paper_*`` reference values are informational and ignored),
+  * an ``*_gap_pct`` divergence (lower is better — e.g. the
+    explorer's optimizer-vs-measured-frontier gap) rises more than
+    5 percentage points.
 
 Baselines missing a section/key that the fresh file has are fine
 (new benches extend the trajectory); fresh files missing a baseline
-key are a failure (the trajectory must never silently lose a metric).
+key are a failure (the trajectory must never silently lose a
+metric), and a committed ``BENCH_*.json`` with no fresh counterpart
+at all is a failure (every trajectory file must be re-emitted by
+the bench run — a bench dropped from CI cannot silently exempt its
+baseline from the gate).
 
 Usage:
     tools/bench_check.py --baseline-dir <dir-with-committed-json> \
                          --fresh-dir <dir-with-new-json>
+    tools/bench_check.py --self-test  # prove the gate still bites
 """
 
 import argparse
@@ -34,13 +43,16 @@ import sys
 SIMULATED_SUFFIXES = ("_kbps", "_msps", "_kblocks_s", "_kmb_s")
 WALL_CLOCK_SUFFIXES = ("_ticks_per_sec", "_mticks_per_s", "_speedup")
 SAVINGS_DROP_PP = 5.0
+GAP_RISE_PP = 5.0
 
 
 def classify(key):
-    if key == "bit_exact":
+    if key in ("bit_exact", "agreement"):
         return "bit_exact"
     if key.endswith("savings_pct") and not key.startswith("paper"):
         return "savings"
+    if key.endswith("gap_pct"):
+        return "gap"
     if key.endswith(SIMULATED_SUFFIXES):
         return "throughput"
     if key.endswith(WALL_CLOCK_SUFFIXES):
@@ -76,6 +88,12 @@ def check_file(name, baseline, fresh, tolerance, wall_tolerance,
                         f"{name}: {section}.{key} dropped "
                         f"{base_v:.2f} -> {new_v:.2f} "
                         f"(> {SAVINGS_DROP_PP} pp)")
+            elif kind == "gap":
+                if new_v > base_v + GAP_RISE_PP:
+                    failures.append(
+                        f"{name}: {section}.{key} rose "
+                        f"{base_v:.2f} -> {new_v:.2f} "
+                        f"(> {GAP_RISE_PP} pp)")
             else:
                 tol = (tolerance if kind == "throughput"
                        else wall_tolerance)
@@ -88,11 +106,100 @@ def check_file(name, baseline, fresh, tolerance, wall_tolerance,
                         f"(-{pct:.1f}%, floor {floor:.4g})")
 
 
+def compare_dirs(baseline_dir, fresh_dir, tolerance, wall_tolerance):
+    """(failures, files_checked) across every committed baseline.
+    None when the baseline dir holds no trajectory files at all."""
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        return None, 0
+
+    failures = []
+    checked = 0
+    for base_path in baselines:
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            failures.append(f"{base_path.name}: committed baseline "
+                            f"has no fresh counterpart (not "
+                            f"re-emitted by the bench run)")
+            continue
+        with open(base_path) as f:
+            baseline = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        check_file(base_path.name, baseline, fresh, tolerance,
+                   wall_tolerance, failures)
+        checked += 1
+    return failures, checked
+
+
+def self_test():
+    """Plant every category of regression and prove the gate
+    bites, then prove a clean trajectory passes."""
+    import shutil
+    import tempfile
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="bench_check_test"))
+    try:
+        base = root / "base"
+        fresh = root / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        good = {
+            "sec": {
+                "x_kbps": 100.0,
+                "fast_mticks_per_s": 10.0,
+                "bit_exact": 1,
+                "agreement": 1,
+                "savings_pct": 30.0,
+                "baseline_gap_pct": 1.0,
+            }
+        }
+        bad = {
+            "sec": {
+                "x_kbps": 60.0,          # -40% simulated throughput
+                "fast_mticks_per_s": 2.0,  # -80% wall throughput
+                "bit_exact": 0,          # flag regressed
+                "agreement": 0,          # flag regressed
+                "savings_pct": 20.0,     # -10 pp savings
+                "baseline_gap_pct": 9.0,  # +8 pp gap
+            }
+        }
+        (base / "BENCH_x.json").write_text(json.dumps(good))
+        (base / "BENCH_gone.json").write_text(json.dumps(good))
+        (fresh / "BENCH_x.json").write_text(json.dumps(bad))
+        # BENCH_gone.json deliberately not re-emitted.
+
+        failures, _ = compare_dirs(base, fresh, 0.25, 0.60)
+        wanted = ["x_kbps", "fast_mticks_per_s", "bit_exact",
+                  "agreement", "savings_pct", "baseline_gap_pct",
+                  "no fresh counterpart"]
+        text = "\n".join(failures)
+        missed = [w for w in wanted if w not in text]
+        if missed:
+            print(f"bench_check --self-test: planted regressions "
+                  f"NOT caught: {missed}\ngot:\n  " +
+                  "\n  ".join(failures), file=sys.stderr)
+            return 1
+
+        (fresh / "BENCH_x.json").write_text(json.dumps(good))
+        (fresh / "BENCH_gone.json").write_text(json.dumps(good))
+        failures, checked = compare_dirs(base, fresh, 0.25, 0.60)
+        if failures or checked != 2:
+            print("bench_check --self-test: clean trajectory "
+                  "flagged:\n  " + "\n  ".join(failures),
+                  file=sys.stderr)
+            return 1
+        print("bench_check --self-test: all planted regressions "
+              "caught, clean trajectory passes")
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline-dir", required=True,
-                    type=pathlib.Path)
-    ap.add_argument("--fresh-dir", required=True, type=pathlib.Path)
+    ap.add_argument("--baseline-dir", type=pathlib.Path)
+    ap.add_argument("--fresh-dir", type=pathlib.Path)
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop for simulated "
                          "throughput metrics (default 0.25)")
@@ -100,29 +207,23 @@ def main():
                     help="allowed fractional drop for wall-clock "
                          "metrics, looser for cross-machine "
                          "baselines (default 0.60)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate itself catches planted "
+                         "regressions")
     args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline_dir or not args.fresh_dir:
+        ap.error("--baseline-dir and --fresh-dir are required "
+                 "(unless --self-test)")
 
-    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
-    if not baselines:
+    failures, checked = compare_dirs(
+        args.baseline_dir, args.fresh_dir, args.tolerance,
+        args.wall_tolerance)
+    if failures is None:
         print(f"bench_check: no BENCH_*.json baselines in "
               f"{args.baseline_dir}", file=sys.stderr)
         return 2
-
-    failures = []
-    checked = 0
-    for base_path in baselines:
-        fresh_path = args.fresh_dir / base_path.name
-        if not fresh_path.exists():
-            failures.append(f"{base_path.name}: not re-emitted by "
-                            f"the bench run")
-            continue
-        with open(base_path) as f:
-            baseline = json.load(f)
-        with open(fresh_path) as f:
-            fresh = json.load(f)
-        check_file(base_path.name, baseline, fresh, args.tolerance,
-                   args.wall_tolerance, failures)
-        checked += 1
 
     if failures:
         print("bench_check: PERF TRAJECTORY REGRESSED:")

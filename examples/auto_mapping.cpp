@@ -13,20 +13,26 @@
  * kernels and the static transfer schedule onto the planned columns;
  * the chip then streams samples through the mapped receiver and the
  * output is checked bit-exactly against the dsp:: golden chain —
- * cross-checked on both scheduler backends, with measured-activity
- * power priced next to the plan's analytic estimate.
+ * cross-checked on all three scheduler backends, with
+ * measured-activity power priced next to the plan's analytic
+ * estimate.
+ *
+ * `--backend eventq|fastedge|compiled` picks the run used for the
+ * power report; the cross-check always covers all three.
  */
 
 #include <cstdio>
 
 #include "apps/pipeline_runner.hh"
+#include "sim/scheduler.hh"
 
 using namespace synchro;
 using namespace synchro::apps;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SchedulerKind primary = backendFromArgs(argc, argv);
     DdcPipelineParams params;
     params.samples = 2048;
 
@@ -45,11 +51,15 @@ main()
         std::printf(" %llu", (unsigned long long)b);
     std::printf("\n");
 
-    // --- run the real mapped receiver on both backends ----------
-    MappedDdcRun runs[2];
-    SchedulerKind kinds[2] = {SchedulerKind::FastEdge,
-                              SchedulerKind::EventQueue};
-    for (int i = 0; i < 2; ++i) {
+    // --- run the real mapped receiver on every backend ----------
+    MappedDdcRun runs[3];
+    const SchedulerKind kinds[3] = {SchedulerKind::FastEdge,
+                                    SchedulerKind::EventQueue,
+                                    SchedulerKind::Compiled};
+    int pidx = 0;
+    for (int i = 0; i < 3; ++i) {
+        if (kinds[i] == primary)
+            pidx = i;
         params.scheduler = kinds[i];
         runs[i] = runMappedDdc(params);
         const MappedDdcRun &r = runs[i];
@@ -67,17 +77,24 @@ main()
     }
 
     // --- cross-check: everything observable must be identical ---
-    bool identical = runs[0].result.exit == runs[1].result.exit &&
-                     runs[0].ticks == runs[1].ticks &&
-                     runs[0].output == runs[1].output &&
-                     runs[0].stats == runs[1].stats;
-    std::printf("\nfast-path vs event-queue cross-check: %s "
-                "(both at tick %llu, all stats compared)\n",
+    bool identical = true;
+    for (int i = 0; i < 3; ++i) {
+        identical = identical &&
+                    runs[i].result.exit == runs[1].result.exit &&
+                    runs[i].ticks == runs[1].ticks &&
+                    runs[i].output == runs[1].output &&
+                    runs[i].stats == runs[1].stats;
+    }
+    std::printf("\nbackend cross-check (fastedge/compiled vs "
+                "event-queue): %s (all at tick %llu, all stats "
+                "compared)\n",
                 identical ? "identical" : "MISMATCH",
                 (unsigned long long)runs[1].ticks);
 
     // --- measured power vs the plan's analytic estimate ---------
-    const auto &pw = runs[0].power;
+    std::printf("\npower report from the %s run:\n",
+                schedulerName(kinds[pidx]));
+    const auto &pw = runs[pidx].power;
     std::printf("\nmeasured power (priced at the sustained rate):\n");
     for (const auto &load : pw.loads) {
         std::printf("  %-10s %.1f MHz @ %.2f V\n", load.name.c_str(),
@@ -90,6 +107,7 @@ main()
                 plan->single_voltage.total());
 
     bool ok = identical && runs[0].bit_exact && runs[1].bit_exact &&
-              runs[0].overruns == 0 && runs[0].conflicts == 0;
+              runs[2].bit_exact && runs[pidx].overruns == 0 &&
+              runs[pidx].conflicts == 0;
     return ok ? 0 : 1;
 }

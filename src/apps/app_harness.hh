@@ -49,7 +49,7 @@ struct MappedAppParams
     std::string app = "app";
 
     /** Execution backend. */
-    SchedulerKind scheduler = SchedulerKind::FastEdge;
+    SchedulerKind scheduler = defaultSchedulerKind();
 
     /** Tick budget for the run; fatal() if the chip does not drain. */
     Tick tick_limit = 0;

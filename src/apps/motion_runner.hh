@@ -89,7 +89,7 @@ struct MotionPipelineParams
     unsigned columns = MotionColumns;
 
     /** Execution backend. */
-    SchedulerKind scheduler = SchedulerKind::FastEdge;
+    SchedulerKind scheduler = defaultSchedulerKind();
 };
 
 /**

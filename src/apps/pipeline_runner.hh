@@ -51,7 +51,7 @@ struct DdcPipelineParams
     uint32_t seed = 2004;
 
     /** Execution backend. */
-    SchedulerKind scheduler = SchedulerKind::FastEdge;
+    SchedulerKind scheduler = defaultSchedulerKind();
 };
 
 /**

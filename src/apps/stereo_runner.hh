@@ -83,7 +83,7 @@ struct StereoPipelineParams
     uint32_t seed = 32;
 
     /** Execution backend. */
-    SchedulerKind scheduler = SchedulerKind::FastEdge;
+    SchedulerKind scheduler = defaultSchedulerKind();
 };
 
 /**

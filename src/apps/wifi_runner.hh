@@ -83,7 +83,7 @@ struct WifiPipelineParams
     double snr_db = 0;
 
     /** Execution backend. */
-    SchedulerKind scheduler = SchedulerKind::FastEdge;
+    SchedulerKind scheduler = defaultSchedulerKind();
 };
 
 /**

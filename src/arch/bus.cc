@@ -39,6 +39,133 @@ BusFabric::unite(int a, int b)
 }
 
 void
+BusFabric::buildPlan(const std::vector<ColumnBusView> &views,
+                     CyclePlan &plan)
+{
+    // Only lanes with at least one scheduled drive do anything — a
+    // lane whose gather pass finds no driver performs no bookkeeping
+    // in cycle() (`any_activity`), so restricting the plan to driven
+    // lanes is bit-identical. Transfers are sparse (typically one or
+    // two lanes per active cycle of eight).
+    uint32_t drive_lanes = 0;
+    for (unsigned c = 0; c < n_columns_; ++c) {
+        const DouState *st = views[c].state;
+        if (!st)
+            continue;
+        for (unsigned t = 0; t < TilesPerColumn; ++t) {
+            if (st->buf[t] == 0)
+                continue;
+            BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
+            if (ctl.drive)
+                drive_lanes |= 1u << ctl.drive_lane;
+        }
+    }
+    if (drive_lanes == 0)
+        return;
+
+    // Node numbering per lane: column c tile position t -> c*4 + t;
+    // the horizontal bus is node n_columns*4.
+    const int n_nodes = int(n_columns_) * 4 + 1;
+    const int h_node = int(n_columns_) * 4;
+
+    for (unsigned lane = 0; lane < BusLanes; ++lane) {
+        if (!(drive_lanes & (1u << lane)))
+            continue;
+        unsigned pair_bit = lane / 2;
+
+        // Build connectivity for this lane.
+        parent_.resize(n_nodes);
+        for (int i = 0; i < n_nodes; ++i)
+            parent_[i] = i;
+        for (unsigned c = 0; c < n_columns_; ++c) {
+            const DouState *st = views[c].state;
+            if (!st)
+                continue;
+            for (unsigned k = 0; k < 3; ++k) {
+                if (st->seg[k] & (1u << pair_bit))
+                    unite(int(c * 4 + k), int(c * 4 + k + 1));
+            }
+            if (st->seg[3] & (1u << pair_bit))
+                unite(int(c * 4), h_node);
+        }
+
+        LanePlan lp;
+        lp.lane = uint8_t(lane);
+
+        // Dense group ids for the segment groups this lane's slots
+        // touch (drivers and captures both — a capture in a driverless
+        // group still needs a group to look up for underrun checks).
+        std::vector<int> group_of(n_nodes, -1);
+        auto groupId = [&](int root) {
+            if (group_of[root] < 0) {
+                group_of[root] = int(lp.group_nodes.size());
+                lp.group_nodes.push_back(0);
+            }
+            return uint16_t(group_of[root]);
+        };
+
+        for (unsigned c = 0; c < n_columns_; ++c) {
+            const DouState *st = views[c].state;
+            if (!st)
+                continue;
+            for (unsigned t = 0; t < TilesPerColumn; ++t) {
+                if (st->buf[t] == 0)
+                    continue;
+                BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
+                LanePlan::Slot s;
+                s.col = uint8_t(c);
+                s.tile = uint8_t(t);
+                if (ctl.drive && ctl.drive_lane == lane) {
+                    s.group = groupId(find(int(c * 4 + t)));
+                    lp.drivers.push_back(s);
+                }
+                if (ctl.capture && ctl.capture_lane == lane) {
+                    s.group = groupId(find(int(c * 4 + t)));
+                    lp.captures.push_back(s);
+                }
+            }
+        }
+
+        // Wire-span accounting input: nodes per referenced group.
+        for (int i = 0; i < n_nodes; ++i) {
+            int g = group_of[find(i)];
+            if (g >= 0)
+                ++lp.group_nodes[g];
+        }
+
+        plan.push_back(std::move(lp));
+    }
+}
+
+const BusFabric::CyclePlan &
+BusFabric::lookupPlan(const std::vector<ColumnBusView> &views)
+{
+    plan_key_.resize(n_columns_);
+    for (unsigned c = 0; c < n_columns_; ++c) {
+        const DouState *st = views[c].state;
+        uint64_t w = 0;
+        if (st) {
+            for (unsigned t = 0; t < TilesPerColumn; ++t)
+                w = (w << 8) | st->buf[t];
+            for (unsigned s = 0; s < SegPointsPerColumn; ++s)
+                w = (w << 4) | (st->seg[s] & 0xf);
+        }
+        plan_key_[c] = w;
+    }
+    auto it = plan_cache_.find(plan_key_);
+    if (it != plan_cache_.end())
+        return it->second;
+    // Static schedules revisit a handful of combinations; a
+    // branch-heavy program could keep minting new ones, so bound the
+    // cache rather than grow without limit.
+    if (plan_cache_.size() >= 4096)
+        plan_cache_.clear();
+    CyclePlan &plan = plan_cache_[plan_key_];
+    buildPlan(views, plan);
+    return plan;
+}
+
+void
 BusFabric::cycle(std::vector<ColumnBusView> &views)
 {
     sync_assert(views.size() == n_columns_,
@@ -65,93 +192,58 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
     if (!any_buf)
         return;
 
-    // Node numbering per lane: column c tile position t -> c*4 + t;
-    // the horizontal bus is node n_columns*4.
-    const int n_nodes = int(n_columns_) * 4 + 1;
-    const int h_node = int(n_columns_) * 4;
+    const CyclePlan &plan = lookupPlan(views);
 
-    struct Driver
-    {
-        uint32_t value = 0;
-        int src_node = 0;
-        Tile *src_tile = nullptr;
-        bool present = false;
-        bool conflicted = false;
-    };
-
-    for (unsigned lane = 0; lane < BusLanes; ++lane) {
-        unsigned pair_bit = lane / 2;
-
-        // Build connectivity for this lane.
-        parent_.resize(n_nodes);
-        for (int i = 0; i < n_nodes; ++i)
-            parent_[i] = i;
-        bool any_activity = false;
-        for (unsigned c = 0; c < n_columns_; ++c) {
-            const DouState *st = views[c].state;
-            if (!st)
-                continue;
-            for (unsigned k = 0; k < 3; ++k) {
-                if (st->seg[k] & (1u << pair_bit))
-                    unite(int(c * 4 + k), int(c * 4 + k + 1));
-            }
-            if (st->seg[3] & (1u << pair_bit))
-                unite(int(c * 4), h_node);
-        }
+    for (const LanePlan &lp : plan) {
+        const unsigned lane = lp.lane;
+        const int n_groups = int(lp.group_nodes.size());
 
         // Gather candidate drivers (peek only: whether the word
         // actually leaves the write buffer is decided below, once
         // the capture side of its group is known).
-        std::vector<Driver> group_driver(n_nodes);
-        for (unsigned c = 0; c < n_columns_; ++c) {
-            const DouState *st = views[c].state;
-            if (!st)
+        group_driver_.assign(n_groups, Driver{});
+        bool any_activity = false;
+        for (const LanePlan::Slot &s : lp.drivers) {
+            if (s.tile >= views[s.col].tiles.size())
                 continue;
-            for (unsigned t = 0; t < views[c].tiles.size(); ++t) {
-                Tile *tile = views[c].tiles[t];
-                if (!tile)
-                    continue;
-                BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
-                if (!ctl.drive || ctl.drive_lane != lane)
-                    continue;
-                any_activity = true;
-                if (!tile->writeBuffer().valid()) {
-                    ++underruns_;
-                    if (strict_ && !self_timed_)
-                        fatal("bus: tile (%u,%u) scheduled to drive "
-                              "lane %u with empty write buffer",
-                              c, t, lane);
-                    continue;
-                }
-                int wtag = tile->writeBuffer().laneTag();
-                if (wtag >= 0 && unsigned(wtag) != lane) {
-                    // The pending word belongs to another edge's
-                    // lane; this slot idles and the word waits for
-                    // its own slot.
-                    ++deferrals_;
-                    continue;
-                }
-                int node = int(c * 4 + t);
-                int root = find(node);
-                Driver &d = group_driver[root];
-                if (d.present) {
-                    ++conflicts_;
-                    d.conflicted = true;
-                    if (strict_)
-                        fatal("bus: structural hazard on lane %u — "
-                              "two drivers in one segment group",
-                              lane);
-                    // Non-strict: first driver wins; the late write
-                    // buffer still drains (the electrical fight is
-                    // what the conflict counter records).
-                    tile->writeBuffer().pop();
-                    continue;
-                }
-                d.present = true;
-                d.value = tile->writeBuffer().peek();
-                d.src_node = node;
-                d.src_tile = tile;
+            Tile *tile = views[s.col].tiles[s.tile];
+            if (!tile)
+                continue;
+            any_activity = true;
+            if (!tile->writeBuffer().valid()) {
+                ++underruns_;
+                if (strict_ && !self_timed_)
+                    fatal("bus: tile (%u,%u) scheduled to drive "
+                          "lane %u with empty write buffer",
+                          s.col, s.tile, lane);
+                continue;
             }
+            int wtag = tile->writeBuffer().laneTag();
+            if (wtag >= 0 && unsigned(wtag) != lane) {
+                // The pending word belongs to another edge's
+                // lane; this slot idles and the word waits for
+                // its own slot.
+                ++deferrals_;
+                continue;
+            }
+            Driver &d = group_driver_[s.group];
+            if (d.present) {
+                ++conflicts_;
+                d.conflicted = true;
+                if (strict_)
+                    fatal("bus: structural hazard on lane %u — "
+                          "two drivers in one segment group",
+                          lane);
+                // Non-strict: first driver wins; the late write
+                // buffer still drains (the electrical fight is
+                // what the conflict counter records).
+                tile->writeBuffer().pop();
+                continue;
+            }
+            d.present = true;
+            d.value = tile->writeBuffer().peek();
+            d.src_node = int(s.col) * 4 + s.tile;
+            d.src_tile = tile;
         }
 
         if (!any_activity)
@@ -161,86 +253,65 @@ BusFabric::cycle(std::vector<ColumnBusView> &views)
         // capture in its group can accept the word; otherwise the
         // whole group defers and the driver keeps it for the next
         // slot (Section 2.3's buffers double as the handshake).
-        std::vector<char> group_deferred(n_nodes, 0);
+        group_deferred_.assign(n_groups, 0);
         if (self_timed_) {
-            for (unsigned c = 0; c < n_columns_; ++c) {
-                const DouState *st = views[c].state;
-                if (!st)
+            for (const LanePlan::Slot &s : lp.captures) {
+                if (s.tile >= views[s.col].tiles.size())
                     continue;
-                for (unsigned t = 0; t < views[c].tiles.size(); ++t) {
-                    Tile *tile = views[c].tiles[t];
-                    if (!tile)
-                        continue;
-                    BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
-                    if (!ctl.capture || ctl.capture_lane != lane)
-                        continue;
-                    int root = find(int(c * 4 + t));
-                    if (group_driver[root].present &&
-                        tile->readBuffer(lane).valid())
-                        group_deferred[root] = 1;
-                }
+                Tile *tile = views[s.col].tiles[s.tile];
+                if (!tile)
+                    continue;
+                if (group_driver_[s.group].present &&
+                    tile->readBuffer(lane).valid())
+                    group_deferred_[s.group] = 1;
             }
         }
 
-        // Commit drivers: pop delivered words, defer held ones.
-        for (int i = 0; i < n_nodes; ++i) {
-            Driver &d = group_driver[i];
+        // Commit drivers: pop delivered words (crediting their wire
+        // span), defer held ones.
+        for (int g = 0; g < n_groups; ++g) {
+            Driver &d = group_driver_[g];
             if (!d.present)
                 continue;
-            if (group_deferred[i]) {
+            if (group_deferred_[g]) {
                 d.present = false;
                 ++deferrals_;
                 continue;
             }
             d.src_tile->writeBuffer().pop();
             ++transfers_;
-        }
-
-        // Wire-span accounting: nodes per driven group.
-        std::vector<uint32_t> group_size(n_nodes, 0);
-        for (int i = 0; i < n_nodes; ++i)
-            ++group_size[find(i)];
-        for (int i = 0; i < n_nodes; ++i) {
-            if (group_driver[i].present)
-                wire_span_ += group_size[i];
+            wire_span_ += lp.group_nodes[g];
         }
 
         // Deliver captures into the per-lane read buffers.
-        for (unsigned c = 0; c < n_columns_; ++c) {
-            const DouState *st = views[c].state;
-            if (!st)
+        for (const LanePlan::Slot &s : lp.captures) {
+            if (s.tile >= views[s.col].tiles.size())
                 continue;
-            for (unsigned t = 0; t < views[c].tiles.size(); ++t) {
-                Tile *tile = views[c].tiles[t];
-                if (!tile)
-                    continue;
-                BufferCtl ctl = BufferCtl::fromByte(st->buf[t]);
-                if (!ctl.capture || ctl.capture_lane != lane)
-                    continue;
-                int root = find(int(c * 4 + t));
-                const Driver &d = group_driver[root];
-                if (!d.present) {
-                    if (group_deferred[root])
-                        continue; // deferral already counted
-                    ++underruns_;
-                    if (strict_ && !self_timed_)
-                        fatal("bus: tile (%u,%u) captures lane %u "
-                              "but no driver is connected",
-                              c, t, lane);
-                    continue;
-                }
-                if (!tile->readBuffer(lane).push(d.value,
-                                                 int(lane))) {
-                    // Drop-new: the pending unread word survives and
-                    // the word on the bus this cycle is the one lost.
-                    ++overruns_;
-                    if (strict_)
-                        fatal("bus: tile (%u,%u) read buffer overrun "
-                              "on lane %u",
-                              c, t, lane);
-                }
-                ++captures_;
+            Tile *tile = views[s.col].tiles[s.tile];
+            if (!tile)
+                continue;
+            const Driver &d = group_driver_[s.group];
+            if (!d.present) {
+                if (group_deferred_[s.group])
+                    continue; // deferral already counted
+                ++underruns_;
+                if (strict_ && !self_timed_)
+                    fatal("bus: tile (%u,%u) captures lane %u "
+                          "but no driver is connected",
+                          s.col, s.tile, lane);
+                continue;
             }
+            if (!tile->readBuffer(lane).push(d.value,
+                                             int(lane))) {
+                // Drop-new: the pending unread word survives and
+                // the word on the bus this cycle is the one lost.
+                ++overruns_;
+                if (strict_)
+                    fatal("bus: tile (%u,%u) read buffer overrun "
+                          "on lane %u",
+                          s.col, s.tile, lane);
+            }
+            ++captures_;
         }
     }
 }

@@ -28,6 +28,7 @@
 #define SYNC_ARCH_BUS_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "arch/dou.hh"
@@ -111,6 +112,53 @@ class BusFabric
     std::vector<int> parent_;
     int find(int x);
     void unite(int a, int b);
+
+    /** One candidate driver of a connected segment group. */
+    struct Driver
+    {
+        uint32_t value = 0;
+        int src_node = 0;
+        Tile *src_tile = nullptr;
+        bool present = false;
+        bool conflicted = false;
+    };
+
+    // Per-lane scratch (reused across cycles — the resolution runs
+    // every active reference phase, so it must not allocate).
+    std::vector<Driver> group_driver_;
+    std::vector<char> group_deferred_;
+
+    /**
+     * Memoized resolution plan for one combination of DOU bus outputs
+     * (buf bytes + seg nibbles of every column). Segment
+     * connectivity, driver/capture slot lists and group node counts
+     * depend only on that content, so steady-state schedules — which
+     * revisit a small set of combinations every firing — skip the
+     * union-find rebuild and the full column×tile rescan. Buffer
+     * validity, lane tags and deferral remain dynamic in cycle().
+     */
+    struct LanePlan
+    {
+        struct Slot
+        {
+            uint8_t col = 0;
+            uint8_t tile = 0;
+            uint16_t group = 0; //!< dense id of the segment group
+        };
+        uint8_t lane = 0;
+        std::vector<Slot> drivers;  //!< in scan order: col asc, tile asc
+        std::vector<Slot> captures; //!< same order
+        std::vector<uint32_t> group_nodes; //!< per group: node count
+    };
+    using CyclePlan = std::vector<LanePlan>; //!< lanes with a drive
+
+    const CyclePlan &lookupPlan(const std::vector<ColumnBusView> &views);
+    void buildPlan(const std::vector<ColumnBusView> &views,
+                   CyclePlan &plan);
+
+    //! Content key (one packed buf+seg word per column) -> plan.
+    std::map<std::vector<uint64_t>, CyclePlan> plan_cache_;
+    std::vector<uint64_t> plan_key_; //!< lookup scratch
 };
 
 } // namespace synchro::arch

@@ -78,6 +78,61 @@ Chip::skipRefPhases(Tick n)
         col->dou().skipSteps(n);
 }
 
+Tick
+Chip::domainEdgeBlock(unsigned d, Tick max_slots)
+{
+    return columns_[d]->clockEdgeBlock(max_slots);
+}
+
+Tick
+Chip::commFreeAdvance(Tick max)
+{
+    // A window of reference phases can be skipped iff every column's
+    // DOU walk through it touches no drive/capture state. Take the
+    // minimum comm-free run across columns, then commit it everywhere
+    // so all DOUs stay on the same tick.
+    Tick k = max;
+    for (auto &col : columns_) {
+        k = Tick(col->dou().commFreeRun(k));
+        if (k == 0)
+            return 0;
+    }
+    for (auto &col : columns_)
+        col->dou().fastForwardCommFree(k);
+    return k;
+}
+
+Tick
+Chip::commQuiet(Tick max) const
+{
+    Tick k = max;
+    for (const auto &col : columns_) {
+        k = Tick(col->dou().commFreeRun(k));
+        if (k == 0)
+            return 0;
+    }
+    return k;
+}
+
+Tick
+Chip::domainStallBlock(unsigned d, Tick max_slots)
+{
+    return columns_[d]->stallBlock(max_slots);
+}
+
+void
+Chip::setSchedulerKind(SchedulerKind kind)
+{
+    if (kind == cfg_.scheduler)
+        return;
+    if (sched_->curTick() != 0)
+        fatal("cannot switch scheduler backend at tick %llu; the "
+              "chip has already run",
+              (unsigned long long)sched_->curTick());
+    cfg_.scheduler = kind;
+    sched_ = makeScheduler(kind);
+}
+
 bool
 Chip::allHalted() const
 {

@@ -63,7 +63,7 @@ struct ChipConfig
     bool self_timed_bus = false;
 
     /** Execution backend driving the tick loop. */
-    SchedulerKind scheduler = SchedulerKind::FastEdge;
+    SchedulerKind scheduler = defaultSchedulerKind();
 };
 
 /** Why Chip::run() returned. */
@@ -107,6 +107,15 @@ class Chip : private SchedModel
     /** The scheduler backend this chip runs on. */
     SchedulerKind schedulerKind() const { return cfg_.scheduler; }
 
+    /**
+     * Swap the scheduler backend of a not-yet-run chip — lets a
+     * session or explorer override the kind baked into the config at
+     * construction (e.g. to mix compiled and FastEdge chips in one
+     * pool). fatal() once the chip has advanced past tick 0, since
+     * the backends' pending-work state is not transferable.
+     */
+    void setSchedulerKind(SchedulerKind kind);
+
     /** Reset all columns and rewind nothing else (stats persist). */
     void resetColumns();
 
@@ -130,6 +139,10 @@ class Chip : private SchedModel
     void refPhase() override;
     bool refPhaseInert() const override;
     void skipRefPhases(Tick n) override;
+    Tick domainEdgeBlock(unsigned d, Tick max_slots) override;
+    Tick commFreeAdvance(Tick max) override;
+    Tick commQuiet(Tick max) const override;
+    Tick domainStallBlock(unsigned d, Tick max_slots) override;
     /// @}
 
     ChipConfig cfg_;

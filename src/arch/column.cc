@@ -41,6 +41,22 @@ Column::clockEdge()
     ctrl_.cycle(active_tiles_);
 }
 
+Tick
+Column::clockEdgeBlock(Tick max_slots)
+{
+    Tick k = ctrl_.cycleBlock(active_tiles_, max_slots);
+    cycles_seen_ += k;
+    return k;
+}
+
+Tick
+Column::stallBlock(Tick max_slots)
+{
+    Tick k = ctrl_.stallBlock(active_tiles_, max_slots);
+    cycles_seen_ += k;
+    return k;
+}
+
 std::vector<Tile *>
 Column::busTiles()
 {

@@ -62,6 +62,20 @@ class Column
     /** One column clock edge: the controller issues one slot. */
     void clockEdge();
 
+    /**
+     * Up to @p max_slots consecutive issue slots executed as one
+     * compiled block (SimdController::cycleBlock). Returns the slots
+     * consumed; 0 means the caller must fall back to clockEdge().
+     */
+    Tick clockEdgeBlock(Tick max_slots);
+
+    /**
+     * Up to @p max_slots comm-stall slots consumed in one call
+     * (SimdController::stallBlock); only valid across edges the
+     * caller knows are bus-quiet. 0 = not comm-stalled.
+     */
+    Tick stallBlock(Tick max_slots);
+
     /** Pointers for the bus fabric, by position (nullptr if absent). */
     std::vector<Tile *> busTiles();
 

@@ -101,12 +101,7 @@ Dou::reset()
 {
     state_ = 0;
     counters_ = prog_.counter_init;
-}
-
-const DouState &
-Dou::current() const
-{
-    return prog_.states[state_];
+    cf_run_ = cf_cap_ = 0;
 }
 
 bool
@@ -146,23 +141,107 @@ Dou::skipSteps(uint64_t n)
     }
     ctr = uint32_t(v);
     steps_ += n;
+    cf_run_ = cf_cap_ = 0;
 }
 
-const DouState &
-Dou::step()
+uint64_t
+Dou::walkCommFree(uint64_t max, unsigned &st,
+                  std::array<uint32_t, DouNumCounters> &ctrs) const
 {
-    ++steps_;
-    const DouState &out = prog_.states[state_];
-    uint32_t &ctr = counters_[out.cntr];
-    if (ctr == 0) {
-        ctr = prog_.counter_init[out.cntr];
-        state_ = out.nxt0;
-    } else {
-        --ctr;
-        state_ = out.nxt1;
+    uint64_t taken = 0;
+    while (taken < max) {
+        const DouState &s = prog_.states[st];
+        bool buf_zero = true;
+        for (uint8_t b : s.buf)
+            buf_zero = buf_zero && b == 0;
+        if (!buf_zero)
+            break;
+
+        uint32_t &ctr = ctrs[s.cntr];
+        const uint32_t reload = prog_.counter_init[s.cntr];
+        const uint64_t rem = max - taken;
+
+        if (s.nxt0 == st && s.nxt1 == st) {
+            // Inert self-loop: only the tested counter cycles. Same
+            // closed form as skipSteps().
+            uint64_t v = ctr;
+            if (rem <= v) {
+                v -= rem;
+            } else {
+                uint64_t period = uint64_t(reload) + 1;
+                uint64_t r = (rem - v - 1) % period;
+                v = reload - r;
+            }
+            ctr = uint32_t(v);
+            taken = max;
+            break;
+        }
+        if (s.nxt1 == st) {
+            // Wait state: occupied while the counter decrements
+            // (ctr + 1 cycles), then reloads and exits to nxt0.
+            uint64_t stay = uint64_t(ctr) + 1;
+            if (rem < stay) {
+                ctr -= uint32_t(rem);
+                taken = max;
+                break;
+            }
+            ctr = reload;
+            st = s.nxt0;
+            taken += stay;
+            continue;
+        }
+        // Generic comm-free transition: one step() worth of work.
+        if (ctr == 0) {
+            ctr = reload;
+            st = s.nxt0;
+        } else {
+            --ctr;
+            st = s.nxt1;
+        }
+        ++taken;
     }
-    (void)column_;
-    return out;
+    return taken;
+}
+
+uint64_t
+Dou::commFreeRun(uint64_t max) const
+{
+    if (cf_cap_ >= max || cf_run_ < cf_cap_)
+        return std::min(cf_run_, max);
+    unsigned st = state_;
+    std::array<uint32_t, DouNumCounters> ctrs = counters_;
+    uint64_t taken = walkCommFree(max, st, ctrs);
+    cf_run_ = taken;
+    cf_cap_ = max;
+    cf_end_state_ = st;
+    cf_end_ctrs_ = ctrs;
+    return taken;
+}
+
+void
+Dou::fastForwardCommFree(uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (n == cf_run_) {
+        // Committing exactly the cached run: the probe walk already
+        // computed the landing position, install it directly.
+        state_ = cf_end_state_;
+        counters_ = cf_end_ctrs_;
+        steps_ += n;
+        cf_run_ = 0;
+        cf_cap_ -= std::min(cf_cap_, n);
+        return;
+    }
+    uint64_t taken = walkCommFree(n, state_, counters_);
+    sync_assert(taken == n,
+                "DOU %u: fastForwardCommFree(%llu) hit an active "
+                "state after %llu cycles",
+                column_, (unsigned long long)n,
+                (unsigned long long)taken);
+    steps_ += n;
+    cf_run_ -= std::min(cf_run_, n);
+    cf_cap_ -= std::min(cf_cap_, n);
 }
 
 } // namespace synchro::arch

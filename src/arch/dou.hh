@@ -113,11 +113,38 @@ class Dou
 
     void load(const DouProgram &prog);
 
-    /** Outputs for this cycle, then advance. */
-    const DouState &step();
+    /**
+     * Outputs for this cycle, then advance. Defined inline: the
+     * reference phase calls this once per column per active tick.
+     */
+    const DouState &
+    step()
+    {
+        // A cached comm-free run covers this step: walkCommFree()
+        // mirrors step()'s transition rule exactly, so one real step
+        // consumes one slot of the proven run. Past the run's end
+        // nothing is known.
+        if (cf_run_ > 0) {
+            --cf_run_;
+            --cf_cap_;
+        } else {
+            cf_cap_ = 0;
+        }
+        ++steps_;
+        const DouState &out = prog_.states[state_];
+        uint32_t &ctr = counters_[out.cntr];
+        if (ctr == 0) {
+            ctr = prog_.counter_init[out.cntr];
+            state_ = out.nxt0;
+        } else {
+            --ctr;
+            state_ = out.nxt1;
+        }
+        return out;
+    }
 
     /** Outputs for this cycle without advancing. */
-    const DouState &current() const;
+    const DouState &current() const { return prog_.states[state_]; }
 
     /**
      * True if the current state is an inert self-loop: both successors
@@ -136,6 +163,26 @@ class Dou
      */
     void skipSteps(uint64_t n);
 
+    /**
+     * How many of the next @p max step() calls are *comm-free*: every
+     * state visited (including the current one) has all-zero buffer
+     * controls, so no tile drives or captures and a bus cycle against
+     * it is a guaranteed no-op. Unlike inertSelfLoop() this walks
+     * through state transitions — wait states (nxt1 == self) and
+     * inert self-loops are consumed in O(1), other comm-free states
+     * one at a time — so a schedule that parks between its active
+     * slots reports the whole gap.
+     */
+    uint64_t commFreeRun(uint64_t max) const;
+
+    /**
+     * Commit @p n comm-free cycles in one call: state and counters
+     * advance exactly as n step() calls would, and the step statistic
+     * is credited. @p n must not exceed commFreeRun(n) — the walk
+     * panics if it reaches a driving/capturing state early.
+     */
+    void fastForwardCommFree(uint64_t n);
+
     unsigned stateIndex() const { return state_; }
     uint32_t counter(unsigned i) const { return counters_.at(i); }
 
@@ -145,12 +192,36 @@ class Dou
     const StatGroup &stats() const { return stats_; }
 
   private:
+    uint64_t walkCommFree(uint64_t max, unsigned &st,
+                          std::array<uint32_t, DouNumCounters> &ctrs)
+        const;
+
     unsigned column_;
     DouProgram prog_;
     unsigned state_ = 0;
     std::array<uint32_t, DouNumCounters> counters_{};
     StatGroup stats_;
     Counter &steps_;
+
+    /**
+     * Comm-free lookahead cache: the next cf_run_ step() calls are
+     * proven comm-free against horizon cf_cap_ (cf_run_ < cf_cap_
+     * means the run's end is exact, not horizon-capped). Repeated
+     * probes over one quiet window — the Compiled scheduler asks
+     * once to bound stalls and again to batch phases — then hit the
+     * cache instead of re-walking. Any other state change resets it.
+     *
+     * cf_end_* is the machine position after consuming the whole
+     * cached run. Whenever cf_run_ > 0 it is current: only a probe
+     * walk raises cf_run_ (and records the end), and every consuming
+     * path shortens the run from the front, which leaves the position
+     * after the remainder unchanged. fastForwardCommFree() snaps to
+     * it when asked to commit exactly the remaining run.
+     */
+    mutable uint64_t cf_run_ = 0;
+    mutable uint64_t cf_cap_ = 0;
+    mutable unsigned cf_end_state_ = 0;
+    mutable std::array<uint32_t, DouNumCounters> cf_end_ctrs_{};
 };
 
 } // namespace synchro::arch

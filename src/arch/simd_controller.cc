@@ -29,6 +29,14 @@ SimdController::loadProgram(const isa::Program &prog)
     if (prog.insts.empty())
         fatal("column %u: empty program", column_);
     prog_ = isa::decodeProgram(prog);
+    fns_.clear();
+    fns_.reserve(prog_->uops.size());
+    loop_fns_.clear();
+    loop_fns_.reserve(prog_->uops.size());
+    for (const MicroOp &u : prog_->uops) {
+        fns_.push_back(Tile::opThunk(u.kind));
+        loop_fns_.push_back(Tile::opLoopThunk(u.kind));
+    }
     reset();
 }
 
@@ -203,6 +211,226 @@ SimdController::cycle(const std::vector<Tile *> &tiles)
     for (Tile *t : tiles)
         t->execute(uop);
     advancePc();
+}
+
+void
+SimdController::zormWindow(uint64_t want_issues, Tick avail,
+                           uint64_t &issues, uint64_t &nops)
+{
+    const uint64_t acc0 = zorm_acc_;
+    const uint64_t rate = zorm_nops_;
+    const uint64_t period = zorm_period_;
+
+    // Per slot the Bresenham rule is: acc += rate; nop if acc >=
+    // period (then acc -= period), else issue. acc stays in
+    // [0, period), so after S slots exactly
+    //   Z(S) = (acc0 + S * rate) / period
+    // slots were nops and issues(S) = S - Z(S). issues(S) is
+    // monotone, so the least S with issues(S) == want_issues is the
+    // least fixed point of S = want_issues + Z(S), reached by
+    // iterating from below.
+    uint64_t S = want_issues;
+    while (true) {
+        uint64_t next = want_issues + (acc0 + S * rate) / period;
+        if (next == S)
+            break;
+        S = next;
+    }
+    if (S > uint64_t(avail))
+        S = uint64_t(avail);
+    uint64_t Z = (acc0 + S * rate) / period;
+    issues = S - Z;
+    nops = Z;
+    zorm_acc_ = uint32_t(acc0 + S * rate - Z * period);
+}
+
+Tick
+SimdController::cycleBlock(const std::vector<Tile *> &tiles,
+                           Tick max_slots)
+{
+    if (halted_ || stall_ > 0 || !prog_)
+        return 0;
+
+    const auto &run_len = prog_->run_len;
+    const size_t psize = prog_->uops.size();
+    Tick slots = 0;
+
+    while (slots < max_slots && pc_ < psize && run_len[pc_] != 0) {
+        const uint64_t run = run_len[pc_];
+        const Tick avail = max_slots - slots;
+
+        // Whole-loop batching: at the start of the innermost active
+        // zero-overhead loop whose entire body is one straight run,
+        // execute complete firings in bulk — the steady-state case
+        // the backend exists for. Partial windows (avail smaller
+        // than one body) fall through to the per-run path below.
+        if (!loop_stack_.empty()) {
+            LoopUnit &u = loops_[loop_stack_.back()];
+            const uint64_t body = u.end - u.start;
+            if (u.start == pc_ && run == body) {
+                uint64_t iters, nops2 = 0, consumed;
+                if (zorm_period_ != 0) {
+                    // Issue capacity of the whole window, rounded
+                    // down to complete firings.
+                    const uint64_t acc0 = zorm_acc_;
+                    const uint64_t rate = zorm_nops_;
+                    const uint64_t period = zorm_period_;
+                    const uint64_t cap =
+                        uint64_t(avail) -
+                        (acc0 + uint64_t(avail) * rate) / period;
+                    iters = std::min<uint64_t>(u.remaining,
+                                               cap / body);
+                    if (iters == 0)
+                        goto per_run;
+                    uint64_t issues2;
+                    zormWindow(iters * body, avail, issues2, nops2);
+                    sync_assert(issues2 == iters * body,
+                                "column %u: zorm window %llu != "
+                                "%llu firings of %llu",
+                                column_,
+                                (unsigned long long)issues2,
+                                (unsigned long long)iters,
+                                (unsigned long long)body);
+                    consumed = issues2 + nops2;
+                } else {
+                    iters = std::min<uint64_t>(u.remaining,
+                                               uint64_t(avail) / body);
+                    if (iters == 0)
+                        goto per_run;
+                    consumed = iters * body;
+                }
+
+                const MicroOp *uops = prog_->uops.data() + u.start;
+                const Tile::OpFn *fns = fns_.data() + u.start;
+                const uint64_t ctrl_nops =
+                    prog_->nop_prefix[u.end] - prog_->nop_prefix[u.start];
+                const uint64_t mems =
+                    prog_->mem_prefix[u.end] - prog_->mem_prefix[u.start];
+                const uint64_t macs =
+                    prog_->mac_prefix[u.end] - prog_->mac_prefix[u.start];
+                if (body == 1) {
+                    const Tile::OpLoopFn lf = loop_fns_[u.start];
+                    for (Tile *t : tiles) {
+                        t->executeLoopOp(lf, uops[0], iters,
+                                         iters * (1 - ctrl_nops),
+                                         iters * mems, iters * macs);
+                    }
+                } else {
+                    for (Tile *t : tiles) {
+                        t->executeLoop(fns, uops, uint32_t(body),
+                                       iters,
+                                       iters * (body - ctrl_nops),
+                                       iters * mems, iters * macs);
+                    }
+                }
+                issued_ += iters * body;
+                zorm_nops_issued_ += nops2;
+                slots += Tick(consumed);
+
+                // Equivalent loop-state update: iters - 1 loop-backs
+                // already taken, then the final firing's advance
+                // (which pops the unit — and unwinds any outer unit
+                // sharing the end address — when it was the last).
+                u.remaining -= uint32_t(iters) - 1;
+                pc_ = u.end - 1;
+                advancePc();
+                continue;
+            }
+        }
+    per_run:
+
+        uint64_t issues, nops;
+        if (zorm_period_ != 0) {
+            zormWindow(run, avail, issues, nops);
+        } else {
+            issues = std::min<uint64_t>(run, uint64_t(avail));
+            nops = 0;
+        }
+        if (issues == 0) {
+            // The whole window is rate-match nops.
+            zorm_nops_issued_ += nops;
+            slots += Tick(nops);
+            break;
+        }
+
+        const MicroOp *uops = prog_->uops.data() + pc_;
+        const Tile::OpFn *fns = fns_.data() + pc_;
+        const uint64_t ctrl_nops =
+            prog_->nop_prefix[pc_ + issues] - prog_->nop_prefix[pc_];
+        const uint64_t mems =
+            prog_->mem_prefix[pc_ + issues] - prog_->mem_prefix[pc_];
+        const uint64_t macs =
+            prog_->mac_prefix[pc_ + issues] - prog_->mac_prefix[pc_];
+        for (Tile *t : tiles) {
+            t->executeBlock(fns, uops, uint32_t(issues),
+                            issues - ctrl_nops, mems, macs);
+        }
+        issued_ += issues;
+        zorm_nops_issued_ += nops;
+        slots += Tick(issues + nops);
+
+        if (issues == run) {
+            // Interior addresses of a run are never loop ends, so
+            // only the final advance needs the zero-overhead-loop
+            // check (which may wrap pc back into a firing loop).
+            pc_ += uint32_t(issues) - 1;
+            advancePc();
+        } else {
+            pc_ += uint32_t(issues);
+        }
+    }
+    return slots;
+}
+
+Tick
+SimdController::stallBlock(const std::vector<Tile *> &tiles,
+                           Tick max_slots)
+{
+    if (halted_ || stall_ > 0 || !prog_ || max_slots == 0)
+        return 0;
+    if (pc_ >= prog_->uops.size())
+        return 0;
+
+    // The next slot must be a ZORM nop or a stalled comm op; a ZORM
+    // nop slot defers the hazard check, so only the op kind decides.
+    const MicroOp &uop = prog_->uops[pc_];
+    bool stalled = false;
+    if (uop.kind == UopKind::CommRead) {
+        for (Tile *t : tiles) {
+            bool ready = uop.imm >= 0
+                             ? t->readBuffer(unsigned(uop.imm)).valid()
+                             : t->anyReadValid();
+            if (!ready) {
+                stalled = true;
+                break;
+            }
+        }
+    } else if (uop.kind == UopKind::CommWrite) {
+        for (Tile *t : tiles) {
+            if (t->writeBuffer().valid()) {
+                stalled = true;
+                break;
+            }
+        }
+    }
+    if (!stalled)
+        return 0;
+
+    // Per slot the per-slot path takes either the ZORM-nop branch or
+    // the comm-stall branch; over S slots that is Z(S) paced nops and
+    // S - Z(S) stall cycles, with the accumulator advanced as S
+    // Bresenham steps.
+    if (zorm_period_ != 0) {
+        const uint64_t acc0 = zorm_acc_;
+        const uint64_t S = uint64_t(max_slots);
+        const uint64_t Z = (acc0 + S * zorm_nops_) / zorm_period_;
+        zorm_acc_ = uint32_t(acc0 + S * zorm_nops_ - Z * zorm_period_);
+        zorm_nops_issued_ += Z;
+        comm_stalls_ += S - Z;
+    } else {
+        comm_stalls_ += uint64_t(max_slots);
+    }
+    return max_slots;
 }
 
 } // namespace synchro::arch

@@ -28,6 +28,7 @@
 #include "common/stats.hh"
 #include "isa/assembler.hh"
 #include "isa/uop.hh"
+#include "sim/types.hh"
 
 namespace synchro::arch
 {
@@ -79,6 +80,34 @@ class SimdController
      */
     void cycle(const std::vector<Tile *> &tiles);
 
+    /**
+     * Execute up to @p max_slots issue slots as pre-analyzed
+     * straight-line blocks (isa::DecodedProgram::run_len) — the
+     * Compiled scheduler backend's edge path. Consumes only slots
+     * whose behavior is statically known: broadcast compute ops,
+     * controller nops, and ZORM-paced nops (folded in closed form).
+     * Stops before any branch, halt, lsetup or comm op, so those —
+     * and their hazard checks — run through cycle() at their exact
+     * slot. Returns the number of slots consumed; 0 means the current
+     * slot needs the per-slot path (caller falls back to cycle()).
+     * State, statistics and tile effects are bit-identical to the
+     * same number of cycle() calls.
+     */
+    Tick cycleBlock(const std::vector<Tile *> &tiles, Tick max_slots);
+
+    /**
+     * If the next slot would stall on a communication hazard
+     * (CommRead with an empty buffer / CommWrite with a full one),
+     * consume up to @p max_slots such stall slots — ZORM-paced nops
+     * interleaved in closed form — in one call; returns 0 otherwise.
+     * Only valid when the caller can prove the hazard cannot resolve
+     * within the window: comm buffers change only through bus
+     * activity (and this column's own broadcasts, which a stalled
+     * column does not perform), so any window of bus-quiet reference
+     * phases qualifies.
+     */
+    Tick stallBlock(const std::vector<Tile *> &tiles, Tick max_slots);
+
     bool halted() const { return halted_; }
     uint32_t pc() const { return pc_; }
 
@@ -99,8 +128,19 @@ class SimdController
     bool readCc(const std::vector<Tile *> &tiles) const;
     void advancePc();
 
+    /**
+     * Fold a window of ZORM pacing in closed form: the least slot
+     * count S that yields @p want_issues issue slots (capped at
+     * @p avail total slots), split into issues + paced nops, with
+     * zorm_acc_ advanced exactly as S per-slot Bresenham steps would.
+     */
+    void zormWindow(uint64_t want_issues, Tick avail,
+                    uint64_t &issues, uint64_t &nops);
+
     unsigned column_;
     std::shared_ptr<const isa::DecodedProgram> prog_;
+    std::vector<Tile::OpFn> fns_; //!< per-pc opThunk()s for blocks
+    std::vector<Tile::OpLoopFn> loop_fns_; //!< per-pc opLoopThunk()s
 
     uint32_t pc_ = 0;
     bool halted_ = true;

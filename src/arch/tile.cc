@@ -142,36 +142,6 @@ Tile::anyReadValid() const
     return false;
 }
 
-uint32_t
-Tile::loadFrom(uint32_t addr, unsigned size, bool sign_extend)
-{
-    if (uint64_t(addr) + size > MemBytes)
-        fatal("tile (%u,%u): load at 0x%x beyond SRAM", column_,
-              index_, addr);
-    if (addr % size != 0)
-        fatal("tile (%u,%u): unaligned %u-byte load at 0x%x", column_,
-              index_, size, addr);
-    uint32_t v = 0;
-    std::memcpy(&v, mem_.data() + addr, size);
-    if (sign_extend && size < 4) {
-        unsigned shift = 32 - 8 * size;
-        v = uint32_t(int32_t(v << shift) >> shift);
-    }
-    return v;
-}
-
-void
-Tile::storeTo(uint32_t addr, unsigned size, uint32_t value)
-{
-    if (uint64_t(addr) + size > MemBytes)
-        fatal("tile (%u,%u): store at 0x%x beyond SRAM", column_,
-              index_, addr);
-    if (addr % size != 0)
-        fatal("tile (%u,%u): unaligned %u-byte store at 0x%x", column_,
-              index_, size, addr);
-    std::memcpy(mem_.data() + addr, &value, size);
-}
-
 namespace
 {
 
@@ -191,135 +161,96 @@ halfProduct(uint32_t a, uint32_t b, uint8_t flags)
 
 } // namespace
 
-uint32_t
-Tile::effectiveAddress(const MicroOp &uop)
-{
-    uint32_t p = pregs_[uop.rs1];
-    if (!(uop.flags & isa::UopPostMod))
-        return p + uint32_t(uop.imm);
-    // Post-modify: access at p, then update the pointer.
-    pregs_[uop.rs1] = p + uint32_t(uop.imm);
-    return p;
-}
-
 void
 Tile::execute(const Inst &inst)
 {
     execute(isa::decodeInst(inst));
 }
 
+/**
+ * The single source of op semantics: one specialization per
+ * executable UopKind. execute() dispatches through a switch (the
+ * per-slot interpreter) and the Compiled backend calls the same
+ * functions through opThunk() pointers, so the two paths cannot
+ * drift apart. Activity counters live in the callers.
+ */
+template <UopKind K>
 void
-Tile::execute(const MicroOp &uop)
+Tile::opFn(Tile &t, const MicroOp &uop)
 {
-    ++instructions_;
-    auto &r = regs_;
+    auto &r = t.regs_;
 
-    switch (uop.kind) {
-      case UopKind::Add:
+    if constexpr (K == UopKind::Add) {
         r[uop.rd] = r[uop.rs1] + r[uop.rs2];
-        break;
-      case UopKind::Sub:
+    } else if constexpr (K == UopKind::Sub) {
         r[uop.rd] = r[uop.rs1] - r[uop.rs2];
-        break;
-      case UopKind::And:
+    } else if constexpr (K == UopKind::And) {
         r[uop.rd] = r[uop.rs1] & r[uop.rs2];
-        break;
-      case UopKind::Or:
+    } else if constexpr (K == UopKind::Or) {
         r[uop.rd] = r[uop.rs1] | r[uop.rs2];
-        break;
-      case UopKind::Xor:
+    } else if constexpr (K == UopKind::Xor) {
         r[uop.rd] = r[uop.rs1] ^ r[uop.rs2];
-        break;
-      case UopKind::Min:
+    } else if constexpr (K == UopKind::Min) {
         r[uop.rd] = uint32_t(std::min(int32_t(r[uop.rs1]),
                                       int32_t(r[uop.rs2])));
-        break;
-      case UopKind::Max:
+    } else if constexpr (K == UopKind::Max) {
         r[uop.rd] = uint32_t(std::max(int32_t(r[uop.rs1]),
                                       int32_t(r[uop.rs2])));
-        break;
-      case UopKind::Lsl:
+    } else if constexpr (K == UopKind::Lsl) {
         r[uop.rd] = r[uop.rs1] << (r[uop.rs2] & 31);
-        break;
-      case UopKind::Lsr:
+    } else if constexpr (K == UopKind::Lsr) {
         r[uop.rd] = r[uop.rs1] >> (r[uop.rs2] & 31);
-        break;
-      case UopKind::Asr:
+    } else if constexpr (K == UopKind::Asr) {
         r[uop.rd] =
             uint32_t(int32_t(r[uop.rs1]) >> (r[uop.rs2] & 31));
-        break;
-      case UopKind::Mul:
+    } else if constexpr (K == UopKind::Mul) {
         r[uop.rd] = uint32_t(int64_t(int32_t(r[uop.rs1])) *
                              int64_t(int32_t(r[uop.rs2])));
-        break;
-      case UopKind::Sel:
-        r[uop.rd] = cc_ ? r[uop.rs1] : r[uop.rs2];
-        break;
-
-      case UopKind::Neg:
+    } else if constexpr (K == UopKind::Sel) {
+        r[uop.rd] = t.cc_ ? r[uop.rs1] : r[uop.rs2];
+    } else if constexpr (K == UopKind::Neg) {
         r[uop.rd] = uint32_t(-int32_t(r[uop.rs1]));
-        break;
-      case UopKind::Not:
+    } else if constexpr (K == UopKind::Not) {
         r[uop.rd] = ~r[uop.rs1];
-        break;
-      case UopKind::Abs: {
+    } else if constexpr (K == UopKind::Abs) {
         // DSP-style saturating abs: |INT32_MIN| -> INT32_MAX.
         int32_t v = int32_t(r[uop.rs1]);
         r[uop.rd] = v == INT32_MIN ? uint32_t(INT32_MAX)
                                    : uint32_t(v < 0 ? -v : v);
-        break;
-      }
-      case UopKind::Mov:
+    } else if constexpr (K == UopKind::Mov) {
         r[uop.rd] = r[uop.rs1];
-        break;
-
-      case UopKind::AddImm:
+    } else if constexpr (K == UopKind::AddImm) {
         r[uop.rd] += uint32_t(uop.imm);
-        break;
-      case UopKind::LslImm:
+    } else if constexpr (K == UopKind::LslImm) {
         r[uop.rd] = r[uop.rs1] << uop.imm;
-        break;
-      case UopKind::LsrImm:
+    } else if constexpr (K == UopKind::LsrImm) {
         r[uop.rd] = r[uop.rs1] >> uop.imm;
-        break;
-      case UopKind::AsrImm:
+    } else if constexpr (K == UopKind::AsrImm) {
         r[uop.rd] = uint32_t(int32_t(r[uop.rs1]) >> uop.imm);
-        break;
-
-      case UopKind::Add16: {
+    } else if constexpr (K == UopKind::Add16) {
         uint32_t a = r[uop.rs1], b = r[uop.rs2];
         uint32_t lo = uint16_t(sat16(int64_t(half(a, false)) +
                                      half(b, false)));
         uint32_t hi = uint16_t(sat16(int64_t(half(a, true)) +
                                      half(b, true)));
         r[uop.rd] = (hi << 16) | lo;
-        break;
-      }
-      case UopKind::Sub16: {
+    } else if constexpr (K == UopKind::Sub16) {
         uint32_t a = r[uop.rs1], b = r[uop.rs2];
         uint32_t lo = uint16_t(sat16(int64_t(half(a, false)) -
                                      half(b, false)));
         uint32_t hi = uint16_t(sat16(int64_t(half(a, true)) -
                                      half(b, true)));
         r[uop.rd] = (hi << 16) | lo;
-        break;
-      }
-
-      case UopKind::Mac:
-        ++mac_ops_;
-        accs_[uop.acc] = sat40(
-            accs_[uop.acc] +
+    } else if constexpr (K == UopKind::Mac) {
+        t.accs_[uop.acc] = sat40(
+            t.accs_[uop.acc] +
             halfProduct(r[uop.rs1], r[uop.rs2], uop.flags));
-        break;
-      case UopKind::Msu:
-        ++mac_ops_;
-        accs_[uop.acc] = sat40(
-            accs_[uop.acc] -
+    } else if constexpr (K == UopKind::Msu) {
+        t.accs_[uop.acc] = sat40(
+            t.accs_[uop.acc] -
             halfProduct(r[uop.rs1], r[uop.rs2], uop.flags));
-        break;
-      case UopKind::Saa: {
+    } else if constexpr (K == UopKind::Saa) {
         // Video-ALU sum of absolute byte differences (4 lanes).
-        ++mac_ops_;
         uint32_t a = r[uop.rs1], b = r[uop.rs2];
         int64_t sum = 0;
         for (unsigned i = 0; i < 4; ++i) {
@@ -327,95 +258,222 @@ Tile::execute(const MicroOp &uop)
             int32_t bb = int32_t((b >> (8 * i)) & 0xff);
             sum += ba > bb ? ba - bb : bb - ba;
         }
-        accs_[uop.acc] = sat40(accs_[uop.acc] + sum);
-        break;
-      }
-      case UopKind::AClr:
-        accs_[uop.acc] = 0;
-        break;
-      case UopKind::AExt:
-        r[uop.rd] = uint32_t(sat32(accs_[uop.acc] >> uop.imm));
-        break;
-
-      case UopKind::MovImm:
+        t.accs_[uop.acc] = sat40(t.accs_[uop.acc] + sum);
+    } else if constexpr (K == UopKind::AClr) {
+        t.accs_[uop.acc] = 0;
+    } else if constexpr (K == UopKind::AExt) {
+        r[uop.rd] = uint32_t(sat32(t.accs_[uop.acc] >> uop.imm));
+    } else if constexpr (K == UopKind::MovImm) {
         r[uop.rd] = uint32_t(uop.imm);
-        break;
-      case UopKind::MovImmHigh:
+    } else if constexpr (K == UopKind::MovImmHigh) {
         r[uop.rd] = (r[uop.rd] & 0xffff) | (uint32_t(uop.imm) << 16);
-        break;
-      case UopKind::MovPtrImm:
-        pregs_[uop.rd] = uint32_t(uop.imm);
-        break;
-      case UopKind::MovPtr:
-        pregs_[uop.rd] = r[uop.rs1];
-        break;
-      case UopKind::MovFromPtr:
-        r[uop.rd] = pregs_[uop.rs1];
-        break;
-      case UopKind::PtrAddImm:
-        pregs_[uop.rd] += uint32_t(uop.imm);
-        break;
-      case UopKind::TileId:
-        r[uop.rd] = index_;
-        break;
-
-      case UopKind::Load:
-        ++mem_ops_;
-        r[uop.rd] = loadFrom(effectiveAddress(uop), uop.mem_size,
-                             uop.flags & isa::UopSignExtend);
-        break;
-      case UopKind::Store:
-        ++mem_ops_;
-        storeTo(effectiveAddress(uop), uop.mem_size, r[uop.rd]);
-        break;
-
-      case UopKind::CmpEq:
-        cc_ = r[uop.rd] == r[uop.rs1];
-        break;
-      case UopKind::CmpLt:
-        cc_ = int32_t(r[uop.rd]) < int32_t(r[uop.rs1]);
-        break;
-      case UopKind::CmpLe:
-        cc_ = int32_t(r[uop.rd]) <= int32_t(r[uop.rs1]);
-        break;
-      case UopKind::CmpLtu:
-        cc_ = r[uop.rd] < r[uop.rs1];
-        break;
-
-      case UopKind::CommWrite:
-        if (!wbuf_.push(r[uop.rd], int(uop.imm)))
+    } else if constexpr (K == UopKind::MovPtrImm) {
+        t.pregs_[uop.rd] = uint32_t(uop.imm);
+    } else if constexpr (K == UopKind::MovPtr) {
+        t.pregs_[uop.rd] = r[uop.rs1];
+    } else if constexpr (K == UopKind::MovFromPtr) {
+        r[uop.rd] = t.pregs_[uop.rs1];
+    } else if constexpr (K == UopKind::PtrAddImm) {
+        t.pregs_[uop.rd] += uint32_t(uop.imm);
+    } else if constexpr (K == UopKind::TileId) {
+        r[uop.rd] = t.index_;
+    } else if constexpr (K == UopKind::Load) {
+        r[uop.rd] = t.loadFrom(t.effectiveAddress(uop), uop.mem_size,
+                               uop.flags & isa::UopSignExtend);
+    } else if constexpr (K == UopKind::Store) {
+        t.storeTo(t.effectiveAddress(uop), uop.mem_size, r[uop.rd]);
+    } else if constexpr (K == UopKind::CmpEq) {
+        t.cc_ = r[uop.rd] == r[uop.rs1];
+    } else if constexpr (K == UopKind::CmpLt) {
+        t.cc_ = int32_t(r[uop.rd]) < int32_t(r[uop.rs1]);
+    } else if constexpr (K == UopKind::CmpLe) {
+        t.cc_ = int32_t(r[uop.rd]) <= int32_t(r[uop.rs1]);
+    } else if constexpr (K == UopKind::CmpLtu) {
+        t.cc_ = r[uop.rd] < r[uop.rs1];
+    } else if constexpr (K == UopKind::CommWrite) {
+        if (!t.wbuf_.push(r[uop.rd], int(uop.imm)))
             panic("tile (%u,%u): cwr into a full write buffer "
                   "(controller must stall first)",
-                  column_, index_);
-        break;
-      case UopKind::CommRead:
+                  t.column_, t.index_);
+    } else if constexpr (K == UopKind::CommRead) {
         if (uop.imm >= 0) {
-            CommBuffer &b = rbufs_[unsigned(uop.imm)];
+            CommBuffer &b = t.rbufs_[unsigned(uop.imm)];
             if (!b.valid())
                 panic("tile (%u,%u): crd from empty lane-%d read "
                       "buffer (controller must stall first)",
-                      column_, index_, int(uop.imm));
+                      t.column_, t.index_, int(uop.imm));
             r[uop.rd] = b.pop();
-            break;
-        }
-        for (auto &b : rbufs_) {
-            if (b.valid()) {
-                r[uop.rd] = b.pop();
-                return;
+        } else {
+            for (auto &b : t.rbufs_) {
+                if (b.valid()) {
+                    r[uop.rd] = b.pop();
+                    return;
+                }
             }
+            panic("tile (%u,%u): crd with no valid read buffer "
+                  "(controller must stall first)",
+                  t.column_, t.index_);
         }
-        panic("tile (%u,%u): crd with no valid read buffer "
-              "(controller must stall first)",
-              column_, index_);
-        break;
+    } else if constexpr (K == UopKind::Nop) {
+        (void)t;
+        (void)uop;
+    } else {
+        static_assert(K == UopKind::Nop, "opFn on a control kind");
+    }
+}
 
-      case UopKind::Nop:
-        break;
+// Every micro-op kind a tile can execute, for stamping out the
+// per-kind thunk tables below.
+#define SYNC_TILE_EXECUTABLE_KINDS(X) \
+    X(Nop) \
+    X(Add) \
+    X(Sub) \
+    X(And) \
+    X(Or) \
+    X(Xor) \
+    X(Min) \
+    X(Max) \
+    X(Lsl) \
+    X(Lsr) \
+    X(Asr) \
+    X(Mul) \
+    X(Sel) \
+    X(Neg) \
+    X(Not) \
+    X(Abs) \
+    X(Mov) \
+    X(AddImm) \
+    X(LslImm) \
+    X(LsrImm) \
+    X(AsrImm) \
+    X(Add16) \
+    X(Sub16) \
+    X(Mac) \
+    X(Msu) \
+    X(Saa) \
+    X(AClr) \
+    X(AExt) \
+    X(MovImm) \
+    X(MovImmHigh) \
+    X(MovPtrImm) \
+    X(MovPtr) \
+    X(MovFromPtr) \
+    X(PtrAddImm) \
+    X(TileId) \
+    X(Load) \
+    X(Store) \
+    X(CmpEq) \
+    X(CmpLt) \
+    X(CmpLe) \
+    X(CmpLtu) \
+    X(CommWrite) \
+    X(CommRead)
 
+template <UopKind K>
+void
+Tile::opLoopFn(Tile &t, const MicroOp &uop, uint64_t iters)
+{
+    // One fully-inlined op per iteration: for simple bodies the
+    // optimizer reduces this to a closed form or a tight loop with
+    // no indirect calls.
+    for (uint64_t i = 0; i < iters; ++i)
+        opFn<K>(t, uop);
+}
+
+Tile::OpFn
+Tile::opThunk(UopKind kind)
+{
+    switch (kind) {
+#define X(K)                                                          \
+      case UopKind::K:                                                \
+        return &opFn<UopKind::K>;
+        SYNC_TILE_EXECUTABLE_KINDS(X)
+#undef X
       default:
+        return nullptr;
+    }
+}
+
+Tile::OpLoopFn
+Tile::opLoopThunk(UopKind kind)
+{
+    switch (kind) {
+#define X(K)                                                          \
+      case UopKind::K:                                                \
+        return &opLoopFn<UopKind::K>;
+        SYNC_TILE_EXECUTABLE_KINDS(X)
+#undef X
+      default:
+        return nullptr;
+    }
+}
+
+void
+Tile::execute(const MicroOp &uop)
+{
+    ++instructions_;
+    switch (uop.kind) {
+      case UopKind::Load:
+      case UopKind::Store:
+        ++mem_ops_;
+        break;
+      case UopKind::Mac:
+      case UopKind::Msu:
+      case UopKind::Saa:
+        ++mac_ops_;
+        break;
+      default:
+        break;
+    }
+    OpFn fn = opThunk(uop.kind);
+    if (!fn)
         panic("tile (%u,%u): control micro-op %u broadcast to tile",
               column_, index_, unsigned(uop.kind));
+    fn(*this, uop);
+}
+
+void
+Tile::executeBlock(const OpFn *fns, const MicroOp *uops, uint32_t n,
+                   uint64_t broadcast, uint64_t mems, uint64_t macs)
+{
+    instructions_ += broadcast;
+    mem_ops_ += mems;
+    mac_ops_ += macs;
+    for (uint32_t i = 0; i < n; ++i)
+        fns[i](*this, uops[i]);
+}
+
+void
+Tile::executeLoop(const OpFn *fns, const MicroOp *uops, uint32_t n,
+                  uint64_t iters, uint64_t broadcast, uint64_t mems,
+                  uint64_t macs)
+{
+    instructions_ += broadcast;
+    mem_ops_ += mems;
+    mac_ops_ += macs;
+    if (n == 1) {
+        // Single-op bodies are common (accumulation loops); hoist
+        // the dispatch so the branch predictor sees one target.
+        const OpFn fn = fns[0];
+        const MicroOp &u = uops[0];
+        for (uint64_t it = 0; it < iters; ++it)
+            fn(*this, u);
+        return;
     }
+    for (uint64_t it = 0; it < iters; ++it) {
+        for (uint32_t i = 0; i < n; ++i)
+            fns[i](*this, uops[i]);
+    }
+}
+
+void
+Tile::executeLoopOp(OpLoopFn fn, const MicroOp &uop, uint64_t iters,
+                    uint64_t broadcast, uint64_t mems, uint64_t macs)
+{
+    instructions_ += broadcast;
+    mem_ops_ += mems;
+    mac_ops_ += macs;
+    fn(*this, uop, iters);
 }
 
 } // namespace synchro::arch

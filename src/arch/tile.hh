@@ -16,10 +16,12 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "arch/comm_buffer.hh"
 #include "arch/dou.hh"
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "isa/inst.hh"
 #include "isa/uop.hh"
@@ -83,6 +85,56 @@ class Tile
      */
     void execute(const isa::Inst &inst);
 
+    /** A specialized executor for one micro-op kind. */
+    using OpFn = void (*)(Tile &, const isa::MicroOp &);
+
+    /**
+     * The specialized executor for @p kind, or nullptr for control
+     * kinds that may never reach a tile. The returned function runs
+     * the op's datapath semantics only — activity counters are the
+     * caller's job (execute() charges them per op, executeBlock() in
+     * bulk).
+     */
+    static OpFn opThunk(isa::UopKind kind);
+
+    /**
+     * Execute @p n micro-ops of a pre-analyzed straight-line block
+     * (isa::DecodedProgram::run_len) in one call — the Compiled
+     * scheduler backend's broadcast path. @p fns are the matching
+     * opThunk() pointers; @p broadcast / @p mems / @p macs are the
+     * per-tile counter charges for the whole range (controller nops
+     * are issued but not broadcast, so broadcast <= n).
+     */
+    void executeBlock(const OpFn *fns, const isa::MicroOp *uops,
+                      uint32_t n, uint64_t broadcast, uint64_t mems,
+                      uint64_t macs);
+
+    /**
+     * Execute @p iters complete firings of an @p n micro-op loop
+     * body in one call — executeBlock() for a whole zero-overhead
+     * loop. The counter charges cover all iterations.
+     */
+    void executeLoop(const OpFn *fns, const isa::MicroOp *uops,
+                     uint32_t n, uint64_t iters, uint64_t broadcast,
+                     uint64_t mems, uint64_t macs);
+
+    /** A specialized executor running one op @p iters times. */
+    using OpLoopFn = void (*)(Tile &, const isa::MicroOp &, uint64_t);
+
+    /**
+     * The iterated executor for @p kind (nullptr for control kinds).
+     * For single-op loop bodies this beats @p iters opThunk() calls:
+     * the op is inlined into the iteration loop, which the optimizer
+     * then collapses or vectorizes. Semantics and panics are
+     * identical to calling opThunk(kind) @p iters times.
+     */
+    static OpLoopFn opLoopThunk(isa::UopKind kind);
+
+    /** executeLoop() for a one-op body via its opLoopThunk(). */
+    void executeLoopOp(OpLoopFn fn, const isa::MicroOp &uop,
+                       uint64_t iters, uint64_t broadcast,
+                       uint64_t mems, uint64_t macs);
+
     /**
      * The single write buffer. Words may carry a lane tag (from a
      * tagged `cwr`); the DOU only drives a tagged word onto its
@@ -113,9 +165,82 @@ class Tile
     const StatGroup &stats() const { return stats_; }
 
   private:
-    uint32_t loadFrom(uint32_t addr, unsigned size, bool sign_extend);
-    void storeTo(uint32_t addr, unsigned size, uint32_t value);
-    uint32_t effectiveAddress(const isa::MicroOp &uop);
+    template <isa::UopKind K>
+    static void opFn(Tile &t, const isa::MicroOp &uop);
+
+    template <isa::UopKind K>
+    static void opLoopFn(Tile &t, const isa::MicroOp &uop,
+                         uint64_t iters);
+
+    // Defined inline: Load/Store dominate mapped-app kernels, and the
+    // Compiled backend's batched blocks execute them back to back.
+    uint32_t
+    loadFrom(uint32_t addr, unsigned size, bool sign_extend)
+    {
+        if (uint64_t(addr) + size > MemBytes) [[unlikely]]
+            fatal("tile (%u,%u): load at 0x%x beyond SRAM", column_,
+                  index_, addr);
+        if (addr % size != 0) [[unlikely]]
+            fatal("tile (%u,%u): unaligned %u-byte load at 0x%x",
+                  column_, index_, size, addr);
+        // Constant-size accesses per arm so each compiles to a single
+        // load, not a libc memcpy call on a runtime length.
+        uint32_t v;
+        switch (size) {
+          case 1:
+            v = mem_[addr];
+            break;
+          case 2: {
+            uint16_t h;
+            std::memcpy(&h, mem_.data() + addr, 2);
+            v = h;
+            break;
+          }
+          default:
+            std::memcpy(&v, mem_.data() + addr, 4);
+            break;
+        }
+        if (sign_extend && size < 4) {
+            unsigned shift = 32 - 8 * size;
+            v = uint32_t(int32_t(v << shift) >> shift);
+        }
+        return v;
+    }
+
+    void
+    storeTo(uint32_t addr, unsigned size, uint32_t value)
+    {
+        if (uint64_t(addr) + size > MemBytes) [[unlikely]]
+            fatal("tile (%u,%u): store at 0x%x beyond SRAM", column_,
+                  index_, addr);
+        if (addr % size != 0) [[unlikely]]
+            fatal("tile (%u,%u): unaligned %u-byte store at 0x%x",
+                  column_, index_, size, addr);
+        switch (size) {
+          case 1:
+            mem_[addr] = uint8_t(value);
+            break;
+          case 2: {
+            uint16_t h = uint16_t(value);
+            std::memcpy(mem_.data() + addr, &h, 2);
+            break;
+          }
+          default:
+            std::memcpy(mem_.data() + addr, &value, 4);
+            break;
+        }
+    }
+
+    uint32_t
+    effectiveAddress(const isa::MicroOp &uop)
+    {
+        uint32_t p = pregs_[uop.rs1];
+        if (!(uop.flags & isa::UopPostMod))
+            return p + uint32_t(uop.imm);
+        // Post-modify: access at p, then update the pointer.
+        pregs_[uop.rs1] = p + uint32_t(uop.imm);
+        return p;
+    }
 
     unsigned column_;
     unsigned index_;

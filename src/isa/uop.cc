@@ -331,6 +331,53 @@ cache()
     return c;
 }
 
+/**
+ * Steady-state block analysis (see DecodedProgram::run_len). Loop
+ * end addresses are collected statically from every `lsetup` in the
+ * program — conservative (an address truncates runs even while its
+ * loop is inactive) but safe: truncation only costs one extra
+ * advancePc() per boundary, never correctness.
+ */
+void
+analyzeBlocks(DecodedProgram &p)
+{
+    const size_t n = p.uops.size();
+    p.run_len.assign(n, 0);
+    p.nop_prefix.assign(n + 1, 0);
+    p.mem_prefix.assign(n + 1, 0);
+    p.mac_prefix.assign(n + 1, 0);
+
+    std::vector<bool> loop_end(n + 1, false);
+    for (const MicroOp &u : p.uops) {
+        if (u.kind == UopKind::Lsetup && u.end <= n)
+            loop_end[u.end] = true;
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        const UopKind k = p.uops[i].kind;
+        p.nop_prefix[i + 1] =
+            p.nop_prefix[i] + (k == UopKind::Nop ? 1 : 0);
+        p.mem_prefix[i + 1] =
+            p.mem_prefix[i] +
+            (k == UopKind::Load || k == UopKind::Store ? 1 : 0);
+        p.mac_prefix[i + 1] =
+            p.mac_prefix[i] +
+            (k == UopKind::Mac || k == UopKind::Msu ||
+                     k == UopKind::Saa
+                 ? 1
+                 : 0);
+    }
+
+    for (size_t i = n; i-- > 0;) {
+        if (!isBlockStraight(p.uops[i].kind))
+            continue;
+        uint32_t len = 1;
+        if (i + 1 < n && !loop_end[i + 1])
+            len += p.run_len[i + 1];
+        p.run_len[i] = uint16_t(len); // programs cap at 512 words
+    }
+}
+
 std::shared_ptr<const DecodedProgram>
 decodeUncached(const Program &prog, uint64_t hash)
 {
@@ -340,6 +387,7 @@ decodeUncached(const Program &prog, uint64_t hash)
     out->uops.reserve(prog.insts.size());
     for (const Inst &i : prog.insts)
         out->uops.push_back(decodeInst(i));
+    analyzeBlocks(*out);
     return out;
 }
 

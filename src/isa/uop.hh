@@ -150,12 +150,51 @@ struct MicroOp
  */
 MicroOp decodeInst(const Inst &inst);
 
+/**
+ * True for micro-ops a compiled backend may execute inside a
+ * straight-line block without consulting the per-slot machinery:
+ * every broadcast compute kind except the communication buffers
+ * (whose hazard checks are time-sensitive), plus the controller-local
+ * `nop` (issued without a tile broadcast). Branches, `halt` and
+ * `lsetup` stay on the slot-at-a-time path.
+ */
+inline bool
+isBlockStraight(UopKind k)
+{
+    return k == UopKind::Nop ||
+           (k >= UopKind::FirstCompute && k != UopKind::CommRead &&
+            k != UopKind::CommWrite);
+}
+
 /** A program decoded once for broadcast-side consumption. */
 struct DecodedProgram
 {
     std::vector<Inst> insts;   //!< original decoded form (disasm)
     std::vector<MicroOp> uops; //!< dense executed form
     uint64_t hash = 0;         //!< content hash (cache key)
+
+    /**
+     * Static steady-state block analysis for the Compiled scheduler
+     * backend, computed once at decode time (and therefore shared
+     * through the decode cache).
+     *
+     * run_len[pc] is the number of consecutive micro-ops starting at
+     * pc that satisfy isBlockStraight() *and* whose interior
+     * addresses are not the end address of any `lsetup` in the
+     * program — so every advance inside the run is a plain pc+1 and
+     * only the final advance needs the zero-overhead-loop check.
+     * 0 means pc must go through the per-slot path.
+     */
+    std::vector<uint16_t> run_len;
+
+    /**
+     * Prefix sums over uops[0..i): controller nops, memory ops and
+     * MAC/SAA ops. A block executor charges per-tile activity
+     * counters for a whole [pc, pc+n) range with two lookups each.
+     */
+    std::vector<uint32_t> nop_prefix;
+    std::vector<uint32_t> mem_prefix;
+    std::vector<uint32_t> mac_prefix;
 
     size_t size() const { return uops.size(); }
 };

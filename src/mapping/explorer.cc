@@ -175,7 +175,7 @@ explorePlans(const ExplorableApp &app, const ExploreOptions &opt)
             prep.point = res.points.size();
             prep.prog = app.lower(v.plan, v.iterations_per_sec);
             prep.chip = buildChip(v.plan, prep.prog,
-                                  SchedulerKind::FastEdge);
+                                  opt.scheduler);
             prep.session_id = session.attachChip(
                 *prep.chip, app.tick_limit(v.plan, prep.prog));
             preps.push_back(std::move(prep));

@@ -39,6 +39,7 @@
 
 #include "mapping/codegen.hh"
 #include "power/activity.hh"
+#include "sim/scheduler.hh"
 
 namespace synchro::mapping
 {
@@ -110,6 +111,10 @@ struct ExploreOptions
     /** Max % the baseline's measured power may sit above the
      *  frontier before the agreement check fails. */
     double agreement_tolerance_pct = 10.0;
+
+    /** Backend the measurement chips run on (the frontier
+     *  cross-check always re-runs on EventQueue regardless). */
+    SchedulerKind scheduler = defaultSchedulerKind();
 };
 
 /** One candidate plan, measured. */

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "common/log.hh"
@@ -17,8 +18,88 @@ schedulerName(SchedulerKind kind)
         return "eventq";
       case SchedulerKind::FastEdge:
         return "fastedge";
+      case SchedulerKind::Compiled:
+        return "compiled";
     }
     return "unknown";
+}
+
+bool
+parseSchedulerKind(const std::string &name, SchedulerKind &out)
+{
+    if (name == "eventq") {
+        out = SchedulerKind::EventQueue;
+    } else if (name == "fastedge") {
+        out = SchedulerKind::FastEdge;
+    } else if (name == "compiled") {
+        out = SchedulerKind::Compiled;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+SchedulerKind &
+defaultKindSlot()
+{
+    static SchedulerKind kind = [] {
+        const char *env = std::getenv("SYNCHRO_SCHEDULER");
+        if (!env || !*env)
+            return SchedulerKind::FastEdge;
+        SchedulerKind k;
+        if (!parseSchedulerKind(env, k))
+            fatal("SYNCHRO_SCHEDULER=%s is not a backend "
+                  "(eventq | fastedge | compiled)",
+                  env);
+        return k;
+    }();
+    return kind;
+}
+
+} // namespace
+
+SchedulerKind
+defaultSchedulerKind()
+{
+    return defaultKindSlot();
+}
+
+void
+setDefaultSchedulerKind(SchedulerKind kind)
+{
+    defaultKindSlot() = kind;
+}
+
+SchedulerKind
+backendFromArgs(int &argc, char **argv, SchedulerKind fallback)
+{
+    SchedulerKind kind = fallback;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string name;
+        if (arg == "--backend") {
+            if (i + 1 >= argc)
+                fatal("--backend needs a value "
+                      "(eventq | fastedge | compiled)");
+            name = argv[++i];
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            name = arg.substr(10);
+        } else {
+            argv[w++] = argv[i];
+            continue;
+        }
+        if (!parseSchedulerKind(name, kind))
+            fatal("--backend %s is not a backend "
+                  "(eventq | fastedge | compiled)",
+                  name.c_str());
+    }
+    argv[w] = nullptr;
+    argc = w;
+    return kind;
 }
 
 namespace
@@ -165,13 +246,17 @@ class FastEdgeScheduler : public Scheduler
                         ? MaxTick
                         : t + model.domainClock(d).divider();
             }
+            bool halted;
             if (ref_next_ == t) {
                 model.refPhase();
-                ref_next_ = model.allHalted() ? MaxTick : t + 1;
+                halted = model.allHalted();
+                ref_next_ = halted ? MaxTick : t + 1;
+            } else {
+                halted = model.allHalted();
             }
             cur_ = t;
 
-            if (model.allHalted())
+            if (halted)
                 return SchedStop::AllHalted;
 
             // Edge skipping: if no domain has an edge before the next
@@ -204,6 +289,148 @@ class FastEdgeScheduler : public Scheduler
     std::vector<Tick> domain_next_;     //!< per-domain pending edge
 };
 
+/**
+ * The compiled backend: FastEdge's integer edge walk, plus the two
+ * SchedModel batch hooks.
+ *
+ *  - At a domain edge, domainEdgeBlock() may consume many issue
+ *    slots at once (slot i standing for the edge at t + i * divider).
+ *    The blocks contain only work that commutes with everything else
+ *    in the window — for the chip, compute ops on tile-private state
+ *    — so executing them ahead of the interleaved reference phases
+ *    is bit-identical to slot-at-a-time execution. The domain's next
+ *    pending edge simply advances by (slots * divider).
+ *
+ *  - Between edges, commFreeAdvance() fast-forwards reference phases
+ *    that provably move no data (every DOU sits in all-zero buffer
+ *    states), walking through state transitions where FastEdge's
+ *    inert-self-loop test would give up. Phases that may move data
+ *    run one at a time via refPhase(), exactly in order.
+ *
+ * Both hooks cap at the tick budget, so run(1) in a loop still
+ * matches one big run() bit-for-bit.
+ */
+class CompiledScheduler : public Scheduler
+{
+  public:
+    SchedStop
+    run(SchedModel &model, Tick max_ticks) override
+    {
+        const unsigned n = model.numDomains();
+        if (domain_next_.empty())
+            domain_next_.assign(n, MaxTick);
+        sync_assert(domain_next_.size() == n,
+                    "model domain count changed between runs");
+
+        for (unsigned d = 0; d < n; ++d) {
+            if (model.domainHalted(d) || domain_next_[d] != MaxTick)
+                continue;
+            const ClockDomain &clk = model.domainClock(d);
+            domain_next_[d] = clk.onEdge(cur_)
+                                  ? cur_
+                                  : clk.nextEdgeAfter(cur_);
+        }
+        if (ref_next_ == MaxTick)
+            ref_next_ = cur_;
+
+        const Tick limit = cur_ + max_ticks;
+
+        while (true) {
+            Tick t = ref_next_;
+            for (Tick dn : domain_next_)
+                t = std::min(t, dn);
+            if (t == MaxTick)
+                return model.allHalted() ? SchedStop::AllHalted
+                                         : SchedStop::Idle;
+            if (t > limit)
+                return SchedStop::TickLimit;
+
+            bool quiet_known = false;
+            Tick quiet = 0;
+            for (unsigned d = 0; d < n; ++d) {
+                if (domain_next_[d] != t)
+                    continue;
+                const Tick div = model.domainClock(d).divider();
+                // Slots at t, t+div, ... while the tick stays in
+                // budget — so stepped runs consume identical slots.
+                const Tick max_slots = (limit - t) / div + 1;
+                Tick k = model.domainEdgeBlock(d, max_slots);
+                if (k == 0 && max_slots > 1) {
+                    // A domain stalled on a comm hazard stays
+                    // stalled for every edge inside the upcoming
+                    // bus-quiet window: the edge at t + j*div only
+                    // needs phases [t, t + j*div) quiet. Probe the
+                    // window once per round, on demand.
+                    if (!quiet_known) {
+                        quiet = model.commQuiet(limit - t + 1);
+                        quiet_known = true;
+                    }
+                    const Tick sl =
+                        std::min(max_slots, quiet / div + 1);
+                    if (sl > 1)
+                        k = model.domainStallBlock(d, sl);
+                }
+                if (k == 0) {
+                    model.domainEdge(d);
+                    k = 1;
+                }
+                domain_next_[d] = model.domainHalted(d)
+                                      ? MaxTick
+                                      : t + k * div;
+            }
+            bool halted;
+            if (ref_next_ == t) {
+                model.refPhase();
+                halted = model.allHalted();
+                ref_next_ = halted ? MaxTick : t + 1;
+            } else {
+                halted = model.allHalted();
+            }
+            cur_ = t;
+
+            if (halted)
+                return SchedStop::AllHalted;
+
+            // Batch the reference phases up to the next domain edge:
+            // comm-free stretches fast-forward wholesale, phases that
+            // may move data run individually and in order.
+            if (ref_next_ == t + 1) {
+                Tick next_edge = MaxTick;
+                for (Tick dn : domain_next_)
+                    next_edge = std::min(next_edge, dn);
+                const Tick target = std::min(next_edge, limit + 1);
+                while (ref_next_ < target) {
+                    const Tick want = target - ref_next_;
+                    Tick k = model.commFreeAdvance(want);
+                    if (k > 0) {
+                        ref_next_ += k;
+                        cur_ = ref_next_ - 1;
+                    }
+                    if (k == want)
+                        break;
+                    model.refPhase();
+                    cur_ = ref_next_;
+                    if (model.allHalted())
+                        return SchedStop::AllHalted;
+                    ref_next_ = cur_ + 1;
+                }
+            }
+        }
+    }
+
+    Tick curTick() const override { return cur_; }
+
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::Compiled;
+    }
+
+  private:
+    Tick cur_ = 0;
+    Tick ref_next_ = MaxTick;           //!< MaxTick = not pending
+    std::vector<Tick> domain_next_;     //!< per-domain pending edge
+};
+
 } // namespace
 
 std::unique_ptr<Scheduler>
@@ -214,6 +441,8 @@ makeScheduler(SchedulerKind kind)
         return std::make_unique<EventQueueScheduler>();
       case SchedulerKind::FastEdge:
         return std::make_unique<FastEdgeScheduler>();
+      case SchedulerKind::Compiled:
+        return std::make_unique<CompiledScheduler>();
     }
     panic("unknown scheduler kind %d", int(kind));
 }

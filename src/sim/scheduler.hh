@@ -6,13 +6,13 @@
  * domain's edge pattern statically computable (paper Section 6), so a
  * simulator does not need a dynamic event queue to find the next thing
  * to do. This header splits the "what happens" (SchedModel — the chip)
- * from the "when" (Scheduler) and provides two interchangeable
+ * from the "when" (Scheduler) and provides three interchangeable
  * backends:
  *
  *  - SchedulerKind::EventQueue — the original gem5-style discrete
  *    event queue. One self-rescheduling event per clock domain plus a
  *    reference-clock event every tick. The reference semantics; keep
- *    it around to cross-check the fast path bit-for-bit.
+ *    it around to cross-check the fast paths bit-for-bit.
  *
  *  - SchedulerKind::FastEdge — precomputes each domain's next edge
  *    from its (divider, phase) pair and jumps straight to the next
@@ -20,7 +20,15 @@
  *    executed directly or, when the model reports it inert (idle DOUs,
  *    nothing on the bus), fast-forwarded in O(1) via skipRefPhases().
  *
- * Both backends drive the model through the same narrow interface and
+ *  - SchedulerKind::Compiled — FastEdge's edge walk plus two batch
+ *    hooks: straight-line runs of a domain's steady-state firing
+ *    loops execute as one pre-analyzed block (domainEdgeBlock), and
+ *    reference phases between bus slots are fast-forwarded through
+ *    DOU state transitions (commFreeAdvance). Any slot with a
+ *    branch, halt, lsetup or comm op — and any reference phase that
+ *    may move data — still runs slot-exact.
+ *
+ * All backends drive the model through the same narrow interface and
  * must produce identical architectural state and statistics; the
  * scheduler_test suite enforces this.
  */
@@ -29,6 +37,7 @@
 #define SYNC_SIM_SCHEDULER_HH
 
 #include <memory>
+#include <string>
 
 #include "sim/clock.hh"
 #include "sim/types.hh"
@@ -41,10 +50,44 @@ enum class SchedulerKind
 {
     EventQueue, //!< discrete event queue (reference semantics)
     FastEdge,   //!< static edge-pattern fast path
+    Compiled,   //!< steady-state loops compiled to blocks
 };
 
-/** Human-readable backend name ("eventq" / "fastedge"). */
+/** Human-readable backend name ("eventq"/"fastedge"/"compiled"). */
 const char *schedulerName(SchedulerKind kind);
+
+/**
+ * Parse a backend name ("eventq" | "fastedge" | "compiled" — the
+ * exact strings schedulerName() emits). Returns false and leaves
+ * @p out untouched on anything else.
+ */
+bool parseSchedulerKind(const std::string &name, SchedulerKind &out);
+
+/**
+ * The process-wide default backend: $SYNCHRO_SCHEDULER when set to a
+ * valid backend name (fatal on an invalid one), FastEdge otherwise.
+ * ChipConfig and the mapped-app runners initialize from this, so CI
+ * can force the whole suite onto one backend with an env var.
+ */
+SchedulerKind defaultSchedulerKind();
+
+/**
+ * Consume a "--backend <name>" / "--backend=<name>" flag from argv
+ * (removing it so later arg parsers never see it). Returns the
+ * parsed kind, or @p fallback when the flag is absent; fatal() on an
+ * unknown name.
+ */
+SchedulerKind backendFromArgs(
+    int &argc, char **argv,
+    SchedulerKind fallback = defaultSchedulerKind());
+
+/**
+ * Override what defaultSchedulerKind() returns for the rest of the
+ * process. Lets a `--backend` flag govern harness code that builds
+ * chips with default-constructed configs (e.g. the micro-kernel
+ * runners), without threading the kind through every call chain.
+ */
+void setDefaultSchedulerKind(SchedulerKind kind);
 
 /**
  * What a scheduler needs to know about the simulated model: a set of
@@ -82,6 +125,71 @@ class SchedModel
 
     /** Fast-forward @p n inert reference phases in one call. */
     virtual void skipRefPhases(Tick n) = 0;
+
+    /**
+     * Compiled-backend hook: execute up to @p max_slots consecutive
+     * issue slots of domain @p d as one pre-analyzed block. Slot i of
+     * the block stands for the edge at tick t + i * divider; the
+     * block may only contain work that commutes with every reference
+     * phase and other-domain edge in that window (for the chip:
+     * compute ops touching tile-private state, never the comm
+     * buffers). Returns the slots consumed; 0 means no block applies
+     * and the caller must issue a single domainEdge(). The default
+     * keeps non-compiled models on the slot-at-a-time path.
+     */
+    virtual Tick
+    domainEdgeBlock(unsigned d, Tick max_slots)
+    {
+        (void)d;
+        (void)max_slots;
+        return 0;
+    }
+
+    /**
+     * Compiled-backend hook: advance up to @p max reference phases
+     * that are provably comm-free (no DOU drives or captures in any
+     * of them), crediting statistics exactly as max refPhase() calls
+     * would. Returns the phases consumed (0 = the next phase may
+     * move data and must run via refPhase()). Unlike refPhaseInert()
+     * / skipRefPhases() this may walk through DOU state transitions,
+     * so it also covers active schedules between their bus slots.
+     */
+    virtual Tick
+    commFreeAdvance(Tick max)
+    {
+        (void)max;
+        return 0;
+    }
+
+    /**
+     * Compiled-backend hook: how many upcoming reference phases
+     * (starting with the next one) are provably comm-free, up to
+     * @p max — a pure probe, nothing advances. The scheduler uses
+     * this to bound how many comm-stall slots of a blocked domain
+     * can be consumed at once: a stalled comm op cannot unblock
+     * before the next bus activity.
+     */
+    virtual Tick
+    commQuiet(Tick max) const
+    {
+        (void)max;
+        return 0;
+    }
+
+    /**
+     * Compiled-backend hook: the scheduler has proven the next
+     * @p max_slots edges of domain @p d fall inside a comm-quiet
+     * window (commQuiet()); if the domain is stalled on a comm
+     * hazard, consume up to that many stall slots in one call.
+     * Returns the slots consumed; 0 = not comm-stalled.
+     */
+    virtual Tick
+    domainStallBlock(unsigned d, Tick max_slots)
+    {
+        (void)d;
+        (void)max_slots;
+        return 0;
+    }
 };
 
 /** Why Scheduler::run() returned. */

@@ -35,6 +35,16 @@ SimSession::adoptChip(std::unique_ptr<arch::Chip> chip,
 }
 
 unsigned
+SimSession::adoptChip(std::unique_ptr<arch::Chip> chip,
+                      Tick tick_limit, SchedulerKind scheduler)
+{
+    if (!chip)
+        fatal("SimSession::adoptChip: null chip");
+    chip->setSchedulerKind(scheduler);
+    return adoptChip(std::move(chip), tick_limit);
+}
+
+unsigned
 SimSession::attachChip(arch::Chip &chip, Tick tick_limit)
 {
     Slot slot;
@@ -42,6 +52,14 @@ SimSession::attachChip(arch::Chip &chip, Tick tick_limit)
     slot.tick_limit = tick_limit;
     chips_.push_back(std::move(slot));
     return unsigned(chips_.size() - 1);
+}
+
+unsigned
+SimSession::attachChip(arch::Chip &chip, Tick tick_limit,
+                       SchedulerKind scheduler)
+{
+    chip.setSchedulerKind(scheduler);
+    return attachChip(chip, tick_limit);
 }
 
 void

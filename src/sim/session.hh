@@ -83,11 +83,24 @@ class SimSession
                        Tick tick_limit = 0);
 
     /**
+     * Adopt a chip and re-home it onto @p scheduler first — lets a
+     * batch mix backends per chip regardless of what each builder
+     * baked into its ChipConfig. The chip must not have run yet
+     * (Chip::setSchedulerKind).
+     */
+    unsigned adoptChip(std::unique_ptr<arch::Chip> chip,
+                       Tick tick_limit, SchedulerKind scheduler);
+
+    /**
      * Attach a chip the caller keeps ownership of (it must outlive
      * the session, or at least every runAll()). Same per-chip budget
      * semantics as adoptChip().
      */
     unsigned attachChip(arch::Chip &chip, Tick tick_limit = 0);
+
+    /** Attach with a scheduler-backend override; see adoptChip(). */
+    unsigned attachChip(arch::Chip &chip, Tick tick_limit,
+                        SchedulerKind scheduler);
 
     /** Per-chip tick budget override (0 = use runAll()'s budget). */
     void setTickLimit(unsigned i, Tick tick_limit);

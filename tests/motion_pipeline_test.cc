@@ -2,12 +2,14 @@
  * macroblock-sharded SAA search columns and a best-vector join,
  * planned by the AutoMapper, lowered by the DAG codegen, run
  * cycle-accurately and checked bit-exactly against dsp::fullSearch —
- * on both scheduler backends, with the measured power priced against
+ * on every scheduler backend, with the measured power priced against
  * the paper's Table 4 MPEG4-QCIF row. */
 
 #include <cstdlib>
 
 #include <gtest/gtest.h>
+
+#include "test_util.hh"
 
 #include "apps/motion_runner.hh"
 #include "apps/paper_workloads.hh"
@@ -52,32 +54,38 @@ TEST(MotionPipeline, CandidateOrderMatchesFullSearchTieBreak)
     }
 }
 
-TEST(MotionPipeline, MappedSearchMatchesFullSearchOnBothBackends)
+TEST(MotionPipeline, MappedSearchMatchesFullSearchOnEveryBackend)
 {
-    MappedMotionRun fast =
-        runMappedMotion(smallRun(SchedulerKind::FastEdge));
     MappedMotionRun evq =
         runMappedMotion(smallRun(SchedulerKind::EventQueue));
 
-    ASSERT_EQ(fast.output_keys.size(), MotionMbs);
-    EXPECT_TRUE(fast.bit_exact);
+    ASSERT_EQ(evq.output_keys.size(), MotionMbs);
     EXPECT_TRUE(evq.bit_exact);
-    EXPECT_EQ(fast.output_keys, fast.golden_keys);
+    EXPECT_EQ(evq.output_keys, evq.golden_keys);
 
     // Most macroblocks must recover the true camera pan (edge
     // blocks may lock onto the clamped border instead).
-    EXPECT_GE(fast.pan_hit_rate, 0.75);
+    EXPECT_GE(evq.pan_hit_rate, 0.75);
 
     // The self-timed schedule must never destroy data.
-    EXPECT_EQ(fast.overruns, 0u);
-    EXPECT_EQ(fast.conflicts, 0u);
-    EXPECT_GT(fast.bus_transfers, 0u);
+    EXPECT_EQ(evq.overruns, 0u);
+    EXPECT_EQ(evq.conflicts, 0u);
+    EXPECT_GT(evq.bus_transfers, 0u);
 
-    // Backend equivalence: same exit, same final tick, every
-    // statistic of the chip identical.
-    EXPECT_EQ(fast.result.exit, evq.result.exit);
-    EXPECT_EQ(fast.ticks, evq.ticks);
-    EXPECT_EQ(fast.stats, evq.stats);
+    for (SchedulerKind kind : synchro::test::AllSchedulerKinds) {
+        if (kind == SchedulerKind::EventQueue)
+            continue;
+        MappedMotionRun run = runMappedMotion(smallRun(kind));
+        const char *name = schedulerName(kind);
+
+        // Backend equivalence: same exit, same final tick, same
+        // motion vectors, every statistic of the chip identical.
+        EXPECT_TRUE(run.bit_exact) << name;
+        EXPECT_EQ(run.output_keys, evq.output_keys) << name;
+        EXPECT_EQ(run.result.exit, evq.result.exit) << name;
+        EXPECT_EQ(run.ticks, evq.ticks) << name;
+        EXPECT_EQ(run.stats, evq.stats) << name;
+    }
 }
 
 TEST(MotionPipeline, PlanMapsTheDagToThreeColumns)

@@ -1,11 +1,12 @@
 /** @file End-to-end mapped-pipeline execution: the DDC receiver
  * planned by the AutoMapper, lowered by codegen, run cycle-accurately
- * and checked bit-exactly against the dsp:: golden chain — on both
- * scheduler backends. */
+ * and checked bit-exactly against the dsp:: golden chain — on every
+ * scheduler backend. */
 
 #include <gtest/gtest.h>
 
 #include "apps/pipeline_runner.hh"
+#include "test_util.hh"
 
 using namespace synchro;
 using namespace synchro::apps;
@@ -24,34 +25,39 @@ smallRun(SchedulerKind kind)
 
 } // namespace
 
-TEST(Pipeline, MappedDdcMatchesGoldenOnBothBackends)
+TEST(Pipeline, MappedDdcMatchesGoldenOnEveryBackend)
 {
-    MappedDdcRun fast = runMappedDdc(smallRun(SchedulerKind::FastEdge));
     MappedDdcRun evq =
         runMappedDdc(smallRun(SchedulerKind::EventQueue));
-
-    // Bit-exact against the dsp:: reference chain.
-    ASSERT_EQ(fast.output.size(), 512u / 8u);
-    EXPECT_TRUE(fast.bit_exact);
+    ASSERT_EQ(evq.output.size(), 512u / 8u);
     EXPECT_TRUE(evq.bit_exact);
-    EXPECT_EQ(fast.output, fast.golden);
 
     // The output must carry real signal, not a settle-time of zeros.
     unsigned nonzero = 0;
-    for (int16_t v : fast.output)
+    for (int16_t v : evq.output)
         nonzero += v != 0;
-    EXPECT_GT(nonzero, fast.output.size() / 2);
+    EXPECT_GT(nonzero, evq.output.size() / 2);
 
     // The static transfer schedule must never destroy data.
-    EXPECT_EQ(fast.overruns, 0u);
-    EXPECT_EQ(fast.conflicts, 0u);
-    EXPECT_GT(fast.bus_transfers, 0u);
+    EXPECT_EQ(evq.overruns, 0u);
+    EXPECT_EQ(evq.conflicts, 0u);
+    EXPECT_GT(evq.bus_transfers, 0u);
 
-    // Backend equivalence: same exit, same final tick, every
-    // statistic of the chip identical.
-    EXPECT_EQ(fast.result.exit, evq.result.exit);
-    EXPECT_EQ(fast.ticks, evq.ticks);
-    EXPECT_EQ(fast.stats, evq.stats);
+    for (SchedulerKind kind : synchro::test::AllSchedulerKinds) {
+        if (kind == SchedulerKind::EventQueue)
+            continue;
+        MappedDdcRun run = runMappedDdc(smallRun(kind));
+        const char *name = schedulerName(kind);
+
+        // Bit-exact against the dsp:: reference chain, and backend
+        // equivalence: same exit, same final tick, same output, every
+        // statistic of the chip identical.
+        EXPECT_TRUE(run.bit_exact) << name;
+        EXPECT_EQ(run.output, evq.output) << name;
+        EXPECT_EQ(run.result.exit, evq.result.exit) << name;
+        EXPECT_EQ(run.ticks, evq.ticks) << name;
+        EXPECT_EQ(run.stats, evq.stats) << name;
+    }
 }
 
 TEST(Pipeline, PlanMapsEveryActorToItsOwnColumn)

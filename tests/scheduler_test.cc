@@ -13,6 +13,7 @@
 #include "isa/assembler.hh"
 #include "mapping/comm_schedule.hh"
 #include "sim/scheduler.hh"
+#include "test_util.hh"
 
 using namespace synchro;
 using namespace synchro::arch;
@@ -107,62 +108,25 @@ TEST(DouSkip, RefusesNonSelfLoopState)
 }
 
 // ---------------------------------------------------------------
-// Whole-chip cross-checks: the two backends must agree bit-for-bit
-// on architectural state, statistics, final tick, and exit reason.
+// Whole-chip cross-checks: every backend must agree bit-for-bit with
+// the event queue on architectural state, statistics, final tick,
+// and exit reason. The comparison itself lives in test_util.hh
+// (crossCheckBackends) so the mapped-app suites hold their pipelines
+// to the same contract.
+
+using synchro::test::allStats;
+using synchro::test::AllSchedulerKinds;
+using synchro::test::crossCheckBackends;
 
 namespace
 {
-
-/** Every stat of the chip, flattened for comparison. */
-std::map<std::string, uint64_t>
-allStats(const Chip &chip)
-{
-    std::map<std::string, uint64_t> out;
-    chip.forEachStat([&out](const std::string &name, uint64_t v) {
-        out[name] = v;
-    });
-    return out;
-}
-
-/** Architectural register state of every tile. */
-std::vector<uint32_t>
-allRegs(Chip &chip)
-{
-    std::vector<uint32_t> out;
-    for (unsigned c = 0; c < chip.numColumns(); ++c) {
-        for (unsigned t = 0; t < chip.column(c).numTiles(); ++t) {
-            Tile &tile = chip.column(c).tile(t);
-            for (unsigned r = 0; r < isa::NumDataRegs; ++r)
-                out.push_back(tile.reg(r));
-            for (unsigned p = 0; p < isa::NumPtrRegs; ++p)
-                out.push_back(tile.preg(p));
-            out.push_back(tile.cc());
-        }
-    }
-    return out;
-}
 
 /** Run @p configure on a chip of each backend; compare everything. */
 void
 crossCheck(ChipConfig cfg, const std::function<void(Chip &)> &configure,
            Tick max_ticks = 1'000'000)
 {
-    cfg.scheduler = SchedulerKind::EventQueue;
-    Chip reference(cfg);
-    cfg.scheduler = SchedulerKind::FastEdge;
-    Chip fast(cfg);
-
-    configure(reference);
-    configure(fast);
-
-    RunResult rr = reference.run(max_ticks);
-    RunResult rf = fast.run(max_ticks);
-
-    EXPECT_EQ(int(rf.exit), int(rr.exit));
-    EXPECT_EQ(rf.ticks, rr.ticks);
-    EXPECT_EQ(fast.curTick(), reference.curTick());
-    EXPECT_EQ(allStats(fast), allStats(reference));
-    EXPECT_EQ(allRegs(fast), allRegs(reference));
+    crossCheckBackends(cfg, configure, max_ticks);
 }
 
 } // namespace
@@ -274,27 +238,37 @@ TEST(SchedulerEquivalence, TickLimitAndResume)
         return chip;
     };
     auto ref = build(SchedulerKind::EventQueue);
-    auto fast = build(SchedulerKind::FastEdge);
-
     auto rr = ref->run(100);
-    auto rf = fast->run(100);
-    EXPECT_EQ(int(rf.exit), int(RunExit::TickLimit));
-    EXPECT_EQ(rf.ticks, rr.ticks);
+    EXPECT_EQ(int(rr.exit), int(RunExit::TickLimit));
 
-    for (int i = 0; i < 5; ++i) {
-        rr = ref->run(7);
-        rf = fast->run(7);
-        EXPECT_EQ(rf.ticks, rr.ticks) << "resume step " << i;
-        EXPECT_EQ(allStats(*fast), allStats(*ref));
+    for (SchedulerKind kind : AllSchedulerKinds) {
+        if (kind == SchedulerKind::EventQueue)
+            continue;
+        auto ref2 = build(SchedulerKind::EventQueue);
+        auto chip = build(kind);
+        auto r2 = ref2->run(100);
+        auto rc = chip->run(100);
+        EXPECT_EQ(int(rc.exit), int(RunExit::TickLimit))
+            << schedulerName(kind);
+        EXPECT_EQ(rc.ticks, r2.ticks) << schedulerName(kind);
+
+        for (int i = 0; i < 5; ++i) {
+            r2 = ref2->run(7);
+            rc = chip->run(7);
+            EXPECT_EQ(rc.ticks, r2.ticks)
+                << schedulerName(kind) << " resume step " << i;
+            EXPECT_EQ(allStats(*chip), allStats(*ref2))
+                << schedulerName(kind);
+        }
     }
 }
 
-TEST(SchedulerEquivalence, SteppedRunMatchesBatchOnFastPath)
+TEST(SchedulerEquivalence, SteppedRunMatchesBatchOnFastPaths)
 {
-    auto build = [] {
+    auto build = [](SchedulerKind kind) {
         ChipConfig cfg;
         cfg.dividers = {2, 5};
-        cfg.scheduler = SchedulerKind::FastEdge;
+        cfg.scheduler = kind;
         auto chip = std::make_unique<Chip>(cfg);
         for (unsigned c = 0; c < 2; ++c) {
             chip->column(c).controller().loadProgram(assemble(R"(
@@ -307,16 +281,21 @@ TEST(SchedulerEquivalence, SteppedRunMatchesBatchOnFastPath)
         }
         return chip;
     };
-    auto batch = build();
-    auto batch_res = batch->run(100'000);
-    ASSERT_EQ(int(batch_res.exit), int(RunExit::AllHalted));
+    for (SchedulerKind kind : AllSchedulerKinds) {
+        auto batch = build(kind);
+        auto batch_res = batch->run(100'000);
+        ASSERT_EQ(int(batch_res.exit), int(RunExit::AllHalted))
+            << schedulerName(kind);
 
-    auto stepped = build();
-    Tick guard = 0;
-    while (!stepped->allHalted() && guard++ < 100'000)
-        stepped->run(1);
-    EXPECT_EQ(stepped->curTick(), batch->curTick());
-    EXPECT_EQ(allStats(*stepped), allStats(*batch));
+        auto stepped = build(kind);
+        Tick guard = 0;
+        while (!stepped->allHalted() && guard++ < 100'000)
+            stepped->run(1);
+        EXPECT_EQ(stepped->curTick(), batch->curTick())
+            << schedulerName(kind);
+        EXPECT_EQ(allStats(*stepped), allStats(*batch))
+            << schedulerName(kind);
+    }
 }
 
 TEST(SchedulerEquivalence, FastPathSkipsWork)
@@ -342,12 +321,19 @@ TEST(SchedulerEquivalence, FastPathSkipsWork)
 
 TEST(SchedulerFactory, NamesAndKinds)
 {
-    auto eq = makeScheduler(SchedulerKind::EventQueue);
-    auto fast = makeScheduler(SchedulerKind::FastEdge);
-    EXPECT_EQ(std::string(eq->name()), "eventq");
-    EXPECT_EQ(std::string(fast->name()), "fastedge");
-    EXPECT_EQ(int(eq->kind()), int(SchedulerKind::EventQueue));
-    EXPECT_EQ(int(fast->kind()), int(SchedulerKind::FastEdge));
-    EXPECT_EQ(eq->curTick(), 0u);
-    EXPECT_EQ(fast->curTick(), 0u);
+    const char *names[] = {"eventq", "fastedge", "compiled"};
+    int i = 0;
+    for (SchedulerKind kind : AllSchedulerKinds) {
+        auto sched = makeScheduler(kind);
+        EXPECT_EQ(std::string(sched->name()), names[i++]);
+        EXPECT_EQ(int(sched->kind()), int(kind));
+        EXPECT_EQ(sched->curTick(), 0u);
+    }
+
+    SchedulerKind parsed;
+    for (SchedulerKind kind : AllSchedulerKinds) {
+        ASSERT_TRUE(parseSchedulerKind(schedulerName(kind), parsed));
+        EXPECT_EQ(int(parsed), int(kind));
+    }
+    EXPECT_FALSE(parseSchedulerKind("warp-drive", parsed));
 }

@@ -1,10 +1,12 @@
 /** @file End-to-end mapped stereo vision: the prefilter ->
  * fork(SAD x4) -> min-SAD join DAG planned by the AutoMapper, lowered
  * by the DAG codegen, run cycle-accurately and checked bit-exactly
- * against dsp::stereoBlockDisparities — on both scheduler backends,
+ * against dsp::stereoBlockDisparities — on every scheduler backend,
  * with the measured power priced against the paper's Table 4 SV row. */
 
 #include <gtest/gtest.h>
+
+#include "test_util.hh"
 
 #include "apps/paper_workloads.hh"
 #include "apps/stereo_runner.hh"
@@ -82,32 +84,38 @@ TEST(StereoGolden, UniformShiftRecoversItsDisparity)
             EXPECT_EQ(disp[by * 4 + bx], 6) << "block " << bx;
 }
 
-TEST(StereoPipeline, MappedStereoMatchesGoldenOnBothBackends)
+TEST(StereoPipeline, MappedStereoMatchesGoldenOnEveryBackend)
 {
-    MappedStereoRun fast =
-        runMappedStereo(smallRun(SchedulerKind::FastEdge));
     MappedStereoRun evq =
         runMappedStereo(smallRun(SchedulerKind::EventQueue));
 
-    ASSERT_EQ(fast.output.size(), StereoBlocks);
-    EXPECT_TRUE(fast.bit_exact);
+    ASSERT_EQ(evq.output.size(), StereoBlocks);
     EXPECT_TRUE(evq.bit_exact);
-    EXPECT_EQ(fast.output, fast.golden);
+    EXPECT_EQ(evq.output, evq.golden);
 
     // The disparity map must recover the scene's two depth bands.
-    EXPECT_GE(fast.truth_hit_rate, 0.8);
+    EXPECT_GE(evq.truth_hit_rate, 0.8);
 
     // The self-timed schedule must never destroy data; deferral (not
     // overrun) is the flow-control mechanism.
-    EXPECT_EQ(fast.overruns, 0u);
-    EXPECT_EQ(fast.conflicts, 0u);
-    EXPECT_GT(fast.bus_transfers, 0u);
+    EXPECT_EQ(evq.overruns, 0u);
+    EXPECT_EQ(evq.conflicts, 0u);
+    EXPECT_GT(evq.bus_transfers, 0u);
 
-    // Backend equivalence: same exit, same final tick, every
-    // statistic of the chip identical.
-    EXPECT_EQ(fast.result.exit, evq.result.exit);
-    EXPECT_EQ(fast.ticks, evq.ticks);
-    EXPECT_EQ(fast.stats, evq.stats);
+    for (SchedulerKind kind : synchro::test::AllSchedulerKinds) {
+        if (kind == SchedulerKind::EventQueue)
+            continue;
+        MappedStereoRun run = runMappedStereo(smallRun(kind));
+        const char *name = schedulerName(kind);
+
+        // Backend equivalence: same exit, same final tick, same
+        // disparity map, every statistic of the chip identical.
+        EXPECT_TRUE(run.bit_exact) << name;
+        EXPECT_EQ(run.output, evq.output) << name;
+        EXPECT_EQ(run.result.exit, evq.result.exit) << name;
+        EXPECT_EQ(run.ticks, evq.ticks) << name;
+        EXPECT_EQ(run.stats, evq.stats) << name;
+    }
 }
 
 TEST(StereoPipeline, PlanMapsTheDagToSixColumns)

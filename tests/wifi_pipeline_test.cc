@@ -1,11 +1,13 @@
 /** @file End-to-end mapped 802.11a receiver: the demap ->
  * de-interleave -> fork(ACS x2) -> join(traceback) DAG planned by the
  * AutoMapper, lowered by the DAG codegen, run cycle-accurately and
- * checked bit-exactly against the dsp:: golden chain — on both
- * scheduler backends, with the measured power priced against the
+ * checked bit-exactly against the dsp:: golden chain — on every
+ * scheduler backend, with the measured power priced against the
  * paper's Table 4 802.11a row. */
 
 #include <gtest/gtest.h>
+
+#include "test_util.hh"
 
 #include "apps/paper_workloads.hh"
 #include "apps/wifi_runner.hh"
@@ -28,35 +30,41 @@ smallRun(SchedulerKind kind)
 
 } // namespace
 
-TEST(WifiPipeline, MappedReceiverMatchesGoldenOnBothBackends)
+TEST(WifiPipeline, MappedReceiverMatchesGoldenOnEveryBackend)
 {
-    MappedWifiRun fast =
-        runMappedWifi(smallRun(SchedulerKind::FastEdge));
     MappedWifiRun evq =
         runMappedWifi(smallRun(SchedulerKind::EventQueue));
 
     // Bit-exact against the dsp:: reference chain, which itself
     // recovers the transmitted payload through dsp::ofdmTransmit's
     // encoder + interleaver on the clean channel.
-    ASSERT_EQ(fast.output.size(), 8u * WifiFrameBits);
-    EXPECT_TRUE(fast.demap_matches_float);
-    EXPECT_TRUE(fast.golden_matches_tx);
-    EXPECT_TRUE(fast.bit_exact);
+    ASSERT_EQ(evq.output.size(), 8u * WifiFrameBits);
+    EXPECT_TRUE(evq.demap_matches_float);
+    EXPECT_TRUE(evq.golden_matches_tx);
     EXPECT_TRUE(evq.bit_exact);
-    EXPECT_EQ(fast.output, fast.golden);
-    EXPECT_EQ(fast.output, fast.tx_bits);
+    EXPECT_EQ(evq.output, evq.golden);
+    EXPECT_EQ(evq.output, evq.tx_bits);
 
     // The self-timed schedule must never destroy data; deferral (not
     // overrun) is the flow-control mechanism.
-    EXPECT_EQ(fast.overruns, 0u);
-    EXPECT_EQ(fast.conflicts, 0u);
-    EXPECT_GT(fast.bus_transfers, 0u);
+    EXPECT_EQ(evq.overruns, 0u);
+    EXPECT_EQ(evq.conflicts, 0u);
+    EXPECT_GT(evq.bus_transfers, 0u);
 
-    // Backend equivalence: same exit, same final tick, every
-    // statistic of the chip identical.
-    EXPECT_EQ(fast.result.exit, evq.result.exit);
-    EXPECT_EQ(fast.ticks, evq.ticks);
-    EXPECT_EQ(fast.stats, evq.stats);
+    for (SchedulerKind kind : synchro::test::AllSchedulerKinds) {
+        if (kind == SchedulerKind::EventQueue)
+            continue;
+        MappedWifiRun run = runMappedWifi(smallRun(kind));
+        const char *name = schedulerName(kind);
+
+        // Backend equivalence: same exit, same final tick, same
+        // recovered bits, every statistic of the chip identical.
+        EXPECT_TRUE(run.bit_exact) << name;
+        EXPECT_EQ(run.output, evq.output) << name;
+        EXPECT_EQ(run.result.exit, evq.result.exit) << name;
+        EXPECT_EQ(run.ticks, evq.ticks) << name;
+        EXPECT_EQ(run.stats, evq.stats) << name;
+    }
 }
 
 TEST(WifiPipeline, SurvivesAnImpairedChannel)

@@ -8,7 +8,11 @@ committed baselines and fails CI when the perf trajectory regresses:
     ``*_msps``, ``*_kblocks_s``, ``*_kmb_s`` — sustained simulated
     rates, functions of tick counts only) drops more than
     ``--tolerance`` (default 25%) below its baseline,
-  * any wall-clock throughput metric (``*_ticks_per_sec``,
+  * a ``*compiled_speedup`` ratio (compiled backend vs event-queue
+    wall time, measured on one machine so the machine cancels out)
+    drops more than ``--tolerance`` (default 25%) below its
+    baseline,
+  * any other wall-clock throughput metric (``*_ticks_per_sec``,
     ``*_mticks_per_s``, ``*_speedup``) drops more than
     ``--wall-tolerance`` (default 60%) — looser because the
     committed baselines and the CI runner are different machines;
@@ -54,6 +58,11 @@ def classify(key):
     if key.endswith("gap_pct"):
         return "gap"
     if key.endswith(SIMULATED_SUFFIXES):
+        return "throughput"
+    # Same-machine backend-vs-backend ratio: the machine cancels
+    # out, so it gets the tight simulated tolerance, not the loose
+    # cross-machine wall-clock one.
+    if key.endswith("compiled_speedup"):
         return "throughput"
     if key.endswith(WALL_CLOCK_SUFFIXES):
         return "wall_throughput"
@@ -147,6 +156,7 @@ def self_test():
         good = {
             "sec": {
                 "x_kbps": 100.0,
+                "compiled_speedup": 12.0,
                 "fast_mticks_per_s": 10.0,
                 "bit_exact": 1,
                 "agreement": 1,
@@ -157,6 +167,7 @@ def self_test():
         bad = {
             "sec": {
                 "x_kbps": 60.0,          # -40% simulated throughput
+                "compiled_speedup": 8.0,  # -33% backend ratio
                 "fast_mticks_per_s": 2.0,  # -80% wall throughput
                 "bit_exact": 0,          # flag regressed
                 "agreement": 0,          # flag regressed
@@ -170,7 +181,8 @@ def self_test():
         # BENCH_gone.json deliberately not re-emitted.
 
         failures, _ = compare_dirs(base, fresh, 0.25, 0.60)
-        wanted = ["x_kbps", "fast_mticks_per_s", "bit_exact",
+        wanted = ["x_kbps", "compiled_speedup",
+                  "fast_mticks_per_s", "bit_exact",
                   "agreement", "savings_pct", "baseline_gap_pct",
                   "no fresh counterpart"]
         text = "\n".join(failures)

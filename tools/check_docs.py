@@ -19,7 +19,12 @@ Scans ``README.md`` and ``docs/*.md`` for
     cross-checked — the last percentage in the row must match the
     cited trajectory file's measured ``savings_pct`` (to the quoted
     precision), so re-baselining a bench without updating the docs
-    fails the gate instead of leaving a stale headline number.
+    fails the gate instead of leaving a stale headline number;
+  * quoted speedups: a table row that cites a ``BENCH_*.json`` and
+    contains ``N.Nx`` speedup cells is cross-checked — every quoted
+    speedup must match one of the cited file's ``*speedup`` values
+    (to the quoted precision), so the compiled-backend headline
+    ratio cannot drift from ``BENCH_core.json``.
 
 Docs rot silently when code moves; CI runs this so a renamed source
 file or a dropped bench JSON fails the build instead of leaving a
@@ -45,6 +50,7 @@ import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 PCT_RE = re.compile(r"(-?\d+(?:\.\d+)?)%")
+SPEEDUP_RE = re.compile(r"(\d+(?:\.\d+)?)[x\u00d7](?![\w(])")
 PATH_RE = re.compile(
     r"(?<![\w/-])((?:src|docs|tests|tools|bench|examples)/"
     r"[A-Za-z0-9_.{},/-]+|BENCH_[A-Za-z0-9_*]+\.json)")
@@ -79,27 +85,58 @@ def measured_savings_pct(json_path):
     return None
 
 
+def trajectory_speedups(json_path):
+    """Every ``*speedup`` value in a trajectory file, by section
+    and key, or an empty dict when unreadable."""
+    try:
+        data = json.loads(json_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    out = {}
+    for section, kv in sorted(data.items()):
+        for key, v in sorted(kv.items()):
+            if key.endswith("speedup"):
+                out[f"{section}.{key}"] = float(v)
+    return out
+
+
 def check_table_row(md_path, repo_root, lineno, line, failures):
-    """Cross-check a results-table row's measured %% against the
-    trajectory file it cites."""
+    """Cross-check a results-table row's measured %% and quoted
+    speedups against the trajectory file it cites."""
     if "|" not in line:
         return
     cited = re.findall(r"\bBENCH_\w+\.json\b", line)
-    pcts = PCT_RE.findall(line)
-    if len(cited) != 1 or not pcts:
+    if len(cited) != 1:
         return
-    actual = measured_savings_pct(repo_root / cited[0])
-    if actual is None:
-        return  # no measured power section (e.g. BENCH_core.json)
-    quoted = pcts[-1]  # last % cell = the measured column
-    # Match to the precision the doc quotes (a row saying 13.0% is
-    # fine while the json holds 13.0474).
-    decimals = len(quoted.split(".")[1]) if "." in quoted else 0
-    if abs(float(quoted) - actual) > 0.5 * 10.0**-decimals + 1e-9:
-        failures.append(
-            f"{md_path.relative_to(repo_root)}:{lineno}: quoted "
-            f"measured savings {quoted}% does not match {cited[0]} "
-            f"(savings_pct = {actual:.4g})")
+    pcts = PCT_RE.findall(line)
+    if pcts:
+        actual = measured_savings_pct(repo_root / cited[0])
+        if actual is not None:
+            quoted = pcts[-1]  # last % cell = the measured column
+            # Match to the precision the doc quotes (a row saying
+            # 13.0% is fine while the json holds 13.0474).
+            decimals = (len(quoted.split(".")[1])
+                        if "." in quoted else 0)
+            if abs(float(quoted) - actual) > \
+                    0.5 * 10.0**-decimals + 1e-9:
+                failures.append(
+                    f"{md_path.relative_to(repo_root)}:{lineno}: "
+                    f"quoted measured savings {quoted}% does not "
+                    f"match {cited[0]} (savings_pct = {actual:.4g})")
+    speedups = trajectory_speedups(repo_root / cited[0])
+    for quoted in SPEEDUP_RE.findall(line):
+        if not speedups:
+            break
+        decimals = len(quoted.split(".")[1]) if "." in quoted else 0
+        tol = 0.5 * 10.0**-decimals + 1e-9
+        if not any(abs(float(quoted) - v) <= tol
+                   for v in speedups.values()):
+            have = ", ".join(f"{k}={v:.4g}"
+                             for k, v in speedups.items())
+            failures.append(
+                f"{md_path.relative_to(repo_root)}:{lineno}: quoted "
+                f"speedup {quoted}x matches no *speedup value in "
+                f"{cited[0]} ({have})")
 
 
 def check_file(md_path, repo_root, failures):
@@ -169,15 +206,20 @@ def self_test():
             {"x_power_measured": {"savings_pct": 37.3005}}))
         (root / "BENCH_y.json").write_text(json_mod.dumps(
             {"explore_summary": {"max_baseline_gap_pct": 0.0}}))
+        (root / "BENCH_z.json").write_text(json_mod.dumps(
+            {"core": {"compiled_speedup": 11.0421,
+                      "fastpath_speedup": 2.66}}))
 
         clean = ("[good](docs/GOOD.md) [abs](/docs/GOOD.md) "
                  "`src/real.{hh,cc}` see BENCH_*.json\n"
                  "| app | 32% | 37.3% | `BENCH_x.json` |\n"
-                 "| explorer | gap 0.0% | `BENCH_y.json` |\n")
+                 "| explorer | gap 0.0% | `BENCH_y.json` |\n"
+                 "| compiled | 11.0x | `BENCH_z.json` |\n")
         rotten = ("[gone](docs/NOPE.md) [abs](/docs/NOPE.md) "
                   "`src/gone.{hh,cc}`\n"
                   "| app | 32% | 12.0% | `BENCH_x.json` |\n"
-                  "| explorer | gap 7.0% | `BENCH_y.json` |\n")
+                  "| explorer | gap 7.0% | `BENCH_y.json` |\n"
+                  "| compiled | 15.0x | `BENCH_z.json` |\n")
 
         (root / "README.md").write_text(clean)
         failures = run_checks(root)
@@ -189,7 +231,7 @@ def self_test():
         (root / "README.md").write_text(rotten)
         failures = run_checks(root)
         wanted = ["docs/NOPE.md", "/docs/NOPE.md", "src/gone.hh",
-                  "src/gone.cc", "12.0%", "7.0%"]
+                  "src/gone.cc", "12.0%", "7.0%", "15.0x"]
         text = "\n".join(failures)
         missed = [w for w in wanted if w not in text]
         if missed:

@@ -56,6 +56,8 @@ record(bench::JsonReport &report, const ExplorationResult &res,
     report.set(section, "measured", double(measured));
     report.set(section, "frontier_points",
                double(res.frontier.size()));
+    report.set(section, "statically_rejected",
+               double(res.statically_rejected));
     report.set(section, "bit_exact", res.all_bit_exact ? 1.0 : 0.0);
     report.set(section, "agreement", res.agreement ? 1.0 : 0.0);
     report.set(section, "baseline_gap_pct", res.baseline_gap_pct);

@@ -498,4 +498,26 @@ explorableMotion(const MotionPipelineParams &p)
     return app;
 }
 
+mapping::LoweredArtifact
+verifiableMotion(const MotionPipelineParams &p)
+{
+    checkParams(p);
+    dsp::Image cur(W, H), ref(W, H);
+    motionScene(p, cur, ref);
+    auto plan = planMotion(p);
+    if (!plan)
+        fatal("motion: no feasible mapping at %.0f macroblocks/s",
+              p.mb_rate_hz);
+
+    mapping::LoweredArtifact art;
+    art.name = "motion";
+    art.spec = motionDag(p, cur, ref);
+    art.plan = *plan;
+    art.iterations_per_sec = p.mb_rate_hz / p.columns;
+    art.slack = p.slack;
+    art.prog = mapping::lowerDag(art.spec, art.plan,
+                                 art.iterations_per_sec, art.slack);
+    return art;
+}
+
 } // namespace synchro::apps

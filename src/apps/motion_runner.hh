@@ -42,6 +42,7 @@
 #include "dsp/image.hh"
 #include "dsp/motion.hh"
 #include "mapping/explorer.hh"
+#include "mapping/verifier.hh"
 
 namespace synchro::apps
 {
@@ -157,6 +158,14 @@ MappedMotionRun runMappedMotion(const MotionPipelineParams &p);
  * variants. fatal() if no feasible baseline mapping exists.
  */
 mapping::ExplorableApp explorableMotion(const MotionPipelineParams &p);
+
+/**
+ * The committed lowering bundled for mapping::verifyLowered — the
+ * report hook the verify_plan example and the verifier regression
+ * tests use to re-verify exactly what runMappedMotion() runs.
+ */
+mapping::LoweredArtifact
+verifiableMotion(const MotionPipelineParams &p);
 
 } // namespace synchro::apps
 

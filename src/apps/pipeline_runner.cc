@@ -472,4 +472,25 @@ explorableDdc(const DdcPipelineParams &p)
     return app;
 }
 
+mapping::LoweredArtifact
+verifiableDdc(const DdcPipelineParams &p)
+{
+    std::vector<int16_t> x = ddcInput(p);
+    auto plan = planDdc(p);
+    if (!plan)
+        fatal("ddc: no feasible mapping at %.1f MS/s",
+              p.sample_rate_hz / 1e6);
+
+    mapping::LoweredArtifact art;
+    art.name = "ddc";
+    art.spec = mapping::linearDagSpec(ddcStages(p, x));
+    art.plan = *plan;
+    art.iterations_per_sec = p.sample_rate_hz / Decim;
+    art.slack = p.slack;
+    art.prog = mapping::lowerPipeline(ddcStages(p, x), art.plan,
+                                      art.iterations_per_sec,
+                                      art.slack);
+    return art;
+}
+
 } // namespace synchro::apps

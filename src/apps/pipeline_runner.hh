@@ -29,6 +29,7 @@
 
 #include "apps/app_harness.hh"
 #include "mapping/explorer.hh"
+#include "mapping/verifier.hh"
 
 namespace synchro::apps
 {
@@ -105,6 +106,13 @@ MappedDdcRun runMappedDdc(const DdcPipelineParams &p);
  * ChipPlan. fatal() if no feasible baseline mapping exists.
  */
 mapping::ExplorableApp explorableDdc(const DdcPipelineParams &p);
+
+/**
+ * The committed lowering bundled for mapping::verifyLowered — the
+ * report hook the verify_plan example and the verifier regression
+ * tests use to re-verify exactly what runMappedDdc() runs.
+ */
+mapping::LoweredArtifact verifiableDdc(const DdcPipelineParams &p);
 
 } // namespace synchro::apps
 

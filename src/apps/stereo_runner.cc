@@ -538,4 +538,26 @@ explorableStereo(const StereoPipelineParams &p)
     return app;
 }
 
+mapping::LoweredArtifact
+verifiableStereo(const StereoPipelineParams &p)
+{
+    checkParams(p);
+    dsp::Image left(W, H), right(W, H);
+    stereoScene(p, left, right);
+    auto plan = planStereo(p);
+    if (!plan)
+        fatal("stereo: no feasible mapping at %.0f frames/s",
+              p.frame_rate_hz);
+
+    mapping::LoweredArtifact art;
+    art.name = "stereo";
+    art.spec = stereoDag(p, left, right);
+    art.plan = *plan;
+    art.iterations_per_sec = p.frame_rate_hz;
+    art.slack = p.slack;
+    art.prog = mapping::lowerDag(art.spec, art.plan,
+                                 art.iterations_per_sec, art.slack);
+    return art;
+}
+
 } // namespace synchro::apps

@@ -51,6 +51,7 @@
 #include "apps/app_harness.hh"
 #include "dsp/image.hh"
 #include "mapping/explorer.hh"
+#include "mapping/verifier.hh"
 
 namespace synchro::apps
 {
@@ -145,6 +146,14 @@ MappedStereoRun runMappedStereo(const StereoPipelineParams &p);
  * ChipPlan. fatal() if no feasible baseline mapping exists.
  */
 mapping::ExplorableApp explorableStereo(const StereoPipelineParams &p);
+
+/**
+ * The committed lowering bundled for mapping::verifyLowered — the
+ * report hook the verify_plan example and the verifier regression
+ * tests use to re-verify exactly what runMappedStereo() runs.
+ */
+mapping::LoweredArtifact
+verifiableStereo(const StereoPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -366,6 +366,7 @@ acsStage(const WifiPipelineParams &p, unsigned which)
         movpi p1, %u
         movi r5, 1
         movi r4, 0
+        movi r7, 0
 )",
                            AcsMetA, AcsMetB, AcsEtab);
 
@@ -628,6 +629,28 @@ explorableWifi(const WifiPipelineParams &p)
                                 *golden);
     };
     return app;
+}
+
+mapping::LoweredArtifact
+verifiableWifi(const WifiPipelineParams &p)
+{
+    checkParams(p);
+    std::vector<uint8_t> bits = wifiPayload(p);
+    std::vector<CplxQ15> carriers = wifiCarriers(p, bits);
+    auto plan = planWifi(p);
+    if (!plan)
+        fatal("wifi: no feasible mapping at %.1f kbit/s",
+              p.bit_rate_hz / 1e3);
+
+    mapping::LoweredArtifact art;
+    art.name = "wifi";
+    art.spec = wifiDag(p, carriers);
+    art.plan = *plan;
+    art.iterations_per_sec = p.bit_rate_hz / (2 * WifiFrameBits);
+    art.slack = p.slack;
+    art.prog = mapping::lowerDag(art.spec, art.plan,
+                                 art.iterations_per_sec, art.slack);
+    return art;
 }
 
 } // namespace synchro::apps

@@ -50,6 +50,7 @@
 #include "apps/app_harness.hh"
 #include "common/fixed.hh"
 #include "mapping/explorer.hh"
+#include "mapping/verifier.hh"
 
 namespace synchro::apps
 {
@@ -157,6 +158,13 @@ MappedWifiRun runMappedWifi(const WifiPipelineParams &p);
  * ChipPlan. fatal() if no feasible baseline mapping exists.
  */
 mapping::ExplorableApp explorableWifi(const WifiPipelineParams &p);
+
+/**
+ * The committed lowering bundled for mapping::verifyLowered — the
+ * report hook the verify_plan example and the verifier regression
+ * tests use to re-verify exactly what runMappedWifi() runs.
+ */
+mapping::LoweredArtifact verifiableWifi(const WifiPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -467,4 +467,162 @@ setDecodeCacheCapacity(uint64_t n)
     }
 }
 
+std::string
+regUnitName(unsigned unit)
+{
+    if (unit < UnitPtr0)
+        return strprintf("r%u", unit - UnitData0);
+    if (unit < UnitAcc0)
+        return strprintf("p%u", unit - UnitPtr0);
+    if (unit < UnitCc)
+        return strprintf("a%u", unit - UnitAcc0);
+    if (unit == UnitCc)
+        return "cc";
+    return strprintf("unit%u", unit);
+}
+
+namespace
+{
+
+constexpr uint32_t
+dataBit(unsigned r)
+{
+    return 1u << (UnitData0 + r);
+}
+
+constexpr uint32_t
+ptrBit(unsigned r)
+{
+    return 1u << (UnitPtr0 + r);
+}
+
+constexpr uint32_t
+accBit(unsigned a)
+{
+    return 1u << (UnitAcc0 + a);
+}
+
+constexpr uint32_t CcBit = 1u << UnitCc;
+
+} // namespace
+
+UopEffects
+uopEffects(const MicroOp &u)
+{
+    UopEffects e;
+    switch (u.kind) {
+      case UopKind::Nop:
+      case UopKind::Halt:
+      case UopKind::Jump:
+      case UopKind::Lsetup:
+        break;
+      case UopKind::Jcc:
+      case UopKind::Jncc:
+        e.reads = CcBit;
+        break;
+      case UopKind::Add:
+      case UopKind::Sub:
+      case UopKind::And:
+      case UopKind::Or:
+      case UopKind::Xor:
+      case UopKind::Min:
+      case UopKind::Max:
+      case UopKind::Lsl:
+      case UopKind::Lsr:
+      case UopKind::Asr:
+      case UopKind::Mul:
+      case UopKind::Add16:
+      case UopKind::Sub16:
+        e.reads = dataBit(u.rs1) | dataBit(u.rs2);
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::Sel:
+        e.reads = dataBit(u.rs1) | dataBit(u.rs2) | CcBit;
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::Neg:
+      case UopKind::Not:
+      case UopKind::Abs:
+      case UopKind::Mov:
+        e.reads = dataBit(u.rs1);
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::AddImm:
+        e.reads = dataBit(u.rd);
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::LslImm:
+      case UopKind::LsrImm:
+      case UopKind::AsrImm:
+        e.reads = dataBit(u.rs1);
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::Mac:
+      case UopKind::Msu:
+      case UopKind::Saa:
+        e.reads = dataBit(u.rs1) | dataBit(u.rs2) | accBit(u.acc);
+        e.writes = accBit(u.acc);
+        break;
+      case UopKind::AClr:
+        e.writes = accBit(u.acc);
+        break;
+      case UopKind::AExt:
+        e.reads = accBit(u.acc);
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::MovImm:
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::MovImmHigh:
+        e.reads = dataBit(u.rd); // keeps the low half
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::MovPtrImm:
+        e.writes = ptrBit(u.rd);
+        break;
+      case UopKind::MovPtr:
+        e.reads = dataBit(u.rs1);
+        e.writes = ptrBit(u.rd);
+        break;
+      case UopKind::MovFromPtr:
+        e.reads = ptrBit(u.rs1);
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::PtrAddImm:
+        e.reads = ptrBit(u.rd);
+        e.writes = ptrBit(u.rd);
+        break;
+      case UopKind::TileId:
+        e.writes = dataBit(u.rd);
+        break;
+      case UopKind::Load:
+        e.reads = ptrBit(u.rs1);
+        e.writes = dataBit(u.rd);
+        if (u.flags & UopPostMod)
+            e.writes |= ptrBit(u.rs1);
+        break;
+      case UopKind::Store:
+        e.reads = dataBit(u.rd) | ptrBit(u.rs1);
+        if (u.flags & UopPostMod)
+            e.writes = ptrBit(u.rs1);
+        break;
+      case UopKind::CmpEq:
+      case UopKind::CmpLt:
+      case UopKind::CmpLe:
+      case UopKind::CmpLtu:
+        e.reads = dataBit(u.rd) | dataBit(u.rs1);
+        e.writes = CcBit;
+        break;
+      case UopKind::CommWrite:
+        e.reads = dataBit(u.rd);
+        break;
+      case UopKind::CommRead:
+        e.writes = dataBit(u.rd);
+        break;
+      default:
+        break;
+    }
+    return e;
+}
+
 } // namespace synchro::isa

@@ -199,6 +199,39 @@ struct DecodedProgram
     size_t size() const { return uops.size(); }
 };
 
+/// @name Unified register-unit numbering for static dataflow walks
+/// One flat index space covering every architecturally named storage
+/// unit a micro-op can read or write, so an analysis can track
+/// def-before-use with a single bitmask: data registers r0..r7 map to
+/// units 0..7, pointer registers p0..p5 to 8..13, accumulators a0/a1
+/// to 14/15, and the controller's condition code CC to 16.
+/// @{
+constexpr unsigned UnitData0 = 0;
+constexpr unsigned UnitPtr0 = UnitData0 + NumDataRegs;
+constexpr unsigned UnitAcc0 = UnitPtr0 + NumPtrRegs;
+constexpr unsigned UnitCc = UnitAcc0 + NumAccums;
+constexpr unsigned NumRegUnits = UnitCc + 1;
+/// @}
+
+/** Architectural name of a unified register unit ("r3", "p0", ...). */
+std::string regUnitName(unsigned unit);
+
+/**
+ * The register units one micro-op reads and writes, as bitmasks over
+ * the unified numbering above — the dataflow footprint a static
+ * verifier walks (mapping/verifier) without re-deriving the decode
+ * table's operand semantics. Communication side effects (the buffer
+ * pop/push of CommRead/CommWrite) and memory are not register units
+ * and are not represented here.
+ */
+struct UopEffects
+{
+    uint32_t reads = 0;
+    uint32_t writes = 0;
+};
+
+UopEffects uopEffects(const MicroOp &u);
+
 /**
  * Decode @p prog, consulting the process-wide cache keyed by content
  * hash (hash collisions are verified against the full instruction

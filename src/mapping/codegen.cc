@@ -7,6 +7,7 @@
 
 #include "arch/chip.hh"
 #include "common/log.hh"
+#include "mapping/verifier.hh"
 
 namespace synchro::mapping
 {
@@ -94,9 +95,26 @@ PipelineProgram::columnFor(const std::string &actor) const
           actor.c_str());
 }
 
-PipelineProgram
-lowerDag(const DagSpec &spec, const ChipPlan &plan,
-         double iterations_per_sec, double slack)
+/**
+ * The static verifier gate every lowering passes through: a lowered
+ * artifact with a provable safety violation never reaches a chip.
+ */
+static void
+gateLowered(const DagSpec &spec, const ChipPlan &plan,
+            const PipelineProgram &prog, double iterations_per_sec,
+            double slack)
+{
+    VerifyReport rep =
+        verifyLowered(spec, plan, prog, iterations_per_sec, slack);
+    if (!rep.ok())
+        fatal("codegen: statically rejected: %s",
+              rep.errorSummary().c_str());
+}
+
+/** lowerDag() minus the verifier gate (shared with lowerPipeline). */
+static PipelineProgram
+lowerDagImpl(const DagSpec &spec, const ChipPlan &plan,
+             double iterations_per_sec, double slack)
 {
     const std::vector<DagStage> &stages = spec.stages;
     if (stages.size() < 2)
@@ -278,19 +296,18 @@ lowerDag(const DagSpec &spec, const ChipPlan &plan,
 }
 
 PipelineProgram
-lowerPipeline(const std::vector<PipelineStage> &stages,
-              const ChipPlan &plan, double iterations_per_sec,
-              double slack)
+lowerDag(const DagSpec &spec, const ChipPlan &plan,
+         double iterations_per_sec, double slack)
 {
-    if (stages.size() < 2)
-        fatal("codegen: a pipeline needs at least two stages");
-    if (stages.front().reads_per_firing != 0)
-        fatal("codegen: source stage '%s' cannot read upstream",
-              stages.front().actor.c_str());
-    if (stages.back().writes_per_firing != 0)
-        fatal("codegen: sink stage '%s' cannot write downstream",
-              stages.back().actor.c_str());
+    PipelineProgram out =
+        lowerDagImpl(spec, plan, iterations_per_sec, slack);
+    gateLowered(spec, plan, out, iterations_per_sec, slack);
+    return out;
+}
 
+DagSpec
+linearDagSpec(const std::vector<PipelineStage> &stages)
+{
     DagSpec spec;
     for (const auto &s : stages) {
         DagStage d;
@@ -310,13 +327,33 @@ lowerPipeline(const std::vector<PipelineStage> &stages,
         edge.dst_words_per_firing = stages[e + 1].reads_per_firing;
         spec.edges.push_back(std::move(edge));
     }
+    return spec;
+}
 
+PipelineProgram
+lowerPipeline(const std::vector<PipelineStage> &stages,
+              const ChipPlan &plan, double iterations_per_sec,
+              double slack)
+{
+    if (stages.size() < 2)
+        fatal("codegen: a pipeline needs at least two stages");
+    if (stages.front().reads_per_firing != 0)
+        fatal("codegen: source stage '%s' cannot read upstream",
+              stages.front().actor.c_str());
+    if (stages.back().writes_per_firing != 0)
+        fatal("codegen: sink stage '%s' cannot write downstream",
+              stages.back().actor.c_str());
+
+    const DagSpec spec = linearDagSpec(stages);
     PipelineProgram out =
-        lowerDag(spec, plan, iterations_per_sec, slack);
+        lowerDagImpl(spec, plan, iterations_per_sec, slack);
     // Linear chains keep the legacy drop-new bus: bodies use
     // untagged crd/cwr and every column has at most one edge per
     // direction, so slot-order binding is already unambiguous.
     out.self_timed = false;
+    // Gate the FINAL artifact — legacy bus semantics change what the
+    // "tokens" check must prove, so verify after the flip.
+    gateLowered(spec, plan, out, iterations_per_sec, slack);
     return out;
 }
 

@@ -181,6 +181,13 @@ struct PipelineProgram
  * actors, unknown actors, stage firing counts describing different
  * iteration counts, plans that provisioned parallel columns/tiles,
  * or bodies that do not assemble.
+ *
+ * Every lowering additionally passes through the static verifier
+ * (mapping/verifier.hh) as a mandatory post-lowering gate: an
+ * artifact with a provable safety violation (slot conflict, lane-tag
+ * mismatch, uninitialized register read, reachable overrun, ZORM
+ * inconsistency) is rejected with
+ * fatal("codegen: statically rejected: ...").
  */
 PipelineProgram lowerDag(const DagSpec &spec, const ChipPlan &plan,
                          double iterations_per_sec,
@@ -219,10 +226,19 @@ struct PipelineStage
 };
 
 /**
+ * The two-terminal DAG equivalent to the linear chain @p stages —
+ * the spec lowerPipeline() lowers, exposed so verification hooks can
+ * re-derive the exact (spec, plan, program) triple of a linear
+ * lowering without duplicating the edge construction.
+ */
+DagSpec linearDagSpec(const std::vector<PipelineStage> &stages);
+
+/**
  * Lower @p stages (a linear chain, in dataflow order) onto the
  * columns @p plan assigned them — the two-terminal special case of
  * lowerDag(), kept on the legacy (drop-new) bus semantics so the
- * mapped DDC receiver behaves exactly as before.
+ * mapped DDC receiver behaves exactly as before. The verifier gate
+ * runs on the final legacy-bus artifact.
  *
  * fatal() on everything lowerDag() rejects, plus: a source stage
  * that reads, a sink stage that writes, or an interior edge carrying

@@ -181,6 +181,13 @@ explorePlans(const ExplorableApp &app, const ExploreOptions &opt)
             preps.push_back(std::move(prep));
         } catch (const FatalError &e) {
             pt.failure = strprintf("did not lower: %s", e.what());
+            // The codegen verifier gate rejected the candidate
+            // before any chip was staged — the pre-simulation
+            // filter, counted separately in the report.
+            if (pt.failure.find("statically rejected") !=
+                std::string::npos) {
+                ++res.statically_rejected;
+            }
         }
         res.points.push_back(std::move(pt));
     }
@@ -346,6 +353,11 @@ ExplorationResult::report() const
                                  return p.ran;
                              })),
         frontier.size());
+    if (statically_rejected > 0) {
+        out += strprintf("  %zu candidate(s) statically rejected "
+                         "before simulation\n",
+                         statically_rejected);
+    }
     out += strprintf("  %-18s %10s %12s %9s %8s  %s\n", "plan",
                      "ticks", "items/s", "mW", "saved%", "");
     for (const MeasuredPoint &pt : points) {

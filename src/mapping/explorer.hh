@@ -156,6 +156,13 @@ struct ExplorationResult
     size_t baseline_index = 0;
 
     /**
+     * Candidates the codegen verifier gate rejected at lowering time
+     * (their points carry a "statically rejected" failure) — filtered
+     * before any chip was staged or simulated.
+     */
+    size_t statically_rejected = 0;
+
+    /**
      * How far the baseline's measured power sits above the cheapest
      * frontier point at >= its achieved rate (0 when the baseline is
      * itself that point).

@@ -1,0 +1,1531 @@
+/**
+ * @file
+ * Static plan/program verifier implementation.
+ *
+ * The analyses here mirror the execution semantics of
+ * arch/simd_controller.cc (issue order, ZORM Bresenham pacing, comm
+ * hazard stalls, loop-end unwinding), arch/dou.cc (the counter
+ * state-machine step rule) and arch/bus.cc (tag-matched pops,
+ * self-timed deferral, legacy drop-new) *exactly* — every proof below
+ * is sound only because the abstract step rules are the concrete ones
+ * with data values erased. When those files change, change this one.
+ */
+
+#include "mapping/verifier.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/dou.hh"
+#include "common/log.hh"
+#include "isa/uop.hh"
+
+namespace synchro::mapping
+{
+
+namespace
+{
+
+using isa::MicroOp;
+using isa::UopKind;
+
+constexpr uint32_t AllUnits = (1u << isa::NumRegUnits) - 1;
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      default:
+        return "note";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Abstract comm-sequence walk
+// ---------------------------------------------------------------------
+
+/** One `crd`/`cwr` in program order. */
+struct CommEvent
+{
+    bool is_read = false;
+    int lane = -1;    //!< tagged lane, or -1 for the untagged forms
+    uint64_t gap = 0; //!< issue slots since the previous comm op
+};
+
+/**
+ * Result of abstractly executing one column program. Two exactness
+ * levels: `sequence_exact` means `events` is the exact comm sequence
+ * every run of the program produces (data-dependent branches were
+ * proven comm-transparent); `timing_exact` additionally means every
+ * gap is the exact issue-slot distance (no conditional branches at
+ * all, so no data-dependent path lengths and no branch-stall cycles).
+ */
+struct WalkResult
+{
+    bool sequence_exact = true;
+    bool timing_exact = true;
+    std::string inexact_why;
+    std::vector<CommEvent> events;
+    uint64_t tail_slots = 0;  //!< slots after the last comm op
+    uint64_t total_slots = 0; //!< issue slots for the whole run
+    std::set<int> read_lanes, write_lanes; //!< textual, whole program
+};
+
+/**
+ * Concretely walk @p uops with the controller's advance rules. Loop
+ * trip counts are static (`lsetup` immediates), so the walk is exact
+ * for branch-free programs. Conditional branches are handled by the
+ * comm-transparency rules documented inline; anything else degrades
+ * the walk to textual lane sets.
+ */
+WalkResult
+walkComm(const std::vector<MicroOp> &uops)
+{
+    WalkResult w;
+    for (const MicroOp &u : uops) {
+        if (u.kind == UopKind::CommRead)
+            w.read_lanes.insert(u.imm);
+        else if (u.kind == UopKind::CommWrite)
+            w.write_lanes.insert(u.imm);
+    }
+
+    const size_t n = uops.size();
+
+    // A region is comm-transparent when executing it (or skipping it)
+    // cannot change the program's comm sequence: no comm ops, no
+    // control transfers out of it, and any loop armed inside it also
+    // completes inside it.
+    auto plainRegion = [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi && i < n; ++i) {
+            switch (uops[i].kind) {
+              case UopKind::Halt:
+              case UopKind::Jump:
+              case UopKind::Jcc:
+              case UopKind::Jncc:
+              case UopKind::CommRead:
+              case UopKind::CommWrite:
+                return false;
+              case UopKind::Lsetup:
+                if (uops[i].end > hi)
+                    return false;
+                break;
+              default:
+                break;
+            }
+        }
+        return true;
+    };
+
+    struct Loop
+    {
+        uint32_t start, end, remaining;
+        uint8_t unit;
+    };
+    std::vector<Loop> stack;
+
+    // Mirror of SimdController::advancePc(): unwind loop ends from
+    // the top of the stack.
+    auto advance = [&](uint32_t from) {
+        uint32_t next = from + 1;
+        while (!stack.empty() && next == stack.back().end) {
+            if (--stack.back().remaining > 0) {
+                next = stack.back().start;
+                break;
+            }
+            stack.pop_back();
+        }
+        return next;
+    };
+
+    auto inexact = [&](std::string why) {
+        w.sequence_exact = false;
+        w.timing_exact = false;
+        if (w.inexact_why.empty())
+            w.inexact_why = std::move(why);
+        w.events.clear();
+    };
+
+    constexpr uint64_t WalkBudget = 50'000'000;
+    uint64_t gap = 0;
+    uint32_t pc = 0;
+    while (true) {
+        if (pc >= n) {
+            inexact("pc fell off the program end");
+            return w;
+        }
+        if (w.total_slots >= WalkBudget) {
+            inexact("walk budget exceeded");
+            return w;
+        }
+        const MicroOp &u = uops[pc];
+        ++w.total_slots;
+        ++gap;
+        switch (u.kind) {
+          case UopKind::Halt:
+            w.tail_slots = gap;
+            return w;
+          case UopKind::Jump:
+            if (u.imm < 0 || uint32_t(u.imm) >= n) {
+                inexact("jump target out of range");
+                return w;
+            }
+            pc = uint32_t(u.imm);
+            continue;
+          case UopKind::Jcc:
+          case UopKind::Jncc: {
+            // Which way a conditional branch goes is data-dependent,
+            // so gaps stop being exact here (and the taken path also
+            // costs a branch-stall cycle the walk does not model).
+            w.timing_exact = false;
+            if (u.imm < 0 || uint32_t(u.imm) >= n) {
+                inexact("branch target out of range");
+                return w;
+            }
+            const uint32_t tgt = uint32_t(u.imm);
+            bool armed_end = false;
+            for (const Loop &l : stack)
+                armed_end = armed_end || l.end == tgt;
+            if (tgt > pc && plainRegion(pc + 1, tgt) && !armed_end) {
+                // Forward skip over a comm-transparent region: both
+                // paths produce the same comm sequence (a taken
+                // branch jumps straight to tgt without loop-end
+                // processing, hence the armed_end guard). Walk the
+                // fall-through path.
+                pc = advance(pc);
+            } else if (tgt <= pc && plainRegion(tgt, pc)) {
+                // Backward data-dependent loop over a
+                // comm-transparent body: however many times the real
+                // run iterates, no comm happens; walk the exit path.
+                pc = advance(pc);
+            } else {
+                inexact(strprintf("data-dependent branch at pc %u "
+                                  "spans communication",
+                                  pc));
+                return w;
+            }
+            continue;
+          }
+          case UopKind::Lsetup: {
+            if (u.imm <= 0 || u.end <= pc + 1 || u.end > n) {
+                inexact(strprintf("malformed lsetup at pc %u", pc));
+                return w;
+            }
+            for (const Loop &l : stack) {
+                if (l.unit == u.acc) {
+                    inexact(strprintf(
+                        "loop unit lc%u re-armed at pc %u while "
+                        "active",
+                        unsigned(u.acc), pc));
+                    return w;
+                }
+            }
+            stack.push_back(
+                {pc + 1, u.end, uint32_t(u.imm), u.acc});
+            pc = advance(pc);
+            continue;
+          }
+          case UopKind::CommRead:
+          case UopKind::CommWrite: {
+            CommEvent e;
+            e.is_read = u.kind == UopKind::CommRead;
+            e.lane = u.imm;
+            e.gap = gap - 1;
+            w.events.push_back(e);
+            gap = 0;
+            pc = advance(pc);
+            continue;
+          }
+          default:
+            pc = advance(pc);
+            continue;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared analysis state
+// ---------------------------------------------------------------------
+
+struct EdgeInfo
+{
+    size_t src = 0, dst = 0; //!< stage indices
+    unsigned lane = 0;
+    uint64_t src_words = 0, dst_words = 0; //!< words per firing
+};
+
+struct ColInfo
+{
+    const ColumnProgram *col = nullptr;
+    const DagStage *stage = nullptr;
+    const ActorPlacement *place = nullptr;
+    std::vector<MicroOp> uops;
+    WalkResult walk;
+    std::vector<size_t> in_edges, out_edges; //!< edge indices
+    std::vector<CommEvent> events; //!< lane-normalized (tags check)
+    bool events_ok = false; //!< events usable for token replays
+};
+
+struct Analysis
+{
+    const DagSpec *spec = nullptr;
+    const ChipPlan *plan = nullptr;
+    const PipelineProgram *prog = nullptr;
+    double rate = 0;
+    double slack = 1;
+    double ref_hz = 0;
+    std::vector<ColInfo> cols;   //!< parallel to spec->stages
+    std::vector<EdgeInfo> edges; //!< parallel to spec->edges
+    bool slots_clean = true;     //!< set by checkSlots
+};
+
+/**
+ * Resolve stages <-> columns <-> placements <-> edges and decode
+ * every program. Shape problems (an artifact whose pieces no longer
+ * name each other) are reported under "slots" and abort the analysis
+ * — nothing else is provable about mismatched pieces.
+ */
+bool
+resolve(Analysis &a, VerifyReport &rep)
+{
+    const DagSpec &spec = *a.spec;
+    const PipelineProgram &prog = *a.prog;
+
+    auto shape = [&](std::string msg) {
+        rep.add(Severity::Error, "slots",
+                "artifact shape: " + std::move(msg));
+        return false;
+    };
+
+    if (spec.stages.empty())
+        return shape("no stages");
+    if (prog.columns.size() != spec.stages.size())
+        return shape(strprintf("%zu programmed columns for %zu "
+                               "stages",
+                               prog.columns.size(),
+                               spec.stages.size()));
+    if (prog.lanes.size() != spec.edges.size())
+        return shape(strprintf("%zu lane bindings for %zu edges",
+                               prog.lanes.size(),
+                               spec.edges.size()));
+    if (a.plan->ref_freq_mhz <= 0)
+        return shape("non-positive reference frequency");
+    a.ref_hz = a.plan->ref_freq_mhz * 1e6;
+
+    std::map<std::string, size_t> idx;
+    for (size_t i = 0; i < spec.stages.size(); ++i) {
+        if (!idx.emplace(spec.stages[i].actor, i).second)
+            return shape("duplicate stage '" + spec.stages[i].actor +
+                         "'");
+    }
+
+    a.cols.resize(spec.stages.size());
+    for (const ColumnProgram &col : prog.columns) {
+        auto it = idx.find(col.actor);
+        if (it == idx.end())
+            return shape("column for unknown actor '" + col.actor +
+                         "'");
+        ColInfo &ci = a.cols[it->second];
+        if (ci.col)
+            return shape("two columns run actor '" + col.actor +
+                         "'");
+        ci.col = &col;
+        ci.stage = &spec.stages[it->second];
+        for (const ActorPlacement &p : a.plan->placements) {
+            if (p.actor == col.actor)
+                ci.place = &p;
+        }
+        if (!ci.place)
+            return shape("actor '" + col.actor +
+                         "' has no placement in the plan");
+        ci.uops = isa::decodeProgram(col.program)->uops;
+    }
+    for (size_t i = 0; i < a.cols.size(); ++i) {
+        if (!a.cols[i].col)
+            return shape("stage '" + spec.stages[i].actor +
+                         "' has no programmed column");
+    }
+
+    for (size_t e = 0; e < spec.edges.size(); ++e) {
+        const DagEdgeSpec &es = spec.edges[e];
+        auto s = idx.find(es.src), d = idx.find(es.dst);
+        if (s == idx.end() || d == idx.end())
+            return shape(strprintf("edge %zu references an unknown "
+                                   "actor",
+                                   e));
+        EdgeInfo ei;
+        ei.src = s->second;
+        ei.dst = d->second;
+        ei.lane = prog.lanes[e];
+        if (ei.lane >= arch::BusLanes)
+            return shape(strprintf("edge %zu bound to lane %u (bus "
+                                   "has %u)",
+                                   e, ei.lane, arch::BusLanes));
+        ei.src_words = es.src_words_per_firing;
+        ei.dst_words = es.dst_words_per_firing;
+        a.cols[ei.src].out_edges.push_back(e);
+        a.cols[ei.dst].in_edges.push_back(e);
+        a.edges.push_back(ei);
+    }
+
+    for (ColInfo &ci : a.cols)
+        ci.walk = walkComm(ci.uops);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// "program": register dataflow + issue-slot accounting
+// ---------------------------------------------------------------------
+
+void
+checkProgram(Analysis &a, VerifyReport &rep)
+{
+    for (ColInfo &ci : a.cols) {
+        const std::vector<MicroOp> &uops = ci.uops;
+        const size_t n = uops.size();
+        const std::string &actor = ci.stage->actor;
+        if (n == 0) {
+            rep.add(Severity::Error, "program",
+                    "actor '" + actor + "': empty program");
+            continue;
+        }
+
+        // Successor sets. A linear advance from pc can also re-enter
+        // any loop whose end address is pc+1 — tracking which loops
+        // are armed needs path context, so take the superset: it can
+        // only under-approximate the must-init sets (sound) and
+        // over-approximate liveness (fewer dead-write warnings).
+        std::vector<std::vector<uint32_t>> body_start_at(n + 1);
+        bool malformed = false;
+        for (size_t i = 0; i < n && !malformed; ++i) {
+            const MicroOp &u = uops[i];
+            if (u.kind == UopKind::Lsetup) {
+                if (u.imm <= 0 || u.end <= i + 1 || u.end > n) {
+                    rep.add(Severity::Error, "program",
+                            strprintf("actor '%s': malformed lsetup "
+                                      "at pc %zu",
+                                      actor.c_str(), i));
+                    malformed = true;
+                } else {
+                    body_start_at[u.end].push_back(uint32_t(i + 1));
+                }
+            } else if (u.kind == UopKind::Jump ||
+                       u.kind == UopKind::Jcc ||
+                       u.kind == UopKind::Jncc) {
+                if (u.imm < 0 || uint32_t(u.imm) >= n) {
+                    rep.add(Severity::Error, "program",
+                            strprintf("actor '%s': branch target %d "
+                                      "out of range at pc %zu",
+                                      actor.c_str(), u.imm, i));
+                    malformed = true;
+                }
+            }
+        }
+        if (malformed)
+            continue;
+
+        auto successors = [&](size_t i) {
+            std::vector<uint32_t> s;
+            const MicroOp &u = uops[i];
+            auto linear = [&](uint32_t next) {
+                if (next < n)
+                    s.push_back(next);
+                for (uint32_t b : body_start_at[next])
+                    s.push_back(b);
+            };
+            switch (u.kind) {
+              case UopKind::Halt:
+                break;
+              case UopKind::Jump:
+                s.push_back(uint32_t(u.imm));
+                break;
+              case UopKind::Jcc:
+              case UopKind::Jncc:
+                s.push_back(uint32_t(u.imm));
+                linear(uint32_t(i + 1));
+                break;
+              default:
+                linear(uint32_t(i + 1));
+                break;
+            }
+            return s;
+        };
+
+        std::vector<isa::UopEffects> eff(n);
+        for (size_t i = 0; i < n; ++i)
+            eff[i] = isa::uopEffects(uops[i]);
+
+        std::vector<std::vector<uint32_t>> succ(n);
+        std::vector<std::vector<uint32_t>> pred(n);
+        for (size_t i = 0; i < n; ++i) {
+            succ[i] = successors(i);
+            for (uint32_t s : succ[i])
+                pred[s].push_back(uint32_t(i));
+        }
+
+        // Must-initialize forward dataflow: in[pc] = the register
+        // units written on EVERY path from entry. A read outside
+        // in[pc] can observe the architectural reset value — the bug
+        // class the runners could previously only catch dynamically.
+        std::vector<uint32_t> in(n, AllUnits);
+        std::vector<char> reach(n, 0);
+        in[0] = 0;
+        reach[0] = 1;
+        std::vector<uint32_t> work{0};
+        while (!work.empty()) {
+            uint32_t i = work.back();
+            work.pop_back();
+            const uint32_t out = in[i] | eff[i].writes;
+            for (uint32_t s : succ[i]) {
+                uint32_t next = reach[s] ? (in[s] & out) : out;
+                if (!reach[s] || next != in[s]) {
+                    in[s] = next;
+                    reach[s] = 1;
+                    work.push_back(s);
+                }
+            }
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (!reach[i])
+                continue;
+            uint32_t missing = eff[i].reads & ~in[i];
+            if (!missing)
+                continue;
+            std::string units;
+            for (unsigned u = 0; u < isa::NumRegUnits; ++u) {
+                if (missing & (1u << u)) {
+                    if (!units.empty())
+                        units += ", ";
+                    units += isa::regUnitName(u);
+                }
+            }
+            rep.add(Severity::Error, "program",
+                    strprintf("uninitialized read: actor '%s' pc %zu "
+                              "reads %s before any write reaches it",
+                              actor.c_str(), i, units.c_str()));
+        }
+
+        // May-liveness backward dataflow for dead writes. Post-modify
+        // pointer updates are addressing idiom (the increment rides
+        // along for free), so a dead pointer write on Load/Store is
+        // not reported.
+        std::vector<uint32_t> live(n, 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t r = n; r-- > 0;) {
+                uint32_t out = 0;
+                for (uint32_t s : succ[r])
+                    out |= live[s];
+                uint32_t li = eff[r].reads | (out & ~eff[r].writes);
+                if (li != live[r]) {
+                    live[r] = li;
+                    changed = true;
+                }
+            }
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (!reach[i])
+                continue;
+            uint32_t out = 0;
+            for (uint32_t s : succ[i])
+                out |= live[s];
+            uint32_t dead = eff[i].writes & ~out;
+            if (uops[i].kind == UopKind::Store ||
+                ((uops[i].kind == UopKind::Load) &&
+                 (uops[i].flags & isa::UopPostMod))) {
+                dead &= ~(1u << (isa::UnitPtr0 + uops[i].rs1));
+            }
+            if (!dead || succ[i].empty())
+                continue;
+            std::string units;
+            for (unsigned u = 0; u < isa::NumRegUnits; ++u) {
+                if (dead & (1u << u)) {
+                    if (!units.empty())
+                        units += ", ";
+                    units += isa::regUnitName(u);
+                }
+            }
+            rep.add(Severity::Warning, "program",
+                    strprintf("dead write: actor '%s' pc %zu writes "
+                              "%s but no path reads it",
+                              actor.c_str(), i, units.c_str()));
+        }
+
+        // Issue-slot accounting: for branch-free programs the walk's
+        // slot total is exact, so the steady-state firing-loop period
+        // (slots per SDF iteration) is derivable and can be checked
+        // against the divider + ZORM useful-slot budget.
+        const DagStage &st = *ci.stage;
+        if (ci.walk.timing_exact && st.per_iteration > 0 &&
+            st.firings >= st.per_iteration && ci.place->divider > 0) {
+            const double iters =
+                double(st.firings) / double(st.per_iteration);
+            const double slots_per_iter =
+                double(ci.walk.total_slots) / iters;
+            const double demand_hz = slots_per_iter * a.rate;
+            const double avail_hz = a.ref_hz / ci.place->divider *
+                                    ci.place->zorm.usefulFraction();
+            if (demand_hz > avail_hz * 1.02) {
+                rep.add(
+                    Severity::Warning, "program",
+                    strprintf("actor '%s' needs %.0f issue slots/s "
+                              "(%.1f per iteration) but its column "
+                              "provides %.0f useful slots/s — the "
+                              "planned rate is not sustainable",
+                              actor.c_str(), demand_hz,
+                              slots_per_iter, avail_hz));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// "slots": conflict freedom, DOU/schedule agreement, feasibility
+// ---------------------------------------------------------------------
+
+void
+checkSlots(Analysis &a, VerifyReport &rep)
+{
+    const PipelineProgram &prog = *a.prog;
+    bool clean = true;
+    auto err = [&](std::string msg) {
+        rep.add(Severity::Error, "slots", std::move(msg));
+        clean = false;
+    };
+
+    std::set<unsigned> lanes_used;
+    for (size_t e = 0; e < a.edges.size(); ++e) {
+        if (!lanes_used.insert(a.edges[e].lane).second)
+            err(strprintf("edge %zu shares bus lane %u with another "
+                          "edge; tag-matched pops need one lane per "
+                          "edge",
+                          e, a.edges[e].lane));
+    }
+
+    // Global slot map: (offset, lane) -> owners. Two drives on one
+    // lane in one bus cycle is the structural hazard the fabric
+    // counts as a conflict; the verifier proves there are none.
+    struct Owner
+    {
+        size_t col;
+        bool drive;
+    };
+    std::map<std::pair<unsigned, unsigned>, std::vector<Owner>> slot;
+    for (size_t c = 0; c < a.cols.size(); ++c) {
+        const CommSchedule &sched = a.cols[c].col->schedule;
+        if (sched.period != prog.period)
+            err(strprintf("actor '%s' schedule period %u != program "
+                          "period %u",
+                          a.cols[c].stage->actor.c_str(),
+                          sched.period, prog.period));
+        if (sched.prologue != 0)
+            err(strprintf("actor '%s' schedule has a prologue; the "
+                          "lowerer never emits one",
+                          a.cols[c].stage->actor.c_str()));
+        for (const Transfer &t : sched.transfers) {
+            if (t.offset >= sched.period || t.lane >= arch::BusLanes) {
+                err(strprintf("actor '%s' transfer at offset %u lane "
+                              "%u out of range",
+                              a.cols[c].stage->actor.c_str(),
+                              t.offset, t.lane));
+                continue;
+            }
+            slot[{t.offset, t.lane}].push_back(
+                {c, t.src_tile >= 0});
+        }
+    }
+    for (const auto &[key, owners] : slot) {
+        size_t drives = 0, captures = 0;
+        for (const Owner &o : owners)
+            (o.drive ? drives : captures) += 1;
+        if (drives > 1 || captures > 1) {
+            std::string who;
+            for (const Owner &o : owners) {
+                if (!who.empty())
+                    who += ", ";
+                who += "'" + a.cols[o.col].stage->actor + "'";
+            }
+            err(strprintf("conflicting slot assignment: bus cycle %u "
+                          "lane %u is claimed more than once (%s)",
+                          key.first, key.second, who.c_str()));
+        } else if (drives == 1 && captures == 0) {
+            rep.add(Severity::Warning, "slots",
+                    strprintf("drive slot at bus cycle %u lane %u "
+                              "has no capture; delivered words go "
+                              "nowhere",
+                              key.first, key.second));
+        } else if (captures == 1 && drives == 0) {
+            err(strprintf("capture slot at bus cycle %u lane %u has "
+                          "no matching drive; the consumer's buffer "
+                          "is never fed",
+                          key.first, key.second));
+        }
+    }
+
+    // Per-edge slot sets: the producer's drive offsets and the
+    // consumer's capture offsets on the edge's lane must agree, and
+    // their rate must cover the edge's token rate at the lowering's
+    // grid pacing (slots are a delivery ceiling; the grid paces the
+    // DAG at demand/slack).
+    for (size_t e = 0; e < a.edges.size(); ++e) {
+        const EdgeInfo &ei = a.edges[e];
+        auto offsetsOf = [&](size_t c, bool drive) {
+            std::set<unsigned> offs;
+            for (const Transfer &t : a.cols[c].col->schedule.transfers)
+                if (t.lane == ei.lane && (t.src_tile >= 0) == drive)
+                    offs.insert(t.offset);
+            return offs;
+        };
+        std::set<unsigned> d = offsetsOf(ei.src, true);
+        std::set<unsigned> cap = offsetsOf(ei.dst, false);
+        const std::string desc = strprintf(
+            "edge %zu (%s -> %s, lane %u)", e,
+            a.cols[ei.src].stage->actor.c_str(),
+            a.cols[ei.dst].stage->actor.c_str(), ei.lane);
+        if (d.empty()) {
+            err(desc + ": producer has no drive slot on the lane");
+            continue;
+        }
+        if (d != cap) {
+            err(desc + ": drive and capture slot offsets disagree");
+            continue;
+        }
+        if (prog.period == 0)
+            continue;
+        const double cap_hz =
+            double(d.size()) * a.ref_hz / double(prog.period);
+        const double need_hz = ei.src_words *
+                               double(a.cols[ei.src].stage
+                                          ->per_iteration) *
+                               a.rate / a.slack;
+        if (cap_hz < need_hz * (1 - 1e-9)) {
+            err(desc +
+                strprintf(": %zu slots/period deliver %.0f words/s "
+                          "but the edge needs %.0f at the lowered "
+                          "pacing — under-provisioned",
+                          d.size(), cap_hz, need_hz));
+        }
+    }
+
+    // Stray transfers: a column driving or capturing a lane that is
+    // not one of its actor's edges moves words the dataflow graph
+    // does not account for.
+    for (size_t c = 0; c < a.cols.size(); ++c) {
+        std::set<unsigned> out_l, in_l;
+        for (size_t e : a.cols[c].out_edges)
+            out_l.insert(a.edges[e].lane);
+        for (size_t e : a.cols[c].in_edges)
+            in_l.insert(a.edges[e].lane);
+        for (const Transfer &t : a.cols[c].col->schedule.transfers) {
+            if (t.offset >= prog.period || t.lane >= arch::BusLanes)
+                continue; // already reported
+            const bool drive = t.src_tile >= 0;
+            const std::set<unsigned> &own = drive ? out_l : in_l;
+            if (!own.count(t.lane))
+                err(strprintf("actor '%s' has a stray %s slot on "
+                              "lane %u (not one of its edges)",
+                              a.cols[c].stage->actor.c_str(),
+                              drive ? "drive" : "capture", t.lane));
+        }
+    }
+
+    // Abstract DOU replay: run each column's compiled state machine
+    // for one full period with the exact Dou::step() rule, compare
+    // every cycle's SEG/Buffer outputs against the schedule's
+    // reference interpretation, and require the machine to return to
+    // its initial state — which extends the one-period proof to every
+    // later period by induction.
+    for (const ColInfo &ci : a.cols) {
+        const arch::DouProgram &dou = ci.col->dou;
+        const std::string &actor = ci.stage->actor;
+        if (dou.states.empty()) {
+            err("actor '" + actor + "': empty DOU program");
+            continue;
+        }
+        unsigned st = 0;
+        std::array<uint32_t, arch::DouNumCounters> ctrs =
+            dou.counter_init;
+        bool bad = false;
+        for (uint64_t cyc = 0; cyc < prog.period && !bad; ++cyc) {
+            if (st >= dou.states.size()) {
+                err(strprintf("actor '%s': DOU transitions to "
+                              "missing state %u",
+                              actor.c_str(), st));
+                bad = true;
+                break;
+            }
+            const arch::DouState &out = dou.states[st];
+            const arch::DouState ref =
+                scheduleOutputAt(ci.col->schedule, cyc);
+            if (out.seg != ref.seg || out.buf != ref.buf) {
+                err(strprintf("actor '%s': DOU output diverges from "
+                              "its schedule at bus cycle %llu",
+                              actor.c_str(),
+                              (unsigned long long)cyc));
+                bad = true;
+                break;
+            }
+            uint32_t &ctr = ctrs[out.cntr];
+            if (ctr == 0) {
+                ctr = dou.counter_init[out.cntr];
+                st = out.nxt0;
+            } else {
+                --ctr;
+                st = out.nxt1;
+            }
+        }
+        if (!bad && (st != 0 || ctrs != dou.counter_init)) {
+            err("actor '" + actor +
+                "': DOU machine does not return to its initial "
+                "state after one period, so later periods diverge "
+                "from the schedule");
+        }
+    }
+
+    a.slots_clean = clean;
+}
+
+// ---------------------------------------------------------------------
+// "tags": lane-tag producer/consumer matching + token counts
+// ---------------------------------------------------------------------
+
+void
+checkTags(Analysis &a, VerifyReport &rep)
+{
+    for (ColInfo &ci : a.cols) {
+        const std::string &actor = ci.stage->actor;
+        std::map<unsigned, size_t> in_lane_edge, out_lane_edge;
+        for (size_t e : ci.in_edges)
+            in_lane_edge[a.edges[e].lane] = e;
+        for (size_t e : ci.out_edges)
+            out_lane_edge[a.edges[e].lane] = e;
+
+        bool ok = true;
+        auto checkLane = [&](bool is_read, int lane,
+                             int &resolved) -> bool {
+            const auto &own = is_read ? in_lane_edge : out_lane_edge;
+            const char *dir = is_read ? "input" : "output";
+            const char *op = is_read ? "crd" : "cwr";
+            if (lane < 0) {
+                if (own.size() != 1) {
+                    rep.add(Severity::Error, "tags",
+                            strprintf("actor '%s' executes untagged "
+                                      "`%s` but has %zu %s edges — "
+                                      "the binding is ambiguous",
+                                      actor.c_str(), op, own.size(),
+                                      dir));
+                    return false;
+                }
+                resolved = int(own.begin()->first);
+                return true;
+            }
+            if (!own.count(unsigned(lane))) {
+                rep.add(Severity::Error, "tags",
+                        strprintf("mismatched lane tag: actor '%s' "
+                                  "executes `%s` tagged lane %d, "
+                                  "which is not one of its %s-edge "
+                                  "lanes",
+                                  actor.c_str(), op, lane, dir));
+                return false;
+            }
+            resolved = lane;
+            return true;
+        };
+
+        if (ci.walk.sequence_exact) {
+            std::map<unsigned, uint64_t> reads, writes;
+            ci.events = ci.walk.events;
+            for (CommEvent &ev : ci.events) {
+                int resolved = -1;
+                if (!checkLane(ev.is_read, ev.lane, resolved)) {
+                    ok = false;
+                    break;
+                }
+                ev.lane = resolved;
+                (ev.is_read ? reads
+                            : writes)[unsigned(resolved)] += 1;
+            }
+            if (ok) {
+                for (const auto &[lane, e] : in_lane_edge) {
+                    const uint64_t want =
+                        a.edges[e].dst_words *
+                        a.cols[a.edges[e].dst].stage->firings;
+                    const uint64_t got = reads.count(lane)
+                                             ? reads.at(lane)
+                                             : 0;
+                    if (got != want) {
+                        rep.add(
+                            Severity::Error, "tags",
+                            strprintf("token count mismatch: actor "
+                                      "'%s' reads %llu words on lane "
+                                      "%u but edge %zu delivers %llu",
+                                      actor.c_str(),
+                                      (unsigned long long)got, lane,
+                                      e, (unsigned long long)want));
+                        ok = false;
+                    }
+                }
+                for (const auto &[lane, e] : out_lane_edge) {
+                    const uint64_t want =
+                        a.edges[e].src_words *
+                        a.cols[a.edges[e].src].stage->firings;
+                    const uint64_t got = writes.count(lane)
+                                             ? writes.at(lane)
+                                             : 0;
+                    if (got != want) {
+                        rep.add(
+                            Severity::Error, "tags",
+                            strprintf("token count mismatch: actor "
+                                      "'%s' writes %llu words on "
+                                      "lane %u but edge %zu carries "
+                                      "%llu",
+                                      actor.c_str(),
+                                      (unsigned long long)got, lane,
+                                      e, (unsigned long long)want));
+                        ok = false;
+                    }
+                }
+            }
+            ci.events_ok = ok;
+        } else {
+            // Data-dependent comm sequence: degrade to lane-set
+            // membership — every lane the program can touch must
+            // still be one of its edges.
+            for (int lane : ci.walk.read_lanes) {
+                int resolved = -1;
+                ok = checkLane(true, lane, resolved) && ok;
+            }
+            for (int lane : ci.walk.write_lanes) {
+                int resolved = -1;
+                ok = checkLane(false, lane, resolved) && ok;
+            }
+            rep.add(Severity::Note, "tags",
+                    strprintf("actor '%s': %s; token counts checked "
+                              "by lane membership only",
+                              actor.c_str(),
+                              ci.walk.inexact_why.c_str()));
+            ci.events_ok = false;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// "tokens": worst-case token flow (overrun + deadlock freedom)
+// ---------------------------------------------------------------------
+
+/**
+ * Untimed Kahn-network replay for self-timed artifacts. The network
+ * — single-slot write buffer per column, single-slot read buffer per
+ * (column, lane), one producer per lane, deferral instead of drops —
+ * has the diamond property (an enabled move stays enabled until
+ * taken), so greedy maximal progress terminates iff some schedule
+ * does; reaching every program's end proves deadlock freedom for
+ * every real timing, and deferral makes overrun structurally
+ * unreachable.
+ */
+void
+kahnReplay(Analysis &a, VerifyReport &rep)
+{
+    std::array<int, arch::BusLanes> consumer_of;
+    consumer_of.fill(-1);
+    for (const EdgeInfo &ei : a.edges)
+        consumer_of[ei.lane] = int(ei.dst);
+
+    struct KCol
+    {
+        size_t next = 0;
+        int wb_lane = -1;
+        std::array<char, arch::BusLanes> rb{};
+    };
+    std::vector<KCol> st(a.cols.size());
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (size_t c = 0; c < a.cols.size(); ++c) {
+            KCol &k = st[c];
+            const std::vector<CommEvent> &ev = a.cols[c].events;
+            while (k.next < ev.size()) {
+                const CommEvent &e = ev[k.next];
+                const unsigned lane = unsigned(e.lane);
+                if (e.is_read) {
+                    if (!k.rb[lane])
+                        break;
+                    k.rb[lane] = 0;
+                } else {
+                    if (k.wb_lane >= 0)
+                        break;
+                    k.wb_lane = int(lane);
+                }
+                ++k.next;
+                progress = true;
+            }
+        }
+        for (size_t c = 0; c < a.cols.size(); ++c) {
+            KCol &k = st[c];
+            if (k.wb_lane < 0)
+                continue;
+            const int dst = consumer_of[unsigned(k.wb_lane)];
+            if (dst >= 0 && !st[size_t(dst)].rb[unsigned(k.wb_lane)]) {
+                st[size_t(dst)].rb[unsigned(k.wb_lane)] = 1;
+                k.wb_lane = -1;
+                progress = true;
+            }
+        }
+    }
+
+    std::string blocked;
+    for (size_t c = 0; c < a.cols.size(); ++c) {
+        const std::vector<CommEvent> &ev = a.cols[c].events;
+        if (st[c].next >= ev.size())
+            continue;
+        const CommEvent &e = ev[st[c].next];
+        if (!blocked.empty())
+            blocked += "; ";
+        blocked += strprintf("actor '%s' blocked at comm op %zu (%s "
+                             "lane %d)",
+                             a.cols[c].stage->actor.c_str(),
+                             st[c].next, e.is_read ? "crd" : "cwr",
+                             e.lane);
+    }
+    if (!blocked.empty()) {
+        rep.add(Severity::Error, "tokens",
+                "deadlock: the token network cannot complete under "
+                "any timing — " +
+                    blocked);
+    }
+}
+
+/**
+ * Exact timed replay of the comm-relevant projection for legacy
+ * (drop-new) artifacts: column edges at tick = edge * divider, ZORM
+ * Bresenham stepping on every edge (stalls included, exactly like
+ * SimdController::cycle()), comm hazard stalls, DOU drive slots
+ * popping tag-matched words, deliveries visible at the consumer's
+ * next edge. Sound only for timing-exact programs — the caller
+ * guarantees that. Proves drop-new overrun unreachable and the run
+ * deadlock-free.
+ */
+void
+timedReplay(Analysis &a, VerifyReport &rep)
+{
+    const unsigned period = a.prog->period;
+    if (period == 0)
+        return;
+
+    struct TCol
+    {
+        uint64_t divider = 1;
+        ZormSetting z;
+        size_t next = 0;
+        uint64_t edge = 0; //!< column edges consumed; tick = edge*div
+        uint64_t acc = 0;  //!< ZORM accumulator
+        bool halted = false;
+        bool stalled = false;
+        int wb_lane = -1;
+        std::array<char, arch::BusLanes> rb{};
+        std::array<uint64_t, arch::BusLanes> rb_since{};
+        std::array<uint64_t, arch::BusLanes> pending_writes{};
+        std::array<std::vector<unsigned>, arch::BusLanes> drive_offs;
+    };
+    std::vector<TCol> st(a.cols.size());
+
+    // Bus slots: offset -> the transfers scheduled there.
+    struct Slot
+    {
+        unsigned lane;
+        size_t prod, cons;
+    };
+    std::map<unsigned, std::vector<Slot>> slots;
+    for (size_t e = 0; e < a.edges.size(); ++e) {
+        const EdgeInfo &ei = a.edges[e];
+        for (const Transfer &t :
+             a.cols[ei.src].col->schedule.transfers) {
+            if (t.lane == ei.lane && t.src_tile >= 0) {
+                slots[t.offset].push_back({ei.lane, ei.src, ei.dst});
+                st[ei.src].drive_offs[ei.lane].push_back(t.offset);
+            }
+        }
+    }
+
+    std::array<int, arch::BusLanes> producer_of;
+    producer_of.fill(-1);
+    for (const EdgeInfo &ei : a.edges)
+        producer_of[ei.lane] = int(ei.src);
+
+    // Advance a column through k useful issue slots, charging the
+    // ZORM-forced nop edges in closed form: S = k + (acc0 + S*n)/p
+    // (monotone fixpoint; n < p is checked by the "zorm" pass).
+    auto burn = [](TCol &c, uint64_t k) {
+        if (c.z.period == 0 || c.z.nops == 0) {
+            c.edge += k;
+            return;
+        }
+        uint64_t s = k;
+        while (true) {
+            const uint64_t s2 =
+                k + (c.acc + s * c.z.nops) / c.z.period;
+            if (s2 == s)
+                break;
+            s = s2;
+        }
+        c.acc = (c.acc + s * c.z.nops) % c.z.period;
+        c.edge += s;
+    };
+
+    for (size_t c = 0; c < a.cols.size(); ++c) {
+        TCol &t = st[c];
+        t.divider = std::max(1u, a.cols[c].place->divider);
+        t.z = a.cols[c].col->zorm;
+        if (t.z.period > 0 && t.z.nops >= t.z.period)
+            return; // "zorm" already rejected this artifact
+        for (const CommEvent &e : a.cols[c].events)
+            if (!e.is_read)
+                ++t.pending_writes[unsigned(e.lane)];
+        if (a.cols[c].events.empty()) {
+            t.halted = true;
+        } else {
+            burn(t, a.cols[c].events[0].gap);
+        }
+    }
+
+    auto finishOp = [&](size_t c) {
+        TCol &t = st[c];
+        const std::vector<CommEvent> &ev = a.cols[c].events;
+        t.stalled = false;
+        ++t.next;
+        if (t.next < ev.size()) {
+            burn(t, ev[t.next].gap);
+        } else {
+            burn(t, a.cols[c].walk.tail_slots);
+            t.halted = true;
+        }
+    };
+
+    // One column edge: ZORM gate first, then the comm attempt — the
+    // exact SimdController::cycle() order (a stalled edge still
+    // advances the accumulator).
+    auto attempt = [&](size_t c, uint64_t tick) {
+        TCol &t = st[c];
+        ++t.edge;
+        if (t.z.period > 0) {
+            t.acc += t.z.nops;
+            if (t.acc >= t.z.period) {
+                t.acc -= t.z.period;
+                return; // forced nop edge
+            }
+        }
+        const CommEvent &e = a.cols[c].events[t.next];
+        const unsigned lane = unsigned(e.lane);
+        if (e.is_read) {
+            if (t.rb[lane] && t.rb_since[lane] < tick) {
+                t.rb[lane] = 0;
+                finishOp(c);
+            } else {
+                t.stalled = true;
+            }
+        } else {
+            if (t.wb_lane < 0) {
+                t.wb_lane = int(lane);
+                --t.pending_writes[lane];
+                finishOp(c);
+            } else {
+                t.stalled = true;
+            }
+        }
+    };
+
+    // Deadlock detection: a column makes progress iff it is still
+    // computing, its pending write will be popped (legacy drive
+    // slots pop unconditionally), or the lane it reads is full /
+    // in its progressing producer's remaining writes.
+    auto deadlocked = [&](std::string &who) {
+        std::vector<char> prog_flag(a.cols.size(), 0);
+        for (size_t c = 0; c < a.cols.size(); ++c) {
+            const TCol &t = st[c];
+            if (t.halted || !t.stalled) {
+                prog_flag[c] = 1;
+                continue;
+            }
+            const CommEvent &e = a.cols[c].events[t.next];
+            if (!e.is_read) {
+                prog_flag[c] = 1; // write stall: the slot will pop
+            } else if (t.rb[unsigned(e.lane)]) {
+                prog_flag[c] = 1;
+            }
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t c = 0; c < a.cols.size(); ++c) {
+                if (prog_flag[c] || st[c].halted)
+                    continue;
+                const CommEvent &e = a.cols[c].events[st[c].next];
+                const int p = producer_of[unsigned(e.lane)];
+                if (p < 0)
+                    continue;
+                const TCol &pt = st[size_t(p)];
+                const bool fed =
+                    pt.wb_lane == e.lane ||
+                    (prog_flag[size_t(p)] &&
+                     pt.pending_writes[unsigned(e.lane)] > 0);
+                if (fed) {
+                    prog_flag[c] = 1;
+                    changed = true;
+                }
+            }
+        }
+        for (size_t c = 0; c < a.cols.size(); ++c) {
+            if (!st[c].halted && !prog_flag[c]) {
+                const CommEvent &e = a.cols[c].events[st[c].next];
+                who = strprintf("actor '%s' waits forever on lane "
+                                "%d",
+                                a.cols[c].stage->actor.c_str(),
+                                e.lane);
+                return true;
+            }
+        }
+        return false;
+    };
+
+    constexpr uint64_t IterGuard = 400'000'000;
+    uint64_t tick = 0;
+    bool first = true;
+    for (uint64_t iter = 0;; ++iter) {
+        bool all_halted = true;
+        for (const TCol &t : st)
+            all_halted = all_halted && t.halted;
+        if (all_halted)
+            return; // every program completed: overrun-free, no
+                    // deadlock
+        if (iter >= IterGuard) {
+            rep.add(Severity::Warning, "tokens",
+                    "timed replay exceeded its step budget before "
+                    "the programs completed; drop-new overrun "
+                    "freedom not proven");
+            return;
+        }
+        if ((iter & 0x1fff) == 0x1fff) {
+            std::string who;
+            if (deadlocked(who)) {
+                rep.add(Severity::Error, "tokens",
+                        "deadlock: " + who);
+                return;
+            }
+        }
+
+        // Next interesting tick: a column edge, or a drive slot that
+        // can pop a pending write-buffer word.
+        uint64_t tn = UINT64_MAX;
+        for (const TCol &t : st) {
+            if (!t.halted)
+                tn = std::min(tn, t.edge * t.divider);
+        }
+        const uint64_t from = first ? 0 : tick + 1;
+        for (const TCol &t : st) {
+            if (t.wb_lane < 0)
+                continue;
+            for (unsigned off : t.drive_offs[unsigned(t.wb_lane)]) {
+                const uint64_t phase = from % period;
+                const uint64_t next =
+                    from + ((off + period - phase) % period);
+                tn = std::min(tn, next);
+            }
+        }
+        if (tn == UINT64_MAX) {
+            std::string who;
+            rep.add(Severity::Error, "tokens",
+                    deadlocked(who) ? "deadlock: " + who
+                                    : "deadlock: no column can make "
+                                      "progress");
+            return;
+        }
+        tick = tn;
+        first = false;
+
+        // 1) every column edge at this tick (domain edges precede
+        //    the reference phase, as in the scheduler backends);
+        for (size_t c = 0; c < a.cols.size(); ++c) {
+            if (!st[c].halted && st[c].edge * st[c].divider == tick)
+                attempt(c, tick);
+        }
+        // 2) the bus cycle at this tick: pop tag-matched words,
+        //    deliver, and flag legacy drop-new.
+        auto it = slots.find(unsigned(tick % period));
+        if (it == slots.end())
+            continue;
+        for (const Slot &s : it->second) {
+            TCol &p = st[s.prod];
+            if (p.wb_lane != int(s.lane))
+                continue;
+            p.wb_lane = -1;
+            TCol &cns = st[s.cons];
+            if (cns.rb[s.lane]) {
+                rep.add(
+                    Severity::Error, "tokens",
+                    strprintf("read-buffer overrun reachable: the "
+                              "delivery at tick %llu on lane %u "
+                              "finds actor '%s' still holding the "
+                              "previous word — the legacy bus would "
+                              "drop the new one",
+                              (unsigned long long)tick, s.lane,
+                              a.cols[s.cons].stage->actor.c_str()));
+                return;
+            }
+            cns.rb[s.lane] = 1;
+            cns.rb_since[s.lane] = tick;
+        }
+    }
+}
+
+void
+checkTokens(Analysis &a, VerifyReport &rep)
+{
+    if (!a.slots_clean) {
+        rep.add(Severity::Note, "tokens",
+                "token-flow replay skipped: the slot schedule is "
+                "inconsistent");
+        return;
+    }
+
+    bool all_exact = true, all_timed = true;
+    for (const ColInfo &ci : a.cols) {
+        all_exact = all_exact && ci.events_ok;
+        all_timed = all_timed && ci.events_ok &&
+                    ci.walk.timing_exact;
+    }
+
+    if (a.prog->self_timed) {
+        // Overrun is structurally unreachable on the self-timed bus
+        // (a transfer whose destination buffer is full defers), so
+        // the property left to prove is deadlock freedom.
+        if (all_exact) {
+            kahnReplay(a, rep);
+        } else {
+            rep.add(Severity::Note, "tokens",
+                    "deadlock freedom not statically provable: some "
+                    "comm sequence is data-dependent; the runner's "
+                    "drain asserts cover it dynamically");
+        }
+        return;
+    }
+
+    if (all_timed) {
+        timedReplay(a, rep);
+    } else {
+        rep.add(Severity::Warning, "tokens",
+                "drop-new overrun freedom not statically provable: "
+                "some program's issue timing is data-dependent; the "
+                "runner's fabric asserts cover it dynamically");
+    }
+}
+
+// ---------------------------------------------------------------------
+// "zorm": plan/program rate-match consistency
+// ---------------------------------------------------------------------
+
+void
+checkZorm(Analysis &a, VerifyReport &rep)
+{
+    for (const ColInfo &ci : a.cols) {
+        const ActorPlacement &p = *ci.place;
+        const ZormSetting &z = ci.col->zorm;
+        const std::string &actor = ci.stage->actor;
+
+        if (ci.col->column != p.first_column) {
+            rep.add(Severity::Error, "zorm",
+                    strprintf("actor '%s' programmed on column %u "
+                              "but planned on column %u",
+                              actor.c_str(), ci.col->column,
+                              p.first_column));
+        }
+        if (p.divider == 0) {
+            rep.add(Severity::Error, "zorm",
+                    "actor '" + actor + "': zero clock divider");
+            continue;
+        }
+        const double f_col = a.plan->ref_freq_mhz / p.divider;
+        if (p.f_column_mhz > 0 &&
+            std::abs(f_col - p.f_column_mhz) >
+                1e-6 * std::max(1.0, p.f_column_mhz)) {
+            rep.add(Severity::Error, "zorm",
+                    strprintf("actor '%s': planned column frequency "
+                              "%.6f MHz is not ref/divider = %.6f "
+                              "MHz",
+                              actor.c_str(), p.f_column_mhz, f_col));
+        }
+        if (p.f_needed_mhz > f_col * (1 + 1e-9)) {
+            rep.add(Severity::Error, "zorm",
+                    strprintf("actor '%s': demand %.6f MHz exceeds "
+                              "its column clock %.6f MHz",
+                              actor.c_str(), p.f_needed_mhz, f_col));
+            continue;
+        }
+        if (z.nops != p.zorm.nops || z.period != p.zorm.period) {
+            rep.add(Severity::Error, "zorm",
+                    strprintf("ZORM plan/program mismatch for actor "
+                              "'%s': program runs %u/%u but the plan "
+                              "says %u/%u",
+                              actor.c_str(), z.nops, z.period,
+                              p.zorm.nops, p.zorm.period));
+            continue;
+        }
+        if (z.period > 0 && z.nops >= z.period) {
+            rep.add(Severity::Error, "zorm",
+                    strprintf("ZORM setting %u/%u for actor '%s' "
+                              "leaves no useful slots",
+                              z.nops, z.period, actor.c_str()));
+            continue;
+        }
+        // The loaded fraction must reproduce the plan's demand/clock
+        // ratio to the precision the producer works at:
+        // exactRateMatch() reduces the fraction of the two rates
+        // *rounded to integer Hz*, so the loaded rational can differ
+        // from the unrounded MHz ratio by up to 0.5 Hz in each rate
+        // (~1/f_col_hz combined) on top of the half-slot-per-period
+        // representation granularity. Tighter would reject settings
+        // the mapper itself emits.
+        if (p.f_needed_mhz > 0) {
+            const double want = p.f_needed_mhz / f_col;
+            const double got = z.usefulFraction();
+            const double quant = 1.0 / (f_col * 1e6);
+            const double tol =
+                (z.period > 0 ? 0.5 / double(z.period) : 1e-9) +
+                quant;
+            if (std::abs(got - want) > tol) {
+                rep.add(
+                    Severity::Error, "zorm",
+                    strprintf("ZORM setting %u/%u for actor '%s' "
+                              "paces %.9f of the column clock but "
+                              "the plan needs %.9f",
+                              z.nops, z.period, actor.c_str(), got,
+                              want));
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// VerifyReport
+// ---------------------------------------------------------------------
+
+const std::vector<std::string> &
+VerifyReport::checkNames()
+{
+    static const std::vector<std::string> names{
+        "program", "slots", "tags", "tokens", "zorm"};
+    return names;
+}
+
+bool
+VerifyReport::ok() const
+{
+    for (const Finding &f : findings) {
+        if (f.severity == Severity::Error)
+            return false;
+    }
+    return true;
+}
+
+bool
+VerifyReport::checkPassed(const std::string &check) const
+{
+    for (const Finding &f : findings) {
+        if (f.severity == Severity::Error && f.check == check)
+            return false;
+    }
+    return true;
+}
+
+std::string
+VerifyReport::errorSummary() const
+{
+    std::string out;
+    for (const Finding &f : findings) {
+        if (f.severity != Severity::Error)
+            continue;
+        if (!out.empty())
+            out += "; ";
+        out += "[" + f.check + "] " + f.message;
+    }
+    return out;
+}
+
+std::string
+VerifyReport::render() const
+{
+    size_t errors = 0, warnings = 0, notes = 0;
+    for (const Finding &f : findings) {
+        switch (f.severity) {
+          case Severity::Error:
+            ++errors;
+            break;
+          case Severity::Warning:
+            ++warnings;
+            break;
+          default:
+            ++notes;
+            break;
+        }
+    }
+    std::string out = strprintf(
+        "static verification: %s (%zu errors, %zu warnings, %zu "
+        "notes)\n",
+        ok() ? "PASS" : "FAIL", errors, warnings, notes);
+    for (const std::string &check : checkNames()) {
+        out += strprintf("  %-8s %s\n", (check + ":").c_str(),
+                         checkPassed(check) ? "pass" : "FAIL");
+    }
+    for (const Finding &f : findings) {
+        out += strprintf("  [%s] %s: %s\n",
+                         severityName(f.severity).c_str(),
+                         f.check.c_str(), f.message.c_str());
+    }
+    return out;
+}
+
+void
+VerifyReport::add(Severity sev, const std::string &check,
+                  std::string message)
+{
+    findings.push_back(Finding{sev, check, std::move(message)});
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+VerifyReport
+verifyLowered(const DagSpec &spec, const ChipPlan &plan,
+              const PipelineProgram &prog, double iterations_per_sec,
+              double slack)
+{
+    VerifyReport rep;
+    Analysis a;
+    a.spec = &spec;
+    a.plan = &plan;
+    a.prog = &prog;
+    a.rate = iterations_per_sec > 0 ? iterations_per_sec : 0;
+    a.slack = slack >= 1.0 ? slack : 1.0;
+    if (!resolve(a, rep))
+        return rep;
+    checkProgram(a, rep);
+    checkSlots(a, rep);
+    checkTags(a, rep);
+    checkZorm(a, rep);
+    checkTokens(a, rep); // consumes tags/slots results; keep last
+    return rep;
+}
+
+} // namespace synchro::mapping

@@ -93,6 +93,67 @@ MappedApp::run()
     return run;
 }
 
+std::unique_ptr<arch::Chip>
+buildFleetChip(const mapping::ChipPlan &plan,
+               const mapping::PipelineProgram &prog,
+               SchedulerKind scheduler)
+{
+    arch::ChipConfig cfg;
+    cfg.ref_freq_mhz = plan.ref_freq_mhz;
+    cfg.dividers = plan.dividers();
+    cfg.scheduler = scheduler;
+    cfg.self_timed_bus = prog.self_timed;
+    auto chip = std::make_unique<arch::Chip>(cfg);
+    prog.load(*chip);
+    return chip;
+}
+
+void
+refeedImages(arch::Chip &chip, const mapping::PipelineProgram &prog,
+             const mapping::DagSpec &spec)
+{
+    chip.restart();
+    // restart() keeps tile SRAM; wipe the working tiles so no
+    // residue of the previous item survives, then lay down this
+    // item's images exactly as PipelineProgram::load would.
+    for (const auto &col : prog.columns)
+        chip.column(col.column).tile(0).clearMem();
+    for (const auto &stage : spec.stages) {
+        const mapping::ColumnProgram &col =
+            prog.columnFor(stage.actor);
+        for (const auto &[addr, bytes] : stage.images)
+            chip.column(col.column)
+                .tile(0)
+                .writeMem(addr, bytes.data(),
+                          uint32_t(bytes.size()));
+    }
+}
+
+std::vector<uint8_t>
+bytesOfHalves(const std::vector<int16_t> &h)
+{
+    std::vector<uint8_t> b(h.size() * 2);
+    for (size_t i = 0; i < h.size(); ++i) {
+        b[2 * i] = uint8_t(uint16_t(h[i]) & 0xff);
+        b[2 * i + 1] = uint8_t(uint16_t(h[i]) >> 8);
+    }
+    return b;
+}
+
+std::vector<uint8_t>
+bytesOfWords(const std::vector<int32_t> &w)
+{
+    std::vector<uint8_t> b(w.size() * 4);
+    for (size_t i = 0; i < w.size(); ++i) {
+        uint32_t v = uint32_t(w[i]);
+        b[4 * i] = uint8_t(v & 0xff);
+        b[4 * i + 1] = uint8_t((v >> 8) & 0xff);
+        b[4 * i + 2] = uint8_t((v >> 16) & 0xff);
+        b[4 * i + 3] = uint8_t((v >> 24) & 0xff);
+    }
+    return b;
+}
+
 namespace
 {
 

@@ -135,6 +135,35 @@ class MappedApp
 };
 
 /**
+ * Fleet-serving support (sim/fleet.hh): the pieces of MappedApp's
+ * chip lifecycle that a FleetWorkload's hooks need individually.
+ *
+ * buildFleetChip is the COLD path — exactly the chip MappedApp's
+ * constructor builds (plan-derived config, program load), returned
+ * as the ownable template every stream clone warm-starts from.
+ *
+ * refeedImages is the per-item warm path: Chip::restart() back to
+ * tick 0, wipe the programmed tiles' SRAM, and write @p spec's
+ * stage images (matched to columns by actor name). After it, the
+ * chip is bit-identical to a fresh buildFleetChip of a program
+ * lowered from @p spec — programs, DOU schedules and ZORM settings
+ * depend only on the app parameters, never on the input data, so
+ * only the images differ between items.
+ */
+std::unique_ptr<arch::Chip> buildFleetChip(
+    const mapping::ChipPlan &plan,
+    const mapping::PipelineProgram &prog, SchedulerKind scheduler);
+
+void refeedImages(arch::Chip &chip,
+                  const mapping::PipelineProgram &prog,
+                  const mapping::DagSpec &spec);
+
+/** Raw little-endian bytes of a halfword/word vector, as tile SRAM
+ * stores them — the fleet's output/golden exchange format. */
+std::vector<uint8_t> bytesOfHalves(const std::vector<int16_t> &h);
+std::vector<uint8_t> bytesOfWords(const std::vector<int32_t> &w);
+
+/**
  * Golden-mismatch reporting: "" when @p got == @p want, otherwise a
  * one-line diagnosis (size divergence, or the first differing index
  * with both values) the runners put in their failure output instead

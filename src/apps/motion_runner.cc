@@ -520,4 +520,58 @@ verifiableMotion(const MotionPipelineParams &p)
     return art;
 }
 
+sim::FleetWorkload
+fleetMotion(const MotionPipelineParams &p)
+{
+    checkParams(p);
+    auto base_plan = planMotion(p);
+    if (!base_plan)
+        fatal("motion: no feasible mapping at %.0f macroblocks/s",
+              p.mb_rate_hz);
+    auto plan =
+        std::make_shared<mapping::ChipPlan>(std::move(*base_plan));
+
+    // The canonical program for the warm-path hooks: the lowering
+    // depends only on the app parameters (its images are replaced
+    // per item), so one program serves every stream and item.
+    const double rate = p.mb_rate_hz / p.columns;
+    auto canon = [&] {
+        dsp::Image cur(W, H), ref(W, H);
+        motionScene(p, cur, ref);
+        return mapping::lowerDag(motionDag(p, cur, ref), *plan, rate,
+                                 p.slack);
+    };
+    auto prog =
+        std::make_shared<mapping::PipelineProgram>(canon());
+
+    sim::FleetWorkload wl;
+    wl.name = "motion";
+    wl.tick_limit = motionTickLimit(p.columns, *prog);
+    wl.build = [p, plan, rate](SchedulerKind kind) {
+        dsp::Image cur(W, H), ref(W, H);
+        motionScene(p, cur, ref);
+        auto built = mapping::lowerDag(motionDag(p, cur, ref), *plan,
+                                       rate, p.slack);
+        return buildFleetChip(*plan, built, kind);
+    };
+    wl.feed = [p, prog](arch::Chip &chip, uint64_t item) {
+        MotionPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        dsp::Image cur(W, H), ref(W, H);
+        motionScene(q, cur, ref);
+        refeedImages(chip, *prog, motionDag(q, cur, ref));
+    };
+    wl.read_output = [prog](arch::Chip &chip) {
+        return bytesOfWords(readMotionOutput(chip, *prog));
+    };
+    wl.golden = [p](uint64_t item) {
+        MotionPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        dsp::Image cur(W, H), ref(W, H);
+        motionScene(q, cur, ref);
+        return bytesOfWords(motionGoldenKeys(cur, ref));
+    };
+    return wl;
+}
+
 } // namespace synchro::apps

@@ -43,6 +43,7 @@
 #include "dsp/motion.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "sim/fleet.hh"
 
 namespace synchro::apps
 {
@@ -166,6 +167,15 @@ mapping::ExplorableApp explorableMotion(const MotionPipelineParams &p);
  */
 mapping::LoweredArtifact
 verifiableMotion(const MotionPipelineParams &p);
+
+/**
+ * Package the estimator for sim::FleetExecutor — the per-work-item
+ * hook set: one cold build, then a restart/refeed per item with a
+ * scene seeded by sim::fleetItemSeed(p.seed, item). Each item is one
+ * frame pair's macroblock search; outputs and goldens are the packed
+ * search-key words as bytes. fatal() if no feasible mapping exists.
+ */
+sim::FleetWorkload fleetMotion(const MotionPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -493,4 +493,49 @@ verifiableDdc(const DdcPipelineParams &p)
     return art;
 }
 
+sim::FleetWorkload
+fleetDdc(const DdcPipelineParams &p)
+{
+    auto base_plan = planDdc(p);
+    if (!base_plan)
+        fatal("ddc: no feasible mapping at %.1f MS/s",
+              p.sample_rate_hz / 1e6);
+    auto plan =
+        std::make_shared<mapping::ChipPlan>(std::move(*base_plan));
+
+    // The canonical program for the warm-path hooks: the lowering
+    // depends only on the app parameters (its images are replaced
+    // per item), so one program serves every stream and item.
+    auto prog = std::make_shared<mapping::PipelineProgram>(
+        mapping::lowerPipeline(ddcStages(p, ddcInput(p)), *plan,
+                               p.sample_rate_hz / Decim, p.slack));
+
+    sim::FleetWorkload wl;
+    wl.name = "ddc";
+    wl.tick_limit = ddcTickLimit(p, *prog);
+    wl.build = [p, plan](SchedulerKind kind) {
+        auto built = mapping::lowerPipeline(
+            ddcStages(p, ddcInput(p)), *plan,
+            p.sample_rate_hz / Decim, p.slack);
+        return buildFleetChip(*plan, built, kind);
+    };
+    wl.feed = [p, prog](arch::Chip &chip, uint64_t item) {
+        DdcPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        refeedImages(
+            chip, *prog,
+            mapping::linearDagSpec(ddcStages(q, ddcInput(q))));
+    };
+    wl.read_output = [p, prog](arch::Chip &chip) {
+        return bytesOfHalves(
+            readDdcOutput(chip, *prog, p.samples / Decim));
+    };
+    wl.golden = [p](uint64_t item) {
+        DdcPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        return bytesOfHalves(ddcGolden(q, ddcInput(q)));
+    };
+    return wl;
+}
+
 } // namespace synchro::apps

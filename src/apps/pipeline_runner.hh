@@ -30,6 +30,7 @@
 #include "apps/app_harness.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "sim/fleet.hh"
 
 namespace synchro::apps
 {
@@ -113,6 +114,16 @@ mapping::ExplorableApp explorableDdc(const DdcPipelineParams &p);
  * tests use to re-verify exactly what runMappedDdc() runs.
  */
 mapping::LoweredArtifact verifiableDdc(const DdcPipelineParams &p);
+
+/**
+ * Package the receiver for sim::FleetExecutor — the per-work-item
+ * hook set: one cold build (plan + lowering + load), then a
+ * restart/refeed per item with input data seeded by
+ * sim::fleetItemSeed(p.seed, item). Each item is one p.samples-long
+ * channel block; outputs and goldens travel as raw halfword bytes.
+ * fatal() if no feasible mapping exists.
+ */
+sim::FleetWorkload fleetDdc(const DdcPipelineParams &p);
 
 } // namespace synchro::apps
 

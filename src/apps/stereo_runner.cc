@@ -560,4 +560,58 @@ verifiableStereo(const StereoPipelineParams &p)
     return art;
 }
 
+sim::FleetWorkload
+fleetStereo(const StereoPipelineParams &p)
+{
+    checkParams(p);
+    auto base_plan = planStereo(p);
+    if (!base_plan)
+        fatal("stereo: no feasible mapping at %.0f frames/s",
+              p.frame_rate_hz);
+    auto plan =
+        std::make_shared<mapping::ChipPlan>(std::move(*base_plan));
+
+    // The canonical program for the warm-path hooks: the lowering
+    // depends only on the app parameters (its images are replaced
+    // per item), so one program serves every stream and item.
+    auto canon = [&] {
+        dsp::Image left(W, H), right(W, H);
+        stereoScene(p, left, right);
+        return mapping::lowerDag(stereoDag(p, left, right), *plan,
+                                 p.frame_rate_hz, p.slack);
+    };
+    auto prog =
+        std::make_shared<mapping::PipelineProgram>(canon());
+
+    sim::FleetWorkload wl;
+    wl.name = "stereo";
+    wl.tick_limit = stereoTickLimit(*prog);
+    wl.build = [p, plan](SchedulerKind kind) {
+        dsp::Image left(W, H), right(W, H);
+        stereoScene(p, left, right);
+        auto built = mapping::lowerDag(stereoDag(p, left, right),
+                                       *plan, p.frame_rate_hz,
+                                       p.slack);
+        return buildFleetChip(*plan, built, kind);
+    };
+    wl.feed = [p, prog](arch::Chip &chip, uint64_t item) {
+        StereoPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        dsp::Image left(W, H), right(W, H);
+        stereoScene(q, left, right);
+        refeedImages(chip, *prog, stereoDag(q, left, right));
+    };
+    wl.read_output = [prog](arch::Chip &chip) {
+        return readStereoOutput(chip, *prog);
+    };
+    wl.golden = [p](uint64_t item) {
+        StereoPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        dsp::Image left(W, H), right(W, H);
+        stereoScene(q, left, right);
+        return dsp::stereoBlockDisparities(left, right, B, D);
+    };
+    return wl;
+}
+
 } // namespace synchro::apps

@@ -52,6 +52,7 @@
 #include "dsp/image.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "sim/fleet.hh"
 
 namespace synchro::apps
 {
@@ -154,6 +155,15 @@ mapping::ExplorableApp explorableStereo(const StereoPipelineParams &p);
  */
 mapping::LoweredArtifact
 verifiableStereo(const StereoPipelineParams &p);
+
+/**
+ * Package the pipeline for sim::FleetExecutor — the per-work-item
+ * hook set: one cold build, then a restart/refeed per item with a
+ * scene seeded by sim::fleetItemSeed(p.seed, item). Each item is one
+ * stereo frame pair; outputs and goldens are the per-block disparity
+ * bytes. fatal() if no feasible mapping exists.
+ */
+sim::FleetWorkload fleetStereo(const StereoPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -653,4 +653,49 @@ verifiableWifi(const WifiPipelineParams &p)
     return art;
 }
 
+sim::FleetWorkload
+fleetWifi(const WifiPipelineParams &p)
+{
+    checkParams(p);
+    auto base_plan = planWifi(p);
+    if (!base_plan)
+        fatal("wifi: no feasible mapping at %.1f kbit/s",
+              p.bit_rate_hz / 1e3);
+    auto plan =
+        std::make_shared<mapping::ChipPlan>(std::move(*base_plan));
+
+    // The canonical program for the warm-path hooks: the lowering
+    // depends only on the app parameters (its images are replaced
+    // per item), so one program serves every stream and item.
+    const double rate = p.bit_rate_hz / (2 * WifiFrameBits);
+    auto prog = std::make_shared<mapping::PipelineProgram>(
+        mapping::lowerDag(wifiDag(p, wifiCarriers(p, wifiPayload(p))),
+                          *plan, rate, p.slack));
+
+    sim::FleetWorkload wl;
+    wl.name = "wifi";
+    wl.tick_limit = wifiTickLimit(p, *prog);
+    wl.build = [p, plan, rate](SchedulerKind kind) {
+        auto built = mapping::lowerDag(
+            wifiDag(p, wifiCarriers(p, wifiPayload(p))), *plan, rate,
+            p.slack);
+        return buildFleetChip(*plan, built, kind);
+    };
+    wl.feed = [p, prog](arch::Chip &chip, uint64_t item) {
+        WifiPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        refeedImages(chip, *prog,
+                     wifiDag(q, wifiCarriers(q, wifiPayload(q))));
+    };
+    wl.read_output = [p, prog](arch::Chip &chip) {
+        return readWifiOutput(chip, *prog, p.symbols);
+    };
+    wl.golden = [p](uint64_t item) {
+        WifiPipelineParams q = p;
+        q.seed = sim::fleetItemSeed(p.seed, item);
+        return wifiGolden(q, wifiCarriers(q, wifiPayload(q)));
+    };
+    return wl;
+}
+
 } // namespace synchro::apps

@@ -51,6 +51,7 @@
 #include "common/fixed.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "sim/fleet.hh"
 
 namespace synchro::apps
 {
@@ -165,6 +166,15 @@ mapping::ExplorableApp explorableWifi(const WifiPipelineParams &p);
  * tests use to re-verify exactly what runMappedWifi() runs.
  */
 mapping::LoweredArtifact verifiableWifi(const WifiPipelineParams &p);
+
+/**
+ * Package the receiver for sim::FleetExecutor — the per-work-item
+ * hook set: one cold build, then a restart/refeed per item with a
+ * payload seeded by sim::fleetItemSeed(p.seed, item). Each item is
+ * one p.symbols-long burst; outputs and goldens are the decoded
+ * bit bytes. fatal() if no feasible mapping exists.
+ */
+sim::FleetWorkload fleetWifi(const WifiPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -133,6 +133,34 @@ Chip::setSchedulerKind(SchedulerKind kind)
     sched_ = makeScheduler(kind);
 }
 
+std::unique_ptr<Chip>
+Chip::clone() const
+{
+    return clone(cfg_.scheduler);
+}
+
+std::unique_ptr<Chip>
+Chip::clone(SchedulerKind scheduler) const
+{
+    if (sched_->curTick() != 0)
+        fatal("Chip::clone at tick %llu: snapshot/clone is only "
+              "defined for a programmed chip that has not run yet",
+              (unsigned long long)sched_->curTick());
+    ChipConfig cfg = cfg_;
+    cfg.scheduler = scheduler;
+    auto copy = std::make_unique<Chip>(cfg);
+    for (unsigned c = 0; c < columns_.size(); ++c)
+        copy->columns_[c]->copyStateFrom(*columns_[c]);
+    return copy;
+}
+
+void
+Chip::restart()
+{
+    resetColumns();
+    sched_ = makeScheduler(cfg_.scheduler);
+}
+
 bool
 Chip::allHalted() const
 {

@@ -120,6 +120,36 @@ class Chip : private SchedModel
     void resetColumns();
 
     /**
+     * Deep-copy a programmed, not-yet-run chip — the fleet layer's
+     * warm start: codegen + program load + decode ran once on the
+     * template, and every clone snapshots the resulting state
+     * (programs, DOU schedules, ZORM, tile SRAM, supply gating)
+     * without re-running any of it. The clone gets fresh statistics
+     * (all zero, like a freshly built chip) and its own scheduler,
+     * and is bit-identical to a fresh build + load on every backend.
+     * fatal() once this chip has advanced past tick 0: run state is
+     * not transferable (same invariant as setSchedulerKind()).
+     *
+     * clone() is const and safe to call concurrently from several
+     * worker threads on one template chip.
+     */
+    std::unique_ptr<Chip> clone() const;
+
+    /** clone(), re-homed onto @p scheduler (mixed-backend fleets). */
+    std::unique_ptr<Chip> clone(SchedulerKind scheduler) const;
+
+    /**
+     * Rewind a finished chip to tick 0 for its next work item:
+     * resets every column (controllers restart their programs, DOUs
+     * reload their counters, tile registers and comm buffers clear)
+     * and replaces the scheduler so the next run() starts at tick 0
+     * with the column clock phases exactly as a fresh chip sees them.
+     * Tile SRAM and all statistics persist (counters accumulate
+     * across items; the caller rewrites its input images).
+     */
+    void restart();
+
+    /**
      * Visit every statistic of the chip under a dotted hierarchical
      * name: "bus.<stat>", "colC.ctrl.<stat>", "colC.dou.<stat>",
      * "colC.tileT.<stat>". Names are visited in a deterministic

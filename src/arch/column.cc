@@ -69,6 +69,22 @@ Column::busTiles()
 }
 
 void
+Column::copyStateFrom(const Column &other)
+{
+    sync_assert(tiles_.size() == other.tiles_.size(),
+                "column %u: copyStateFrom across tile populations "
+                "(%zu vs %zu)",
+                id_, tiles_.size(), other.tiles_.size());
+    ctrl_.copyStateFrom(other.ctrl_);
+    dou_.copyStateFrom(other.dou_);
+    for (unsigned i = 0; i < tiles_.size(); ++i)
+        tiles_[i]->copyStateFrom(*other.tiles_[i]);
+    active_ = other.active_;
+    rebuildActive();
+    cycles_seen_ = other.cycles_seen_;
+}
+
+void
 Column::reset()
 {
     ctrl_.reset();

@@ -36,6 +36,7 @@
 #define SYNC_ARCH_COMM_BUFFER_HH
 
 #include <cstdint>
+#include <type_traits>
 
 namespace synchro::arch
 {
@@ -97,6 +98,13 @@ class CommBuffer
     int8_t tag_ = -1;
     bool valid_ = false;
 };
+
+// Chip::clone() deep-copies tiles (and with them every comm buffer)
+// by plain member assignment; the buffer must stay a value type with
+// no identity of its own for that snapshot to be exact.
+static_assert(std::is_trivially_copyable_v<CommBuffer>,
+              "CommBuffer must remain trivially copyable "
+              "(Chip::clone snapshots it by assignment)");
 
 } // namespace synchro::arch
 

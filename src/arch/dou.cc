@@ -104,6 +104,17 @@ Dou::reset()
     cf_run_ = cf_cap_ = 0;
 }
 
+void
+Dou::copyStateFrom(const Dou &other)
+{
+    prog_ = other.prog_;
+    state_ = other.state_;
+    counters_ = other.counters_;
+    cf_run_ = cf_cap_ = 0;
+    cf_end_state_ = 0;
+    cf_end_ctrs_ = {};
+}
+
 bool
 Dou::inertSelfLoop() const
 {

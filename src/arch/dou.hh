@@ -188,6 +188,14 @@ class Dou
 
     void reset();
 
+    /**
+     * Snapshot @p other's program and machine position (state index,
+     * counters) into this DOU; the comm-free lookahead cache is
+     * dropped (it is re-proven on demand) and statistics are NOT
+     * copied. Chip::clone() drives this.
+     */
+    void copyStateFrom(const Dou &other);
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 

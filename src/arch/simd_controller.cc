@@ -52,6 +52,24 @@ SimdController::reset()
 }
 
 void
+SimdController::copyStateFrom(const SimdController &other)
+{
+    prog_ = other.prog_;
+    fns_ = other.fns_;
+    loop_fns_ = other.loop_fns_;
+    pc_ = other.pc_;
+    halted_ = other.halted_;
+    stall_ = other.stall_;
+    loops_[0] = other.loops_[0];
+    loops_[1] = other.loops_[1];
+    loop_stack_ = other.loop_stack_;
+    zorm_nops_ = other.zorm_nops_;
+    zorm_period_ = other.zorm_period_;
+    zorm_acc_ = other.zorm_acc_;
+    cc_mode_ = other.cc_mode_;
+}
+
+void
 SimdController::setRateMatch(uint32_t nops, uint32_t period)
 {
     if (period == 0 && nops != 0)

@@ -114,6 +114,14 @@ class SimdController
     /** Restart the loaded program from address 0. */
     void reset();
 
+    /**
+     * Snapshot @p other's decoded program (shared, refcounted — no
+     * re-decode), thunk tables, PC/halt/stall position, loop units,
+     * ZORM configuration and CC mode into this controller.
+     * Statistics are NOT copied. Chip::clone() drives this.
+     */
+    void copyStateFrom(const SimdController &other);
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 

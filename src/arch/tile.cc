@@ -1,5 +1,6 @@
 #include "arch/tile.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/fixed.hh"
@@ -118,6 +119,24 @@ Tile::resetState()
     wbuf_.clear();
     for (auto &b : rbufs_)
         b.clear();
+}
+
+void
+Tile::clearMem()
+{
+    std::fill(mem_.begin(), mem_.end(), uint8_t(0));
+}
+
+void
+Tile::copyStateFrom(const Tile &other)
+{
+    regs_ = other.regs_;
+    pregs_ = other.pregs_;
+    accs_ = other.accs_;
+    cc_ = other.cc_;
+    mem_ = other.mem_;
+    wbuf_ = other.wbuf_;
+    rbufs_ = other.rbufs_;
 }
 
 CommBuffer &

@@ -161,6 +161,17 @@ class Tile
     /** Reset architectural state (not SRAM contents). */
     void resetState();
 
+    /** Zero the whole SRAM (stream refeed between work items). */
+    void clearMem();
+
+    /**
+     * Snapshot @p other's architectural state and SRAM into this
+     * tile: registers, accumulators, CC, memory, write buffer and
+     * per-lane read buffers. Statistics are NOT copied — a clone
+     * starts counting from zero. Chip::clone() drives this.
+     */
+    void copyStateFrom(const Tile &other);
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 

@@ -176,8 +176,9 @@ explorePlans(const ExplorableApp &app, const ExploreOptions &opt)
             prep.prog = app.lower(v.plan, v.iterations_per_sec);
             prep.chip = buildChip(v.plan, prep.prog,
                                   opt.scheduler);
-            prep.session_id = session.attachChip(
-                *prep.chip, app.tick_limit(v.plan, prep.prog));
+            prep.session_id = session.admit(
+                sim::ChipSpec(*prep.chip)
+                    .tickLimit(app.tick_limit(v.plan, prep.prog)));
             preps.push_back(std::move(prep));
         } catch (const FatalError &e) {
             pt.failure = strprintf("did not lower: %s", e.what());
@@ -287,9 +288,10 @@ explorePlans(const ExplorableApp &app, const ExploreOptions &opt)
             rc.prep = &*it;
             rc.chip = buildChip(res.points[idx].plan, it->prog,
                                 SchedulerKind::EventQueue);
-            rc.session_id = xsession.attachChip(
-                *rc.chip,
-                app.tick_limit(res.points[idx].plan, it->prog));
+            rc.session_id = xsession.admit(
+                sim::ChipSpec(*rc.chip)
+                    .tickLimit(app.tick_limit(res.points[idx].plan,
+                                              it->prog)));
             rechecks.push_back(std::move(rc));
         }
         xsession.runAll();

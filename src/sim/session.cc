@@ -15,51 +15,67 @@ SimSession::SimSession(SessionConfig cfg) : cfg_(cfg) {}
 SimSession::~SimSession() = default;
 
 unsigned
+SimSession::admit(ChipSpec &&spec)
+{
+    Slot slot;
+    if (spec.cfg_) {
+        // Session-built: a backend override folds into the config
+        // before construction instead of re-homing afterwards.
+        arch::ChipConfig cfg = *spec.cfg_;
+        if (spec.has_backend_)
+            cfg.scheduler = spec.backend_;
+        slot.owned = std::make_unique<arch::Chip>(cfg);
+        slot.chip = slot.owned.get();
+    } else if (spec.owned_) {
+        slot.owned = std::move(spec.owned_);
+        slot.chip = slot.owned.get();
+    } else if (spec.borrowed_ != nullptr) {
+        slot.chip = spec.borrowed_;
+    } else {
+        fatal("SimSession::admit: ChipSpec holds no chip (moved-"
+              "from or null unique_ptr)");
+    }
+    if (spec.has_backend_ && !spec.cfg_)
+        slot.chip->setSchedulerKind(spec.backend_);
+    slot.tick_limit = spec.tick_limit_;
+    chips_.push_back(std::move(slot));
+    return unsigned(chips_.size() - 1);
+}
+
+unsigned
 SimSession::addChip(const arch::ChipConfig &cfg)
 {
-    return adoptChip(std::make_unique<arch::Chip>(cfg));
+    return admit(ChipSpec(cfg));
 }
 
 unsigned
 SimSession::adoptChip(std::unique_ptr<arch::Chip> chip,
                       Tick tick_limit)
 {
-    if (!chip)
-        fatal("SimSession::adoptChip: null chip");
-    Slot slot;
-    slot.chip = chip.get();
-    slot.owned = std::move(chip);
-    slot.tick_limit = tick_limit;
-    chips_.push_back(std::move(slot));
-    return unsigned(chips_.size() - 1);
+    return admit(ChipSpec(std::move(chip)).tickLimit(tick_limit));
 }
 
 unsigned
 SimSession::adoptChip(std::unique_ptr<arch::Chip> chip,
                       Tick tick_limit, SchedulerKind scheduler)
 {
-    if (!chip)
-        fatal("SimSession::adoptChip: null chip");
-    chip->setSchedulerKind(scheduler);
-    return adoptChip(std::move(chip), tick_limit);
+    return admit(ChipSpec(std::move(chip))
+                     .tickLimit(tick_limit)
+                     .backend(scheduler));
 }
 
 unsigned
 SimSession::attachChip(arch::Chip &chip, Tick tick_limit)
 {
-    Slot slot;
-    slot.chip = &chip;
-    slot.tick_limit = tick_limit;
-    chips_.push_back(std::move(slot));
-    return unsigned(chips_.size() - 1);
+    return admit(ChipSpec(chip).tickLimit(tick_limit));
 }
 
 unsigned
 SimSession::attachChip(arch::Chip &chip, Tick tick_limit,
                        SchedulerKind scheduler)
 {
-    chip.setSchedulerKind(scheduler);
-    return attachChip(chip, tick_limit);
+    return admit(
+        ChipSpec(chip).tickLimit(tick_limit).backend(scheduler));
 }
 
 void
@@ -88,6 +104,20 @@ SimSession::runAll(Tick max_ticks)
     if (chips_.empty())
         return results_;
 
+    auto budget = [&](size_t i) {
+        return chips_[i].tick_limit != 0 ? chips_[i].tick_limit
+                                         : max_ticks;
+    };
+
+    // Single chip or pool_size == 1: run on the caller's thread —
+    // no pool, no atomics, and errors propagate directly from the
+    // failing chip instead of through an exception_ptr relay.
+    if (effectiveThreads() <= 1) {
+        for (size_t i = 0; i < chips_.size(); ++i)
+            results_[i] = chips_[i].chip->run(budget(i));
+        return results_;
+    }
+
     // Chips are fully isolated simulations, so a dynamic work queue
     // is safe: whichever thread picks a chip up runs it start to
     // finish, and per-chip results do not depend on the assignment.
@@ -102,10 +132,7 @@ SimSession::runAll(Tick max_ticks)
             if (i >= chips_.size())
                 return;
             try {
-                Tick budget = chips_[i].tick_limit != 0
-                                  ? chips_[i].tick_limit
-                                  : max_ticks;
-                results_[i] = chips_[i].chip->run(budget);
+                results_[i] = chips_[i].chip->run(budget(i));
             } catch (...) {
                 // Stop the pool at the next chip boundary: the whole
                 // batch is abandoned once any chip errors.
@@ -118,16 +145,12 @@ SimSession::runAll(Tick max_ticks)
     };
 
     unsigned n_threads = effectiveThreads();
-    if (n_threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (unsigned t = 0; t < n_threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &th : pool)
-            th.join();
-    }
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
 
     if (first_error)
         std::rethrow_exception(first_error);

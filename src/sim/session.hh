@@ -12,18 +12,21 @@
  * workers are used), and aggregates RunResults and statistics.
  *
  * Batches may be fully *heterogeneous*: chips built by the session
- * from a ChipConfig (addChip) and externally constructed,
- * pre-programmed chips adopted or merely attached (adoptChip /
- * attachChip) mix freely, each with its own configuration, programs
- * and optional per-chip tick budget — the substrate the mapped
- * design-space explorer (mapping/explorer.hh) batches candidate
- * plans on.
+ * from a ChipConfig and externally constructed, pre-programmed chips
+ * — owned or merely borrowed — mix freely, each with its own
+ * configuration, programs, optional per-chip tick budget and
+ * optional scheduler-backend override. All of that goes through ONE
+ * admission path, admit(ChipSpec&&); the historical addChip /
+ * adoptChip / attachChip names survive as thin wrappers over it.
+ * This is the substrate the mapped design-space explorer
+ * (mapping/explorer.hh) batches candidate plans on and the fleet
+ * executor (sim/fleet.hh) builds its streaming layer over.
  *
  * Typical use:
  *
  *   sim::SimSession session;
  *   for (auto &cfg : configs) {
- *       unsigned id = session.addChip(cfg);
+ *       unsigned id = session.admit(sim::ChipSpec(cfg));
  *       session.chip(id).column(0).controller().loadProgram(prog);
  *   }
  *   auto results = session.runAll(1'000'000);
@@ -35,7 +38,9 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/chip.hh"
@@ -62,6 +67,76 @@ struct SessionStats
     std::map<std::string, uint64_t> counters;
 };
 
+/**
+ * One chip admission, described declaratively: where the chip comes
+ * from (a config the session builds from, a prebuilt chip whose
+ * ownership transfers, or a borrowed caller-owned chip) plus the
+ * optional per-chip knobs, chained builder-style:
+ *
+ *   session.admit(ChipSpec(cfg));
+ *   session.admit(ChipSpec(std::move(chip)).tickLimit(50'000));
+ *   session.admit(ChipSpec(shared_chip)
+ *                     .backend(SchedulerKind::Compiled));
+ *
+ * A backend override re-homes the chip via Chip::setSchedulerKind at
+ * admission, so the chip must not have run yet. A borrowed chip must
+ * outlive the session (or at least every runAll()).
+ */
+class ChipSpec
+{
+  public:
+    /** Build a session-owned chip from @p cfg at admission. */
+    explicit ChipSpec(const arch::ChipConfig &cfg) : cfg_(cfg) {}
+
+    /** Adopt @p chip (ownership transfers to the session). */
+    explicit ChipSpec(std::unique_ptr<arch::Chip> chip)
+        : owned_(std::move(chip))
+    {}
+
+    /** Borrow @p chip (the caller keeps ownership). */
+    explicit ChipSpec(arch::Chip &chip) : borrowed_(&chip) {}
+
+    /** Per-chip tick budget (0 = use runAll()'s budget). */
+    ChipSpec &
+    tickLimit(Tick t) &
+    {
+        tick_limit_ = t;
+        return *this;
+    }
+    ChipSpec &&
+    tickLimit(Tick t) &&
+    {
+        tick_limit_ = t;
+        return std::move(*this);
+    }
+
+    /** Scheduler-backend override applied at admission. */
+    ChipSpec &
+    backend(SchedulerKind kind) &
+    {
+        backend_ = kind;
+        has_backend_ = true;
+        return *this;
+    }
+    ChipSpec &&
+    backend(SchedulerKind kind) &&
+    {
+        backend_ = kind;
+        has_backend_ = true;
+        return std::move(*this);
+    }
+
+  private:
+    friend class SimSession;
+
+    std::optional<arch::ChipConfig> cfg_;
+    std::unique_ptr<arch::Chip> owned_;
+    arch::Chip *borrowed_ = nullptr;
+    Tick tick_limit_ = 0;
+    SchedulerKind backend_{};
+    bool has_backend_ = false;
+};
+
 class SimSession
 {
   public:
@@ -71,34 +146,29 @@ class SimSession
     SimSession(const SimSession &) = delete;
     SimSession &operator=(const SimSession &) = delete;
 
-    /** Add a chip; returns its index. Not thread-safe vs runAll(). */
+    /**
+     * THE admission path: every chip — session-built, adopted or
+     * borrowed, with or without per-chip budget and backend override
+     * — enters the batch through here. Returns the chip's index.
+     * Not thread-safe vs runAll().
+     */
+    unsigned admit(ChipSpec &&spec);
+
+    /** admit(ChipSpec(cfg)) — compatibility wrapper. */
     unsigned addChip(const arch::ChipConfig &cfg);
 
-    /**
-     * Adopt an externally built (and typically already programmed)
-     * chip — the heterogeneous-batch entry point. @p tick_limit, when
-     * nonzero, overrides runAll()'s budget for this chip only.
-     */
+    /** admit(ChipSpec(move(chip)).tickLimit(t)) — wrapper. */
     unsigned adoptChip(std::unique_ptr<arch::Chip> chip,
                        Tick tick_limit = 0);
 
-    /**
-     * Adopt a chip and re-home it onto @p scheduler first — lets a
-     * batch mix backends per chip regardless of what each builder
-     * baked into its ChipConfig. The chip must not have run yet
-     * (Chip::setSchedulerKind).
-     */
+    /** Adopt with a backend override — wrapper. */
     unsigned adoptChip(std::unique_ptr<arch::Chip> chip,
                        Tick tick_limit, SchedulerKind scheduler);
 
-    /**
-     * Attach a chip the caller keeps ownership of (it must outlive
-     * the session, or at least every runAll()). Same per-chip budget
-     * semantics as adoptChip().
-     */
+    /** admit(ChipSpec(chip).tickLimit(t)) — wrapper. */
     unsigned attachChip(arch::Chip &chip, Tick tick_limit = 0);
 
-    /** Attach with a scheduler-backend override; see adoptChip(). */
+    /** Borrow with a backend override — wrapper. */
     unsigned attachChip(arch::Chip &chip, Tick tick_limit,
                         SchedulerKind scheduler);
 
@@ -117,7 +187,9 @@ class SimSession
     /**
      * Run every chip until it halts or its budget — the per-chip
      * tick limit when set, @p max_ticks otherwise — elapses,
-     * spreading chips across the worker pool. Returns per-chip
+     * spreading chips across the worker pool. With a single chip or
+     * an effective pool of one, no threads are spawned at all: the
+     * chips run inline on the caller's thread. Returns per-chip
      * results in chip order. May be called repeatedly (chip time
      * accumulates). An error raised inside any chip is rethrown here
      * after all workers drain.

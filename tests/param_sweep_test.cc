@@ -188,7 +188,7 @@ TEST(ZormBatch, SimSessionSweepsAllPairsInOneRun)
     for (auto [nops, period] : pairs) {
         arch::ChipConfig cfg;
         cfg.dividers = {1};
-        unsigned id = session.addChip(cfg);
+        unsigned id = session.admit(sim::ChipSpec(cfg));
         session.chip(id).column(0).controller().loadProgram(
             isa::assemble(R"(
             movi r0, 0

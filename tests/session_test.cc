@@ -26,7 +26,7 @@ populate(sim::SimSession &session, unsigned n_chips)
         ChipConfig cfg;
         cfg.dividers = {1u + i % 4, 2u + i % 3};
         cfg.tiles_per_column = 1 + i % 4;
-        unsigned id = session.addChip(cfg);
+        unsigned id = session.admit(sim::ChipSpec(cfg));
         EXPECT_EQ(id, i);
         for (unsigned c = 0; c < session.chip(id).numColumns(); ++c) {
             session.chip(id).column(c).controller().loadProgram(
@@ -328,4 +328,78 @@ TEST(SimSession, EmptySessionIsHarmless)
     auto agg = session.aggregate();
     EXPECT_EQ(agg.chips, 0u);
     EXPECT_TRUE(agg.counters.empty());
+}
+
+TEST(SimSession, AdmitCoversEveryProvenanceAndKnob)
+{
+    // The one admission path: session-built from a config (with a
+    // backend override folded in before construction), adopted with
+    // a per-chip budget, and borrowed with a post-hoc re-home.
+    sim::SimSession session;
+
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 1;
+    cfg.scheduler = SchedulerKind::FastEdge;
+    unsigned a = session.admit(
+        sim::ChipSpec(cfg).backend(SchedulerKind::EventQueue));
+    EXPECT_EQ(int(session.chip(a).schedulerKind()),
+              int(SchedulerKind::EventQueue));
+    session.chip(a).column(0).controller().loadProgram(assemble(R"(
+        movi r0, 5
+        halt
+    )"));
+
+    auto spinner = std::make_unique<Chip>(cfg);
+    spinner->column(0).controller().loadProgram(assemble(R"(
+    spin:
+        jump spin
+    )"));
+    unsigned b =
+        session.admit(sim::ChipSpec(std::move(spinner)).tickLimit(70));
+
+    Chip borrowed(cfg);
+    borrowed.column(0).controller().loadProgram(assemble(R"(
+        movi r0, 9
+        halt
+    )"));
+    unsigned c = session.admit(
+        sim::ChipSpec(borrowed).backend(SchedulerKind::EventQueue));
+    EXPECT_EQ(int(borrowed.schedulerKind()),
+              int(SchedulerKind::EventQueue));
+
+    auto results = session.runAll(500);
+    EXPECT_EQ(int(results[a].exit), int(RunExit::AllHalted));
+    EXPECT_EQ(results[b].ticks, 70u);
+    EXPECT_EQ(int(results[c].exit), int(RunExit::AllHalted));
+    EXPECT_EQ(borrowed.column(0).tile(0).reg(0), 9u);
+}
+
+TEST(SimSession, AdmitRejectsAnEmptySpec)
+{
+    sim::SimSession session;
+    EXPECT_THROW(
+        session.admit(sim::ChipSpec(std::unique_ptr<Chip>())),
+        FatalError);
+}
+
+TEST(SimSession, SingleChipRunsInline)
+{
+    // One chip (or a one-thread pool) must not cost a thread spawn:
+    // the chip runs on the caller's thread, and errors surface
+    // directly. Observable contract: the run works and a fatal()
+    // from inside the chip still arrives as FatalError.
+    sim::SimSession session;
+    ChipConfig cfg;
+    cfg.dividers = {1};
+    cfg.tiles_per_column = 1;
+    unsigned id = session.admit(sim::ChipSpec(cfg));
+    EXPECT_EQ(session.effectiveThreads(), 1u);
+    session.chip(id).column(0).controller().loadProgram(assemble(R"(
+        movi r0, 3
+        halt
+    )"));
+    auto results = session.runAll(1'000);
+    EXPECT_EQ(int(results[0].exit), int(RunExit::AllHalted));
+    EXPECT_EQ(session.chip(id).column(0).tile(0).reg(0), 3u);
 }

@@ -12,8 +12,12 @@ committed baselines and fails CI when the perf trajectory regresses:
     wall time, measured on one machine so the machine cancels out)
     drops more than ``--tolerance`` (default 25%) below its
     baseline,
+  * a ``*warm_start_speedup`` ratio (Chip::clone warm start vs
+    cold codegen + program load, both timed in the same process so
+    the machine cancels out) drops more than ``--tolerance``,
   * any other wall-clock throughput metric (``*_ticks_per_sec``,
-    ``*_mticks_per_s``, ``*_speedup``) drops more than
+    ``*_mticks_per_s``, ``*_speedup``, the fleet's ``chips_s`` /
+    ``ticks_s`` serving rates) drops more than
     ``--wall-tolerance`` (default 60%) — looser because the
     committed baselines and the CI runner are different machines;
     the floor still catches order-of-magnitude slowdowns,
@@ -45,7 +49,8 @@ import pathlib
 import sys
 
 SIMULATED_SUFFIXES = ("_kbps", "_msps", "_kblocks_s", "_kmb_s")
-WALL_CLOCK_SUFFIXES = ("_ticks_per_sec", "_mticks_per_s", "_speedup")
+WALL_CLOCK_SUFFIXES = ("_ticks_per_sec", "_mticks_per_s", "_speedup",
+                       "chips_s", "ticks_s")
 SAVINGS_DROP_PP = 5.0
 GAP_RISE_PP = 5.0
 
@@ -63,6 +68,10 @@ def classify(key):
     # out, so it gets the tight simulated tolerance, not the loose
     # cross-machine wall-clock one.
     if key.endswith("compiled_speedup"):
+        return "throughput"
+    # Likewise the warm-start ratio: clone and cold build are timed
+    # back to back in one process, so the machine cancels out.
+    if key.endswith("warm_start_speedup"):
         return "throughput"
     if key.endswith(WALL_CLOCK_SUFFIXES):
         return "wall_throughput"
@@ -157,7 +166,10 @@ def self_test():
             "sec": {
                 "x_kbps": 100.0,
                 "compiled_speedup": 12.0,
+                "ddc_warm_start_speedup": 6.0,
                 "fast_mticks_per_s": 10.0,
+                "chips_s": 200.0,
+                "ticks_s": 1.4e7,
                 "bit_exact": 1,
                 "agreement": 1,
                 "savings_pct": 30.0,
@@ -168,7 +180,10 @@ def self_test():
             "sec": {
                 "x_kbps": 60.0,          # -40% simulated throughput
                 "compiled_speedup": 8.0,  # -33% backend ratio
+                "ddc_warm_start_speedup": 4.0,  # -33% warm-start
                 "fast_mticks_per_s": 2.0,  # -80% wall throughput
+                "chips_s": 40.0,         # -80% fleet serving rate
+                "ticks_s": 2.8e6,        # -80% fleet tick rate
                 "bit_exact": 0,          # flag regressed
                 "agreement": 0,          # flag regressed
                 "savings_pct": 20.0,     # -10 pp savings
@@ -182,7 +197,9 @@ def self_test():
 
         failures, _ = compare_dirs(base, fresh, 0.25, 0.60)
         wanted = ["x_kbps", "compiled_speedup",
-                  "fast_mticks_per_s", "bit_exact",
+                  "ddc_warm_start_speedup",
+                  "fast_mticks_per_s", "chips_s", "ticks_s",
+                  "bit_exact",
                   "agreement", "savings_pct", "baseline_gap_pct",
                   "no fresh counterpart"]
         text = "\n".join(failures)

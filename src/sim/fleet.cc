@@ -127,13 +127,16 @@ FleetExecutor::admitStream(unsigned workload, uint64_t items,
     auto s = std::make_unique<Stream>();
     s->id = unsigned(streams_.size());
     s->workload = workload;
+    s->wl = &workloads_[workload];
+    s->tmpl = templates_[workload].get();
     s->next_item = item_base;
     s->last_item = item_base + items;
     s->res.workload = workload;
     s->res.item_base = item_base;
     s->res.items = items;
 
-    if (items_admitted_ == items_served_ && !epoch_open_) {
+    if (items_admitted_ == items_served_ + items_abandoned_ &&
+        !epoch_open_) {
         serve_start_ = std::chrono::steady_clock::now();
         epoch_open_ = true;
     }
@@ -197,33 +200,38 @@ FleetExecutor::workerLoop(unsigned w)
         // One item per pickup: a multi-item stream goes back on the
         // deque between items, so heavy streams interleave with (and
         // can be stolen around) light ones.
-        serveOneItem(*s, workers_[w]);
+        uint64_t abandoned = serveOneItem(*s, workers_[w]);
 
         lock.lock();
         --busy_;
         ++items_served_;
+        items_abandoned_ += abandoned;
         if (s->next_item < s->last_item) {
             workers_[w].q.push_back(s);
             work_cv_.notify_one();
         } else {
             finishStream(*s, workers_[w]);
         }
-        if (items_served_ == items_admitted_ && busy_ == 0)
+        if (items_served_ + items_abandoned_ == items_admitted_ &&
+            busy_ == 0)
             idle_cv_.notify_all();
     }
 }
 
-void
+uint64_t
 FleetExecutor::serveOneItem(Stream &s, Worker &shard)
 {
-    const FleetWorkload &wl = workloads_[s.workload];
+    // s.wl / s.tmpl, not workloads_[..] / templates_[..]: the lock
+    // is released here and addWorkload may be growing those
+    // containers concurrently.
+    const FleetWorkload &wl = *s.wl;
     const uint64_t item = s.next_item++;
     try {
         if (!s.chip) {
             // Warm start: deep-copy the programmed template instead
             // of re-running codegen + load for this stream.
-            s.chip = templates_[s.workload]->clone();
-            ++clones_;
+            s.chip = s.tmpl->clone();
+            ++shard.clones;
         }
         wl.feed(*s.chip, item);
         arch::RunResult r = s.chip->run(wl.tick_limit);
@@ -272,15 +280,22 @@ FleetExecutor::serveOneItem(Stream &s, Worker &shard)
         ++shard.items;
     } catch (const std::exception &e) {
         // Record and abandon the stream — a serving layer survives
-        // one bad request; drain() reports it.
+        // one bad request; drain() reports it. The items we skip by
+        // jumping next_item to the end are returned so the caller
+        // credits them to the fleet's accounting: they were
+        // admitted, no worker will ever serve them, and drain()
+        // would otherwise wait for them forever.
         ++s.res.mismatches;
         if (s.res.first_failure.empty()) {
             s.res.first_failure =
                 strprintf("%s item %llu: %s", wl.name.c_str(),
                           (unsigned long long)item, e.what());
         }
+        const uint64_t skipped = s.last_item - s.next_item;
         s.next_item = s.last_item;
+        return skipped;
     }
+    return 0;
 }
 
 void
@@ -303,7 +318,8 @@ FleetExecutor::drain()
 {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] {
-        return items_served_ == items_admitted_ && busy_ == 0;
+        return items_served_ + items_abandoned_ == items_admitted_ &&
+               busy_ == 0;
     });
     if (epoch_open_) {
         served_wall_seconds_ += std::chrono::duration<double>(
@@ -316,12 +332,13 @@ FleetExecutor::drain()
     FleetReport rep;
     rep.streams = streams_.size();
     rep.items = items_served_;
+    rep.items_abandoned = items_abandoned_;
     rep.wall_seconds = served_wall_seconds_;
     rep.steals = steals_;
-    rep.clones = clones_;
     rep.totals.chips = items_served_;
     for (const Worker &w : workers_) {
         rep.items_by_worker.push_back(w.items);
+        rep.clones += w.clones;
         rep.totals.halted += w.halted;
         rep.totals.tick_limited += w.tick_limited;
         rep.totals.deadlocked += w.deadlocked;

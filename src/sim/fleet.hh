@@ -138,12 +138,25 @@ struct FleetStreamResult
     std::vector<std::vector<uint8_t>> outputs;
 };
 
-/** Everything one drain() served, shards merged. */
+/**
+ * Everything the fleet has served, shards merged. Every field is
+ * CUMULATIVE SINCE THE EXECUTOR WAS CONSTRUCTED: a second drain()
+ * re-reports all earlier streams, items, steals, clones, counters
+ * and wall time plus whatever was admitted since. Callers producing
+ * periodic reports must diff successive FleetReports themselves.
+ */
 struct FleetReport
 {
     uint64_t streams = 0;
     uint64_t items = 0; //!< chip runs served (one per work item)
-    double wall_seconds = 0;
+
+    /**
+     * Work items never served because a hook threw mid-stream and
+     * the rest of that stream was abandoned (the failing item itself
+     * counts under items). Always 0 when all_verified.
+     */
+    uint64_t items_abandoned = 0;
+    double wall_seconds = 0; //!< excludes fully-idle gaps
 
     /** Work items (= chip runs) served per wall second. */
     double chips_per_sec = 0;
@@ -184,6 +197,10 @@ class FleetExecutor
      * Register a workload: builds (and times) its template chip on
      * the calling thread via wl.build — the one cold build every
      * stream's clone warm-starts from. Returns the workload id.
+     * Safe while earlier workloads are being served: storage is
+     * reallocation-stable, so references handed out by workload() /
+     * templateChip() and the pointers serving workers hold stay
+     * valid.
      */
     unsigned addWorkload(FleetWorkload wl);
 
@@ -210,8 +227,11 @@ class FleetExecutor
      * the per-worker shards and return the report. Failures (a chip
      * that did not drain, a golden mismatch, an exception out of a
      * closure) are recorded per stream — all_verified false and
-     * first_failure set — not thrown. May be called repeatedly;
-     * each call reports everything admitted so far.
+     * first_failure set — not thrown; a throwing stream's remaining
+     * items are abandoned (counted in items_abandoned) so the drain
+     * still completes. May be called repeatedly; every call reports
+     * cumulative totals since construction (see FleetReport), not
+     * the delta since the previous drain.
      */
     FleetReport drain();
 
@@ -222,6 +242,16 @@ class FleetExecutor
     {
         unsigned id = 0;
         unsigned workload = 0;
+        /**
+         * Captured under mu_ at admission so workers never index
+         * workloads_/templates_ with the lock released (addWorkload
+         * may grow them concurrently). Both stay valid for the
+         * executor's lifetime: workloads_ is a deque (push_back
+         * never moves existing elements) and the template chip is a
+         * heap object owned by templates_.
+         */
+        const FleetWorkload *wl = nullptr;
+        const arch::Chip *tmpl = nullptr;
         uint64_t next_item = 0; //!< next index to serve (absolute)
         uint64_t last_item = 0; //!< one past the final index
         std::unique_ptr<arch::Chip> chip; //!< live while serving
@@ -234,6 +264,7 @@ class FleetExecutor
         std::deque<Stream *> q;
         std::map<std::string, uint64_t> counters;
         uint64_t items = 0;
+        uint64_t clones = 0; //!< in the shard: bumped unlocked
         uint64_t ticks = 0;
         uint64_t halted = 0;
         uint64_t tick_limited = 0;
@@ -243,11 +274,21 @@ class FleetExecutor
 
     void workerLoop(unsigned w);
     Stream *takeStream(unsigned w, bool &stolen);
-    void serveOneItem(Stream &s, Worker &shard);
+    /**
+     * Serve the stream's next item (lock released). Returns how many
+     * of the stream's items this pickup abandoned unserved — 0
+     * normally; the rest of the stream when a hook threw and the
+     * stream was given up. The caller credits them to the fleet's
+     * accounting under mu_, or drain() would wait forever for items
+     * no worker will ever pick up.
+     */
+    uint64_t serveOneItem(Stream &s, Worker &shard);
     void finishStream(Stream &s, Worker &shard);
 
     FleetConfig cfg_;
-    std::vector<FleetWorkload> workloads_;
+    /** Deque, not vector: Stream::wl points into it and addWorkload
+     * may push_back while earlier workloads are being served. */
+    std::deque<FleetWorkload> workloads_;
     std::vector<std::unique_ptr<arch::Chip>> templates_;
     std::vector<double> template_secs_;
 
@@ -259,8 +300,8 @@ class FleetExecutor
     std::vector<std::unique_ptr<Stream>> streams_;
     uint64_t items_admitted_ = 0;
     uint64_t items_served_ = 0;
+    uint64_t items_abandoned_ = 0; //!< skipped after a hook threw
     uint64_t steals_ = 0;
-    uint64_t clones_ = 0;
     unsigned busy_ = 0;
     bool stop_ = false;
     std::chrono::steady_clock::time_point serve_start_;

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/app_harness.hh"
@@ -255,6 +256,95 @@ TEST(Fleet, FailuresAreRecordedNotThrown)
     EXPECT_NE(rep.stream_results[0].first_failure, "");
     EXPECT_EQ(rep.stream_results[1].mismatches, 0u);
     EXPECT_EQ(rep.stream_results[1].first_failure, "");
+}
+
+TEST(Fleet, AddWorkloadWhileServingIsSafe)
+{
+    // Workload registration must be safe while workers are already
+    // serving earlier streams: workload storage is
+    // reallocation-stable, so the references/pointers serving
+    // workers hold survive every push_back. Register-admit in a
+    // tight loop so serving overlaps registration (TSan covers the
+    // race in CI).
+    sim::FleetConfig fc;
+    fc.workers = 4;
+    sim::FleetExecutor fleet(fc);
+
+    constexpr unsigned Rounds = 12;
+    for (unsigned r = 0; r < Rounds; ++r) {
+        unsigned w = fleet.addWorkload(sumWorkload(100 + r));
+        fleet.admitStream(w, 3, 7 * r);
+        // References handed out before later registrations must
+        // remain valid afterwards.
+        EXPECT_EQ(fleet.workload(w).name, "sum");
+        EXPECT_EQ(fleet.templateChip(w).curTick(), 0u);
+    }
+
+    sim::FleetReport rep = fleet.drain();
+    EXPECT_TRUE(rep.all_verified);
+    EXPECT_EQ(rep.streams, Rounds);
+    EXPECT_EQ(rep.items, 3u * Rounds);
+    EXPECT_EQ(rep.clones, Rounds);
+}
+
+TEST(Fleet, ThrowingFeedAbandonsStreamWithoutDeadlockingDrain)
+{
+    // A hook that throws mid-stream abandons the rest of that stream;
+    // the skipped items must still be credited or drain() waits
+    // forever for work no worker will ever pick up. Cover both the
+    // worst case (throw on item 0, nothing served) and a mid-stream
+    // throw, with a healthy stream riding alongside.
+    sim::FleetConfig fc;
+    fc.workers = 2;
+    sim::FleetExecutor fleet(fc);
+
+    sim::FleetWorkload first = sumWorkload(17);
+    first.name = "throws-first";
+    auto inner = first.feed;
+    first.feed = [inner](Chip &chip, uint64_t item) {
+        if (item < 100)
+            throw std::runtime_error("feed rejected item");
+        inner(chip, item);
+    };
+    sim::FleetWorkload mid = sumWorkload(17);
+    mid.name = "throws-mid";
+    mid.feed = [inner](Chip &chip, uint64_t item) {
+        if (item == 1)
+            throw std::runtime_error("feed rejected item");
+        inner(chip, item);
+    };
+    unsigned f = fleet.addWorkload(first);
+    unsigned m = fleet.addWorkload(mid);
+    unsigned ok = fleet.addWorkload(sumWorkload(17));
+    fleet.admitStream(f, 3, 0);  // throws on its first item
+    fleet.admitStream(m, 4, 0);  // serves item 0, throws on item 1
+    fleet.admitStream(ok, 2, 0); // unaffected
+
+    sim::FleetReport rep = fleet.drain();
+    EXPECT_FALSE(rep.all_verified);
+    // Items 'served' = pickups that ran (including the two throwing
+    // ones); the rest of each broken stream was abandoned.
+    EXPECT_EQ(rep.items, 5u);
+    EXPECT_EQ(rep.items_abandoned, 4u);
+    ASSERT_EQ(rep.stream_results.size(), 3u);
+
+    EXPECT_EQ(rep.stream_results[0].items_done, 0u);
+    EXPECT_NE(rep.stream_results[0].first_failure.find(
+                  "feed rejected item"),
+              std::string::npos);
+    EXPECT_EQ(rep.stream_results[1].items_done, 1u);
+    EXPECT_NE(rep.stream_results[1].first_failure, "");
+    EXPECT_EQ(rep.stream_results[2].items_done, 2u);
+    EXPECT_EQ(rep.stream_results[2].mismatches, 0u);
+    EXPECT_EQ(rep.stream_results[2].first_failure, "");
+
+    // The fleet is still serviceable after the failures: a fresh
+    // healthy stream admitted post-drain drains clean.
+    fleet.admitStream(ok, 1, 50);
+    sim::FleetReport rep2 = fleet.drain();
+    EXPECT_EQ(rep2.items, 6u);
+    EXPECT_EQ(rep2.stream_results[3].items_done, 1u);
+    EXPECT_EQ(rep2.stream_results[3].first_failure, "");
 }
 
 TEST(Fleet, MappedDdcStreamsMatchSoloSessionRuns)

@@ -411,6 +411,7 @@ runMappedMotion(const MotionPipelineParams &p)
     MappedAppParams hp;
     hp.app = "motion";
     hp.scheduler = p.scheduler;
+    hp.parallel_team = p.parallel_team;
     hp.tick_limit = motionTickLimit(p.columns, prog);
     hp.priced_items = MotionMbs;
     MappedApp app(hp, *plan, prog);

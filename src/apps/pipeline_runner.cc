@@ -422,6 +422,7 @@ runMappedDdc(const DdcPipelineParams &p)
     MappedAppParams hp;
     hp.app = "ddc";
     hp.scheduler = p.scheduler;
+    hp.parallel_team = p.parallel_team;
     hp.tick_limit = ddcTickLimit(p, prog);
     hp.priced_items = p.samples;
     MappedApp app(hp, *plan, prog);

@@ -476,6 +476,7 @@ runMappedStereo(const StereoPipelineParams &p)
     MappedAppParams hp;
     hp.app = "stereo";
     hp.scheduler = p.scheduler;
+    hp.parallel_team = p.parallel_team;
     hp.tick_limit = stereoTickLimit(prog);
     hp.priced_items = StereoBlocks;
     MappedApp app(hp, *plan, prog);

@@ -577,6 +577,7 @@ runMappedWifi(const WifiPipelineParams &p)
     MappedAppParams hp;
     hp.app = "wifi";
     hp.scheduler = p.scheduler;
+    hp.parallel_team = p.parallel_team;
     hp.tick_limit = wifiTickLimit(p, prog);
     hp.priced_items = uint64_t(p.symbols) * WifiFrameBits;
     MappedApp app(hp, *plan, prog);

@@ -64,6 +64,17 @@ struct ChipConfig
 
     /** Execution backend driving the tick loop. */
     SchedulerKind scheduler = defaultSchedulerKind();
+
+    /**
+     * Column team size for SchedulerKind::ParallelColumns: 0 sizes
+     * the team automatically (hardware concurrency clamped to the
+     * column count, degrading to serial on a SimSession/fleet pool
+     * worker — see inWorkerPool()), 1 forces serial execution, and
+     * larger values request that many team threads (clamped to the
+     * column count; explicit sizes nest inside pools deliberately).
+     * Ignored by the other backends.
+     */
+    unsigned parallel_columns = 0;
 };
 
 /** Why Chip::run() returned. */
@@ -173,6 +184,8 @@ class Chip : private SchedModel
     Tick commFreeAdvance(Tick max) override;
     Tick commQuiet(Tick max) const override;
     Tick domainStallBlock(unsigned d, Tick max_slots) override;
+    bool domainsIndependent() const override;
+    void domainRefAdvance(unsigned d, Tick n) override;
     /// @}
 
     ChipConfig cfg_;

@@ -791,6 +791,50 @@ checkSlots(Analysis &a, VerifyReport &rep)
         }
     }
 
+    // Lookahead horizon: the parallel-columns runtime lets columns
+    // free-run between delivery slots, and the program declares the
+    // static floor of that window. Recompute the floor from the slot
+    // schedules themselves — the shortest run of delivery-free bus
+    // cycles between consecutive active offsets, circular over one
+    // period — and hold the declaration to it: a mis-declared
+    // horizon would let a scheduler trust a window the bus does not
+    // actually leave quiet.
+    {
+        std::set<unsigned> offs;
+        for (const ColInfo &ci : a.cols) {
+            for (const Transfer &t : ci.col->schedule.transfers) {
+                if (t.offset < prog.period)
+                    offs.insert(t.offset);
+            }
+        }
+        unsigned computed = prog.period;
+        if (!offs.empty()) {
+            std::vector<unsigned> v(offs.begin(), offs.end());
+            for (size_t i = 0; i < v.size(); ++i) {
+                unsigned next = i + 1 < v.size()
+                                    ? v[i + 1]
+                                    : v[0] + prog.period;
+                computed = std::min(computed, next - v[i] - 1);
+            }
+        }
+        if (prog.lookahead_horizon == 0) {
+            rep.add(Severity::Note, "slots",
+                    strprintf("program declares no lookahead "
+                              "horizon (schedule floor: %u quiet "
+                              "cycles between delivery slots); the "
+                              "parallel-columns runtime relies on "
+                              "its dynamic probe alone",
+                              computed));
+        } else if (prog.lookahead_horizon != computed) {
+            err(strprintf("declared lookahead horizon %u disagrees "
+                          "with the slot schedule (floor: %u quiet "
+                          "cycles between delivery slots); the "
+                          "parallel-columns runtime must not trust "
+                          "it",
+                          prog.lookahead_horizon, computed));
+        }
+    }
+
     a.slots_clean = clean;
 }
 

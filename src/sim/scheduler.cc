@@ -1,7 +1,12 @@
 #include "sim/scheduler.hh"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/log.hh"
@@ -20,6 +25,8 @@ schedulerName(SchedulerKind kind)
         return "fastedge";
       case SchedulerKind::Compiled:
         return "compiled";
+      case SchedulerKind::ParallelColumns:
+        return "parallel";
     }
     return "unknown";
 }
@@ -33,6 +40,8 @@ parseSchedulerKind(const std::string &name, SchedulerKind &out)
         out = SchedulerKind::FastEdge;
     } else if (name == "compiled") {
         out = SchedulerKind::Compiled;
+    } else if (name == "parallel") {
+        out = SchedulerKind::ParallelColumns;
     } else {
         return false;
     }
@@ -52,7 +61,7 @@ defaultKindSlot()
         SchedulerKind k;
         if (!parseSchedulerKind(env, k))
             fatal("SYNCHRO_SCHEDULER=%s is not a backend "
-                  "(eventq | fastedge | compiled)",
+                  "(eventq | fastedge | compiled | parallel)",
                   env);
         return k;
     }();
@@ -84,7 +93,7 @@ backendFromArgs(int &argc, char **argv, SchedulerKind fallback)
         if (arg == "--backend") {
             if (i + 1 >= argc)
                 fatal("--backend needs a value "
-                      "(eventq | fastedge | compiled)");
+                      "(eventq | fastedge | compiled | parallel)");
             name = argv[++i];
         } else if (arg.rfind("--backend=", 0) == 0) {
             name = arg.substr(10);
@@ -94,12 +103,40 @@ backendFromArgs(int &argc, char **argv, SchedulerKind fallback)
         }
         if (!parseSchedulerKind(name, kind))
             fatal("--backend %s is not a backend "
-                  "(eventq | fastedge | compiled)",
+                  "(eventq | fastedge | compiled | parallel)",
                   name.c_str());
     }
     argv[w] = nullptr;
     argc = w;
     return kind;
+}
+
+namespace
+{
+
+// Nested-parallelism policy flag: set while the current thread is a
+// SimSession / FleetExecutor pool worker, so the automatic
+// ParallelColumns team size degrades to serial instead of spawning
+// pool × team threads. thread_local, so concurrent pools and teams
+// never observe each other.
+thread_local bool tls_in_worker_pool = false;
+
+} // namespace
+
+bool
+inWorkerPool()
+{
+    return tls_in_worker_pool;
+}
+
+WorkerPoolScope::WorkerPoolScope() : prev_(tls_in_worker_pool)
+{
+    tls_in_worker_pool = true;
+}
+
+WorkerPoolScope::~WorkerPoolScope()
+{
+    tls_in_worker_pool = prev_;
 }
 
 namespace
@@ -431,10 +468,362 @@ class CompiledScheduler : public Scheduler
     std::vector<Tick> domain_next_;     //!< per-domain pending edge
 };
 
+/**
+ * Persistent thread team with an epoch barrier — the rendezvous
+ * primitive of the parallel-columns backend. The caller is member 0;
+ * members 1..N-1 are worker threads that live as long as the team.
+ * run(job) releases every member into job(member) and returns only
+ * after all members have finished (the epoch barrier), so everything
+ * the members wrote happens-before the caller's next read. The first
+ * exception any member throws is captured and rethrown on the caller
+ * *after* the rendezvous completes — a throwing member can never
+ * leave the barrier half-assembled (the lesson of the fleet drain
+ * deadlock fix).
+ */
+class ColumnTeam
+{
+  public:
+    explicit ColumnTeam(unsigned members) : members_(members)
+    {
+        sync_assert(members_ >= 2, "a column team needs >= 2 members");
+        threads_.reserve(members_ - 1);
+        for (unsigned m = 1; m < members_; ++m)
+            threads_.emplace_back([this, m] { workerLoop(m); });
+    }
+
+    ~ColumnTeam()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+            ++epoch_;
+        }
+        cv_start_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    ColumnTeam(const ColumnTeam &) = delete;
+    ColumnTeam &operator=(const ColumnTeam &) = delete;
+
+    unsigned members() const { return members_; }
+
+    void
+    run(const std::function<void(unsigned)> &job)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            job_ = &job;
+            done_ = 0;
+            err_ = nullptr;
+            ++epoch_;
+        }
+        cv_start_.notify_all();
+        runMember(job, 0);
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_done_.wait(lk, [this] { return done_ == members_ - 1; });
+        job_ = nullptr;
+        if (err_) {
+            std::exception_ptr e = err_;
+            err_ = nullptr;
+            lk.unlock();
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    void
+    runMember(const std::function<void(unsigned)> &job, unsigned m)
+    {
+        try {
+            job(m);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!err_)
+                err_ = std::current_exception();
+        }
+    }
+
+    void
+    workerLoop(unsigned m)
+    {
+        uint64_t seen = 0;
+        while (true) {
+            const std::function<void(unsigned)> *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_start_.wait(
+                    lk, [&] { return stop_ || epoch_ != seen; });
+                if (stop_)
+                    return;
+                seen = epoch_;
+                job = job_;
+            }
+            runMember(*job, m);
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++done_;
+                if (done_ == members_ - 1)
+                    cv_done_.notify_one();
+            }
+        }
+    }
+
+    const unsigned members_;
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    uint64_t epoch_ = 0;
+    unsigned done_ = 0;
+    bool stop_ = false;
+    const std::function<void(unsigned)> *job_ = nullptr;
+    std::exception_ptr err_;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * The parallel-columns backend: FastEdge's integer edge walk at every
+ * bus-active tick, with the comm-quiet stretches in between executed
+ * by a per-chip column team.
+ *
+ * The synchronization argument is the paper's: columns interact only
+ * through the statically-scheduled bus, and delivery is self-timed,
+ * so the single rendezvous a column needs is the next reference phase
+ * that may move data. The scheduler probes that horizon with
+ * commQuiet() — the same conservative lookahead the Compiled backend
+ * batches phases with, derived from the per-edge slot schedules of
+ * allocateEdgeSlots — and inside the proven window every domain's
+ * work (issue slots via domainEdgeBlock/domainStallBlock/domainEdge,
+ * its reference-phase share via domainRefAdvance) touches only
+ * domain-private state (domainsIndependent()). Columns therefore
+ * free-run through the window on team threads and rendezvous at the
+ * epoch barrier before the next delivery slot runs serially.
+ *
+ * Bit-exactness for any team size is by construction: each domain's
+ * in-window slot decomposition depends only on that domain's own
+ * pending edge and the window end — never on the member running it —
+ * and every hook credits state and statistics exactly as
+ * slot-at-a-time execution would. The active ticks themselves run
+ * serially in FastEdge's exact order.
+ *
+ * Halt accounting matches the serial contract (refPhase runs through
+ * the tick on which allHalted() becomes true, inclusive): members
+ * record each domain's halting slot tick, and after the rendezvous
+ * the leader fast-forwards every domain's reference-phase share to
+ * max(halt ticks) when the whole model halted inside the window, or
+ * to the window end otherwise.
+ */
+class ParallelColumnsScheduler : public Scheduler
+{
+  public:
+    explicit ParallelColumnsScheduler(unsigned team_threads)
+        : requested_(team_threads)
+    {}
+
+    SchedStop
+    run(SchedModel &model, Tick max_ticks) override
+    {
+        const unsigned n = model.numDomains();
+        if (domain_next_.empty())
+            domain_next_.assign(n, MaxTick);
+        sync_assert(domain_next_.size() == n,
+                    "model domain count changed between runs");
+
+        for (unsigned d = 0; d < n; ++d) {
+            if (model.domainHalted(d) || domain_next_[d] != MaxTick)
+                continue;
+            const ClockDomain &clk = model.domainClock(d);
+            domain_next_[d] = clk.onEdge(cur_)
+                                  ? cur_
+                                  : clk.nextEdgeAfter(cur_);
+        }
+        if (ref_next_ == MaxTick)
+            ref_next_ = cur_;
+
+        const Tick limit = cur_ + max_ticks;
+        const unsigned team =
+            teamSize(n, model.domainsIndependent());
+        if (team > 1 && (!team_ || team_->members() != team))
+            team_ = std::make_unique<ColumnTeam>(team);
+
+        // One closure reused for every window of this run; win_end
+        // is rebound per window. Domains are dealt round-robin — the
+        // per-domain walk is member-independent, so the deal only
+        // balances load, never changes results.
+        Tick win_end = 0;
+        const std::function<void(unsigned)> walk =
+            [&](unsigned member) {
+                for (unsigned d = member; d < n; d += team)
+                    walkDomain(model, d, win_end);
+            };
+
+        while (true) {
+            Tick t = ref_next_;
+            for (Tick dn : domain_next_)
+                t = std::min(t, dn);
+            if (t == MaxTick)
+                return model.allHalted() ? SchedStop::AllHalted
+                                         : SchedStop::Idle;
+            if (t > limit)
+                return SchedStop::TickLimit;
+
+            // The bus-active tick runs serially, exactly as
+            // FastEdge: all domain edges, then the reference phase.
+            for (unsigned d = 0; d < n; ++d) {
+                if (domain_next_[d] != t)
+                    continue;
+                model.domainEdge(d);
+                domain_next_[d] =
+                    model.domainHalted(d)
+                        ? MaxTick
+                        : t + model.domainClock(d).divider();
+            }
+            bool halted;
+            if (ref_next_ == t) {
+                model.refPhase();
+                halted = model.allHalted();
+                ref_next_ = halted ? MaxTick : t + 1;
+            } else {
+                halted = model.allHalted();
+            }
+            cur_ = t;
+            if (halted)
+                return SchedStop::AllHalted;
+            if (ref_next_ != t + 1 || t >= limit)
+                continue;
+
+            // Comm-quiet window: reference phases t+1 .. t+quiet are
+            // proven to move nothing, so until the next delivery
+            // slot every domain's work is domain-private.
+            const Tick quiet = model.commQuiet(limit - t);
+            if (quiet == 0)
+                continue;
+            win_end = t + quiet;
+
+            halt_tick_.assign(n, MaxTick);
+            bool any_edges = false;
+            for (Tick dn : domain_next_)
+                any_edges = any_edges || dn <= win_end;
+            if (any_edges) {
+                if (team > 1 && quiet >= kMinTeamWindow) {
+                    team_->run(walk);
+                } else {
+                    for (unsigned d = 0; d < n; ++d)
+                        walkDomain(model, d, win_end);
+                }
+            }
+
+            // Leader-side halt resolution + the reference-phase
+            // share of the window: through the halting tick
+            // inclusive when everything halted in-window, through
+            // the window end otherwise.
+            const bool all_halted = model.allHalted();
+            Tick steps_end = win_end;
+            if (all_halted) {
+                Tick h = 0;
+                for (unsigned d = 0; d < n; ++d) {
+                    if (halt_tick_[d] != MaxTick)
+                        h = std::max(h, halt_tick_[d]);
+                }
+                steps_end = h;
+            }
+            if (steps_end > t) {
+                for (unsigned d = 0; d < n; ++d)
+                    model.domainRefAdvance(d, steps_end - t);
+            }
+            cur_ = steps_end;
+            if (all_halted) {
+                ref_next_ = MaxTick;
+                return SchedStop::AllHalted;
+            }
+            ref_next_ = win_end + 1;
+        }
+    }
+
+    Tick curTick() const override { return cur_; }
+
+    SchedulerKind kind() const override
+    {
+        return SchedulerKind::ParallelColumns;
+    }
+
+  private:
+    // Below this window width the barrier costs more than the walk;
+    // the leader runs the window inline (identical decomposition,
+    // identical results — only the thread changes).
+    static constexpr Tick kMinTeamWindow = 16;
+
+    /**
+     * Walk domain @p d's issue slots through the window (ticks up to
+     * and including @p t_end, all inside the proven comm-quiet
+     * horizon and the tick budget). Called concurrently for
+     * different domains; touches only domain_next_[d], halt_tick_[d]
+     * and domain-d model state.
+     */
+    void
+    walkDomain(SchedModel &model, unsigned d, Tick t_end)
+    {
+        Tick next = domain_next_[d];
+        if (next == MaxTick || next > t_end)
+            return;
+        const Tick div = model.domainClock(d).divider();
+        while (next <= t_end) {
+            const Tick max_slots = (t_end - next) / div + 1;
+            Tick k = model.domainEdgeBlock(d, max_slots);
+            if (k == 0 && max_slots > 1) {
+                // A comm-stalled domain cannot unblock before the
+                // next delivery slot, and every slot offered here
+                // sits inside the proven-quiet window.
+                k = model.domainStallBlock(d, max_slots);
+            }
+            if (k == 0) {
+                model.domainEdge(d);
+                k = 1;
+            }
+            if (model.domainHalted(d)) {
+                halt_tick_[d] = next + (k - 1) * div;
+                next = MaxTick;
+                break;
+            }
+            next += k * div;
+        }
+        domain_next_[d] = next;
+    }
+
+    /**
+     * Resolve the team size for this run: serial unless the model
+     * grants domain independence; an explicit request is honored
+     * (clamped to the domain count — nested pools are deliberate);
+     * automatic sizing uses the hardware, but degrades to serial on
+     * a simulation pool worker thread so fleets of parallel chips do
+     * not oversubscribe the machine.
+     */
+    unsigned
+    teamSize(unsigned n, bool independent) const
+    {
+        if (!independent || n <= 1 || requested_ == 1)
+            return 1;
+        unsigned want = requested_;
+        if (want == 0) {
+            if (inWorkerPool())
+                return 1;
+            want = std::max(std::thread::hardware_concurrency(), 2u);
+        }
+        return std::min(want, n);
+    }
+
+    const unsigned requested_;          //!< team size knob (0 = auto)
+    std::unique_ptr<ColumnTeam> team_;
+    Tick cur_ = 0;
+    Tick ref_next_ = MaxTick;           //!< MaxTick = not pending
+    std::vector<Tick> domain_next_;     //!< per-domain pending edge
+    std::vector<Tick> halt_tick_;       //!< in-window halting slots
+};
+
 } // namespace
 
 std::unique_ptr<Scheduler>
-makeScheduler(SchedulerKind kind)
+makeScheduler(SchedulerKind kind, unsigned team_threads)
 {
     switch (kind) {
       case SchedulerKind::EventQueue:
@@ -443,6 +832,9 @@ makeScheduler(SchedulerKind kind)
         return std::make_unique<FastEdgeScheduler>();
       case SchedulerKind::Compiled:
         return std::make_unique<CompiledScheduler>();
+      case SchedulerKind::ParallelColumns:
+        return std::make_unique<ParallelColumnsScheduler>(
+            team_threads);
     }
     panic("unknown scheduler kind %d", int(kind));
 }

@@ -28,6 +28,19 @@
  *    branch, halt, lsetup or comm op — and any reference phase that
  *    may move data — still runs slot-exact.
  *
+ *  - SchedulerKind::ParallelColumns — intra-chip parallelism via
+ *    latency-insensitive sync. Bus delivery is self-timed and every
+ *    statically-scheduled bus slot is known, so the only point at
+ *    which columns interact is an *active* reference phase (a bus
+ *    cycle that may move data). The scheduler probes the comm-quiet
+ *    window (commQuiet — the same proof the Compiled backend
+ *    batches phases with), lets every column free-run its issue
+ *    slots and DOU phases through the window on its own team
+ *    thread (column state is private while the fabric is quiet),
+ *    and rendezvouses the team at an epoch barrier before each
+ *    delivery slot runs serially. Bit-identical to the serial
+ *    backends for any team size by construction.
+ *
  * All backends drive the model through the same narrow interface and
  * must produce identical architectural state and statistics; the
  * scheduler_test suite enforces this.
@@ -48,18 +61,22 @@ namespace synchro
 /** Selects the scheduler backend driving a model. */
 enum class SchedulerKind
 {
-    EventQueue, //!< discrete event queue (reference semantics)
-    FastEdge,   //!< static edge-pattern fast path
-    Compiled,   //!< steady-state loops compiled to blocks
+    EventQueue,      //!< discrete event queue (reference semantics)
+    FastEdge,        //!< static edge-pattern fast path
+    Compiled,        //!< steady-state loops compiled to blocks
+    ParallelColumns, //!< columns threaded between delivery slots
 };
 
-/** Human-readable backend name ("eventq"/"fastedge"/"compiled"). */
+/**
+ * Human-readable backend name
+ * ("eventq"/"fastedge"/"compiled"/"parallel").
+ */
 const char *schedulerName(SchedulerKind kind);
 
 /**
- * Parse a backend name ("eventq" | "fastedge" | "compiled" — the
- * exact strings schedulerName() emits). Returns false and leaves
- * @p out untouched on anything else.
+ * Parse a backend name ("eventq" | "fastedge" | "compiled" |
+ * "parallel" — the exact strings schedulerName() emits). Returns
+ * false and leaves @p out untouched on anything else.
  */
 bool parseSchedulerKind(const std::string &name, SchedulerKind &out);
 
@@ -190,6 +207,35 @@ class SchedModel
         (void)max_slots;
         return 0;
     }
+
+    /**
+     * ParallelColumns hook: true when the model's domains interact
+     * ONLY through refPhase() — domainEdge(d) and domainRefAdvance(d)
+     * touch domain-d-private state exclusively, so inside a window
+     * where every refPhase() is provably a no-op (commQuiet),
+     * different domains may execute concurrently on different
+     * threads. The chip satisfies this: issue slots touch only the
+     * column's own tiles and comm buffers, and the bus fabric — the
+     * one piece of shared state — moves nothing while every DOU is
+     * comm-free. Models that do not make this guarantee keep the
+     * default and the ParallelColumns backend runs them serially.
+     */
+    virtual bool domainsIndependent() const { return false; }
+
+    /**
+     * ParallelColumns hook: advance domain @p d's share of @p n
+     * reference phases inside a comm-quiet window proven by
+     * commQuiet() — for the chip, fast-forward the column's DOU
+     * through n comm-free cycles, crediting statistics exactly as n
+     * refPhase() calls would for that column. Called concurrently
+     * for different domains; must touch only domain-@p d state.
+     */
+    virtual void
+    domainRefAdvance(unsigned d, Tick n)
+    {
+        (void)d;
+        (void)n;
+    }
 };
 
 /** Why Scheduler::run() returned. */
@@ -220,8 +266,43 @@ class Scheduler
     const char *name() const { return schedulerName(kind()); }
 };
 
-/** Construct a scheduler backend. */
-std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+/**
+ * Construct a scheduler backend. @p team_threads only matters for
+ * ParallelColumns: 0 picks an automatic team size (hardware
+ * concurrency clamped to the domain count, degrading to serial when
+ * the calling thread already belongs to a simulation worker pool —
+ * see inWorkerPool()), 1 forces serial execution, and larger values
+ * request that many team members (clamped to the domain count at
+ * run time). Other kinds ignore it.
+ */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         unsigned team_threads = 0);
+
+/**
+ * Nested-parallelism policy. SimSession and FleetExecutor workers
+ * mark themselves with a WorkerPoolScope; the automatic
+ * ParallelColumns team size (team_threads == 0) collapses to 1 on a
+ * marked thread so a fleet of parallel-columns chips does not
+ * oversubscribe the machine with pool × team threads. An explicit
+ * team size is always honored (nested pools) — that is how the
+ * fleet × parallel-columns composition tests exercise both layers
+ * at once.
+ */
+bool inWorkerPool();
+
+/** RAII marker: the current thread belongs to a simulation pool. */
+class WorkerPoolScope
+{
+  public:
+    WorkerPoolScope();
+    ~WorkerPoolScope();
+
+    WorkerPoolScope(const WorkerPoolScope &) = delete;
+    WorkerPoolScope &operator=(const WorkerPoolScope &) = delete;
+
+  private:
+    bool prev_;
+};
 
 } // namespace synchro
 

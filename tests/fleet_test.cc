@@ -93,6 +93,75 @@ sumWorkload(uint32_t base_seed)
     return wl;
 }
 
+/**
+ * A three-column variant of sumWorkload on mixed dividers, with the
+ * parallel-columns team size pinned to 2 in the build — so a fleet
+ * serving it on the ParallelColumns backend runs nested pools (fleet
+ * workers outside, column teams inside). The serial backends ignore
+ * the knob, which keeps the same workload usable as the reference.
+ */
+sim::FleetWorkload
+parSumWorkload(uint32_t base_seed)
+{
+    sim::FleetWorkload wl;
+    wl.name = "parsum";
+    wl.tick_limit = 100'000;
+    wl.build = [](SchedulerKind kind) {
+        ChipConfig cfg;
+        cfg.dividers = {1, 2, 3};
+        cfg.tiles_per_column = 1;
+        cfg.scheduler = kind;
+        cfg.parallel_columns = 2;
+        auto chip = std::make_unique<Chip>(cfg);
+        for (unsigned c = 0; c < 3; ++c) {
+            chip->column(c).controller().loadProgram(
+                assemble(strprintf(R"(
+                movpi p0, %u
+                movpi p1, %u
+                movi r0, 0
+                lsetup lc0, e, %u
+                ld.h r1, [p0]+2
+                add r0, r0, r1
+            e:
+                st.h r0, [p1]+2
+                halt
+            )",
+                                   SumInBase, SumOutBase,
+                                   SumInputs)));
+        }
+        return chip;
+    };
+    wl.feed = [base_seed](Chip &chip, uint64_t item) {
+        chip.restart();
+        for (unsigned c = 0; c < 3; ++c) {
+            Tile &tile = chip.column(c).tile(0);
+            tile.clearMem();
+            tile.writeMemHalves(
+                SumInBase, sumInput(base_seed + 31 * c, item));
+        }
+    };
+    wl.read_output = [](Chip &chip) {
+        std::vector<int16_t> sums;
+        for (unsigned c = 0; c < 3; ++c) {
+            auto h =
+                chip.column(c).tile(0).readMemHalves(SumOutBase, 1);
+            sums.push_back(h[0]);
+        }
+        return apps::bytesOfHalves(sums);
+    };
+    wl.golden = [base_seed](uint64_t item) {
+        std::vector<int16_t> sums;
+        for (unsigned c = 0; c < 3; ++c) {
+            int16_t sum = 0;
+            for (int16_t v : sumInput(base_seed + 31 * c, item))
+                sum = int16_t(sum + v);
+            sums.push_back(sum);
+        }
+        return apps::bytesOfHalves(sums);
+    };
+    return wl;
+}
+
 } // namespace
 
 TEST(Fleet, StreamsMatchSoloRunsBitExactly)
@@ -452,6 +521,66 @@ TEST(Fleet, CloneCanRehomeAcrossBackends)
     EXPECT_EQ(int(rm.exit), int(rr.exit));
     EXPECT_EQ(rm.ticks, rr.ticks);
     EXPECT_EQ(wl.read_output(*moved), wl.read_output(*ref));
+}
+
+TEST(Fleet, ParallelColumnsComposeWithFleetPool)
+{
+    // Nested pools: fleet workers outside, per-chip column teams
+    // inside (the workload pins the team to 2, overriding the
+    // degrade-on-pool-workers automatic policy). The composed fleet
+    // must produce exactly what a serial-backend fleet does on the
+    // same streams.
+    auto serve = [](SchedulerKind kind) {
+        sim::FleetConfig fc;
+        fc.workers = 2;
+        fc.scheduler = kind;
+        fc.keep_outputs = true;
+        sim::FleetExecutor fleet(fc);
+        unsigned w = fleet.addWorkload(parSumWorkload(41));
+        for (unsigned s = 0; s < 4; ++s)
+            fleet.admitStream(w, 2, 3 * s);
+        return fleet.drain();
+    };
+
+    sim::FleetReport par = serve(SchedulerKind::ParallelColumns);
+    sim::FleetReport ser = serve(SchedulerKind::FastEdge);
+    EXPECT_TRUE(par.all_verified);
+    EXPECT_TRUE(ser.all_verified);
+    ASSERT_EQ(par.stream_results.size(), ser.stream_results.size());
+    for (size_t i = 0; i < ser.stream_results.size(); ++i) {
+        EXPECT_EQ(par.stream_results[i].outputs,
+                  ser.stream_results[i].outputs)
+            << i;
+        EXPECT_EQ(par.stream_results[i].ticks,
+                  ser.stream_results[i].ticks)
+            << i;
+    }
+    EXPECT_EQ(par.totals.counters, ser.totals.counters);
+    EXPECT_EQ(par.totals.total_ticks, ser.totals.total_ticks);
+}
+
+TEST(Fleet, ParallelCloneRehomesToSerialBitExactly)
+{
+    // A clone of a parallel-columns chip re-homed onto a serial
+    // backend must be bit-identical to a clone that kept the team —
+    // the snapshot carries no backend-specific state.
+    sim::FleetWorkload wl = parSumWorkload(23);
+    auto donor = wl.build(SchedulerKind::ParallelColumns);
+    auto moved = donor->clone(SchedulerKind::FastEdge);
+    EXPECT_EQ(int(moved->schedulerKind()),
+              int(SchedulerKind::FastEdge));
+
+    auto kept = donor->clone();
+    EXPECT_EQ(int(kept->schedulerKind()),
+              int(SchedulerKind::ParallelColumns));
+    wl.feed(*kept, 1);
+    wl.feed(*moved, 1);
+    auto rk = kept->run(wl.tick_limit);
+    auto rm = moved->run(wl.tick_limit);
+    EXPECT_EQ(int(rm.exit), int(rk.exit));
+    EXPECT_EQ(rm.ticks, rk.ticks);
+    EXPECT_EQ(wl.read_output(*moved), wl.read_output(*kept));
+    EXPECT_EQ(allStats(*moved), allStats(*kept));
 }
 
 TEST(Fleet, CloneAfterRunningIsRejected)

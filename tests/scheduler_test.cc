@@ -321,7 +321,8 @@ TEST(SchedulerEquivalence, FastPathSkipsWork)
 
 TEST(SchedulerFactory, NamesAndKinds)
 {
-    const char *names[] = {"eventq", "fastedge", "compiled"};
+    const char *names[] = {"eventq", "fastedge", "compiled",
+                           "parallel"};
     int i = 0;
     for (SchedulerKind kind : AllSchedulerKinds) {
         auto sched = makeScheduler(kind);

@@ -246,6 +246,44 @@ TEST(Verifier, ConflictingSlotAssignmentRejected)
         << rep.errorSummary();
 }
 
+TEST(Verifier, LookaheadHorizonDisagreementRejected)
+{
+    // A single-edge chain has one slot per period, so the schedule's
+    // comm-quiet floor is period-1 — a nonzero horizon the lowering
+    // must export and the verifier must recompute.
+    ChipPlan plan = makePlan({"source", "sink"}, {2, 3},
+                             {ZormSetting{}, ZormSetting{}});
+    auto stages = twoActorStages(100);
+    auto prog = lowerPipeline(stages, plan, 20e6);
+    DagSpec spec = linearDagSpec(stages);
+
+    ASSERT_GT(prog.lookahead_horizon, 0u);
+    EXPECT_EQ(prog.lookahead_horizon, prog.period - 1);
+    VerifyReport base = verifyLowered(spec, plan, prog, 20e6, 1.4);
+    EXPECT_TRUE(base.ok()) << base.render();
+
+    // Declare one phase more lookahead than the slot schedule
+    // supports: a runtime trusting it could free-run a column
+    // through a delivery slot. The verifier must recompute the
+    // floor from the slots themselves and reject the disagreement.
+    prog.lookahead_horizon += 1;
+    VerifyReport rep = verifyLowered(spec, plan, prog, 20e6, 1.4);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_FALSE(rep.checkPassed("slots"));
+    EXPECT_NE(rep.errorSummary().find("lookahead horizon"),
+              std::string::npos)
+        << rep.errorSummary();
+
+    // Declaring no horizon at all is legal (a Note, not an error):
+    // the parallel-columns runtime then relies on its dynamic
+    // comm-quiet probe alone.
+    prog.lookahead_horizon = 0;
+    VerifyReport none = verifyLowered(spec, plan, prog, 20e6, 1.4);
+    EXPECT_TRUE(none.ok()) << none.render();
+    EXPECT_TRUE(none.checkPassed("slots"));
+    EXPECT_NE(none.render().find("no lookahead"), std::string::npos);
+}
+
 TEST(Verifier, OverrunReachableBufferBoundRejected)
 {
     // On the legacy (drop-new) bus, a consumer that computes ~200

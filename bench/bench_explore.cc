@@ -16,10 +16,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "apps/motion_runner.hh"
-#include "apps/pipeline_runner.hh"
-#include "apps/stereo_runner.hh"
-#include "apps/wifi_runner.hh"
+#include "apps/app_registry.hh"
 #include "bench_json.hh"
 #include "mapping/explorer.hh"
 
@@ -97,14 +94,12 @@ main()
         sweeps.push_back({key, scale, std::move(res), secs});
     };
 
-    timed(apps::explorableDdc(apps::DdcPipelineParams{}),
-          "frontier_best_msps", 1e-6);
-    timed(apps::explorableWifi(apps::WifiPipelineParams{}),
-          "frontier_best_kbps", 1e-3);
-    timed(apps::explorableStereo(apps::StereoPipelineParams{}),
-          "frontier_best_kblocks_s", 1e-3);
-    timed(apps::explorableMotion(apps::MotionPipelineParams{}),
-          "frontier_best_kmb_s", 1e-3);
+    const apps::AppRegistry &reg = apps::AppRegistry::instance();
+    timed(reg.at("ddc").explorable(), "frontier_best_msps", 1e-6);
+    timed(reg.at("wifi").explorable(), "frontier_best_kbps", 1e-3);
+    timed(reg.at("stereo").explorable(), "frontier_best_kblocks_s",
+          1e-3);
+    timed(reg.at("motion").explorable(), "frontier_best_kmb_s", 1e-3);
 
     for (const auto &s : sweeps) {
         std::printf("%s  (%.2f s)\n", s.res.report().c_str(),

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "apps/app_registry.hh"
 #include "apps/pipeline_runner.hh"
 #include "apps/wifi_runner.hh"
 #include "bench_json.hh"
@@ -124,8 +125,9 @@ main(int argc, char **argv)
 
     std::printf("building fleet workloads (plan + lower + verifier "
                 "gate, once per app)...\n");
-    std::vector<sim::FleetWorkload> workloads = {fleetDdc(dp),
-                                                 fleetWifi(wp)};
+    const AppRegistry &reg = AppRegistry::instance();
+    std::vector<sim::FleetWorkload> workloads = {
+        reg.at("ddc").fleet(dp), reg.at("wifi").fleet(wp)};
 
     bench::JsonReport report("BENCH_fleet.json");
 

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "apps/app_registry.hh"
 #include "apps/motion_runner.hh"
 #include "apps/pipeline_runner.hh"
 #include "mapping/explorer.hh"
@@ -32,18 +33,22 @@ main()
     opt.rate_factors = {0.8, 1.2};
     opt.divider_steps = 1;
 
+    const apps::AppRegistry &reg = apps::AppRegistry::instance();
+
     {
         apps::DdcPipelineParams p;
         p.samples = 512;
-        auto res = mapping::explorePlans(apps::explorableDdc(p), opt);
+        auto res = mapping::explorePlans(
+            reg.at("ddc").explorable(p), opt);
         std::printf("%s\n", res.report().c_str());
         ok = ok && res.all_bit_exact && res.agreement;
     }
 
     {
-        apps::MotionPipelineParams p;
-        auto res =
-            mapping::explorePlans(apps::explorableMotion(p), opt);
+        auto res = mapping::explorePlans(
+            reg.at("motion").explorable(
+                apps::MotionPipelineParams{}),
+            opt);
         std::printf("%s\n", res.report().c_str());
         ok = ok && res.all_bit_exact && res.agreement;
     }

@@ -12,10 +12,7 @@
 
 #include <cstdio>
 
-#include "apps/motion_runner.hh"
-#include "apps/pipeline_runner.hh"
-#include "apps/stereo_runner.hh"
-#include "apps/wifi_runner.hh"
+#include "apps/app_registry.hh"
 #include "mapping/verifier.hh"
 
 using namespace synchro;
@@ -23,15 +20,12 @@ using namespace synchro;
 int
 main()
 {
-    const mapping::LoweredArtifact artifacts[] = {
-        apps::verifiableDdc({}),
-        apps::verifiableWifi({}),
-        apps::verifiableStereo({}),
-        apps::verifiableMotion({}),
-    };
-
     bool all_ok = true;
-    for (const mapping::LoweredArtifact &art : artifacts) {
+    // Every registered app's committed lowering, at default params.
+    for (const std::string &name :
+         apps::AppRegistry::instance().names()) {
+        const mapping::LoweredArtifact art =
+            apps::AppRegistry::instance().at(name).verifiable();
         const mapping::VerifyReport rep = art.verify();
         all_ok = all_ok && rep.ok();
         std::printf("=== %s (%zu columns, period %u, %s bus) ===\n",

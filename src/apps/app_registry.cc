@@ -1,0 +1,88 @@
+#include "apps/app_registry.hh"
+
+namespace synchro::apps
+{
+
+mapping::ExplorableApp
+AppDescriptor::explorable(const std::any &params) const
+{
+    if (!explorable_hook)
+        fatal("app '%s' has no explorable hook", name.c_str());
+    return explorable_hook(params);
+}
+
+mapping::LoweredArtifact
+AppDescriptor::verifiable(const std::any &params) const
+{
+    if (!verifiable_hook)
+        fatal("app '%s' has no verifiable hook", name.c_str());
+    return verifiable_hook(params);
+}
+
+sim::FleetWorkload
+AppDescriptor::fleet(const std::any &params) const
+{
+    if (!fleet_hook)
+        fatal("app '%s' has no fleet hook", name.c_str());
+    return fleet_hook(params);
+}
+
+power::DvfsAppHooks
+AppDescriptor::dvfs(const std::any &params) const
+{
+    if (!dvfs_hook)
+        fatal("app '%s' has no dvfs hook", name.c_str());
+    return dvfs_hook(params);
+}
+
+std::any
+AppDescriptor::params(const AppTuning &tuning) const
+{
+    if (!make_params)
+        fatal("app '%s' has no params factory", name.c_str());
+    return make_params(tuning);
+}
+
+AppRegistry &
+AppRegistry::instance()
+{
+    // Lazy, centralized registration: no static-init order to get
+    // wrong, nothing for a static-library link to dead-strip.
+    static AppRegistry reg = [] {
+        AppRegistry r;
+        detail::registerDdcApp(r);
+        detail::registerWifiApp(r);
+        detail::registerStereoApp(r);
+        detail::registerMotionApp(r);
+        return r;
+    }();
+    return reg;
+}
+
+void
+AppRegistry::add(AppDescriptor desc)
+{
+    if (desc.name.empty())
+        fatal("AppRegistry::add: descriptor needs a name");
+    apps_[desc.name] = std::move(desc);
+}
+
+const AppDescriptor &
+AppRegistry::at(const std::string &name) const
+{
+    auto it = apps_.find(name);
+    if (it == apps_.end())
+        fatal("AppRegistry: no app named '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+AppRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : apps_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace synchro::apps

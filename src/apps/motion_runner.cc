@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 
+#include "apps/app_registry.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -441,8 +442,8 @@ runMappedMotion(const MotionPipelineParams &p)
     return run;
 }
 
-mapping::ExplorableApp
-explorableMotion(const MotionPipelineParams &p)
+static mapping::ExplorableApp
+explorableMotionImpl(const MotionPipelineParams &p)
 {
     checkParams(p);
     auto cur = std::make_shared<dsp::Image>(W, H);
@@ -499,8 +500,8 @@ explorableMotion(const MotionPipelineParams &p)
     return app;
 }
 
-mapping::LoweredArtifact
-verifiableMotion(const MotionPipelineParams &p)
+static mapping::LoweredArtifact
+verifiableMotionImpl(const MotionPipelineParams &p)
 {
     checkParams(p);
     dsp::Image cur(W, H), ref(W, H);
@@ -521,8 +522,8 @@ verifiableMotion(const MotionPipelineParams &p)
     return art;
 }
 
-sim::FleetWorkload
-fleetMotion(const MotionPipelineParams &p)
+static sim::FleetWorkload
+fleetMotionImpl(const MotionPipelineParams &p)
 {
     checkParams(p);
     auto base_plan = planMotion(p);
@@ -573,6 +574,67 @@ fleetMotion(const MotionPipelineParams &p)
         return bytesOfWords(motionGoldenKeys(cur, ref));
     };
     return wl;
+}
+
+static power::DvfsAppHooks
+dvfsMotionImpl(const MotionPipelineParams &p)
+{
+    power::DvfsAppHooks h;
+    h.name = "motion";
+    h.artifact = verifiableMotionImpl(p);
+    h.workload = fleetMotionImpl(p);
+    h.traffic = sim::TrafficSpec::bursty(p.seed);
+    // One SDF iteration searches one macroblock per search column;
+    // one item is a whole frame's MotionMbs macroblocks.
+    h.iterations_per_item = MotionMbs / p.columns;
+    return h;
+}
+
+void
+detail::registerMotionApp(AppRegistry &reg)
+{
+    AppDescriptor desc;
+    desc.name = "motion";
+    desc.make_params = [](const AppTuning &t) {
+        MotionPipelineParams p;
+        if (t.scheduler)
+            p.scheduler = *t.scheduler;
+        if (t.parallel_team)
+            p.parallel_team = *t.parallel_team;
+        if (t.seed)
+            p.seed = *t.seed;
+        return std::any(p);
+    };
+    desc.explorable_hook = appHook("motion", &explorableMotionImpl);
+    desc.verifiable_hook = appHook("motion", &verifiableMotionImpl);
+    desc.fleet_hook = appHook("motion", &fleetMotionImpl);
+    desc.dvfs_hook = appHook("motion", &dvfsMotionImpl);
+    reg.add(std::move(desc));
+}
+
+// Legacy free functions, reduced to registry wrappers.
+mapping::ExplorableApp
+explorableMotion(const MotionPipelineParams &p)
+{
+    return AppRegistry::instance().at("motion").explorable(p);
+}
+
+mapping::LoweredArtifact
+verifiableMotion(const MotionPipelineParams &p)
+{
+    return AppRegistry::instance().at("motion").verifiable(p);
+}
+
+sim::FleetWorkload
+fleetMotion(const MotionPipelineParams &p)
+{
+    return AppRegistry::instance().at("motion").fleet(p);
+}
+
+power::DvfsAppHooks
+dvfsMotion(const MotionPipelineParams &p)
+{
+    return AppRegistry::instance().at("motion").dvfs(p);
 }
 
 } // namespace synchro::apps

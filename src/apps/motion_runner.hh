@@ -43,6 +43,7 @@
 #include "dsp/motion.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "power/dvfs.hh"
 #include "sim/fleet.hh"
 
 namespace synchro::apps
@@ -160,6 +161,12 @@ mapping::DagSpec motionDag(const MotionPipelineParams &p,
  */
 MappedMotionRun runMappedMotion(const MotionPipelineParams &p);
 
+/*
+ * The capability hooks below are legacy wrappers: the estimator
+ * registers once with apps::AppRegistry (app_registry.hh) and these
+ * forward to AppRegistry::instance().at("motion")'s views.
+ */
+
 /**
  * Package the pipeline for mapping::explorePlans — the plan-variant
  * hook: lowers, budgets, and golden-verifies an arbitrary candidate
@@ -184,6 +191,13 @@ verifiableMotion(const MotionPipelineParams &p);
  * search-key words as bytes. fatal() if no feasible mapping exists.
  */
 sim::FleetWorkload fleetMotion(const MotionPipelineParams &p);
+
+/**
+ * Package the estimator for the online DVFS governor (power/dvfs.hh):
+ * the verifier-gated artifact, the fleet hooks, the canonical bursty
+ * traffic shape, and the item <-> iteration exchange rate.
+ */
+power::DvfsAppHooks dvfsMotion(const MotionPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "apps/app_registry.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "dsp/cic.hh"
@@ -439,8 +440,8 @@ runMappedDdc(const DdcPipelineParams &p)
     return run;
 }
 
-mapping::ExplorableApp
-explorableDdc(const DdcPipelineParams &p)
+static mapping::ExplorableApp
+explorableDdcImpl(const DdcPipelineParams &p)
 {
     auto x = std::make_shared<std::vector<int16_t>>(ddcInput(p));
     auto golden =
@@ -473,8 +474,8 @@ explorableDdc(const DdcPipelineParams &p)
     return app;
 }
 
-mapping::LoweredArtifact
-verifiableDdc(const DdcPipelineParams &p)
+static mapping::LoweredArtifact
+verifiableDdcImpl(const DdcPipelineParams &p)
 {
     std::vector<int16_t> x = ddcInput(p);
     auto plan = planDdc(p);
@@ -494,8 +495,8 @@ verifiableDdc(const DdcPipelineParams &p)
     return art;
 }
 
-sim::FleetWorkload
-fleetDdc(const DdcPipelineParams &p)
+static sim::FleetWorkload
+fleetDdcImpl(const DdcPipelineParams &p)
 {
     auto base_plan = planDdc(p);
     if (!base_plan)
@@ -537,6 +538,68 @@ fleetDdc(const DdcPipelineParams &p)
         return bytesOfHalves(ddcGolden(q, ddcInput(q)));
     };
     return wl;
+}
+
+static power::DvfsAppHooks
+dvfsDdcImpl(const DdcPipelineParams &p)
+{
+    power::DvfsAppHooks h;
+    h.name = "ddc";
+    h.artifact = verifiableDdcImpl(p);
+    h.workload = fleetDdcImpl(p);
+    h.traffic = sim::TrafficSpec::bursty(p.seed);
+    // One work item = one p.samples-long channel block; the lowering
+    // paces one SDF iteration per Decim input samples.
+    h.iterations_per_item = p.samples / Decim;
+    return h;
+}
+
+void
+detail::registerDdcApp(AppRegistry &reg)
+{
+    AppDescriptor desc;
+    desc.name = "ddc";
+    desc.make_params = [](const AppTuning &t) {
+        DdcPipelineParams p;
+        if (t.scheduler)
+            p.scheduler = *t.scheduler;
+        if (t.parallel_team)
+            p.parallel_team = *t.parallel_team;
+        if (t.seed)
+            p.seed = *t.seed;
+        return std::any(p);
+    };
+    desc.explorable_hook = appHook("ddc", &explorableDdcImpl);
+    desc.verifiable_hook = appHook("ddc", &verifiableDdcImpl);
+    desc.fleet_hook = appHook("ddc", &fleetDdcImpl);
+    desc.dvfs_hook = appHook("ddc", &dvfsDdcImpl);
+    reg.add(std::move(desc));
+}
+
+// Legacy free functions, reduced to registry wrappers.
+
+mapping::ExplorableApp
+explorableDdc(const DdcPipelineParams &p)
+{
+    return AppRegistry::instance().at("ddc").explorable(p);
+}
+
+mapping::LoweredArtifact
+verifiableDdc(const DdcPipelineParams &p)
+{
+    return AppRegistry::instance().at("ddc").verifiable(p);
+}
+
+sim::FleetWorkload
+fleetDdc(const DdcPipelineParams &p)
+{
+    return AppRegistry::instance().at("ddc").fleet(p);
+}
+
+power::DvfsAppHooks
+dvfsDdc(const DdcPipelineParams &p)
+{
+    return AppRegistry::instance().at("ddc").dvfs(p);
 }
 
 } // namespace synchro::apps

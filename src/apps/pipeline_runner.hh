@@ -30,6 +30,7 @@
 #include "apps/app_harness.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "power/dvfs.hh"
 #include "sim/fleet.hh"
 
 namespace synchro::apps
@@ -109,6 +110,12 @@ std::vector<mapping::PipelineStage> ddcStages(
  */
 MappedDdcRun runMappedDdc(const DdcPipelineParams &p);
 
+/*
+ * The capability hooks below are legacy wrappers: the receiver
+ * registers once with apps::AppRegistry (app_registry.hh) and these
+ * forward to AppRegistry::instance().at("ddc")'s views.
+ */
+
 /**
  * Package the receiver for mapping::explorePlans — the plan-variant
  * hook: lowers, budgets, and golden-verifies an arbitrary candidate
@@ -132,6 +139,13 @@ mapping::LoweredArtifact verifiableDdc(const DdcPipelineParams &p);
  * fatal() if no feasible mapping exists.
  */
 sim::FleetWorkload fleetDdc(const DdcPipelineParams &p);
+
+/**
+ * Package the receiver for the online DVFS governor (power/dvfs.hh):
+ * the verifier-gated artifact, the fleet hooks, the canonical bursty
+ * traffic shape, and the item <-> iteration exchange rate.
+ */
+power::DvfsAppHooks dvfsDdc(const DdcPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "apps/app_registry.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "dsp/stereo.hh"
@@ -502,8 +503,8 @@ runMappedStereo(const StereoPipelineParams &p)
     return run;
 }
 
-mapping::ExplorableApp
-explorableStereo(const StereoPipelineParams &p)
+static mapping::ExplorableApp
+explorableStereoImpl(const StereoPipelineParams &p)
 {
     checkParams(p);
     auto left = std::make_shared<dsp::Image>(W, H);
@@ -539,8 +540,8 @@ explorableStereo(const StereoPipelineParams &p)
     return app;
 }
 
-mapping::LoweredArtifact
-verifiableStereo(const StereoPipelineParams &p)
+static mapping::LoweredArtifact
+verifiableStereoImpl(const StereoPipelineParams &p)
 {
     checkParams(p);
     dsp::Image left(W, H), right(W, H);
@@ -561,8 +562,8 @@ verifiableStereo(const StereoPipelineParams &p)
     return art;
 }
 
-sim::FleetWorkload
-fleetStereo(const StereoPipelineParams &p)
+static sim::FleetWorkload
+fleetStereoImpl(const StereoPipelineParams &p)
 {
     checkParams(p);
     auto base_plan = planStereo(p);
@@ -613,6 +614,67 @@ fleetStereo(const StereoPipelineParams &p)
         return dsp::stereoBlockDisparities(left, right, B, D);
     };
     return wl;
+}
+
+static power::DvfsAppHooks
+dvfsStereoImpl(const StereoPipelineParams &p)
+{
+    power::DvfsAppHooks h;
+    h.name = "stereo";
+    h.artifact = verifiableStereoImpl(p);
+    h.workload = fleetStereoImpl(p);
+    h.traffic = sim::TrafficSpec::bursty(p.seed);
+    // One SDF iteration correlates one whole frame pair, and one
+    // item is one frame pair.
+    h.iterations_per_item = 1;
+    return h;
+}
+
+void
+detail::registerStereoApp(AppRegistry &reg)
+{
+    AppDescriptor desc;
+    desc.name = "stereo";
+    desc.make_params = [](const AppTuning &t) {
+        StereoPipelineParams p;
+        if (t.scheduler)
+            p.scheduler = *t.scheduler;
+        if (t.parallel_team)
+            p.parallel_team = *t.parallel_team;
+        if (t.seed)
+            p.seed = *t.seed;
+        return std::any(p);
+    };
+    desc.explorable_hook = appHook("stereo", &explorableStereoImpl);
+    desc.verifiable_hook = appHook("stereo", &verifiableStereoImpl);
+    desc.fleet_hook = appHook("stereo", &fleetStereoImpl);
+    desc.dvfs_hook = appHook("stereo", &dvfsStereoImpl);
+    reg.add(std::move(desc));
+}
+
+// Legacy free functions, reduced to registry wrappers.
+mapping::ExplorableApp
+explorableStereo(const StereoPipelineParams &p)
+{
+    return AppRegistry::instance().at("stereo").explorable(p);
+}
+
+mapping::LoweredArtifact
+verifiableStereo(const StereoPipelineParams &p)
+{
+    return AppRegistry::instance().at("stereo").verifiable(p);
+}
+
+sim::FleetWorkload
+fleetStereo(const StereoPipelineParams &p)
+{
+    return AppRegistry::instance().at("stereo").fleet(p);
+}
+
+power::DvfsAppHooks
+dvfsStereo(const StereoPipelineParams &p)
+{
+    return AppRegistry::instance().at("stereo").dvfs(p);
 }
 
 } // namespace synchro::apps

@@ -52,6 +52,7 @@
 #include "dsp/image.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "power/dvfs.hh"
 #include "sim/fleet.hh"
 
 namespace synchro::apps
@@ -149,6 +150,12 @@ mapping::DagSpec stereoDag(const StereoPipelineParams &p,
  */
 MappedStereoRun runMappedStereo(const StereoPipelineParams &p);
 
+/*
+ * The capability hooks below are legacy wrappers: the pipeline
+ * registers once with apps::AppRegistry (app_registry.hh) and these
+ * forward to AppRegistry::instance().at("stereo")'s views.
+ */
+
 /**
  * Package the pipeline for mapping::explorePlans — the plan-variant
  * hook: lowers, budgets, and golden-verifies an arbitrary candidate
@@ -172,6 +179,13 @@ verifiableStereo(const StereoPipelineParams &p);
  * bytes. fatal() if no feasible mapping exists.
  */
 sim::FleetWorkload fleetStereo(const StereoPipelineParams &p);
+
+/**
+ * Package the pipeline for the online DVFS governor (power/dvfs.hh):
+ * the verifier-gated artifact, the fleet hooks, the canonical bursty
+ * traffic shape, and the item <-> iteration exchange rate.
+ */
+power::DvfsAppHooks dvfsStereo(const StereoPipelineParams &p);
 
 } // namespace synchro::apps
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "apps/app_registry.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "dsp/fft.hh"
@@ -594,8 +595,8 @@ runMappedWifi(const WifiPipelineParams &p)
     return run;
 }
 
-mapping::ExplorableApp
-explorableWifi(const WifiPipelineParams &p)
+static mapping::ExplorableApp
+explorableWifiImpl(const WifiPipelineParams &p)
 {
     checkParams(p);
     auto bits =
@@ -632,8 +633,8 @@ explorableWifi(const WifiPipelineParams &p)
     return app;
 }
 
-mapping::LoweredArtifact
-verifiableWifi(const WifiPipelineParams &p)
+static mapping::LoweredArtifact
+verifiableWifiImpl(const WifiPipelineParams &p)
 {
     checkParams(p);
     std::vector<uint8_t> bits = wifiPayload(p);
@@ -654,8 +655,8 @@ verifiableWifi(const WifiPipelineParams &p)
     return art;
 }
 
-sim::FleetWorkload
-fleetWifi(const WifiPipelineParams &p)
+static sim::FleetWorkload
+fleetWifiImpl(const WifiPipelineParams &p)
 {
     checkParams(p);
     auto base_plan = planWifi(p);
@@ -697,6 +698,67 @@ fleetWifi(const WifiPipelineParams &p)
         return wifiGolden(q, wifiCarriers(q, wifiPayload(q)));
     };
     return wl;
+}
+
+static power::DvfsAppHooks
+dvfsWifiImpl(const WifiPipelineParams &p)
+{
+    power::DvfsAppHooks h;
+    h.name = "wifi";
+    h.artifact = verifiableWifiImpl(p);
+    h.workload = fleetWifiImpl(p);
+    h.traffic = sim::TrafficSpec::bursty(p.seed);
+    // One SDF iteration decodes two frames; one item is p.symbols
+    // frames.
+    h.iterations_per_item = p.symbols / 2;
+    return h;
+}
+
+void
+detail::registerWifiApp(AppRegistry &reg)
+{
+    AppDescriptor desc;
+    desc.name = "wifi";
+    desc.make_params = [](const AppTuning &t) {
+        WifiPipelineParams p;
+        if (t.scheduler)
+            p.scheduler = *t.scheduler;
+        if (t.parallel_team)
+            p.parallel_team = *t.parallel_team;
+        if (t.seed)
+            p.seed = *t.seed;
+        return std::any(p);
+    };
+    desc.explorable_hook = appHook("wifi", &explorableWifiImpl);
+    desc.verifiable_hook = appHook("wifi", &verifiableWifiImpl);
+    desc.fleet_hook = appHook("wifi", &fleetWifiImpl);
+    desc.dvfs_hook = appHook("wifi", &dvfsWifiImpl);
+    reg.add(std::move(desc));
+}
+
+// Legacy free functions, reduced to registry wrappers.
+mapping::ExplorableApp
+explorableWifi(const WifiPipelineParams &p)
+{
+    return AppRegistry::instance().at("wifi").explorable(p);
+}
+
+mapping::LoweredArtifact
+verifiableWifi(const WifiPipelineParams &p)
+{
+    return AppRegistry::instance().at("wifi").verifiable(p);
+}
+
+sim::FleetWorkload
+fleetWifi(const WifiPipelineParams &p)
+{
+    return AppRegistry::instance().at("wifi").fleet(p);
+}
+
+power::DvfsAppHooks
+dvfsWifi(const WifiPipelineParams &p)
+{
+    return AppRegistry::instance().at("wifi").dvfs(p);
 }
 
 } // namespace synchro::apps

@@ -51,6 +51,7 @@
 #include "common/fixed.hh"
 #include "mapping/explorer.hh"
 #include "mapping/verifier.hh"
+#include "power/dvfs.hh"
 #include "sim/fleet.hh"
 
 namespace synchro::apps
@@ -161,6 +162,12 @@ mapping::DagSpec wifiDag(const WifiPipelineParams &p,
  */
 MappedWifiRun runMappedWifi(const WifiPipelineParams &p);
 
+/*
+ * The capability hooks below are legacy wrappers: the receiver
+ * registers once with apps::AppRegistry (app_registry.hh) and these
+ * forward to AppRegistry::instance().at("wifi")'s views.
+ */
+
 /**
  * Package the receiver for mapping::explorePlans — the plan-variant
  * hook: lowers, budgets, and golden-verifies an arbitrary candidate
@@ -183,6 +190,13 @@ mapping::LoweredArtifact verifiableWifi(const WifiPipelineParams &p);
  * bit bytes. fatal() if no feasible mapping exists.
  */
 sim::FleetWorkload fleetWifi(const WifiPipelineParams &p);
+
+/**
+ * Package the receiver for the online DVFS governor (power/dvfs.hh):
+ * the verifier-gated artifact, the fleet hooks, the canonical bursty
+ * traffic shape, and the item <-> iteration exchange rate.
+ */
+power::DvfsAppHooks dvfsWifi(const WifiPipelineParams &p);
 
 } // namespace synchro::apps
 

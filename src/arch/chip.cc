@@ -184,6 +184,30 @@ Chip::restart()
 }
 
 bool
+Chip::atReconfigPoint() const
+{
+    return sched_->curTick() == 0 || allHalted();
+}
+
+void
+Chip::retune(const std::vector<unsigned> &dividers)
+{
+    if (dividers.size() != columns_.size()) {
+        fatal("Chip::retune: %zu dividers for %zu columns",
+              dividers.size(), columns_.size());
+    }
+    if (!atReconfigPoint()) {
+        fatal("Chip::retune at tick %llu: divider changes are only "
+              "safe at a reconfiguration point (tick 0 or a fully "
+              "drained chip)",
+              (unsigned long long)sched_->curTick());
+    }
+    for (unsigned c = 0; c < columns_.size(); ++c)
+        columns_[c]->retuneClock(dividers[c]);
+    cfg_.dividers = dividers;
+}
+
+bool
 Chip::allHalted() const
 {
     for (const auto &col : columns_) {

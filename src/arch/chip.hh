@@ -161,6 +161,28 @@ class Chip : private SchedModel
     void restart();
 
     /**
+     * True at the statically-safe reconfiguration points where
+     * per-column clock retuning is allowed: tick 0 (a fresh or
+     * restart()ed chip, where every domain re-arms phase-aligned
+     * from the new dividers) or a drained chip (all columns halted
+     * — the strongest comm-quiet window: no pending edges matter,
+     * no word is in flight, and the next restart() realigns the
+     * edge grid from tick 0).
+     */
+    bool atReconfigPoint() const;
+
+    /**
+     * Retune every column's clock divider — the DVFS governor's
+     * apply primitive. Only legal at a reconfiguration point
+     * (atReconfigPoint(); fatal() otherwise): splicing a new
+     * divider vector mid-flight would break the phase-0 edge
+     * alignment the static verifier's safety proof assumes. The
+     * chip's config is updated too, so clone() of a retuned
+     * template reproduces the retuned clocks.
+     */
+    void retune(const std::vector<unsigned> &dividers);
+
+    /**
      * Visit every statistic of the chip under a dotted hierarchical
      * name: "bus.<stat>", "colC.ctrl.<stat>", "colC.dou.<stat>",
      * "colC.tileT.<stat>". Names are visited in a deterministic

@@ -45,6 +45,21 @@ class Column
     const ClockDomain &clock() const { return clock_; }
 
     /**
+     * Replace this column's clock divider (same reference, same
+     * phase) — the DVFS governor's per-column retune primitive.
+     * Callers must hold the chip at a statically-safe
+     * reconfiguration point (arch::Chip::retune() enforces this);
+     * the domain's future edges derive from the new divider the
+     * next time a scheduler arms them.
+     */
+    void
+    retuneClock(unsigned divider)
+    {
+        clock_ =
+            ClockDomain(clock_.refFreqHz(), divider, clock_.phase());
+    }
+
+    /**
      * Enable/disable a tile at startup. Disabled (idle) tiles are
      * supply-gated: they execute nothing and contribute no power
      * (paper Sections 2.2 and 4.4).

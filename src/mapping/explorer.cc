@@ -13,15 +13,6 @@
 namespace synchro::mapping
 {
 
-namespace
-{
-
-/**
- * Re-derive the divider-dependent fields of one placement for a new
- * divider: column frequency, quantized supply level, and the ZORM
- * setting closing the gap down to the (possibly rescaled) demand.
- * False when the combination is infeasible.
- */
 bool
 refreshPlacement(ActorPlacement &p, double ref_mhz, unsigned divider,
                  const power::SupplyLevels &levels)
@@ -43,6 +34,9 @@ refreshPlacement(ActorPlacement &p, double ref_mhz, unsigned divider,
     }
     return true;
 }
+
+namespace
+{
 
 std::unique_ptr<arch::Chip>
 buildChip(const ChipPlan &plan, const PipelineProgram &prog,

@@ -180,6 +180,21 @@ struct ExplorationResult
 };
 
 /**
+ * Re-derive the divider-dependent fields of one placement for a new
+ * divider: column frequency, quantized supply level, and the ZORM
+ * setting closing the gap down to the (possibly rescaled)
+ * f_needed_mhz. False when the combination is infeasible (divided
+ * clock below demand, no supply level, no exact rate match).
+ * Shared by the explorer's variant enumeration and the DVFS
+ * governor's safe-transition table (power/dvfs.hh), so both derive
+ * candidate operating points by exactly the same rules the
+ * AutoMapper would have used.
+ */
+bool refreshPlacement(ActorPlacement &p, double ref_mhz,
+                      unsigned divider,
+                      const power::SupplyLevels &levels);
+
+/**
  * Enumerate candidate plans around @p baseline: the baseline itself
  * (always index 0), rate-scaled re-derivations, and single-placement
  * divider decrements. Every returned variant is feasible by

@@ -21,10 +21,11 @@ collectActivity(const arch::Chip &chip)
                 ++act.active_tiles;
         }
         act.compute_slots = st.value("issued");
-        act.issue_slots = st.value("issued") +
-                          st.value("branchStalls") +
-                          st.value("commStalls") +
-                          st.value("zormNops");
+        act.branch_stalls = st.value("branchStalls");
+        act.comm_stall_slots = st.value("commStalls");
+        act.zorm_nops = st.value("zormNops");
+        act.issue_slots = act.compute_slots + act.branch_stalls +
+                          act.comm_stall_slots + act.zorm_nops;
         act.utilization =
             act.issue_slots
                 ? double(act.compute_slots) / double(act.issue_slots)
@@ -36,16 +37,12 @@ collectActivity(const arch::Chip &chip)
     return report;
 }
 
-namespace
-{
-
-/** Bus power of the measured run at the given supply. */
 double
-measuredBusMw(const arch::Chip &chip, const ActivityReport &act,
+measuredBusMw(const ActivityReport &act, unsigned columns,
               double seconds, double v,
               const SystemPowerModel &model)
 {
-    unsigned nodes = chip.numColumns() * 4 + 1;
+    unsigned nodes = columns * 4 + 1;
     double span = act.bus_transfers
                       ? act.meanSpanFraction(nodes)
                       : 0.0;
@@ -54,6 +51,9 @@ measuredBusMw(const arch::Chip &chip, const ActivityReport &act,
                                     v > 0 ? v : 1.0,
                                     std::max(span, 1e-9));
 }
+
+namespace
+{
 
 /** Per-column loads of a measured run (f from slots/sample). */
 std::vector<DomainLoad>
@@ -120,9 +120,66 @@ priceSimulationComparison(const arch::Chip &chip, uint64_t samples,
     // voltage (the buffers adapt tile voltages to the bus), with the
     // measured mean segment span. Identical in both columns, as in
     // the paper: the bus always runs at the top supply.
-    double bus = measuredBusMw(chip, act, seconds, cmp.vmax, model);
+    double bus = measuredBusMw(act, chip.numColumns(), seconds,
+                               cmp.vmax, model);
     cmp.multi_v.bus_mw = bus;
     cmp.single_v.bus_mw = bus;
+    return cmp;
+}
+
+MeasuredComparison
+priceActivityEpochs(const std::vector<ActivityEpoch> &epochs,
+                    unsigned columns, const SupplyLevels &levels,
+                    const SystemPowerModel &model)
+{
+    double total_seconds = 0;
+    for (const ActivityEpoch &ep : epochs)
+        total_seconds += ep.seconds;
+    if (epochs.empty() || total_seconds <= 0)
+        fatal("priceActivityEpochs: no timed epochs to price");
+
+    // Per-epoch loads first: the global vmax (the single supply a
+    // single-V chip would need for the whole run) is only known once
+    // every epoch's own operating point has been derived.
+    std::vector<std::vector<DomainLoad>> epoch_loads;
+    MeasuredComparison cmp;
+    for (const ActivityEpoch &ep : epochs) {
+        epoch_loads.push_back(
+            measuredLoads(ep.activity, ep.seconds, levels));
+        for (const DomainLoad &load : epoch_loads.back())
+            cmp.vmax = std::max(cmp.vmax, load.v);
+    }
+
+    // Time-weighted sum: each epoch priced at its own V/f point
+    // (multi-V) and re-priced at the global vmax (single-V), both
+    // weighted by the share of wall time the epoch covers.
+    for (size_t e = 0; e < epochs.size(); ++e) {
+        double w = epochs[e].seconds / total_seconds;
+        PowerBreakdown multi, single;
+        for (const DomainLoad &load : epoch_loads[e]) {
+            PowerBreakdown p = model.loadPower(load);
+            multi.tile_mw += p.tile_mw;
+            multi.leak_mw += p.leak_mw;
+            PowerBreakdown s =
+                model.loadPower(model.atVoltage(load, cmp.vmax));
+            single.tile_mw += s.tile_mw;
+            single.leak_mw += s.leak_mw;
+        }
+        double bus = measuredBusMw(epochs[e].activity, columns,
+                                   epochs[e].seconds, cmp.vmax,
+                                   model);
+        cmp.multi_v.tile_mw += w * multi.tile_mw;
+        cmp.multi_v.leak_mw += w * multi.leak_mw;
+        cmp.multi_v.bus_mw += w * bus;
+        cmp.single_v.tile_mw += w * single.tile_mw;
+        cmp.single_v.leak_mw += w * single.leak_mw;
+        cmp.single_v.bus_mw += w * bus;
+
+        // Keep the last epoch's loads as the representative set (the
+        // callers that inspect loads want "where did the run end up").
+        if (e + 1 == epochs.size())
+            cmp.loads = epoch_loads[e];
+    }
     return cmp;
 }
 

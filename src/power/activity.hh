@@ -34,6 +34,14 @@ struct ColumnActivity
     uint64_t issue_slots = 0;   //!< compute + stalls + zorm nops
     uint64_t compute_slots = 0; //!< instructions actually issued
     double utilization = 0;     //!< compute / issue
+
+    // The issue-slot split the DVFS governor's feedback loop reads:
+    // branch stalls and compute are rate-invariant work per item,
+    // comm stalls track cross-column coupling, and zorm nops are the
+    // operating point's own padding (what retuning reclaims).
+    uint64_t branch_stalls = 0;
+    uint64_t comm_stall_slots = 0;
+    uint64_t zorm_nops = 0;
 };
 
 /** Activity extracted from a finished simulation. */
@@ -101,6 +109,43 @@ struct MeasuredComparison
 MeasuredComparison priceSimulationComparison(
     const arch::Chip &chip, uint64_t samples, double sample_rate_hz,
     const SupplyLevels &levels, const SystemPowerModel &model);
+
+/**
+ * One stretch of a run executed at a single operating point: the
+ * activity *deltas* accumulated between two reconfiguration points,
+ * and the wall-clock time the stretch represents.
+ */
+struct ActivityEpoch
+{
+    ActivityReport activity;
+    double seconds = 0;
+};
+
+/**
+ * Price a run whose operating point changed mid-stream — e.g. a
+ * DVFS-governed run — by pricing each inter-reconfiguration epoch at
+ * its *own* derived V/f point and time-weighting the breakdowns.
+ *
+ * Aggregating the whole run into one priceSimulationComparison()
+ * call silently attributes every epoch's activity to one averaged
+ * frequency (and the final voltage), which mis-prices any run with a
+ * mid-stream rate step; this is the epoch-faithful replacement. The
+ * single-V baseline re-prices every epoch's loads at the *global*
+ * maximum supply across all epochs, matching Table 4's "one supply
+ * for the whole run" semantics.
+ */
+MeasuredComparison priceActivityEpochs(
+    const std::vector<ActivityEpoch> &epochs, unsigned columns,
+    const SupplyLevels &levels, const SystemPowerModel &model);
+
+/**
+ * Per-epoch bus power helper shared with priceActivityEpochs: the
+ * measured bus power of one activity report over @p seconds at
+ * supply @p v.
+ */
+double measuredBusMw(const ActivityReport &act, unsigned columns,
+                     double seconds, double v,
+                     const SystemPowerModel &model);
 
 } // namespace synchro::power
 

@@ -38,6 +38,7 @@ class ClockDomain
 
     unsigned divider() const { return divider_; }
     Tick phase() const { return phase_; }
+    double refFreqHz() const { return ref_freq_hz_; }
     double frequencyHz() const { return ref_freq_hz_ / divider_; }
     double frequencyMHz() const { return frequencyHz() / 1e6; }
 

@@ -1,0 +1,86 @@
+#include "sim/traffic.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace synchro::sim
+{
+
+TrafficSpec
+TrafficSpec::bursty(uint32_t seed, unsigned items_per_phase)
+{
+    TrafficSpec spec;
+    spec.seed = seed;
+    spec.jitter = 0.1;
+    spec.phases = {
+        {1.0, items_per_phase, 2.0},  // full-rate burst, then a gap
+        {0.25, items_per_phase, 0.0}, // low-rate trickle
+        {0.5, items_per_phase, 3.0},  // mid-rate step, longer gap
+        {1.0, items_per_phase, 0.0},  // full-rate burst again
+    };
+    return spec;
+}
+
+TrafficSpec
+TrafficSpec::steady(uint32_t seed, double rate_scale, unsigned items,
+                    double jitter)
+{
+    TrafficSpec spec;
+    spec.seed = seed;
+    spec.jitter = jitter;
+    spec.phases = {{rate_scale, items, 0.0}};
+    return spec;
+}
+
+TrafficScenario::TrafficScenario(const TrafficSpec &spec)
+    : spec_(spec)
+{
+    if (spec.phases.empty())
+        fatal("traffic scenario needs at least one phase");
+    if (spec.jitter < 0 || spec.jitter >= 1.0)
+        fatal("traffic jitter %.2f must be in [0, 1)", spec.jitter);
+
+    Rng rng(uint64_t(spec.seed) * 0x9e3779b97f4a7c15ULL + 1);
+    uint64_t item = 0;
+    for (const TrafficPhase &ph : spec.phases) {
+        if (ph.rate_scale <= 0 || ph.rate_scale > 1.0) {
+            fatal("traffic phase rate scale %.3f must be in (0, 1]",
+                  ph.rate_scale);
+        }
+        for (unsigned i = 0; i < ph.items; ++i) {
+            TrafficEvent ev;
+            ev.item = item++;
+            ev.rate_scale = ph.rate_scale;
+            double wobble =
+                spec.jitter * (2.0 * rng.uniform() - 1.0);
+            ev.windows = (1.0 / ph.rate_scale) * (1.0 + wobble);
+            total_windows_ += ev.windows;
+            events_.push_back(ev);
+        }
+        if (ph.idle_windows_after > 0) {
+            TrafficEvent gap;
+            gap.idle = true;
+            gap.rate_scale = 0;
+            gap.windows = ph.idle_windows_after;
+            total_windows_ += gap.windows;
+            events_.push_back(gap);
+        }
+    }
+    work_items_ = item;
+}
+
+std::string
+TrafficScenario::describe() const
+{
+    std::string out = strprintf("%llu items / %.1f windows:",
+                                (unsigned long long)work_items_,
+                                total_windows_);
+    for (const TrafficPhase &ph : spec_.phases) {
+        out += strprintf(" x%.2f*%u", ph.rate_scale, ph.items);
+        if (ph.idle_windows_after > 0)
+            out += strprintf(" idle%.1f", ph.idle_windows_after);
+    }
+    return out;
+}
+
+} // namespace synchro::sim

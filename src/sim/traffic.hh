@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bursty / variable-rate traffic scenarios for the online DVFS
+ * governor (ROADMAP item 4).
+ *
+ * The paper's plans are static: every mapping targets one arrival
+ * rate, and any slack under a slower real-world stream is burned as
+ * active idle at the planned clock. A TrafficSpec describes the
+ * stream shapes that expose that waste — rate steps (phases at a
+ * fraction of the mapped rate), idle bursts (gaps with no arrivals
+ * at all), and jittered arrivals (per-item window wobble) — and
+ * TrafficScenario materializes it into a deterministic, seeded event
+ * list that is a pure function of the spec.
+ *
+ * Everything is expressed app-agnostically in units of the *nominal
+ * item window* — the wall-clock time one work item represents at the
+ * mapped rate (iterations_per_item / iterations_per_sec). An event
+ * with rate_scale 0.25 arrives with a window four nominal windows
+ * long; an idle event contributes `windows` nominal windows of wall
+ * time with no work at all. Consumers (the governed runners, the
+ * fleet adapter, bench_dvfs) multiply by their own nominal window to
+ * get seconds, so one scenario drives all four mapped apps.
+ */
+
+#ifndef SYNC_SIM_TRAFFIC_HH
+#define SYNC_SIM_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synchro::sim
+{
+
+/** One constant-rate stretch of a traffic scenario. */
+struct TrafficPhase
+{
+    /** Arrival rate as a fraction of the mapped rate (0 < s <= 1). */
+    double rate_scale = 1.0;
+
+    /** Work items arriving during the phase. */
+    unsigned items = 0;
+
+    /** Idle burst after the phase, in nominal item windows. */
+    double idle_windows_after = 0;
+};
+
+/** A seeded, deterministic traffic shape. */
+struct TrafficSpec
+{
+    uint32_t seed = 1;
+
+    /** Max fractional per-item window jitter (uniform in ±jitter). */
+    double jitter = 0.1;
+
+    std::vector<TrafficPhase> phases;
+
+    /**
+     * The canonical bursty shape the DVFS benches and tests use:
+     * a full-rate burst, an idle gap, a low-rate trickle, a
+     * mid-rate step, and a final full-rate burst — every governor
+     * stimulus (step up, step down, idle, jitter) in one stream.
+     */
+    static TrafficSpec bursty(uint32_t seed,
+                              unsigned items_per_phase = 4);
+
+    /** A single constant-rate phase (no idle, for steady tests). */
+    static TrafficSpec steady(uint32_t seed, double rate_scale,
+                              unsigned items, double jitter = 0.0);
+};
+
+/** One arrival (or idle gap) of a materialized scenario. */
+struct TrafficEvent
+{
+    /** Work-item index (feeds sim::fleetItemSeed); 0 when idle. */
+    uint64_t item = 0;
+
+    /** An idle burst: no work, just `windows` of wall time. */
+    bool idle = false;
+
+    /** Declared arrival-rate fraction of the phase (0 when idle). */
+    double rate_scale = 1.0;
+
+    /**
+     * Wall duration until the next event, in nominal item windows:
+     * 1/rate_scale jittered for an arrival, the configured gap for
+     * an idle burst.
+     */
+    double windows = 1.0;
+};
+
+/**
+ * A TrafficSpec materialized into its event list — deterministic:
+ * the same spec always yields the same events, on every backend and
+ * worker count (the determinism the governor tests rely on).
+ */
+class TrafficScenario
+{
+  public:
+    explicit TrafficScenario(const TrafficSpec &spec);
+
+    const TrafficSpec &spec() const { return spec_; }
+    const std::vector<TrafficEvent> &events() const { return events_; }
+
+    /** Work items in the scenario (idle events excluded). */
+    uint64_t workItems() const { return work_items_; }
+
+    /** Total duration, in nominal item windows. */
+    double totalWindows() const { return total_windows_; }
+
+    /** One-line shape summary for reports. */
+    std::string describe() const;
+
+  private:
+    TrafficSpec spec_;
+    std::vector<TrafficEvent> events_;
+    uint64_t work_items_ = 0;
+    double total_windows_ = 0;
+};
+
+} // namespace synchro::sim
+
+#endif // SYNC_SIM_TRAFFIC_HH

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "apps/app_registry.hh"
 #include "apps/motion_runner.hh"
 #include "apps/pipeline_runner.hh"
 #include "common/log.hh"
@@ -39,7 +40,9 @@ quickOptions()
 
 TEST(Explorer, EnumeratesFeasibleVariantsAroundBaseline)
 {
-    auto app = apps::explorableDdc(smallDdc());
+    auto app =
+        apps::AppRegistry::instance().at("ddc").explorable(
+            smallDdc());
     power::VfModel vf;
     power::SupplyLevels levels(vf);
     auto variants = enumeratePlanVariants(
@@ -72,7 +75,9 @@ TEST(Explorer, EnumeratesFeasibleVariantsAroundBaseline)
 
 TEST(Explorer, DividerVariantsRaiseOnePlacementsClock)
 {
-    auto app = apps::explorableDdc(smallDdc());
+    auto app =
+        apps::AppRegistry::instance().at("ddc").explorable(
+            smallDdc());
     power::VfModel vf;
     power::SupplyLevels levels(vf);
     ExploreOptions opt;
@@ -102,8 +107,10 @@ TEST(Explorer, DividerVariantsRaiseOnePlacementsClock)
 
 TEST(Explorer, MeasuredFrontierIsBitExactAndAgrees)
 {
-    auto res =
-        explorePlans(apps::explorableDdc(smallDdc()), quickOptions());
+    auto res = explorePlans(
+        apps::AppRegistry::instance().at("ddc").explorable(
+            smallDdc()),
+        quickOptions());
 
     EXPECT_EQ(res.app, "ddc");
     ASSERT_FALSE(res.points.empty());
@@ -158,8 +165,10 @@ TEST(Explorer, DeterministicAcrossPoolWidths)
     ExploreOptions parallel = quickOptions();
     parallel.threads = 4;
 
-    auto a = explorePlans(apps::explorableDdc(smallDdc()), serial);
-    auto b = explorePlans(apps::explorableDdc(smallDdc()), parallel);
+    const apps::AppDescriptor &ddc =
+        apps::AppRegistry::instance().at("ddc");
+    auto a = explorePlans(ddc.explorable(smallDdc()), serial);
+    auto b = explorePlans(ddc.explorable(smallDdc()), parallel);
 
     ASSERT_EQ(a.points.size(), b.points.size());
     for (size_t i = 0; i < a.points.size(); ++i) {
@@ -177,7 +186,8 @@ TEST(Explorer, DeterministicAcrossPoolWidths)
 TEST(Explorer, MotionShardVariantsWidenTheSearch)
 {
     apps::MotionPipelineParams p;
-    auto app = apps::explorableMotion(p);
+    auto app =
+        apps::AppRegistry::instance().at("motion").explorable(p);
 
     // The runner offers the other feasible farm widths as variants.
     ASSERT_FALSE(app.shard_variants.empty());

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apps/app_harness.hh"
+#include "apps/app_registry.hh"
 #include "apps/pipeline_runner.hh"
 #include "apps/wifi_runner.hh"
 #include "common/log.hh"
@@ -427,7 +428,8 @@ TEST(Fleet, MappedDdcStreamsMatchSoloSessionRuns)
     fc.workers = 4;
     fc.keep_outputs = true;
     sim::FleetExecutor fleet(fc);
-    unsigned w = fleet.addWorkload(apps::fleetDdc(p));
+    unsigned w = fleet.addWorkload(
+        apps::AppRegistry::instance().at("ddc").fleet(p));
 
     fleet.admitStream(w, 2, 0);
     fleet.admitStream(w, 1, 2);
@@ -467,8 +469,9 @@ TEST(Fleet, CloneMatchesFreshBuildOnEveryBackend)
     dp.samples = 64;
     apps::WifiPipelineParams wp;
     wp.symbols = 2;
-    std::vector<sim::FleetWorkload> workloads = {apps::fleetDdc(dp),
-                                                 apps::fleetWifi(wp)};
+    const apps::AppRegistry &reg = apps::AppRegistry::instance();
+    std::vector<sim::FleetWorkload> workloads = {
+        reg.at("ddc").fleet(dp), reg.at("wifi").fleet(wp)};
 
     for (const sim::FleetWorkload &wl : workloads) {
         for (SchedulerKind kind : synchro::test::AllSchedulerKinds) {

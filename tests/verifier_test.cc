@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/app_registry.hh"
 #include "apps/motion_runner.hh"
 #include "apps/pipeline_runner.hh"
 #include "apps/stereo_runner.hh"
@@ -329,12 +330,14 @@ TEST(Verifier, ZormMismatchRejected)
 
 TEST(Verifier, CommittedAppLoweringsVerifyCleanOnBothBusSettings)
 {
-    LoweredArtifact artifacts[] = {
-        apps::verifiableDdc({}),
-        apps::verifiableWifi({}),
-        apps::verifiableStereo({}),
-        apps::verifiableMotion({}),
-    };
+    // Every registered app's committed lowering, straight from the
+    // registry at default params.
+    std::vector<LoweredArtifact> artifacts;
+    for (const std::string &name :
+         apps::AppRegistry::instance().names())
+        artifacts.push_back(
+            apps::AppRegistry::instance().at(name).verifiable());
+    EXPECT_EQ(artifacts.size(), 4u);
     for (LoweredArtifact &art : artifacts) {
         VerifyReport committed = art.verify();
         EXPECT_TRUE(committed.ok())
@@ -358,7 +361,7 @@ TEST(Verifier, RateScaledExplorerVariantsVerifyClean)
     // itself emits — the 0.75/0.90 wifi rate variants are exactly
     // the settings a tighter zorm tolerance falsely rejects.
     mapping::ExplorableApp app =
-        apps::explorableWifi(apps::WifiPipelineParams{});
+        apps::AppRegistry::instance().at("wifi").explorable();
     ExploreOptions opt;
     opt.rate_factors = {0.75, 0.90};
     opt.divider_steps = 0;
@@ -374,7 +377,8 @@ TEST(Verifier, ExplorerFiltersBrokenCandidateBeforeSimulation)
 {
     apps::DdcPipelineParams p;
     p.samples = 512;
-    mapping::ExplorableApp app = apps::explorableDdc(p);
+    mapping::ExplorableApp app =
+        apps::AppRegistry::instance().at("ddc").explorable(p);
 
     // A candidate whose placement claims a column frequency that is
     // not ref/divider — nothing a simulation would ever notice (the

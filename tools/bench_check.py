@@ -26,10 +26,17 @@ committed baselines and fails CI when the perf trajectory regresses:
   * a ``bit_exact`` or ``agreement`` flag regresses (1 in the
     baseline, 0 now),
   * a measured ``savings_pct`` drops more than 5 percentage points
-    (``paper_*`` reference values are informational and ignored),
+    (``paper_*`` reference values are informational and ignored) —
+    this includes the DVFS governor's per-app
+    ``governed_savings_pct`` and its worst-app headline in
+    ``BENCH_dvfs.json``,
   * an ``*_gap_pct`` divergence (lower is better — e.g. the
-    explorer's optimizer-vs-measured-frontier gap) rises more than
-    5 percentage points.
+    explorer's optimizer-vs-measured-frontier gap, or the DVFS
+    governor's ``oracle_gap_pct`` against the per-phase oracle)
+    rises more than 5 percentage points.
+
+The governed simulation rate ``governed_sim_ticks_per_sec`` rides
+the ``*_ticks_per_sec`` wall-clock class above.
 
 Baselines missing a section/key that the fresh file has are fine
 (new benches extend the trajectory); fresh files missing a baseline
@@ -183,6 +190,9 @@ def self_test():
                 "agreement": 1,
                 "savings_pct": 30.0,
                 "baseline_gap_pct": 1.0,
+                "governed_savings_pct": 23.0,
+                "oracle_gap_pct": 28.0,
+                "governed_sim_ticks_per_sec": 1.8e7,
             }
         }
         bad = {
@@ -198,6 +208,9 @@ def self_test():
                 "agreement": 0,          # flag regressed
                 "savings_pct": 20.0,     # -10 pp savings
                 "baseline_gap_pct": 9.0,  # +8 pp gap
+                "governed_savings_pct": 15.0,  # -8 pp DVFS savings
+                "oracle_gap_pct": 35.0,  # +7 pp DVFS oracle gap
+                "governed_sim_ticks_per_sec": 3.0e6,  # -83% wall
             }
         }
         (base / "BENCH_x.json").write_text(json.dumps(good))
@@ -211,6 +224,8 @@ def self_test():
                   "fast_mticks_per_s", "chips_s", "ticks_s",
                   "bit_exact",
                   "agreement", "savings_pct", "baseline_gap_pct",
+                  "governed_savings_pct", "oracle_gap_pct",
+                  "governed_sim_ticks_per_sec",
                   "no fresh counterpart"]
         text = "\n".join(failures)
         missed = [w for w in wanted if w not in text]
